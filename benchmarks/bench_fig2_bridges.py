@@ -1,0 +1,51 @@
+"""E2 — Figure 2: bridges for words.
+
+Regenerates the bridge structure for words of growing length and records
+the ``2k + 1`` tuple-count series (k+1 bottom tuples + k apexes), which is
+the quantitative content of Figure 2.
+"""
+
+import pytest
+
+from repro.reduction.bridge import bridge_instance
+from repro.reduction.schema import ReductionSchema
+
+from conftest import record
+
+EXPERIMENT = "E2 / Figure 2: bridge size vs word length (2k+1 tuples)"
+
+LETTERS = ("A0", "X1", "0")
+LENGTHS = [1, 2, 4, 8, 16, 32]
+
+
+def word_of(length: int):
+    return tuple(LETTERS[index % len(LETTERS)] for index in range(length))
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return ReductionSchema(LETTERS)
+
+
+@pytest.mark.parametrize("length", LENGTHS)
+def test_bridge_construction(benchmark, schema, length):
+    word = word_of(length)
+    instance, bridge = benchmark(bridge_instance, schema, word)
+    assert bridge.tuple_count == 2 * length + 1
+    assert len(instance) == bridge.tuple_count
+    record(
+        EXPERIMENT,
+        f"k={length:>3}: bottom={length + 1:>3} apexes={length:>3} "
+        f"tuples={bridge.tuple_count:>3} (= 2k+1)",
+    )
+
+
+def test_bridge_invariants_checked(benchmark, schema):
+    word = word_of(8)
+    __, bridge = bridge_instance(schema, word)
+    benchmark(bridge.check)
+    record(
+        EXPERIMENT,
+        "invariants: bottom row E-equivalent, apexes E'-equivalent, "
+        "one A'/A'' triangle per letter — verified",
+    )

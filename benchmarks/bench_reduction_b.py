@@ -1,0 +1,98 @@
+"""E5 — Reduction Theorem, direction (B).
+
+Negative word-problem instances: find a finite identity-free cancellation
+counter-semigroup, build the paper's ``P u Q`` counterexample database and
+model-check that every ``Di(r)`` holds while ``D0`` fails. Records the
+|G| -> |G'|, |P|, |Q| series and the verification verdicts.
+"""
+
+import pytest
+
+from repro.reduction.encode import encode
+from repro.reduction.model import counterexample_database, verify_counterexample
+from repro.semigroups.search import find_counter_model
+from repro.workloads.instances import negative_family
+
+from conftest import record
+
+EXPERIMENT = "E5 / Reduction Theorem (B): finite counter-model  =>  D |/= D0 finitely"
+
+EXTRA_LETTERS = [0, 1, 2, 3]
+
+
+@pytest.mark.parametrize("extra", EXTRA_LETTERS)
+def test_counterexample_database(benchmark, extra):
+    presentation = negative_family(extra)
+    encoding = encode(presentation)
+    counter_model = find_counter_model(presentation)
+    assert counter_model is not None
+
+    def build():
+        return counterexample_database(encoding, counter_model)
+
+    database = benchmark(build)
+    report = verify_counterexample(database)
+    assert report.ok
+    record(
+        EXPERIMENT,
+        f"alphabet n={len(presentation.alphabet)}: "
+        f"|G|={counter_model.semigroup.size} -> |G'|={database.extended.size}  "
+        f"|P|={len(database.p_elements)}  |Q|={len(database.q_elements)}  "
+        f"rows={len(database.instance)}  "
+        f"all D hold=True, D0 fails=True  CONFIRMED",
+    )
+
+
+def test_counter_model_search(benchmark):
+    presentation = negative_family(1)
+    counter_model = benchmark(find_counter_model, presentation)
+    assert counter_model is not None
+    record(
+        EXPERIMENT,
+        f"counter-semigroup search (n=3 letters): {counter_model.describe()}",
+    )
+
+
+@pytest.mark.parametrize("index", [3, 4, 6, 8])
+def test_database_scales_with_semigroup(benchmark, index):
+    """|P| grows with the counter-semigroup: in the nilpotent semigroup of
+    index k with A0 -> a^(k-2), the divisors of a^(k-2) are I, a, ...,
+    a^(k-2), so |P| = k-1 while |Q| stays 1 (zero equations only)."""
+    from repro.semigroups.construct import free_nilpotent
+    from repro.semigroups.search import CounterModel
+
+    presentation = negative_family(0)
+    encoding = encode(presentation)
+    semigroup = free_nilpotent(index)
+    # A0 -> a^(k-2): 0-based element index k-3 (element i is a^(i+1)).
+    counter_model = CounterModel(semigroup, {"A0": index - 3, "0": index - 1})
+
+    def build_and_verify():
+        database = counterexample_database(encoding, counter_model)
+        return database, verify_counterexample(database)
+
+    database, report = benchmark.pedantic(build_and_verify, rounds=1, iterations=1)
+    assert report.ok
+    assert len(database.p_elements) == index - 1
+    record(
+        EXPERIMENT,
+        f"nilpotent index {index}: |G|={semigroup.size}  "
+        f"|P|={len(database.p_elements)} (= k-1)  "
+        f"|Q|={len(database.q_elements)}  rows={len(database.instance)}  "
+        f"CONFIRMED",
+    )
+
+
+def test_model_check_cost(benchmark):
+    """Verification cost: model-checking all of D against the database."""
+    presentation = negative_family(2)
+    encoding = encode(presentation)
+    counter_model = find_counter_model(presentation)
+    database = counterexample_database(encoding, counter_model)
+    report = benchmark(verify_counterexample, database)
+    assert report.ok
+    record(
+        EXPERIMENT,
+        f"model-check cost: {encoding.dependency_count} dependencies x "
+        f"{len(database.instance)} rows per verification pass",
+    )

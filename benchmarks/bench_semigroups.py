@@ -1,0 +1,116 @@
+"""E10 — the semigroup substrate (Main Lemma machinery).
+
+Measures short-form normalisation, the exhaustive associative-table
+search, cancellation checking across the nilpotent family, and
+counter-model search — recording the series that calibrate the word-
+problem side of the reduction.
+"""
+
+import pytest
+
+from repro.semigroups.construct import free_nilpotent
+from repro.semigroups.presentation import Equation, Presentation
+from repro.semigroups.rewriting import word_problem
+from repro.semigroups.search import _iter_all_tables, find_counter_model
+from repro.workloads.instances import negative_instance, positive_chain_family
+
+from conftest import record
+
+EXPERIMENT = "E10 / semigroup substrate: normalisation, search, cancellation"
+
+
+@pytest.mark.parametrize("word_length", [3, 5, 9])
+def test_normalisation_scaling(benchmark, word_length):
+    presentation = Presentation.with_zero_equations(
+        ["A0", "0"],
+        [Equation.make(["A0"] * word_length, ["0"])],
+    )
+    normalized = benchmark(presentation.normalized)
+    assert normalized.is_short_form()
+    record(
+        EXPERIMENT,
+        f"normalise |lhs|={word_length}: {len(presentation.equations):>2} -> "
+        f"{len(normalized.equations):>2} equations, "
+        f"{len(normalized.alphabet) - len(presentation.alphabet)} fresh letters",
+    )
+
+
+@pytest.mark.parametrize("size", [2, 3])
+def test_exhaustive_table_search(benchmark, size):
+    tables = benchmark.pedantic(
+        lambda: list(_iter_all_tables(size)), rounds=1, iterations=1
+    )
+    expected = {2: 8, 3: 113}[size]
+    assert len(tables) == expected
+    record(
+        EXPERIMENT,
+        f"associative tables on {size} elements: {len(tables)} "
+        f"(matches the classical count {expected})",
+    )
+
+
+@pytest.mark.parametrize("index", [3, 6, 12])
+def test_cancellation_check_scaling(benchmark, index):
+    semigroup = free_nilpotent(index)
+    ok = benchmark(semigroup.has_cancellation_property)
+    assert ok
+    record(
+        EXPERIMENT,
+        f"nilpotent index {index:>2} ({semigroup.size} elements): "
+        "cancellation property holds (checked)",
+    )
+
+
+def test_counter_model_search_cost(benchmark):
+    presentation = negative_instance()
+
+    def run():
+        return find_counter_model(presentation)
+
+    model = benchmark(run)
+    assert model is not None
+    record(
+        EXPERIMENT,
+        f"counter-model search (canonical negative): {model.describe()}",
+    )
+
+
+@pytest.mark.parametrize("bound", [2, 3, 4])
+def test_bounded_quotient_growth(benchmark, bound):
+    """The quotient S*/~ truncated to words of length <= bound: class
+    counts separate the positive instance (everything collapses) from the
+    negative one (A0-powers stay apart)."""
+    from repro.semigroups.congruence import bounded_quotient
+
+    positive = positive_chain_family(1)
+    negative = negative_instance()
+
+    def run():
+        return bounded_quotient(negative, bound)
+
+    negative_quotient = benchmark(run)
+    positive_quotient = bounded_quotient(positive, bound)
+    assert not negative_quotient.a0_collapses()
+    record(
+        EXPERIMENT,
+        f"bounded quotient (len<={bound}): negative instance "
+        f"{negative_quotient.word_count} words -> "
+        f"{negative_quotient.class_count} classes (A0 ~ 0: False); "
+        f"positive chain -> {positive_quotient.class_count} classes "
+        f"(A0 ~ 0: {positive_quotient.a0_collapses()})",
+    )
+
+
+@pytest.mark.parametrize("chain", [1, 3])
+def test_word_problem_cost(benchmark, chain):
+    presentation = positive_chain_family(chain)
+
+    def run():
+        return word_problem(presentation, max_length=chain + 4)
+
+    derivation = benchmark(run)
+    assert derivation is not None
+    record(
+        EXPERIMENT,
+        f"word problem (chain n={chain}): derivation length {derivation.length}",
+    )

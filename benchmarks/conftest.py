@@ -1,0 +1,33 @@
+"""Shared infrastructure for the benchmark/experiment harness.
+
+Each benchmark module measures one experiment from DESIGN.md's index
+(E1..E10) and *records* the rows/series the paper's artefact corresponds
+to via :func:`record`. The recorded lines are printed in the terminal
+summary, so ``pytest benchmarks/ --benchmark-only`` emits both the timing
+table (pytest-benchmark) and the experiment tables (this hook) — the
+latter are what EXPERIMENTS.md quotes.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+#: experiment id -> list of recorded table lines.
+_REPORTS: "OrderedDict[str, list[str]]" = OrderedDict()
+
+
+def record(experiment: str, line: str) -> None:
+    """Add one line to an experiment's report table."""
+    _REPORTS.setdefault(experiment, []).append(line)
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _REPORTS:
+        return
+    terminalreporter.write_sep("=", "experiment reports (paper-shape tables)")
+    for experiment, lines in _REPORTS.items():
+        terminalreporter.write_line("")
+        terminalreporter.write_line(experiment)
+        terminalreporter.write_line("-" * len(experiment))
+        for line in lines:
+            terminalreporter.write_line(line)

@@ -1,0 +1,62 @@
+"""Certificates: save a proof and a counterexample, reload, re-verify.
+
+Because the inference problem is undecidable, trust shifts to
+*certificates*: a PROVED answer carries a chase trace, a DISPROVED answer
+a finite counterexample database. Both serialize to JSON, survive a round
+trip through text, and re-verify from scratch in complete independence of
+the solver run that produced them.
+
+Run with:  python examples/certificates.py
+"""
+
+import json
+
+from repro import infer, parse_td
+from repro.chase.engine import replay
+from repro.chase.implication import conclusion_satisfied
+from repro.chase.modelcheck import satisfies_all
+from repro.io.json_codec import (
+    instance_from_json,
+    instance_to_json,
+    trace_from_json,
+    trace_to_json,
+)
+
+
+def main() -> None:
+    transitivity = parse_td("R(x, y) & R(y, z) -> R(x, z)")
+    schema = transitivity.schema
+
+    # ----------------------------------------------------------- a proof
+    target = parse_td("R(x, y) & R(y, z) & R(z, w) -> R(x, w)", schema)
+    report = infer([transitivity], target)
+    assert report.proved
+    trace = report.chase_outcome.chase_result.steps
+    wire = json.dumps(trace_to_json(trace))
+    print(f"proof certificate: {len(trace)} steps, {len(wire)} bytes of JSON")
+
+    # An independent process would do exactly this:
+    recovered_steps = trace_from_json(json.loads(wire))
+    start, frozen = target.freeze()
+    final = replay(start, recovered_steps)  # verifies every step
+    assert conclusion_satisfied(final, target, frozen)
+    print("reloaded proof replays and establishes the conclusion: True")
+    print()
+
+    # --------------------------------------------------- a counterexample
+    symmetry = parse_td("R(x, y) -> R(y, x)", schema)
+    report = infer([transitivity], symmetry)
+    assert report.disproved
+    wire = json.dumps(instance_to_json(report.finite_counterexample))
+    print(f"counterexample certificate: {len(wire)} bytes of JSON")
+
+    witness = instance_from_json(json.loads(wire))
+    assert satisfies_all(witness, [transitivity])
+    assert symmetry.find_violation(witness) is not None
+    print("reloaded counterexample satisfies D and violates the target: True")
+    print()
+    print(witness.pretty())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Regenerate the paper's three figures as diagrams.
+
+Figure 1 — the garment dependency; Figure 2 — a bridge (shown as its
+instance plus invariants, since it is a database fragment rather than a
+dependency); Figure 3 — the dependencies D1(r)..D4(r) for an equation
+r: AB = C, plus D0. Each dependency diagram is printed in ASCII and the
+Graphviz DOT source is emitted so `dot -Tpng` reproduces pictures in the
+style of the paper.
+
+Run with:  python examples/diagrams_gallery.py [--dot]
+"""
+
+import sys
+
+from repro.dependencies import diagram_of, render_ascii, render_dot
+from repro.reduction import bridge_instance, encode
+from repro.semigroups.presentation import Equation
+from repro.semigroups.words import show
+from repro.workloads.garment import figure1_dependency
+from repro.workloads.instances import positive_instance
+
+
+def main(emit_dot: bool = False) -> None:
+    # ------------------------------------------------------------- Fig 1
+    fig1 = figure1_dependency()
+    print(render_ascii(diagram_of(fig1), "Figure 1: the garment dependency"))
+    print()
+
+    # ------------------------------------------------------------- Fig 2
+    encoding = encode(positive_instance())
+    word = ("A0", "A0", "0")
+    instance, bridge = bridge_instance(encoding.reduction_schema, word)
+    print(f"Figure 2: the bridge for {show(word)}")
+    print("=" * 34)
+    print(
+        f"{len(bridge.bottom)} bottom tuples (E-equivalent), "
+        f"{len(bridge.apexes)} apexes (E'-equivalent), "
+        f"one triangle per letter; {bridge.tuple_count} tuples total"
+    )
+    print(instance.pretty(limit=10))
+    print()
+
+    # ------------------------------------------------------------- Fig 3
+    equation = Equation.make(["A0", "A0"], ["0"])
+    d1, d2, d3, d4 = encoding.by_equation[equation]
+    print(f"Figure 3: the dependencies for r: {equation}")
+    print()
+    for dependency in (d1, d2, d3, d4, encoding.d0):
+        print(render_ascii(diagram_of(dependency), dependency.name))
+        print()
+        if emit_dot:
+            print(render_dot(diagram_of(dependency), dependency.name))
+            print()
+
+
+if __name__ == "__main__":
+    main(emit_dot="--dot" in sys.argv[1:])

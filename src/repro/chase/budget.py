@@ -1,0 +1,87 @@
+"""Resource budgets for chase runs and other semi-decision procedures.
+
+Because the paper proves the inference problem undecidable, any chase-based
+solver must be prepared to give up. A :class:`Budget` bounds the work a run
+may do (trigger firings, instance size, wall-clock time); a
+:class:`ChaseStats` accumulates what a run actually did. Exhaustion is a
+*reported outcome*, not an exception, so callers can distinguish "refuted"
+from "ran out of budget" — exactly the distinction the undecidability
+theorem says cannot always be eliminated.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Budget:
+    """Limits for one chase (or search) run.
+
+    ``None`` means unlimited for that axis. The default budget is generous
+    enough for every experiment in this repository while still finite, so
+    accidental divergence surfaces as an ``UNKNOWN`` rather than a hang.
+    """
+
+    max_steps: Optional[int] = 10_000
+    max_rows: Optional[int] = 50_000
+    max_seconds: Optional[float] = 60.0
+
+    @staticmethod
+    def unlimited() -> "Budget":
+        """No limits at all. Use only where termination is guaranteed."""
+        return Budget(max_steps=None, max_rows=None, max_seconds=None)
+
+    @staticmethod
+    def small() -> "Budget":
+        """A tight budget for tests that probe exhaustion behaviour."""
+        return Budget(max_steps=25, max_rows=100, max_seconds=5.0)
+
+    def start(self) -> "ChaseStats":
+        """Create a stats tracker whose clock starts now."""
+        return ChaseStats(budget=self)
+
+
+@dataclass
+class ChaseStats:
+    """Mutable counters for a run, checked against a :class:`Budget`."""
+
+    budget: Budget
+    steps: int = 0
+    rows_added: int = 0
+    started_at: float = field(default_factory=time.monotonic)
+
+    def note_step(self) -> None:
+        """Record one trigger firing."""
+        self.steps += 1
+
+    def note_row(self) -> None:
+        """Record one new row added to the instance."""
+        self.rows_added += 1
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Wall-clock seconds since the run started."""
+        return time.monotonic() - self.started_at
+
+    def exhausted(self, current_rows: Optional[int] = None) -> bool:
+        """True when any budget axis has been used up."""
+        limits = self.budget
+        if limits.max_steps is not None and self.steps >= limits.max_steps:
+            return True
+        if limits.max_rows is not None:
+            size = current_rows if current_rows is not None else self.rows_added
+            if size >= limits.max_rows:
+                return True
+        if limits.max_seconds is not None and self.elapsed_seconds >= limits.max_seconds:
+            return True
+        return False
+
+    def describe(self) -> str:
+        """A one-line human-readable usage summary."""
+        return (
+            f"steps={self.steps} rows_added={self.rows_added} "
+            f"elapsed={self.elapsed_seconds:.3f}s"
+        )

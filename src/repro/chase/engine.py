@@ -1,0 +1,242 @@
+"""The chase proper: standard (restricted) and oblivious variants.
+
+The engine is round-based and fair: each round scans every dependency and
+fires the triggers found. A fixpoint (a round that adds nothing) means the
+instance satisfies every dependency — for the standard chase the result is
+then a *universal model* of the input under the dependencies, which is what
+makes chase-based implication testing sound and complete on terminating
+runs.
+
+The engine never raises on divergence: it stops when the
+:class:`~repro.chase.budget.Budget` is spent and says so in the result
+status.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.chase.budget import Budget
+from repro.chase.result import ChaseResult, ChaseStatus, ChaseStep
+from repro.chase.trigger import Trigger, iter_triggers
+from repro.dependencies.classify import Dependency
+from repro.dependencies.template import Variable, is_variable
+from repro.errors import VerificationError
+from repro.relational.homomorphism import apply_assignment
+from repro.relational.instance import Instance
+from repro.relational.values import NullFactory, Value
+
+
+class ChaseVariant(enum.Enum):
+    """Which trigger discipline to use."""
+
+    #: Fire only *active* triggers (the restricted chase). Terminates more
+    #: often and produces smaller instances; this is the default.
+    STANDARD = "standard"
+
+    #: Fire every trigger exactly once, active or not. Simpler theory,
+    #: bigger instances; kept for the redundancy ablation benchmarks.
+    OBLIVIOUS = "oblivious"
+
+    #: The restricted chase with semi-naive (delta-driven) trigger
+    #: enumeration: each round only examines matches touching a row added
+    #: in the previous round. Same results as STANDARD (activity is
+    #: monotone: adding rows never re-activates a trigger), less rescanning.
+    SEMI_NAIVE = "semi_naive"
+
+
+#: A predicate the caller wants to become true; the chase stops when it does.
+Goal = Callable[[Instance], bool]
+
+
+def chase(
+    instance: Instance,
+    dependencies: Sequence[Dependency],
+    *,
+    budget: Optional[Budget] = None,
+    variant: ChaseVariant = ChaseVariant.STANDARD,
+    goal: Optional[Goal] = None,
+    inplace: bool = False,
+    record_trace: bool = True,
+    null_factory: Optional[NullFactory] = None,
+) -> ChaseResult:
+    """Chase ``instance`` with ``dependencies``.
+
+    Returns a :class:`~repro.chase.result.ChaseResult` whose status is
+    ``TERMINATED`` (fixpoint), ``GOAL_REACHED`` (the ``goal`` predicate
+    became true) or ``BUDGET_EXHAUSTED``. Unless ``inplace`` is set the
+    input instance is left untouched.
+
+    ``record_trace`` keeps the full list of fired steps (the replayable
+    certificate); disable it for large benchmark runs.
+    """
+    working = instance if inplace else instance.copy()
+    budget = budget if budget is not None else Budget()
+    stats = budget.start()
+    fresh = null_factory if null_factory is not None else NullFactory()
+    trace: list[ChaseStep] = []
+    fired: set[Trigger] = set()
+
+    def finish(status: ChaseStatus) -> ChaseResult:
+        return ChaseResult(status=status, instance=working, steps=trace, stats=stats)
+
+    if goal is not None and goal(working):
+        return finish(ChaseStatus.GOAL_REACHED)
+
+    if variant is ChaseVariant.SEMI_NAIVE:
+        return _chase_semi_naive(
+            working, dependencies, stats, fresh, trace, goal, record_trace, finish
+        )
+
+    while True:
+        progress = False
+        for dependency in dependencies:
+            # Snapshot the triggers for this dependency: firing mutates the
+            # instance, and iterating homomorphisms over a moving target is
+            # not safe. Activity is re-checked against the live instance
+            # right before each firing.
+            for trigger in list(iter_triggers(working, dependency)):
+                if variant is ChaseVariant.STANDARD:
+                    if not trigger.is_active(working):
+                        continue
+                else:
+                    if trigger in fired:
+                        continue
+                    fired.add(trigger)
+                step = fire_trigger(working, trigger, fresh)
+                stats.note_step()
+                for __ in step.added_rows:
+                    stats.note_row()
+                progress = True
+                if record_trace:
+                    trace.append(step)
+                if goal is not None and goal(working):
+                    return finish(ChaseStatus.GOAL_REACHED)
+                if stats.exhausted(len(working)):
+                    return finish(ChaseStatus.BUDGET_EXHAUSTED)
+        if not progress:
+            return finish(ChaseStatus.TERMINATED)
+
+
+def _chase_semi_naive(
+    working: Instance,
+    dependencies: Sequence[Dependency],
+    stats,
+    fresh: NullFactory,
+    trace: list[ChaseStep],
+    goal: Optional[Goal],
+    record_trace: bool,
+    finish,
+) -> ChaseResult:
+    """Round-based restricted chase, enumerating only delta-touching triggers.
+
+    Correctness rests on two monotonicity facts: (1) every match is first
+    possible in the round its newest row was added, so scanning matches
+    touching the previous round's delta covers all new triggers; (2) a
+    trigger found inactive stays inactive forever (adding rows only adds
+    conclusion extensions), so never revisiting old matches loses nothing.
+    """
+    from repro.chase.trigger import iter_triggers_touching
+
+    delta: set = set(working.rows)
+    while delta:
+        added_this_round: set = set()
+        for dependency in dependencies:
+            for trigger in list(
+                iter_triggers_touching(working, dependency, delta)
+            ):
+                if not trigger.is_active(working):
+                    continue
+                step = fire_trigger(working, trigger, fresh)
+                added_this_round.update(step.added_rows)
+                stats.note_step()
+                for __ in step.added_rows:
+                    stats.note_row()
+                if record_trace:
+                    trace.append(step)
+                if goal is not None and goal(working):
+                    return finish(ChaseStatus.GOAL_REACHED)
+                if stats.exhausted(len(working)):
+                    return finish(ChaseStatus.BUDGET_EXHAUSTED)
+        delta = added_this_round
+    return finish(ChaseStatus.TERMINATED)
+
+
+def fire_trigger(
+    instance: Instance, trigger: Trigger, fresh: NullFactory
+) -> ChaseStep:
+    """Fire ``trigger`` on ``instance`` (in place) and return the step.
+
+    Every existential variable of the dependency receives one fresh
+    labelled null, shared across all conclusion atoms — this sharing is
+    what distinguishes a genuine EID conclusion conjunction from the weaker
+    split into independent TDs.
+    """
+    dependency = trigger.dependency
+    existential_values: dict[Variable, Value] = {
+        variable: fresh() for variable in dependency.existential_variables()
+    }
+    rows = trigger.conclusion_rows(existential_values)
+    added = tuple(row for row in rows if instance.add(row))
+    return ChaseStep(
+        dependency=dependency,
+        bindings=trigger.bindings,
+        added_rows=added if added else tuple(rows),
+    )
+
+
+def apply_step(instance: Instance, step: ChaseStep, *, verify: bool = True) -> None:
+    """Replay a recorded chase step onto ``instance`` (in place).
+
+    With ``verify`` (the default) the step is checked before being applied:
+
+    * the bindings must send every antecedent atom to a row already present
+      in the instance (i.e. they are a genuine trigger), and
+    * the added rows must match the conclusion atoms under the bindings,
+      with a consistent choice for each existential variable.
+
+    Raises :class:`~repro.errors.VerificationError` on any mismatch. This
+    is the checker behind the reduction's machine-verified direction (A)
+    proofs.
+    """
+    dependency = step.dependency
+    assignment: dict[Variable, Value] = {
+        Variable(name): value for name, value in step.bindings
+    }
+    if verify:
+        for atom in dependency.antecedents:
+            row = apply_assignment(atom, assignment, flexible=is_variable)
+            if any(is_variable(term) for term in row):
+                raise VerificationError(
+                    f"step bindings leave antecedent {atom} partially unbound"
+                )
+            if row not in instance:
+                raise VerificationError(
+                    f"step is not a trigger: antecedent image {row} missing"
+                )
+        if len(step.added_rows) != len(dependency.conclusions):
+            raise VerificationError(
+                "step adds a different number of rows than the dependency concludes"
+            )
+        extended = dict(assignment)
+        for atom, row in zip(dependency.conclusions, step.added_rows):
+            if len(atom) != len(row):
+                raise VerificationError("conclusion row has the wrong arity")
+            for variable, value in zip(atom, row):
+                bound = extended.setdefault(variable, value)
+                if bound != value:
+                    raise VerificationError(
+                        f"inconsistent value for {variable} in added rows"
+                    )
+    instance.add_all(step.added_rows)
+
+
+def replay(
+    start: Instance, steps: Iterable[ChaseStep], *, verify: bool = True
+) -> Instance:
+    """Replay a whole trace from ``start``, returning the final instance."""
+    working = start.copy()
+    for step in steps:
+        apply_step(working, step, verify=verify)
+    return working

@@ -1,0 +1,165 @@
+"""Implication testing via the chase.
+
+To decide whether a finite set ``D`` of dependencies logically implies a
+dependency ``d`` (the paper's *inference problem*), freeze ``d``'s
+antecedents into a canonical database, chase it with ``D``, and watch for
+``d``'s conclusion:
+
+* the conclusion becomes derivable  →  **PROVED** (sound for finite and
+  unrestricted semantics alike; the chase trace is the certificate);
+* the chase reaches a fixpoint without it  →  **DISPROVED** — the chased
+  instance is a finite universal model satisfying ``D`` and violating
+  ``d``, a counterexample under both semantics;
+* the budget runs out first  →  **UNKNOWN** — which, by the paper's Main
+  Theorem, no algorithm can always avoid.
+
+For *full* dependencies the chase terminates, so the procedure is a
+decision procedure there; undecidability lives entirely in the embedded
+case.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.chase.budget import Budget
+from repro.chase.engine import ChaseVariant, chase
+from repro.chase.result import ChaseResult, ChaseStatus
+from repro.dependencies.classify import Dependency
+from repro.dependencies.template import Variable, is_variable
+from repro.relational.homomorphism import find_homomorphism
+from repro.relational.instance import Instance
+from repro.relational.values import Value
+
+
+class InferenceStatus(enum.Enum):
+    """Three-valued outcome of an implication test."""
+
+    PROVED = "proved"
+    DISPROVED = "disproved"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class InferenceOutcome:
+    """The result of one ``D ⊨ d`` test, with certificates.
+
+    * ``chase_result`` — the full run; when PROVED its trace derives the
+      frozen conclusion, replayable via :func:`repro.chase.engine.replay`.
+    * ``counterexample`` — when DISPROVED, a finite database satisfying
+      ``D`` but violating ``d``.
+    * ``frozen_assignment`` — the universal-variable freezing used, so
+      certificates can be checked independently.
+    """
+
+    status: InferenceStatus
+    target: Dependency
+    chase_result: Optional[ChaseResult] = None
+    counterexample: Optional[Instance] = None
+    frozen_assignment: Optional[dict[Variable, Value]] = None
+
+    @property
+    def proved(self) -> bool:
+        """True when the implication was established."""
+        return self.status is InferenceStatus.PROVED
+
+    @property
+    def disproved(self) -> bool:
+        """True when a counterexample was produced."""
+        return self.status is InferenceStatus.DISPROVED
+
+    def describe(self) -> str:
+        """One-line summary for logs."""
+        parts = [self.status.value]
+        if self.chase_result is not None:
+            parts.append(self.chase_result.describe())
+        return " | ".join(parts)
+
+
+def _freeze_target(target: Dependency) -> tuple[Instance, dict[Variable, Value]]:
+    """Freeze the target's antecedents into a canonical instance."""
+    from repro.relational.values import Const
+
+    assignment: dict[Variable, Value] = {}
+    for variable in sorted(target.universal_variables(), key=lambda v: v.name):
+        assignment[variable] = Const(("frozen", variable.name))
+    instance = Instance(
+        target.schema,
+        (
+            tuple(assignment[variable] for variable in atom)
+            for atom in target.antecedents
+        ),
+    )
+    return instance, assignment
+
+
+def conclusion_satisfied(
+    instance: Instance,
+    target: Dependency,
+    frozen: dict[Variable, Value],
+) -> bool:
+    """Does ``instance`` contain the target's conclusion at the frozen match?"""
+    witness = find_homomorphism(
+        target.conclusions,
+        instance,
+        partial=frozen,
+        flexible=is_variable,
+    )
+    return witness is not None
+
+
+def implies(
+    dependencies: Sequence[Dependency],
+    target: Dependency,
+    *,
+    budget: Optional[Budget] = None,
+    variant: ChaseVariant = ChaseVariant.STANDARD,
+    record_trace: bool = True,
+) -> InferenceOutcome:
+    """Test whether ``dependencies ⊨ target`` by chasing the frozen target."""
+    start, frozen = _freeze_target(target)
+
+    def goal(current: Instance) -> bool:
+        return conclusion_satisfied(current, target, frozen)
+
+    result = chase(
+        start,
+        list(dependencies),
+        budget=budget,
+        variant=variant,
+        goal=goal,
+        record_trace=record_trace,
+    )
+    if result.status is ChaseStatus.GOAL_REACHED:
+        return InferenceOutcome(
+            status=InferenceStatus.PROVED,
+            target=target,
+            chase_result=result,
+            frozen_assignment=frozen,
+        )
+    if result.status is ChaseStatus.TERMINATED:
+        return InferenceOutcome(
+            status=InferenceStatus.DISPROVED,
+            target=target,
+            chase_result=result,
+            counterexample=result.instance,
+            frozen_assignment=frozen,
+        )
+    return InferenceOutcome(
+        status=InferenceStatus.UNKNOWN,
+        target=target,
+        chase_result=result,
+        frozen_assignment=frozen,
+    )
+
+
+def implies_all(
+    dependencies: Sequence[Dependency],
+    targets: Sequence[Dependency],
+    *,
+    budget: Optional[Budget] = None,
+) -> list[InferenceOutcome]:
+    """Run :func:`implies` against each target, sharing the budget spec."""
+    return [implies(dependencies, target, budget=budget) for target in targets]

@@ -1,0 +1,33 @@
+"""Model checking: does a database satisfy a set of dependencies?
+
+Used throughout: the reduction's direction (B) verifies that the
+counterexample database satisfies every ``Di(r)`` but not ``D0``; tests use
+it as the ground truth the chase must agree with.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.dependencies.classify import Dependency
+from repro.relational.instance import Instance
+
+
+def satisfies_all(instance: Instance, dependencies: Iterable[Dependency]) -> bool:
+    """True when ``instance`` satisfies every dependency."""
+    return all(dependency.holds_in(instance) for dependency in dependencies)
+
+
+def all_violations(
+    instance: Instance, dependencies: Sequence[Dependency]
+) -> list[tuple[Dependency, dict]]:
+    """Every violated dependency with one witnessing antecedent match.
+
+    Returns an empty list exactly when :func:`satisfies_all` is true.
+    """
+    violations: list[tuple[Dependency, dict]] = []
+    for dependency in dependencies:
+        witness = dependency.find_violation(instance)
+        if witness is not None:
+            violations.append((dependency, witness))
+    return violations

@@ -1,0 +1,199 @@
+"""Chase termination analysis: weak acyclicity.
+
+The paper proves no algorithm decides TD inference, so no syntactic
+criterion can guarantee chase termination for *all* dependency sets — but
+sufficient criteria exist, and the standard one is **weak acyclicity**
+(Fagin, Kolaitis, Miller & Popa): build the *dependency graph* over the
+relation's positions (columns, in our single-relation setting) with
+
+* a **regular** edge ``p → q`` whenever some dependency has a universal
+  variable occurring in antecedent position ``p`` and conclusion position
+  ``q`` (values may be copied from ``p`` to ``q``), and
+* a **special** edge ``p ⇒ q`` whenever a universal variable occurring in
+  antecedent position ``p`` also occurs in the conclusion, and some
+  *existential* variable occurs in conclusion position ``q`` (a fresh
+  value in ``q`` can be created from a value in ``p``);
+
+the set is weakly acyclic when no cycle goes through a special edge, and
+then every chase sequence terminates in polynomially many steps.
+
+The punchline for this reproduction: the Gurevich–Lewis encodings are
+**never** weakly acyclic. They cannot be — a weakly acyclic encoding
+would let the chase decide ``D ⊨ D0`` and hence the word problem,
+contradicting the Main Theorem. The test suite checks this on every
+generated encoding (experiment E3's companion observation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import networkx as nx
+
+from repro.dependencies.classify import Dependency
+
+
+@dataclass(frozen=True)
+class PositionEdge:
+    """One dependency-graph edge, with provenance."""
+
+    source: int
+    target: int
+    special: bool
+    dependency_name: str
+
+    def describe(self, attributes) -> str:
+        arrow = "=>" if self.special else "->"
+        return (
+            f"{attributes[self.source]} {arrow} {attributes[self.target]}"
+            f"  [{self.dependency_name}]"
+        )
+
+
+def dependency_graph(dependencies: Sequence[Dependency]) -> nx.MultiDiGraph:
+    """The Fagin-et-al dependency graph over column positions."""
+    graph = nx.MultiDiGraph()
+    if not dependencies:
+        return graph
+    arity = dependencies[0].schema.arity
+    graph.add_nodes_from(range(arity))
+    for dependency in dependencies:
+        name = getattr(dependency, "name", None) or "dependency"
+        universal = dependency.universal_variables()
+        existential = dependency.existential_variables()
+        conclusion_variables = {
+            variable
+            for atom in dependency.conclusions
+            for variable in atom
+        }
+        existential_positions = sorted(
+            {
+                position
+                for atom in dependency.conclusions
+                for position, variable in enumerate(atom)
+                if variable in existential
+            }
+        )
+        for atom in dependency.antecedents:
+            for position, variable in enumerate(atom):
+                if variable not in universal:
+                    continue
+                occurs_in_conclusion = variable in conclusion_variables
+                if occurs_in_conclusion:
+                    for conclusion_atom in dependency.conclusions:
+                        for target, target_variable in enumerate(conclusion_atom):
+                            if target_variable == variable:
+                                graph.add_edge(
+                                    position,
+                                    target,
+                                    special=False,
+                                    dependency_name=name,
+                                )
+                    for target in existential_positions:
+                        graph.add_edge(
+                            position, target, special=True, dependency_name=name
+                        )
+    return graph
+
+
+def find_special_cycle(
+    dependencies: Sequence[Dependency],
+) -> Optional[list[PositionEdge]]:
+    """A cycle through a special edge, or None when weakly acyclic.
+
+    A special edge lies on a cycle exactly when its endpoints share a
+    strongly connected component; the witness returned is that edge plus
+    a shortest path closing the loop.
+    """
+    graph = dependency_graph(dependencies)
+    if graph.number_of_nodes() == 0:
+        return None
+    component_of: dict[int, int] = {}
+    for index, component in enumerate(nx.strongly_connected_components(graph)):
+        for node in component:
+            component_of[node] = index
+    for source, target, data in graph.edges(data=True):
+        if not data.get("special"):
+            continue
+        if component_of[source] != component_of[target]:
+            continue
+        witness = [
+            PositionEdge(
+                source=source,
+                target=target,
+                special=True,
+                dependency_name=data.get("dependency_name", "dependency"),
+            )
+        ]
+        if source != target:
+            path = nx.shortest_path(graph, target, source)
+            for step_source, step_target in zip(path, path[1:]):
+                edge_data = min(
+                    graph.get_edge_data(step_source, step_target).values(),
+                    key=lambda d: d.get("special", False),
+                )
+                witness.append(
+                    PositionEdge(
+                        source=step_source,
+                        target=step_target,
+                        special=bool(edge_data.get("special")),
+                        dependency_name=edge_data.get(
+                            "dependency_name", "dependency"
+                        ),
+                    )
+                )
+        return witness
+    return None
+
+
+def is_weakly_acyclic(dependencies: Sequence[Dependency]) -> bool:
+    """True when no cycle of the dependency graph uses a special edge.
+
+    Weak acyclicity guarantees chase termination (in polynomially many
+    steps in the instance size); the converse fails, so False means only
+    "no syntactic guarantee".
+    """
+    return find_special_cycle(dependencies) is None
+
+
+@dataclass
+class TerminationReport:
+    """Outcome of the termination analysis, with a witness when negative."""
+
+    weakly_acyclic: bool
+    special_cycle: Optional[list[PositionEdge]]
+    position_count: int
+    regular_edge_count: int
+    special_edge_count: int
+
+    def describe(self, attributes=None) -> str:
+        verdict = (
+            "weakly acyclic: chase terminates on every instance"
+            if self.weakly_acyclic
+            else "NOT weakly acyclic: no syntactic termination guarantee"
+        )
+        summary = (
+            f"{verdict} ({self.position_count} positions, "
+            f"{self.regular_edge_count} regular / "
+            f"{self.special_edge_count} special edges)"
+        )
+        if self.special_cycle and attributes is not None:
+            loop = "; ".join(edge.describe(attributes) for edge in self.special_cycle)
+            summary += f"; witness cycle: {loop}"
+        return summary
+
+
+def termination_report(dependencies: Sequence[Dependency]) -> TerminationReport:
+    """Run the full analysis and package the counts and witness."""
+    graph = dependency_graph(dependencies)
+    special = sum(1 for *__, data in graph.edges(data=True) if data.get("special"))
+    regular = graph.number_of_edges() - special
+    cycle = find_special_cycle(dependencies)
+    return TerminationReport(
+        weakly_acyclic=cycle is None,
+        special_cycle=cycle,
+        position_count=graph.number_of_nodes(),
+        regular_edge_count=regular,
+        special_edge_count=special,
+    )

@@ -1,0 +1,130 @@
+"""Triggers: matches of a dependency's antecedents in an instance.
+
+A *trigger* for dependency ``d`` in instance ``I`` is a homomorphism ``h``
+of ``d``'s antecedents into ``I``. The trigger is *active* when ``h`` has
+no extension mapping the conclusion atoms into ``I`` — i.e. the dependency
+is violated at ``h``. The restricted (standard) chase fires only active
+triggers; the oblivious chase fires every trigger once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from repro.dependencies.classify import Dependency
+from repro.dependencies.template import Variable, is_variable
+from repro.relational.homomorphism import (
+    apply_assignment,
+    extend_homomorphism,
+    iter_homomorphisms,
+)
+from repro.relational.instance import Instance, Row
+from repro.relational.values import Value
+
+
+@dataclass(frozen=True)
+class Trigger:
+    """A dependency together with an antecedent homomorphism.
+
+    The assignment is stored as a sorted tuple of (variable name, value)
+    pairs so triggers are hashable — the oblivious chase keys its
+    fired-set on them.
+    """
+
+    dependency: Dependency
+    bindings: tuple[tuple[str, Value], ...]
+
+    @staticmethod
+    def make(dependency: Dependency, assignment: Mapping[Variable, Value]) -> "Trigger":
+        """Build a trigger from an assignment dict."""
+        bindings = tuple(
+            sorted(
+                ((variable.name, value) for variable, value in assignment.items()),
+                key=lambda pair: pair[0],
+            )
+        )
+        return Trigger(dependency, bindings)
+
+    def assignment(self) -> dict[Variable, Value]:
+        """The bindings as a variable -> value dict."""
+        return {Variable(name): value for name, value in self.bindings}
+
+    def is_active(self, instance: Instance) -> bool:
+        """True when no extension covers the conclusion atoms."""
+        extension = extend_homomorphism(
+            self.assignment(),
+            self.dependency.conclusions,
+            instance,
+            flexible=is_variable,
+        )
+        return extension is None
+
+    def conclusion_rows(
+        self, existential_values: Mapping[Variable, Value]
+    ) -> list[Row]:
+        """The rows this trigger produces, given values for existentials."""
+        assignment = self.assignment()
+        assignment.update(existential_values)
+        return [
+            apply_assignment(atom, assignment, flexible=is_variable)
+            for atom in self.dependency.conclusions
+        ]
+
+
+def iter_triggers(instance: Instance, dependency: Dependency) -> Iterator[Trigger]:
+    """All triggers (active or not) of ``dependency`` in ``instance``."""
+    for assignment in iter_homomorphisms(
+        dependency.antecedents, instance, flexible=is_variable
+    ):
+        yield Trigger.make(dependency, assignment)
+
+
+def iter_active_triggers(
+    instance: Instance, dependency: Dependency
+) -> Iterator[Trigger]:
+    """Only the active (violated) triggers of ``dependency`` in ``instance``."""
+    for trigger in iter_triggers(instance, dependency):
+        if trigger.is_active(instance):
+            yield trigger
+
+
+def _unify_atom(atom: tuple, row: Row) -> Mapping[Variable, Value] | None:
+    """Match one antecedent atom against one concrete row."""
+    assignment: dict[Variable, Value] = {}
+    for variable, value in zip(atom, row):
+        bound = assignment.setdefault(variable, value)
+        if bound != value:
+            return None
+    return assignment
+
+
+def iter_triggers_touching(
+    instance: Instance,
+    dependency: Dependency,
+    delta: frozenset[Row] | set[Row],
+) -> Iterator[Trigger]:
+    """Triggers whose antecedent image uses at least one row of ``delta``.
+
+    This is the semi-naive enumeration: at a chase round it suffices to
+    consider matches that touch a row added in the previous round, because
+    any other match was already examined (and activity only decreases as
+    the instance grows). Each trigger is yielded once even when several of
+    its atoms land in the delta.
+    """
+    seen: set[tuple[tuple[str, Value], ...]] = set()
+    atoms = list(dependency.antecedents)
+    for pivot_index, pivot_atom in enumerate(atoms):
+        rest = atoms[:pivot_index] + atoms[pivot_index + 1 :]
+        for row in delta:
+            partial = _unify_atom(pivot_atom, row)
+            if partial is None:
+                continue
+            for assignment in iter_homomorphisms(
+                rest, instance, partial=partial, flexible=is_variable
+            ):
+                trigger = Trigger.make(dependency, assignment)
+                if trigger.bindings in seen:
+                    continue
+                seen.add(trigger.bindings)
+                yield trigger

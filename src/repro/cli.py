@@ -1,0 +1,211 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+* ``infer`` — the paper's inference problem on dependency files:
+  does the set imply the target? Exit code 0 = proved, 1 = disproved,
+  2 = unknown (the honest third value).
+* ``classify`` — run the Main-Theorem classifier on a presentation file
+  (direction (A), then direction (B), else UNKNOWN).
+* ``encode`` — show the ``φ ↦ (D, D0)`` encoding for a presentation
+  (sizes, and optionally every dependency).
+* ``diagram`` — render a dependency's Figure-1-style diagram (ASCII or
+  Graphviz DOT).
+* ``demo`` — a one-screen tour: both directions of the Reduction
+  Theorem on the canonical instances.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.chase.budget import Budget
+from repro.chase.implication import InferenceStatus
+from repro.core.inference import Semantics, infer
+from repro.dependencies.diagram import diagram_of
+from repro.dependencies.parser import parse_dependency
+from repro.dependencies.render import render_ascii, render_dot
+from repro.errors import ReproError
+from repro.io.textfmt import parse_dependency_file, parse_presentation_text
+from repro.reduction.encode import encode
+from repro.reduction.theorem import InstanceClass, classify_instance
+
+#: Exit codes for the three-valued commands.
+EXIT_PROVED = 0
+EXIT_DISPROVED = 1
+EXIT_UNKNOWN = 2
+EXIT_USAGE = 64
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Gurevich & Lewis (1982): template-dependency inference, runnable.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    infer_cmd = commands.add_parser(
+        "infer", help="does a dependency file imply a target dependency?"
+    )
+    infer_cmd.add_argument("--deps", required=True, help="dependency file (one per line)")
+    infer_cmd.add_argument("target", help="target dependency, e.g. 'R(x,y)->R(y,x)'")
+    infer_cmd.add_argument(
+        "--semantics", choices=["unrestricted", "finite"], default="unrestricted"
+    )
+    infer_cmd.add_argument("--max-steps", type=int, default=10_000)
+    infer_cmd.add_argument("--max-seconds", type=float, default=30.0)
+    infer_cmd.add_argument(
+        "--dump-certificate",
+        metavar="FILE",
+        help="write the proof trace (PROVED) or counterexample database "
+        "(DISPROVED) as JSON",
+    )
+
+    classify_cmd = commands.add_parser(
+        "classify", help="Main-Theorem classification of a presentation file"
+    )
+    classify_cmd.add_argument("presentation", help="presentation file")
+    classify_cmd.add_argument("--max-word-length", type=int, default=8)
+    classify_cmd.add_argument("--max-semigroup-size", type=int, default=5)
+
+    encode_cmd = commands.add_parser(
+        "encode", help="show the (D, D0) encoding of a presentation file"
+    )
+    encode_cmd.add_argument("presentation", help="presentation file")
+    encode_cmd.add_argument(
+        "--full", action="store_true", help="print every dependency"
+    )
+
+    diagram_cmd = commands.add_parser(
+        "diagram", help="render a typed dependency's diagram"
+    )
+    diagram_cmd.add_argument("dependency", help="dependency text")
+    diagram_cmd.add_argument("--dot", action="store_true", help="emit Graphviz DOT")
+
+    commands.add_parser("demo", help="one-screen tour of the reduction")
+    return parser
+
+
+def _cmd_infer(args: argparse.Namespace) -> int:
+    dependencies = parse_dependency_file(Path(args.deps).read_text())
+    schema = dependencies[0].schema if dependencies else None
+    target = parse_dependency(args.target, schema)
+    report = infer(
+        dependencies,
+        target,
+        semantics=Semantics(args.semantics),
+        budget=Budget(max_steps=args.max_steps, max_seconds=args.max_seconds),
+    )
+    print(report.describe())
+    if report.finite_counterexample is not None:
+        print("counterexample database:")
+        print(report.finite_counterexample.pretty())
+    if args.dump_certificate:
+        _dump_certificate(report, Path(args.dump_certificate))
+        print(f"certificate written to {args.dump_certificate}")
+    if report.status is InferenceStatus.PROVED:
+        return EXIT_PROVED
+    if report.status is InferenceStatus.DISPROVED:
+        return EXIT_DISPROVED
+    return EXIT_UNKNOWN
+
+
+def _dump_certificate(report, path: Path) -> None:
+    """Serialize whichever certificate the report carries."""
+    import json
+
+    from repro.io.json_codec import instance_to_json, trace_to_json
+
+    payload: dict = {"status": report.status.value}
+    if report.status is InferenceStatus.PROVED:
+        payload["kind"] = "chase-proof"
+        payload["trace"] = trace_to_json(report.chase_outcome.chase_result.steps)
+    elif report.status is InferenceStatus.DISPROVED:
+        payload["kind"] = "finite-counterexample"
+        payload["database"] = instance_to_json(report.finite_counterexample)
+    else:
+        payload["kind"] = "none"
+    path.write_text(json.dumps(payload, indent=2))
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    presentation = parse_presentation_text(Path(args.presentation).read_text())
+    outcome = classify_instance(
+        presentation,
+        max_word_length=args.max_word_length,
+        max_semigroup_size=args.max_semigroup_size,
+    )
+    print(outcome.describe())
+    if outcome.instance_class is InstanceClass.A0_COLLAPSES:
+        print("derivation:", outcome.direction_a.derivation.describe())
+        return EXIT_PROVED
+    if outcome.instance_class is InstanceClass.FINITELY_REFUTABLE:
+        print("counter-model:", outcome.direction_b.counter_model.describe())
+        return EXIT_DISPROVED
+    return EXIT_UNKNOWN
+
+
+def _cmd_encode(args: argparse.Namespace) -> int:
+    presentation = parse_presentation_text(Path(args.presentation).read_text())
+    encoding = encode(presentation)
+    print(encoding.describe())
+    if args.full:
+        print()
+        for dependency in encoding.dependencies:
+            print(f"{dependency.name}: {dependency}")
+        print(f"{encoding.d0.name}: {encoding.d0}")
+    return EXIT_PROVED
+
+
+def _cmd_diagram(args: argparse.Namespace) -> int:
+    dependency = parse_dependency(args.dependency)
+    diagram = diagram_of(dependency)  # raises TypingError when untyped
+    if args.dot:
+        print(render_dot(diagram, dependency.name or "dependency"))
+    else:
+        print(render_ascii(diagram, str(dependency)))
+    return EXIT_PROVED
+
+
+def _cmd_demo(__args: argparse.Namespace) -> int:
+    from repro.reduction.theorem import prove_direction_a, prove_direction_b
+    from repro.workloads.instances import (
+        gap_instance,
+        negative_instance,
+        positive_instance,
+    )
+
+    print("Gurevich & Lewis (1982), both directions, machine-verified:")
+    print()
+    report_a = prove_direction_a(positive_instance())
+    print("positive instance:", report_a.describe())
+    report_b = prove_direction_b(negative_instance())
+    print("negative instance:", report_b.describe())
+    outcome = classify_instance(gap_instance(), max_semigroup_size=4)
+    print("gap instance:     ", outcome.describe())
+    return EXIT_PROVED
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "infer": _cmd_infer,
+        "classify": _cmd_classify,
+        "encode": _cmd_encode,
+        "diagram": _cmd_diagram,
+        "demo": _cmd_demo,
+    }
+    try:
+        return handlers[args.command](args)
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_USAGE
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""Inference facade (system S6): the paper's *inference problem* as an API.
+
+"Given a finite set D of dependencies and a single dependency D0, to
+determine whether D0 is true in every database in which each member of D
+is true." The paper proves this undecidable, so the facade is a bounded,
+three-valued, certificate-producing solver:
+
+* :func:`~repro.core.inference.infer` — ``D ⊨ d`` under unrestricted or
+  finite semantics, combining the chase with finite-model search;
+* :mod:`repro.core.equivalence` — the derived questions the paper's
+  introduction mentions: equivalence of dependency sets, redundancy, and
+  minimal covers.
+"""
+
+from repro.core.axioms import (
+    AxiomaticProof,
+    augment,
+    compose,
+    derive,
+    is_axiom,
+    subsumes,
+)
+from repro.core.equivalence import (
+    EquivalenceReport,
+    equivalent_sets,
+    is_redundant,
+    minimal_cover,
+)
+from repro.core.inference import InferenceReport, Semantics, infer
+
+__all__ = [
+    "Semantics",
+    "InferenceReport",
+    "infer",
+    "EquivalenceReport",
+    "equivalent_sets",
+    "is_redundant",
+    "minimal_cover",
+    "AxiomaticProof",
+    "is_axiom",
+    "subsumes",
+    "compose",
+    "augment",
+    "derive",
+]

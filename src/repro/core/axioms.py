@@ -1,0 +1,363 @@
+"""A sound derivation calculus for template dependencies.
+
+Sadri & Ullman (1980) — the paper that introduced TDs — gave a complete
+axiomatization for them, and the paper under reproduction proves the
+consequences of that system are not recursively enumerable *for the
+finite-database semantics* (no recursive axiomatization can be sound and
+complete there). This module implements the calculus side of that story:
+
+* **Triviality** — a TD whose conclusion is subsumed by its antecedents
+  is an axiom (holds in every database);
+* **Subsumption (weakening / instantiation)** — ``T`` derives ``T'``
+  when a column-respecting substitution maps ``T``'s antecedents into
+  ``T'``'s and ``T``'s conclusion onto ``T'``'s (existentials mapped
+  injectively to existentials); this covers augmentation (extra
+  antecedents) and variable identification in one rule;
+* **Composition** — the symbolic chase step: match ``T2``'s antecedents
+  into ``T1``'s antecedents *plus its conclusion* and conclude
+  ``h(c2)`` from ``T1``'s antecedents;
+* **Tableau derivations** — :func:`derive` builds proof objects by
+  growing the target's antecedent tableau with composition steps until
+  the target's conclusion is subsumed (the calculus reading of the
+  chase; sound and, for the unrestricted semantics, exactly as complete
+  as the chase is).
+
+Every rule is *sound* (property-tested against the chase); completeness
+for the finite semantics is impossible by the paper's Main Theorem, and
+:func:`derive` is bounded accordingly.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence
+
+from repro.dependencies.template import Atom, TemplateDependency, Variable, is_variable
+from repro.errors import VerificationError
+from repro.relational.homomorphism import (
+    apply_assignment,
+    find_homomorphism,
+    iter_homomorphisms,
+)
+from repro.relational.instance import Instance
+
+
+def _atoms_instance(schema, atoms: Sequence[Atom]) -> Instance:
+    """Pack atoms into an Instance so homomorphism search applies to them."""
+    return Instance(schema, (tuple(atom) for atom in atoms))
+
+
+# ---------------------------------------------------------------------------
+# Rule 1: triviality
+# ---------------------------------------------------------------------------
+
+def is_axiom(td: TemplateDependency) -> bool:
+    """Triviality rule: the conclusion follows from the antecedents alone."""
+    return td.is_trivial()
+
+
+# ---------------------------------------------------------------------------
+# Rule 2: subsumption
+# ---------------------------------------------------------------------------
+
+def subsumes(
+    general: TemplateDependency, specific: TemplateDependency
+) -> Optional[dict]:
+    """One-step weakening: does ``general`` syntactically yield ``specific``?
+
+    Returns the witnessing substitution ``h`` (or None): ``h`` maps every
+    antecedent of ``general`` to an antecedent of ``specific`` and
+    ``general``'s conclusion exactly onto ``specific``'s, sending
+    existential variables injectively to existential variables and never
+    sending a universal variable of ``general`` to an existential of
+    ``specific``. Under these conditions ``general ⊨ specific`` — the
+    rule covers augmentation (extra antecedents in ``specific``) and
+    identification of universal variables.
+    """
+    if general.schema != specific.schema:
+        return None
+    target_atoms = _atoms_instance(specific.schema, specific.antecedents)
+    specific_existentials = specific.existential_variables()
+    general_existentials = general.existential_variables()
+    for h in iter_homomorphisms(
+        general.antecedents, target_atoms, flexible=is_variable
+    ):
+        # h covers general's universal variables; it must avoid the
+        # specific dependency's existentials (they may not occur in
+        # antecedents, so this holds automatically, but keep the check
+        # explicit for safety).
+        if any(value in specific_existentials for value in h.values()):
+            continue
+        extension = dict(h)
+        ok = True
+        used_existentials: set[Variable] = set()
+        for source, destination in zip(general.conclusion, specific.conclusion):
+            if source in extension:
+                if extension[source] != destination:
+                    ok = False
+                    break
+            else:
+                # source is existential in general: it must map to an
+                # existential of specific, injectively.
+                if source in general_existentials:
+                    if destination not in specific_existentials:
+                        ok = False
+                        break
+                    if destination in used_existentials:
+                        # Injectivity is per source variable; the same
+                        # source may repeat, a different one may not reuse.
+                        pass
+                    used_existentials.add(destination)
+                extension[source] = destination
+        if not ok:
+            continue
+        # Injectivity on existentials: two distinct existentials of
+        # general must not collapse onto one variable of specific.
+        images = [
+            extension[variable]
+            for variable in general_existentials
+            if variable in extension
+        ]
+        if len(set(images)) != len(images):
+            continue
+        if tuple(
+            extension.get(variable, variable) for variable in general.conclusion
+        ) == specific.conclusion:
+            return dict(extension)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Rule 3: composition (the symbolic chase step)
+# ---------------------------------------------------------------------------
+
+def compose(
+    first: TemplateDependency, second: TemplateDependency
+) -> Iterator[TemplateDependency]:
+    """All single-step compositions of ``second`` against ``first``.
+
+    ``first``'s antecedents plus its conclusion form a tableau (the
+    conclusion's existential variables act as fresh constants there);
+    every match ``h`` of ``second``'s antecedents into that tableau
+    yields the derived dependency ``antecedents(first) ⇒ h(c₂)``, with
+    ``second``'s existentials renamed fresh. Soundness: in any database
+    satisfying both, a match of ``first``'s antecedents extends to its
+    conclusion, ``h`` then matches ``second``'s antecedents, and
+    ``second`` supplies the concluded tuple.
+    """
+    if first.schema != second.schema:
+        return
+    # Rename second's variables apart from first's.
+    taken = {variable.name for variable in first.variables()}
+    renaming = {}
+    for variable in sorted(second.variables(), key=lambda v: v.name):
+        fresh_name = variable.name
+        while fresh_name in taken:
+            fresh_name = fresh_name + "~"
+        taken.add(fresh_name)
+        renaming[variable] = Variable(fresh_name)
+    second = second.rename(renaming)
+
+    tableau = _atoms_instance(
+        first.schema, list(first.antecedents) + [first.conclusion]
+    )
+    seen: set = set()
+    for h in iter_homomorphisms(
+        second.antecedents, tableau, flexible=is_variable
+    ):
+        conclusion = apply_assignment(
+            second.conclusion, h, flexible=is_variable
+        )
+        if conclusion in seen:
+            continue
+        seen.add(conclusion)
+        derived = TemplateDependency(
+            first.schema,
+            first.antecedents,
+            conclusion,
+            name=f"compose({first.name or 'T1'},{second.name or 'T2'})",
+        )
+        yield derived
+
+
+def augment(
+    td: TemplateDependency, extra_atoms: Sequence[Atom]
+) -> TemplateDependency:
+    """Augmentation: add antecedent atoms (always sound).
+
+    The extra atoms may not reuse the dependency's existential variables
+    (that would capture them); a VerificationError flags the attempt.
+    """
+    existentials = td.existential_variables()
+    for atom in extra_atoms:
+        if any(term in existentials for term in atom):
+            raise VerificationError(
+                "augmentation must not capture existential variables"
+            )
+    return TemplateDependency(
+        td.schema,
+        list(td.antecedents) + [tuple(atom) for atom in extra_atoms],
+        td.conclusion,
+        name=f"augment({td.name or 'T'})",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Tableau derivations (proof objects)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TableauStep:
+    """One composition step in a tableau derivation."""
+
+    dependency: TemplateDependency
+    substitution: tuple[tuple[str, str], ...]  # variable name -> variable name
+    added_atom: Atom
+
+    def describe(self) -> str:
+        name = self.dependency.name or "dependency"
+        return f"apply {name}, adding {tuple(v.name for v in self.added_atom)}"
+
+
+@dataclass
+class AxiomaticProof:
+    """A derivation of ``target`` from ``hypotheses`` in the calculus.
+
+    The tableau starts as the target's antecedents; each step applies one
+    hypothesis (composition rule); the proof closes when the target's
+    conclusion is subsumed by the tableau (triviality rule). ``verify``
+    replays the whole derivation.
+    """
+
+    hypotheses: list[TemplateDependency]
+    target: TemplateDependency
+    steps: list[TableauStep]
+    closing_substitution: dict
+
+    @property
+    def length(self) -> int:
+        """Number of composition steps."""
+        return len(self.steps)
+
+    def verify(self) -> None:
+        """Replay the derivation; raise VerificationError on any flaw."""
+        tableau = list(self.target.antecedents)
+        for step in self.steps:
+            if step.dependency not in self.hypotheses:
+                raise VerificationError("step uses a non-hypothesis dependency")
+            table = _atoms_instance(self.target.schema, tableau)
+            substitution = {
+                Variable(source): Variable(destination)
+                for source, destination in step.substitution
+            }
+            for atom in step.dependency.antecedents:
+                image = tuple(substitution.get(v, v) for v in atom)
+                if image not in table:
+                    raise VerificationError(
+                        f"step premise {image} is not in the tableau"
+                    )
+            expected = tuple(
+                substitution.get(v, v) for v in step.dependency.conclusion
+            )
+            if expected != step.added_atom:
+                raise VerificationError("step conclusion mismatch")
+            tableau.append(step.added_atom)
+        table = _atoms_instance(self.target.schema, tableau)
+        universals = self.target.universal_variables()
+        identity = {variable: variable for variable in universals}
+        witness = find_homomorphism(
+            [self.target.conclusion], table, partial=identity, flexible=is_variable
+        )
+        if witness is None:
+            raise VerificationError("derivation does not close on the conclusion")
+
+
+def derive(
+    hypotheses: Sequence[TemplateDependency],
+    target: TemplateDependency,
+    *,
+    max_steps: int = 200,
+) -> Optional[AxiomaticProof]:
+    """Search for a calculus derivation of ``target`` from ``hypotheses``.
+
+    Grows the target's antecedent tableau by composition steps (fairly,
+    round-robin over hypotheses) until the conclusion is subsumed or the
+    step budget runs out. Sound by construction (the result verifies);
+    complete for the unrestricted semantics exactly to the extent the
+    chase is — and, by the paper's Main Theorem, necessarily incomplete
+    for the finite semantics whatever the budget.
+    """
+    fresh_counter = itertools.count()
+    tableau: list[Atom] = list(target.antecedents)
+    steps: list[TableauStep] = []
+    universals = target.universal_variables()
+    identity = {variable: variable for variable in universals}
+
+    def closed() -> Optional[dict]:
+        table = _atoms_instance(target.schema, tableau)
+        return find_homomorphism(
+            [target.conclusion], table, partial=identity, flexible=is_variable
+        )
+
+    witness = closed()
+    while witness is None and len(steps) < max_steps:
+        table = _atoms_instance(target.schema, tableau)
+        progressed = False
+        for hypothesis in hypotheses:
+            for h in iter_homomorphisms(
+                hypothesis.antecedents, table, flexible=is_variable
+            ):
+                # Restricted discipline: skip matches whose conclusion is
+                # already witnessed in the tableau, else fresh existential
+                # renaming would re-add the same fact forever.
+                from repro.relational.homomorphism import extend_homomorphism
+
+                already = extend_homomorphism(
+                    h, [hypothesis.conclusion], table, flexible=is_variable
+                )
+                if already is not None:
+                    continue
+                substitution = dict(h)
+                for variable in sorted(
+                    hypothesis.existential_variables(), key=lambda v: v.name
+                ):
+                    substitution[variable] = Variable(
+                        f"_t{next(fresh_counter)}"
+                    )
+                added = tuple(
+                    substitution[v] for v in hypothesis.conclusion
+                )
+                if added in tableau:
+                    continue
+                tableau.append(added)
+                steps.append(
+                    TableauStep(
+                        dependency=hypothesis,
+                        substitution=tuple(
+                            sorted(
+                                (src.name, dst.name)
+                                for src, dst in substitution.items()
+                            )
+                        ),
+                        added_atom=added,
+                    )
+                )
+                progressed = True
+                break  # re-check closure after every addition
+            if progressed:
+                break
+        if not progressed:
+            return None  # saturated without closing: not derivable
+        witness = closed()
+
+    if witness is None:
+        return None
+    proof = AxiomaticProof(
+        hypotheses=list(hypotheses),
+        target=target,
+        steps=steps,
+        closing_substitution=dict(witness),
+    )
+    proof.verify()
+    return proof

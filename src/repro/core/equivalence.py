@@ -1,0 +1,121 @@
+"""Derived questions: set equivalence, redundancy, minimal covers.
+
+"A solution to the inference problem carries with it the ability to
+determine whether two sets of dependencies are equivalent, whether a set
+of dependencies is redundant, etc." — the paper's introduction. These are
+the standard reductions of those questions to implication; like the
+underlying solver they are three-valued (an UNKNOWN implication makes the
+derived answer UNKNOWN too, never silently wrong).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.chase.budget import Budget
+from repro.chase.implication import InferenceStatus
+from repro.core.inference import Semantics, infer
+from repro.dependencies.classify import Dependency
+
+
+@dataclass
+class EquivalenceReport:
+    """Outcome of a set-equivalence test."""
+
+    status: InferenceStatus
+    #: Dependencies of the right set not provably implied by the left.
+    missing_left_to_right: list[Dependency] = field(default_factory=list)
+    #: Dependencies of the left set not provably implied by the right.
+    missing_right_to_left: list[Dependency] = field(default_factory=list)
+
+    @property
+    def equivalent(self) -> bool:
+        """True when equivalence was established."""
+        return self.status is InferenceStatus.PROVED
+
+
+def _covers(
+    covering: Sequence[Dependency],
+    covered: Sequence[Dependency],
+    *,
+    budget: Optional[Budget],
+) -> tuple[InferenceStatus, list[Dependency]]:
+    """Does ``covering`` imply every member of ``covered``?"""
+    missing: list[Dependency] = []
+    unknown = False
+    for dependency in covered:
+        report = infer(covering, dependency, budget=budget)
+        if report.status is InferenceStatus.DISPROVED:
+            missing.append(dependency)
+        elif report.status is InferenceStatus.UNKNOWN:
+            unknown = True
+            missing.append(dependency)
+    if missing and not unknown:
+        return InferenceStatus.DISPROVED, missing
+    if unknown:
+        return InferenceStatus.UNKNOWN, missing
+    return InferenceStatus.PROVED, missing
+
+
+def equivalent_sets(
+    left: Sequence[Dependency],
+    right: Sequence[Dependency],
+    *,
+    budget: Optional[Budget] = None,
+) -> EquivalenceReport:
+    """Are two dependency sets logically equivalent?
+
+    Equivalence holds when each set implies every member of the other.
+    """
+    status_lr, missing_lr = _covers(left, right, budget=budget)
+    status_rl, missing_rl = _covers(right, left, budget=budget)
+    statuses = {status_lr, status_rl}
+    if statuses == {InferenceStatus.PROVED}:
+        overall = InferenceStatus.PROVED
+    elif InferenceStatus.DISPROVED in statuses:
+        overall = InferenceStatus.DISPROVED
+    else:
+        overall = InferenceStatus.UNKNOWN
+    return EquivalenceReport(
+        status=overall,
+        missing_left_to_right=missing_lr,
+        missing_right_to_left=missing_rl,
+    )
+
+
+def is_redundant(
+    dependencies: Sequence[Dependency],
+    member: Dependency,
+    *,
+    budget: Optional[Budget] = None,
+) -> InferenceStatus:
+    """Is ``member`` implied by the *other* dependencies in the set?"""
+    rest = [dependency for dependency in dependencies if dependency is not member]
+    return infer(rest, member, budget=budget).status
+
+
+def minimal_cover(
+    dependencies: Sequence[Dependency],
+    *,
+    budget: Optional[Budget] = None,
+) -> list[Dependency]:
+    """Greedily drop provably redundant members.
+
+    Only dependencies whose redundancy is PROVED are removed, so the
+    result is always equivalent to the input; it may be non-minimal when
+    some implications come back UNKNOWN (undecidability again).
+    """
+    kept = list(dependencies)
+    changed = True
+    while changed:
+        changed = False
+        for candidate in list(kept):
+            rest = [dependency for dependency in kept if dependency is not candidate]
+            if not rest:
+                continue
+            if infer(rest, candidate, budget=budget).status is InferenceStatus.PROVED:
+                kept = rest
+                changed = True
+                break
+    return kept

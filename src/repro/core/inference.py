@@ -1,0 +1,145 @@
+"""The top-level implication solver, under either semantics.
+
+Two readings of "logical consequence" appear in the paper: the *true
+database* (finite) interpretation and the unrestricted one admitting
+infinite databases. Fagin et al. (1981) showed they genuinely differ for
+TDs, and the paper proves both undecidable. The solver therefore:
+
+1. chases the frozen target (sound and complete-on-termination for
+   **both** semantics — a terminating chase yields a finite universal
+   model);
+2. if the chase exhausts its budget, falls back to bounded finite-model
+   search — a finite counterexample refutes the implication under both
+   semantics (every finite database is a database);
+3. otherwise answers ``UNKNOWN``.
+
+Note the asymmetry undecidability forces: a divergent chase together with
+no finite counterexample can mean either "implied" (finitely) or "not
+implied" (witnessed only by an infinite database); no bounded procedure
+can tell. The honest third value is the whole point of experiment E6.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.chase.budget import Budget
+from repro.chase.finite_models import search_finite_counterexample
+from repro.chase.implication import InferenceOutcome, InferenceStatus, implies
+from repro.chase.modelcheck import satisfies_all
+from repro.dependencies.classify import Dependency
+from repro.errors import VerificationError
+from repro.relational.instance import Instance
+
+
+class Semantics(enum.Enum):
+    """Which databases count as models."""
+
+    #: Databases may be finite or infinite (the classical reading).
+    UNRESTRICTED = "unrestricted"
+
+    #: Databases are finite relational structures (the paper's
+    #: "true database interpretation").
+    FINITE = "finite"
+
+
+@dataclass
+class InferenceReport:
+    """Outcome of :func:`infer`, with certificates for definite answers."""
+
+    status: InferenceStatus
+    semantics: Semantics
+    chase_outcome: Optional[InferenceOutcome] = None
+    finite_counterexample: Optional[Instance] = None
+
+    @property
+    def proved(self) -> bool:
+        """True when the implication was established."""
+        return self.status is InferenceStatus.PROVED
+
+    @property
+    def disproved(self) -> bool:
+        """True when a counterexample database exists."""
+        return self.status is InferenceStatus.DISPROVED
+
+    def describe(self) -> str:
+        """One-line summary for logs."""
+        detail = ""
+        if self.finite_counterexample is not None:
+            detail = f" (finite counterexample, {len(self.finite_counterexample)} rows)"
+        elif self.chase_outcome is not None and self.chase_outcome.chase_result:
+            detail = f" ({self.chase_outcome.chase_result.describe()})"
+        return f"{self.status.value} under {self.semantics.value} semantics{detail}"
+
+
+def infer(
+    dependencies: Sequence[Dependency],
+    target: Dependency,
+    *,
+    semantics: Semantics = Semantics.UNRESTRICTED,
+    budget: Optional[Budget] = None,
+    finite_search_seed: int = 0,
+    finite_search_restarts: int = 25,
+    finite_search_seconds: float = 5.0,
+    verify_certificates: bool = True,
+) -> InferenceReport:
+    """Does ``dependencies ⊨ target`` under the chosen semantics?
+
+    Returns a three-valued :class:`InferenceReport`. Definite answers
+    carry certificates; with ``verify_certificates`` (default) a returned
+    counterexample is re-model-checked before being reported. The
+    ``finite_search_*`` knobs bound the fallback model search that runs
+    when the chase exhausts its budget.
+    """
+    chase_outcome = implies(list(dependencies), target, budget=budget)
+    if chase_outcome.status is InferenceStatus.PROVED:
+        return InferenceReport(
+            status=InferenceStatus.PROVED,
+            semantics=semantics,
+            chase_outcome=chase_outcome,
+        )
+    if chase_outcome.status is InferenceStatus.DISPROVED:
+        counterexample = chase_outcome.counterexample
+        if verify_certificates and counterexample is not None:
+            _check_counterexample(dependencies, target, counterexample)
+        return InferenceReport(
+            status=InferenceStatus.DISPROVED,
+            semantics=semantics,
+            chase_outcome=chase_outcome,
+            finite_counterexample=counterexample,
+        )
+    # Chase budget exhausted: try to refute with a finite model. A finite
+    # counterexample is decisive under both semantics.
+    witness = search_finite_counterexample(
+        list(dependencies),
+        target,
+        seed=finite_search_seed,
+        restarts=finite_search_restarts,
+        max_seconds=finite_search_seconds,
+    )
+    if witness is not None:
+        if verify_certificates:
+            _check_counterexample(dependencies, target, witness)
+        return InferenceReport(
+            status=InferenceStatus.DISPROVED,
+            semantics=semantics,
+            chase_outcome=chase_outcome,
+            finite_counterexample=witness,
+        )
+    return InferenceReport(
+        status=InferenceStatus.UNKNOWN,
+        semantics=semantics,
+        chase_outcome=chase_outcome,
+    )
+
+
+def _check_counterexample(
+    dependencies: Sequence[Dependency], target: Dependency, witness: Instance
+) -> None:
+    """Re-verify a counterexample before reporting it."""
+    if not satisfies_all(witness, dependencies):
+        raise VerificationError("counterexample fails to satisfy the dependency set")
+    if target.find_violation(witness) is None:
+        raise VerificationError("counterexample does not actually violate the target")

@@ -1,0 +1,39 @@
+"""Dependency formalism (system S2).
+
+Template dependencies (Sadri & Ullman 1980) and the embedded implicational
+dependencies (EIDs) of Chandra, Lewis & Makowsky 1981, together with:
+
+* well-formedness and classification (full / embedded / trivial / typed);
+* a small text syntax (:mod:`repro.dependencies.parser`);
+* the diagram notation of Fagin, Maier, Ullman & Yannakakis used in the
+  paper's Figures 1-3 (:mod:`repro.dependencies.diagram`), with exact
+  round-trip conversion and ASCII / DOT rendering.
+"""
+
+from repro.dependencies.classify import (
+    attribute_count,
+    max_antecedent_count,
+    summarize,
+)
+from repro.dependencies.diagram import Diagram, DiagramEdge, diagram_of
+from repro.dependencies.eid import EmbeddedImplicationalDependency
+from repro.dependencies.parser import parse_dependency, parse_td
+from repro.dependencies.render import render_ascii, render_dot
+from repro.dependencies.template import TemplateDependency, Variable, is_variable
+
+__all__ = [
+    "Variable",
+    "is_variable",
+    "TemplateDependency",
+    "EmbeddedImplicationalDependency",
+    "Diagram",
+    "DiagramEdge",
+    "diagram_of",
+    "parse_dependency",
+    "parse_td",
+    "render_ascii",
+    "render_dot",
+    "attribute_count",
+    "max_antecedent_count",
+    "summarize",
+]

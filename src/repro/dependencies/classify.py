@@ -1,0 +1,69 @@
+"""Classification helpers and aggregate statistics over dependency sets.
+
+The paper makes two quantitative claims about its construction that these
+helpers verify experimentally (experiment E3):
+
+* every produced dependency has **at most five antecedents** — Gurevich &
+  Lewis's proof is "complementary" to Vardi's precisely because the number
+  of antecedents is bounded while the number of attributes is not;
+* the schema has exactly ``2n + 2`` attributes for an ``n``-letter alphabet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Union
+
+from repro.dependencies.eid import EmbeddedImplicationalDependency
+from repro.dependencies.template import TemplateDependency
+
+#: Anything the chase engine can process.
+Dependency = Union[TemplateDependency, EmbeddedImplicationalDependency]
+
+
+def max_antecedent_count(dependencies: Iterable[Dependency]) -> int:
+    """The largest antecedent count in a dependency set (0 when empty)."""
+    return max((len(dep.antecedents) for dep in dependencies), default=0)
+
+
+def attribute_count(dependencies: Sequence[Dependency]) -> int:
+    """The common schema arity of a non-empty dependency set."""
+    if not dependencies:
+        raise ValueError("attribute_count needs a non-empty dependency set")
+    arities = {dep.schema.arity for dep in dependencies}
+    if len(arities) != 1:
+        raise ValueError(f"dependencies span several schemas (arities {sorted(arities)})")
+    return arities.pop()
+
+
+@dataclass(frozen=True)
+class DependencySetSummary:
+    """Aggregate shape statistics of a dependency set."""
+
+    count: int
+    attribute_count: int
+    max_antecedents: int
+    full_count: int
+    embedded_count: int
+    typed: bool
+
+    def __str__(self) -> str:
+        return (
+            f"{self.count} dependencies over {self.attribute_count} attributes; "
+            f"max antecedents {self.max_antecedents}; "
+            f"{self.full_count} full / {self.embedded_count} embedded; "
+            f"{'typed' if self.typed else 'untyped'}"
+        )
+
+
+def summarize(dependencies: Sequence[Dependency]) -> DependencySetSummary:
+    """Compute a :class:`DependencySetSummary` for a dependency set."""
+    full = sum(1 for dep in dependencies if dep.is_full())
+    return DependencySetSummary(
+        count=len(dependencies),
+        attribute_count=attribute_count(dependencies),
+        max_antecedents=max_antecedent_count(dependencies),
+        full_count=full,
+        embedded_count=len(dependencies) - full,
+        typed=all(dep.is_typed() for dep in dependencies),
+    )

@@ -1,0 +1,198 @@
+"""Dependency diagrams (Fagin–Maier–Ullman–Yannakakis notation, Figure 1).
+
+The paper describes dependencies with *diagrams*: an undirected graph whose
+nodes are the tuples of the dependency (numbered nodes are antecedents, the
+node labelled ``*`` is the conclusion) and whose edges are labelled with the
+attributes on which the joined tuples agree. Each attribute label induces an
+equivalence relation on nodes; implied (transitive) edges may be omitted.
+
+This module makes the notation computational:
+
+* :func:`diagram_of` turns a TD into its diagram;
+* :meth:`Diagram.to_dependency` turns a diagram back into a TD;
+* the round trip is exact up to variable renaming, which the test suite
+  checks on Figure 1 and on random dependencies.
+
+Nodes are ``1..k`` (ints) for the antecedents and the string ``"*"`` for
+the conclusion, exactly as the paper draws them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Union
+
+from repro.errors import DiagramError
+from repro.relational.schema import Attribute, Schema
+from repro.dependencies.template import TemplateDependency, Variable
+
+#: The conclusion node's label.
+CONCLUSION: str = "*"
+
+#: A diagram node: an antecedent number or the conclusion star.
+NodeId = Union[int, str]
+
+
+@dataclass(frozen=True, order=True)
+class DiagramEdge:
+    """An undirected, attribute-labelled edge between two diagram nodes."""
+
+    node_a: str
+    node_b: str
+    attribute: Attribute
+
+    @staticmethod
+    def make(a: NodeId, b: NodeId, attribute: Attribute) -> "DiagramEdge":
+        """Create a normalised edge (endpoints ordered, stored as strings)."""
+        left, right = sorted((str(a), str(b)))
+        return DiagramEdge(left, right, attribute)
+
+    def endpoints(self) -> tuple[str, str]:
+        """The two endpoint labels."""
+        return self.node_a, self.node_b
+
+    def __str__(self) -> str:
+        return f"{self.node_a} --{self.attribute}-- {self.node_b}"
+
+
+class _UnionFind:
+    """Minimal union-find over node labels."""
+
+    def __init__(self, items: Iterable[str]):
+        self._parent = {item: item for item in items}
+
+    def find(self, item: str) -> str:
+        parent = self._parent
+        root = item
+        while parent[root] != root:
+            root = parent[root]
+        while parent[item] != root:
+            parent[item], item = root, parent[item]
+        return root
+
+    def union(self, a: str, b: str) -> None:
+        self._parent[self.find(a)] = self.find(b)
+
+
+class Diagram:
+    """A dependency diagram: antecedent nodes, a ``*`` node, labelled edges."""
+
+    __slots__ = ("schema", "antecedent_count", "edges")
+
+    def __init__(
+        self,
+        schema: Schema,
+        antecedent_count: int,
+        edges: Iterable[DiagramEdge],
+    ):
+        if antecedent_count < 1:
+            raise DiagramError("a diagram needs at least one antecedent node")
+        self.schema = schema
+        self.antecedent_count = antecedent_count
+        self.edges = frozenset(edges)
+        valid_nodes = self.node_labels()
+        for edge in self.edges:
+            if edge.attribute not in schema:
+                raise DiagramError(f"unknown attribute {edge.attribute!r} on {edge}")
+            for endpoint in edge.endpoints():
+                if endpoint not in valid_nodes:
+                    raise DiagramError(f"unknown node {endpoint!r} on {edge}")
+
+    def node_labels(self) -> tuple[str, ...]:
+        """All node labels: ``"1".."k"`` then ``"*"``."""
+        return tuple(str(index + 1) for index in range(self.antecedent_count)) + (
+            CONCLUSION,
+        )
+
+    # ------------------------------------------------------------------
+    # Conversion
+    # ------------------------------------------------------------------
+
+    def _classes(self, attribute: Attribute) -> _UnionFind:
+        """Node classes induced by edges labelled ``attribute``."""
+        components = _UnionFind(self.node_labels())
+        for edge in self.edges:
+            if edge.attribute == attribute:
+                components.union(edge.node_a, edge.node_b)
+        return components
+
+    def to_dependency(self) -> TemplateDependency:
+        """Rebuild the template dependency this diagram denotes.
+
+        For every attribute, nodes connected by edges with that label share
+        a variable; all other nodes get fresh variables. The conclusion
+        node's un-connected components come out existential, matching the
+        paper's reading of the ``*`` node.
+        """
+        atoms: dict[str, list[Variable]] = {label: [] for label in self.node_labels()}
+        for attribute in self.schema:
+            components = self._classes(attribute)
+            for label in self.node_labels():
+                root = components.find(label)
+                atoms[label].append(Variable(f"{attribute}_{root}"))
+        antecedents = [
+            tuple(atoms[str(index + 1)]) for index in range(self.antecedent_count)
+        ]
+        return TemplateDependency(self.schema, antecedents, tuple(atoms[CONCLUSION]))
+
+    # ------------------------------------------------------------------
+    # Presentation helpers
+    # ------------------------------------------------------------------
+
+    def reduced_edges(self) -> frozenset[DiagramEdge]:
+        """A minimal edge set with the same attribute-wise components.
+
+        The paper omits "implied" (transitively redundant) edges from its
+        figures; this computes a spanning forest per attribute so renderers
+        can do the same.
+        """
+        kept: set[DiagramEdge] = set()
+        for attribute in self.schema:
+            forest = _UnionFind(self.node_labels())
+            for edge in sorted(edge for edge in self.edges if edge.attribute == attribute):
+                if forest.find(edge.node_a) != forest.find(edge.node_b):
+                    forest.union(edge.node_a, edge.node_b)
+                    kept.add(edge)
+        return frozenset(kept)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Diagram):
+            return NotImplemented
+        return (
+            self.schema == other.schema
+            and self.antecedent_count == other.antecedent_count
+            and self.edges == other.edges
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.schema, self.antecedent_count, self.edges))
+
+    def __repr__(self) -> str:
+        return (
+            f"<Diagram nodes={self.antecedent_count}+* edges={len(self.edges)}>"
+        )
+
+
+def diagram_of(dependency: TemplateDependency) -> Diagram:
+    """The diagram of a typed template dependency.
+
+    Two nodes are joined by an ``A``-labelled edge when their tuples share
+    the variable in column ``A``. The full clique of agreeing pairs is
+    stored; use :meth:`Diagram.reduced_edges` for the figure-style minimal
+    set. Requires a typed dependency (diagram labels are attributes, so a
+    variable must live in a single column).
+    """
+    dependency.validate_typed()
+    labels = [str(index + 1) for index in range(len(dependency.antecedents))]
+    labels.append(CONCLUSION)
+    atoms = list(dependency.antecedents) + [dependency.conclusion]
+    edges: set[DiagramEdge] = set()
+    for column, attribute in enumerate(dependency.schema):
+        owners: dict[Variable, list[str]] = {}
+        for label, atom in zip(labels, atoms):
+            owners.setdefault(atom[column], []).append(label)
+        for members in owners.values():
+            for i, node_a in enumerate(members):
+                for node_b in members[i + 1 :]:
+                    edges.add(DiagramEdge.make(node_a, node_b, attribute))
+    return Diagram(dependency.schema, len(dependency.antecedents), edges)

@@ -1,0 +1,189 @@
+"""Embedded implicational dependencies (EIDs).
+
+Chandra, Lewis & Makowsky (1981) proved undecidability of inference for
+*embedded implicational dependencies*: like template dependencies, but the
+conclusion may be a **conjunction** of atoms rather than a single atom. The
+paper under reproduction strengthens that result (TDs are the special case
+with a one-atom conclusion), and gives the example EID
+
+.. code-block:: text
+
+    R(a, b, c) & R(a, b', c')  =>  R(a*, b, c) & R(a*, b, c')
+
+("if one supplier supplies garment b in size c and also some garment in
+size c', then a single supplier supplies garment b in both sizes").
+
+EIDs share the chase machinery with TDs: both expose ``antecedents`` and
+``conclusions``, and the chase engine only looks at those two attributes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Sequence
+
+from repro.errors import ArityError, DependencyError
+from repro.relational.homomorphism import extend_homomorphism, iter_homomorphisms
+from repro.relational.instance import Instance
+from repro.relational.schema import Schema
+from repro.dependencies.template import Atom, TemplateDependency, Variable, is_variable
+
+
+class EmbeddedImplicationalDependency:
+    """An EID: antecedent atoms implying a conjunction of conclusion atoms."""
+
+    __slots__ = ("schema", "antecedents", "conclusions", "name", "_typed")
+
+    def __init__(
+        self,
+        schema: Schema,
+        antecedents: Iterable[Sequence[Variable]],
+        conclusions: Iterable[Sequence[Variable]],
+        *,
+        name: Optional[str] = None,
+    ):
+        self.schema = schema
+        self.antecedents: tuple[Atom, ...] = tuple(tuple(atom) for atom in antecedents)
+        self.conclusions: tuple[Atom, ...] = tuple(tuple(atom) for atom in conclusions)
+        self.name = name
+        if not self.antecedents:
+            raise DependencyError("an EID needs at least one antecedent")
+        if not self.conclusions:
+            raise DependencyError("an EID needs at least one conclusion atom")
+        for atom in self.antecedents + self.conclusions:
+            if len(atom) != schema.arity:
+                raise ArityError(
+                    f"atom of arity {len(atom)} does not fit schema arity {schema.arity}"
+                )
+            for term in atom:
+                if not is_variable(term):
+                    raise DependencyError(
+                        f"atoms must contain Variable terms only, got {term!r}"
+                    )
+        self._typed = self._check_typed()
+
+    def _check_typed(self) -> bool:
+        column_of: dict[Variable, int] = {}
+        for atom in self.atoms():
+            for column, variable in enumerate(atom):
+                if column_of.setdefault(variable, column) != column:
+                    return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    def atoms(self) -> Iterator[Atom]:
+        """All atoms: antecedents then conclusion atoms."""
+        yield from self.antecedents
+        yield from self.conclusions
+
+    def universal_variables(self) -> set[Variable]:
+        """Variables occurring in some antecedent."""
+        return {variable for atom in self.antecedents for variable in atom}
+
+    def existential_variables(self) -> set[Variable]:
+        """Conclusion variables occurring in no antecedent."""
+        conclusion_variables = {
+            variable for atom in self.conclusions for variable in atom
+        }
+        return conclusion_variables - self.universal_variables()
+
+    def is_full(self) -> bool:
+        """True when the conclusion has no existential variables."""
+        return not self.existential_variables()
+
+    def is_typed(self) -> bool:
+        """True when every variable occupies a single column."""
+        return self._typed
+
+    def is_template_dependency(self) -> bool:
+        """True when the conclusion conjunction is a single atom."""
+        return len(self.conclusions) == 1
+
+    def as_template_dependency(self) -> TemplateDependency:
+        """Convert to a TD (only when the conclusion is a single atom)."""
+        if not self.is_template_dependency():
+            raise DependencyError(
+                "EID with a multi-atom conclusion is not a template dependency"
+            )
+        return TemplateDependency(
+            self.schema, self.antecedents, self.conclusions[0], name=self.name
+        )
+
+    def split(self) -> list[TemplateDependency]:
+        """Split into one TD per conclusion atom.
+
+        Note this weakening is **not** equivalent for embedded dependencies:
+        the conjunction requires one witness serving all conclusion atoms,
+        whereas the split TDs may use different witnesses. The split is
+        still a sound consequence and is what the paper means when it says
+        EIDs are *more general* than TDs.
+        """
+        return [
+            TemplateDependency(
+                self.schema,
+                self.antecedents,
+                atom,
+                name=f"{self.name or 'eid'}[{index}]",
+            )
+            for index, atom in enumerate(self.conclusions)
+        ]
+
+    # ------------------------------------------------------------------
+    # Semantics
+    # ------------------------------------------------------------------
+
+    def holds_in(self, instance: Instance) -> bool:
+        """Model checking against a database instance."""
+        return self.find_violation(instance) is None
+
+    def find_violation(self, instance: Instance) -> Optional[dict]:
+        """Return a violating antecedent homomorphism, or None."""
+        for assignment in iter_homomorphisms(
+            self.antecedents, instance, flexible=is_variable
+        ):
+            extension = extend_homomorphism(
+                assignment, self.conclusions, instance, flexible=is_variable
+            )
+            if extension is None:
+                return dict(assignment)
+        return None
+
+    # ------------------------------------------------------------------
+    # Display
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EmbeddedImplicationalDependency):
+            return NotImplemented
+        return (
+            self.schema == other.schema
+            and self.antecedents == other.antecedents
+            and self.conclusions == other.conclusions
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.schema, self.antecedents, self.conclusions))
+
+    def __repr__(self) -> str:
+        label = f" {self.name}" if self.name else ""
+        return (
+            f"<EID{label} antecedents={len(self.antecedents)}"
+            f" conclusions={len(self.conclusions)}>"
+        )
+
+    def __str__(self) -> str:
+        def show(atom: Atom) -> str:
+            return "R(" + ", ".join(variable.name for variable in atom) + ")"
+
+        left = " & ".join(show(atom) for atom in self.antecedents)
+        right = " & ".join(show(atom) for atom in self.conclusions)
+        return f"{left} -> {right}"
+
+
+def td_as_eid(td: TemplateDependency) -> EmbeddedImplicationalDependency:
+    """Embed a template dependency into the EID class (one-atom conclusion)."""
+    return EmbeddedImplicationalDependency(
+        td.schema, td.antecedents, (td.conclusion,), name=td.name
+    )

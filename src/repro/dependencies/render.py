@@ -1,0 +1,70 @@
+"""Rendering dependency diagrams as ASCII summaries and Graphviz DOT.
+
+The paper's Figures 1-3 are diagrams in the Fagin et al. notation. These
+renderers regenerate them in two machine-friendly forms:
+
+* :func:`render_ascii` — a stable, diffable text listing (node roster plus
+  one line per non-implied edge), used by the examples and by
+  ``EXPERIMENTS.md``;
+* :func:`render_dot` — Graphviz source, so a reader with ``dot`` installed
+  can produce pictures visually equivalent to the paper's figures.
+"""
+
+from __future__ import annotations
+
+from repro.dependencies.diagram import CONCLUSION, Diagram
+
+
+def render_ascii(diagram: Diagram, title: str = "") -> str:
+    """A deterministic text rendering of ``diagram``.
+
+    Edges implied by transitivity are omitted, as in the paper's figures.
+    """
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    node_list = ", ".join(diagram.node_labels())
+    lines.append(f"nodes: {node_list}   (numbered = antecedents, * = conclusion)")
+    lines.append("edges (label = shared attribute):")
+    reduced = sorted(diagram.reduced_edges())
+    if not reduced:
+        lines.append("  (none -- all tuple components independent)")
+    for edge in reduced:
+        lines.append(f"  {edge.node_a} --{edge.attribute}-- {edge.node_b}")
+    return "\n".join(lines)
+
+
+def render_dot(diagram: Diagram, name: str = "dependency") -> str:
+    """Graphviz DOT source for ``diagram``.
+
+    Antecedent nodes are drawn as circles, the conclusion node as a doubled
+    circle labelled ``*``, and each non-implied edge carries its attribute
+    label — matching the visual conventions of the paper's figures.
+    """
+    lines = [f"graph {_dot_identifier(name)} {{"]
+    lines.append("  layout=neato;")
+    lines.append("  node [shape=circle];")
+    for label in diagram.node_labels():
+        if label == CONCLUSION:
+            lines.append('  star [label="*", shape=doublecircle];')
+        else:
+            lines.append(f"  n{label} [label=\"{label}\"];")
+    for edge in sorted(diagram.reduced_edges()):
+        lines.append(
+            f"  {_dot_node(edge.node_a)} -- {_dot_node(edge.node_b)}"
+            f" [label=\"{edge.attribute}\"];"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _dot_node(label: str) -> str:
+    return "star" if label == CONCLUSION else f"n{label}"
+
+
+def _dot_identifier(name: str) -> str:
+    cleaned = "".join(ch if ch.isalnum() or ch == "_" else "_" for ch in name)
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = f"g_{cleaned}"
+    return cleaned

@@ -1,0 +1,396 @@
+"""Template dependencies.
+
+A *template dependency* (TD) over a schema with attributes ``A, B, ..., C``
+is a sentence
+
+.. code-block:: text
+
+    R(a, b, ..., c) & R(a', b', ..., c') & ... & R(a'', b'', ..., c'')
+        =>  R(a*, b*, ..., c*)
+
+stating that whenever tuples matching the antecedents are in the database,
+a tuple matching the conclusion is too. Antecedent variables are
+universally quantified; conclusion variables that do not occur in any
+antecedent are existentially quantified. A TD is *full* when the conclusion
+has no existential variables and *embedded* otherwise. Equality is not
+available (the paper rules out the identity sign).
+
+The *typing restriction*: attribute domains are disjoint, so a variable may
+appear in only one column. :meth:`TemplateDependency.is_typed` checks it;
+the constructor tolerates untyped dependencies (used by one example that
+reproduces a folklore finite-vs-unrestricted phenomenon) but everything in
+the paper's construction is typed.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator, Mapping, Optional, Sequence
+
+from repro.errors import ArityError, DependencyError, TypingError
+from repro.relational.homomorphism import (
+    extend_homomorphism,
+    find_homomorphism,
+    iter_homomorphisms,
+)
+from repro.relational.instance import Instance, Row
+from repro.relational.schema import Schema
+from repro.relational.values import Const, NullFactory, Value
+
+
+class Variable:
+    """A named dependency variable.
+
+    Variables compare by name, so the same name in two atoms denotes the
+    same individual. Conclusion-only variables are existential.
+    """
+
+    __slots__ = ("name", "_hash")
+
+    def __init__(self, name: str):
+        if not isinstance(name, str) or not name:
+            raise DependencyError(f"variable names must be non-empty strings, got {name!r}")
+        self.name = name
+        self._hash = hash(("Var", name))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Variable):
+            return NotImplemented
+        return self.name == other.name
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r})"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def is_variable(term: object) -> bool:
+    """True when ``term`` is a dependency variable."""
+    return isinstance(term, Variable)
+
+
+#: An atom: one variable per column of the schema.
+Atom = tuple[Variable, ...]
+
+
+class TemplateDependency:
+    """An immutable template dependency over a fixed schema.
+
+    >>> from repro.relational import Schema
+    >>> schema = Schema(["SUPPLIER", "STYLE", "SIZE"])
+    >>> a, b, c = Variable("a"), Variable("b"), Variable("c")
+    >>> b2, c2, a_star = Variable("b2"), Variable("c2"), Variable("a_star")
+    >>> fig1 = TemplateDependency(
+    ...     schema,
+    ...     antecedents=[(a, b, c), (a, b2, c2)],
+    ...     conclusion=(a_star, b, c2),
+    ... )
+    >>> fig1.is_full()
+    False
+    """
+
+    __slots__ = (
+        "schema",
+        "antecedents",
+        "conclusion",
+        "name",
+        "_column_of",
+        "_typed",
+    )
+
+    def __init__(
+        self,
+        schema: Schema,
+        antecedents: Iterable[Sequence[Variable]],
+        conclusion: Sequence[Variable],
+        *,
+        name: Optional[str] = None,
+    ):
+        self.schema = schema
+        self.antecedents: tuple[Atom, ...] = tuple(
+            tuple(atom) for atom in antecedents
+        )
+        self.conclusion: Atom = tuple(conclusion)
+        self.name = name
+        if not self.antecedents:
+            raise DependencyError("a template dependency needs at least one antecedent")
+        for atom in self.antecedents + (self.conclusion,):
+            if len(atom) != schema.arity:
+                raise ArityError(
+                    f"atom of arity {len(atom)} does not fit schema arity {schema.arity}"
+                )
+            for term in atom:
+                if not is_variable(term):
+                    raise DependencyError(
+                        f"atoms must contain Variable terms only, got {term!r}"
+                    )
+        self._column_of, self._typed = self._compute_typing()
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    def _compute_typing(self) -> tuple[dict[Variable, int], bool]:
+        column_of: dict[Variable, int] = {}
+        typed = True
+        for atom in self.atoms():
+            for column, variable in enumerate(atom):
+                seen = column_of.setdefault(variable, column)
+                if seen != column:
+                    typed = False
+        return column_of, typed
+
+    def atoms(self) -> Iterator[Atom]:
+        """All atoms: the antecedents followed by the conclusion."""
+        yield from self.antecedents
+        yield self.conclusion
+
+    @property
+    def conclusions(self) -> tuple[Atom, ...]:
+        """The conclusion as a one-element conjunction.
+
+        This gives TDs and EIDs a common shape, so the chase engine can
+        treat a TD as an EID whose conclusion conjunction has one atom.
+        """
+        return (self.conclusion,)
+
+    def variables(self) -> set[Variable]:
+        """Every variable occurring in the dependency."""
+        return set(self._column_of)
+
+    def universal_variables(self) -> set[Variable]:
+        """Variables occurring in some antecedent."""
+        return {variable for atom in self.antecedents for variable in atom}
+
+    def existential_variables(self) -> set[Variable]:
+        """Conclusion variables that occur in no antecedent."""
+        return set(self.conclusion) - self.universal_variables()
+
+    def column_of(self, variable: Variable) -> int:
+        """The column a variable occupies (first occurrence when untyped)."""
+        try:
+            return self._column_of[variable]
+        except KeyError:
+            raise DependencyError(f"{variable!r} does not occur in this dependency") from None
+
+    # ------------------------------------------------------------------
+    # Classification
+    # ------------------------------------------------------------------
+
+    def is_full(self) -> bool:
+        """True when the conclusion has no existential variables."""
+        return not self.existential_variables()
+
+    def is_embedded(self) -> bool:
+        """True when some conclusion variable is existential."""
+        return not self.is_full()
+
+    def is_typed(self) -> bool:
+        """True when every variable occupies a single column."""
+        return self._typed
+
+    def validate_typed(self) -> None:
+        """Raise :class:`~repro.errors.TypingError` unless typed."""
+        if not self._typed:
+            offenders = sorted(
+                variable.name
+                for variable in self.variables()
+                if len({
+                    column
+                    for atom in self.atoms()
+                    for column, term in enumerate(atom)
+                    if term == variable
+                }) > 1
+            )
+            raise TypingError(
+                f"variables {offenders} appear in more than one column"
+            )
+
+    def is_trivial(self) -> bool:
+        """True when the conclusion already follows from the antecedents.
+
+        A TD is trivial when the conclusion atom maps into the antecedent
+        set by a substitution that fixes every universal variable (the
+        existential variables may go anywhere). Such a TD holds in every
+        database.
+        """
+        antecedent_instance = Instance(
+            self.schema, (tuple(atom) for atom in self.antecedents)  # type: ignore[arg-type]
+        )
+        universals = self.universal_variables()
+        identity = {variable: variable for variable in set(self.conclusion) & universals}
+        extension = find_homomorphism(
+            [self.conclusion],
+            antecedent_instance,
+            partial=identity,
+            flexible=is_variable,
+        )
+        return extension is not None
+
+    # ------------------------------------------------------------------
+    # Semantics
+    # ------------------------------------------------------------------
+
+    def holds_in(self, instance: Instance) -> bool:
+        """Model checking: does ``instance`` satisfy this dependency?
+
+        True when every homomorphism of the antecedents into the instance
+        extends to one of the conclusion.
+        """
+        return self.find_violation(instance) is None
+
+    def find_violation(self, instance: Instance) -> Optional[dict]:
+        """Return a violating antecedent homomorphism, or None.
+
+        A violation is an assignment of the universal variables under which
+        every antecedent is present but no conclusion tuple exists.
+        """
+        for assignment in iter_homomorphisms(
+            self.antecedents, instance, flexible=is_variable
+        ):
+            extension = extend_homomorphism(
+                assignment, [self.conclusion], instance, flexible=is_variable
+            )
+            if extension is None:
+                return dict(assignment)
+        return None
+
+    def freeze(
+        self, fresh: Optional[NullFactory] = None
+    ) -> tuple[Instance, dict[Variable, Value]]:
+        """Freeze the antecedents into a canonical database.
+
+        Every universal variable becomes a distinct frozen constant; the
+        result is the instance the chase starts from when testing whether a
+        set of dependencies implies this one, together with the
+        variable-to-constant assignment.
+        """
+        del fresh  # reserved for a variant freezing into nulls
+        assignment: dict[Variable, Value] = {}
+        for variable in sorted(self.universal_variables(), key=lambda v: v.name):
+            assignment[variable] = Const(("frozen", variable.name))
+        instance = Instance(
+            self.schema,
+            (
+                tuple(assignment[variable] for variable in atom)
+                for atom in self.antecedents
+            ),
+        )
+        return instance, assignment
+
+    # ------------------------------------------------------------------
+    # Transformation and comparison
+    # ------------------------------------------------------------------
+
+    def rename(self, mapping: Mapping[Variable, Variable]) -> "TemplateDependency":
+        """Apply a variable renaming, returning a new dependency."""
+
+        def substitute(atom: Atom) -> Atom:
+            return tuple(mapping.get(variable, variable) for variable in atom)
+
+        return TemplateDependency(
+            self.schema,
+            [substitute(atom) for atom in self.antecedents],
+            substitute(self.conclusion),
+            name=self.name,
+        )
+
+    #: Antecedent counts up to which :meth:`canonical` is exact (it tries
+    #: every antecedent ordering; the paper's dependencies have at most 5).
+    _CANONICAL_EXACT_LIMIT = 7
+
+    def _shape(self, ordering: Sequence[Atom]) -> tuple:
+        """Rename variables by first occurrence along ``ordering``."""
+        order: dict[Variable, int] = {}
+        for atom in list(ordering) + [self.conclusion]:
+            for variable in atom:
+                if variable not in order:
+                    order[variable] = len(order)
+        antecedents = tuple(
+            tuple(order[variable] for variable in atom) for atom in ordering
+        )
+        conclusion = tuple(order[variable] for variable in self.conclusion)
+        return antecedents, conclusion
+
+    def canonical(self) -> "TemplateDependency":
+        """A canonical variable renaming, for structural comparison.
+
+        For dependencies with at most ``_CANONICAL_EXACT_LIMIT`` antecedents
+        the canonical form is exact: every antecedent ordering is tried and
+        the lexicographically least first-occurrence renaming is kept, so
+        two dependencies have equal canonical forms exactly when one is a
+        variable renaming (plus antecedent reordering) of the other. Larger
+        dependencies fall back to a deterministic heuristic ordering.
+        """
+        if len(self.antecedents) <= self._CANONICAL_EXACT_LIMIT:
+            orderings: Iterable[tuple[Atom, ...]] = itertools.permutations(
+                self.antecedents
+            )
+        else:
+            orderings = [
+                tuple(
+                    sorted(
+                        self.antecedents,
+                        key=lambda atom: tuple(v.name for v in atom),
+                    )
+                )
+            ]
+        best_shape = None
+        best_order: Optional[tuple[Atom, ...]] = None
+        for ordering in orderings:
+            shape = self._shape(ordering)
+            if best_shape is None or shape < best_shape:
+                best_shape = shape
+                best_order = ordering
+        assert best_shape is not None and best_order is not None
+        numbered_antecedents, numbered_conclusion = best_shape
+        return TemplateDependency(
+            self.schema,
+            [
+                tuple(Variable(f"v{index}") for index in atom)
+                for atom in numbered_antecedents
+            ],
+            tuple(Variable(f"v{index}") for index in numbered_conclusion),
+            name=self.name,
+        )
+
+    def structurally_equal(self, other: "TemplateDependency") -> bool:
+        """Equality up to variable renaming and antecedent order."""
+        if self.schema != other.schema:
+            return False
+        mine = self.canonical()
+        theirs = other.canonical()
+        return (
+            mine.antecedents == theirs.antecedents
+            and mine.conclusion == theirs.conclusion
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TemplateDependency):
+            return NotImplemented
+        return (
+            self.schema == other.schema
+            and self.antecedents == other.antecedents
+            and self.conclusion == other.conclusion
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.schema, self.antecedents, self.conclusion))
+
+    def __repr__(self) -> str:
+        label = f" {self.name}" if self.name else ""
+        return (
+            f"<TemplateDependency{label} antecedents={len(self.antecedents)}"
+            f" arity={self.schema.arity}>"
+        )
+
+    def __str__(self) -> str:
+        def show(atom: Atom) -> str:
+            return "R(" + ", ".join(variable.name for variable in atom) + ")"
+
+        left = " & ".join(show(atom) for atom in self.antecedents)
+        return f"{left} -> {show(self.conclusion)}"

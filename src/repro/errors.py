@@ -1,0 +1,67 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one base class. Subclasses are grouped by subsystem:
+schema/typing problems, dependency well-formedness, chase-budget issues and
+semigroup/presentation problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A schema is malformed (duplicate attributes, empty, bad arity)."""
+
+
+class TypingError(ReproError):
+    """The typing restriction is violated.
+
+    The paper assumes *typed* dependencies and databases: attribute domains
+    are disjoint, so no value or variable may appear in two different
+    columns.
+    """
+
+
+class ArityError(ReproError):
+    """A tuple, atom or diagram node has the wrong number of components."""
+
+
+class DependencyError(ReproError):
+    """A dependency is malformed (no antecedents, free conclusion, etc.)."""
+
+
+class DiagramError(ReproError):
+    """A dependency diagram is malformed or inconsistent."""
+
+
+class ParseError(ReproError):
+    """A textual dependency or word could not be parsed."""
+
+
+class BudgetExceededError(ReproError):
+    """A computation exceeded its explicit resource budget.
+
+    Raised only when a caller asks for strict budget enforcement; the
+    chase engine normally reports exhaustion through a result status
+    instead of raising.
+    """
+
+
+class SemigroupError(ReproError):
+    """A finite semigroup is malformed (non-associative table, bad size)."""
+
+
+class PresentationError(ReproError):
+    """A semigroup presentation is malformed or not in the expected form."""
+
+
+class ReductionError(ReproError):
+    """The Gurevich-Lewis reduction was applied to unsuitable input."""
+
+
+class VerificationError(ReproError):
+    """A machine-checked certificate (chase proof, counterexample) failed."""

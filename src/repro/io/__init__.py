@@ -1,0 +1,43 @@
+"""Serialization and file formats.
+
+* :mod:`repro.io.json_codec` — JSON round-tripping for schemas, values,
+  instances, dependencies, presentations, finite semigroups and chase
+  traces (the certificates), so results and counterexamples can be
+  stored, shipped and independently re-verified;
+* :mod:`repro.io.textfmt` — the small text formats the CLI reads:
+  one-dependency-per-line files and presentation files.
+"""
+
+from repro.io.json_codec import (
+    dependency_from_json,
+    dependency_to_json,
+    instance_from_json,
+    instance_to_json,
+    presentation_from_json,
+    presentation_to_json,
+    semigroup_from_json,
+    semigroup_to_json,
+    trace_from_json,
+    trace_to_json,
+)
+from repro.io.textfmt import (
+    parse_dependency_file,
+    parse_presentation_text,
+    render_presentation_text,
+)
+
+__all__ = [
+    "instance_to_json",
+    "instance_from_json",
+    "dependency_to_json",
+    "dependency_from_json",
+    "presentation_to_json",
+    "presentation_from_json",
+    "semigroup_to_json",
+    "semigroup_from_json",
+    "trace_to_json",
+    "trace_from_json",
+    "parse_dependency_file",
+    "parse_presentation_text",
+    "render_presentation_text",
+]

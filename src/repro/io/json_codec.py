@@ -1,0 +1,265 @@
+"""JSON round-tripping for the library's core objects.
+
+Everything the solvers produce — including the *certificates* (chase
+traces and counterexample databases) — can be serialized, so a sceptical
+reader can store a proof and re-verify it in a fresh process. The format
+is plain ``json``-module-compatible dicts; every entry point has a
+``*_to_json`` / ``*_from_json`` pair, and round-tripping is exact
+(property-tested).
+
+Value encoding: constants may carry structured names (tuples, nested
+values — the direct product and the reduction use them), so names are
+encoded recursively with one-letter tags: ``{"s": ...}`` scalar,
+``{"t": [...]}`` tuple, ``{"v": ...}`` nested value.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.dependencies.eid import EmbeddedImplicationalDependency
+from repro.dependencies.template import TemplateDependency, Variable
+from repro.errors import ReproError
+from repro.chase.result import ChaseStep
+from repro.relational.instance import Instance
+from repro.relational.schema import Schema
+from repro.relational.values import Const, LabeledNull, Value
+from repro.semigroups.finite import FiniteSemigroup
+from repro.semigroups.presentation import Equation, Presentation
+
+Json = Union[dict, list, str, int, float, bool, None]
+
+
+class CodecError(ReproError):
+    """Malformed JSON payload for one of the codecs."""
+
+
+# ---------------------------------------------------------------------------
+# Values
+# ---------------------------------------------------------------------------
+
+def _name_to_json(name: object) -> Json:
+    if isinstance(name, (str, int, float, bool)) or name is None:
+        return {"s": name}
+    if isinstance(name, tuple):
+        return {"t": [_name_to_json(part) for part in name]}
+    if isinstance(name, (Const, LabeledNull)):
+        return {"v": value_to_json(name)}
+    raise CodecError(f"cannot encode constant name {name!r}")
+
+
+def _name_from_json(payload: Json) -> object:
+    if not isinstance(payload, dict) or len(payload) != 1:
+        raise CodecError(f"bad name payload {payload!r}")
+    if "s" in payload:
+        return payload["s"]
+    if "t" in payload:
+        return tuple(_name_from_json(part) for part in payload["t"])
+    if "v" in payload:
+        return value_from_json(payload["v"])
+    raise CodecError(f"bad name payload {payload!r}")
+
+
+def value_to_json(value: Value) -> Json:
+    """Encode a constant or labelled null."""
+    if isinstance(value, Const):
+        return {"const": _name_to_json(value.name)}
+    if isinstance(value, LabeledNull):
+        return {"null": value.label}
+    raise CodecError(f"cannot encode value {value!r}")
+
+
+def value_from_json(payload: Json) -> Value:
+    """Decode a constant or labelled null."""
+    if isinstance(payload, dict) and "const" in payload:
+        return Const(_name_from_json(payload["const"]))
+    if isinstance(payload, dict) and "null" in payload:
+        return LabeledNull(int(payload["null"]))
+    raise CodecError(f"bad value payload {payload!r}")
+
+
+# ---------------------------------------------------------------------------
+# Schemas and instances
+# ---------------------------------------------------------------------------
+
+def schema_to_json(schema: Schema) -> Json:
+    """Encode a schema as its attribute list."""
+    return list(schema.attributes)
+
+
+def schema_from_json(payload: Json) -> Schema:
+    """Decode a schema."""
+    if not isinstance(payload, list):
+        raise CodecError("schema payload must be a list of attribute names")
+    return Schema(payload)
+
+
+def instance_to_json(instance: Instance) -> Json:
+    """Encode a database instance (schema + rows)."""
+    return {
+        "schema": schema_to_json(instance.schema),
+        "rows": [
+            [value_to_json(value) for value in row]
+            for row in sorted(instance.rows, key=repr)
+        ],
+    }
+
+
+def instance_from_json(payload: Json) -> Instance:
+    """Decode a database instance."""
+    if not isinstance(payload, dict) or "schema" not in payload:
+        raise CodecError("instance payload needs 'schema' and 'rows'")
+    schema = schema_from_json(payload["schema"])
+    rows = [
+        tuple(value_from_json(value) for value in row)
+        for row in payload.get("rows", [])
+    ]
+    return Instance(schema, rows)
+
+
+# ---------------------------------------------------------------------------
+# Dependencies
+# ---------------------------------------------------------------------------
+
+def _atom_to_json(atom) -> list[str]:
+    return [variable.name for variable in atom]
+
+
+def _atom_from_json(payload) -> tuple[Variable, ...]:
+    return tuple(Variable(name) for name in payload)
+
+
+def dependency_to_json(
+    dependency: Union[TemplateDependency, EmbeddedImplicationalDependency],
+) -> Json:
+    """Encode a TD or EID."""
+    return {
+        "kind": "td" if isinstance(dependency, TemplateDependency) else "eid",
+        "schema": schema_to_json(dependency.schema),
+        "antecedents": [_atom_to_json(atom) for atom in dependency.antecedents],
+        "conclusions": [_atom_to_json(atom) for atom in dependency.conclusions],
+        "name": dependency.name,
+    }
+
+
+def dependency_from_json(
+    payload: Json,
+) -> Union[TemplateDependency, EmbeddedImplicationalDependency]:
+    """Decode a TD or EID."""
+    if not isinstance(payload, dict) or "kind" not in payload:
+        raise CodecError("dependency payload needs a 'kind'")
+    schema = schema_from_json(payload["schema"])
+    antecedents = [_atom_from_json(atom) for atom in payload["antecedents"]]
+    conclusions = [_atom_from_json(atom) for atom in payload["conclusions"]]
+    name = payload.get("name")
+    if payload["kind"] == "td":
+        if len(conclusions) != 1:
+            raise CodecError("a TD payload must have exactly one conclusion atom")
+        return TemplateDependency(schema, antecedents, conclusions[0], name=name)
+    if payload["kind"] == "eid":
+        return EmbeddedImplicationalDependency(
+            schema, antecedents, conclusions, name=name
+        )
+    raise CodecError(f"unknown dependency kind {payload['kind']!r}")
+
+
+# ---------------------------------------------------------------------------
+# Presentations and finite semigroups
+# ---------------------------------------------------------------------------
+
+def presentation_to_json(presentation: Presentation) -> Json:
+    """Encode a presentation."""
+    return {
+        "alphabet": list(presentation.alphabet),
+        "equations": [
+            {"lhs": list(equation.lhs), "rhs": list(equation.rhs)}
+            for equation in presentation.equations
+        ],
+        "zero": presentation.zero,
+        "a0": presentation.a0,
+    }
+
+
+def presentation_from_json(payload: Json) -> Presentation:
+    """Decode a presentation."""
+    if not isinstance(payload, dict) or "alphabet" not in payload:
+        raise CodecError("presentation payload needs an 'alphabet'")
+    equations = [
+        Equation(tuple(entry["lhs"]), tuple(entry["rhs"]))
+        for entry in payload.get("equations", [])
+    ]
+    return Presentation(
+        payload["alphabet"],
+        equations,
+        zero=payload.get("zero", "0"),
+        a0=payload.get("a0", "A0"),
+    )
+
+
+def semigroup_to_json(semigroup: FiniteSemigroup) -> Json:
+    """Encode a finite semigroup (Cayley table + names)."""
+    return {
+        "table": semigroup.table.tolist(),
+        "names": list(semigroup.names),
+    }
+
+
+def semigroup_from_json(payload: Json) -> FiniteSemigroup:
+    """Decode a finite semigroup (associativity re-checked)."""
+    if not isinstance(payload, dict) or "table" not in payload:
+        raise CodecError("semigroup payload needs a 'table'")
+    return FiniteSemigroup(payload["table"], payload.get("names"))
+
+
+# ---------------------------------------------------------------------------
+# Chase traces (certificates)
+# ---------------------------------------------------------------------------
+
+def trace_to_json(steps: list[ChaseStep]) -> Json:
+    """Encode a chase trace against a shared dependency registry.
+
+    Dependencies are deduplicated into a registry; steps refer to them by
+    index, so large traces stay compact.
+    """
+    registry: list = []
+    index_of: dict = {}
+    encoded_steps = []
+    for step in steps:
+        key = step.dependency
+        if key not in index_of:
+            index_of[key] = len(registry)
+            registry.append(dependency_to_json(key))
+        encoded_steps.append(
+            {
+                "dependency": index_of[key],
+                "bindings": [
+                    [name, value_to_json(value)] for name, value in step.bindings
+                ],
+                "added_rows": [
+                    [value_to_json(value) for value in row]
+                    for row in step.added_rows
+                ],
+            }
+        )
+    return {"dependencies": registry, "steps": encoded_steps}
+
+
+def trace_from_json(payload: Json) -> list[ChaseStep]:
+    """Decode a chase trace."""
+    if not isinstance(payload, dict) or "steps" not in payload:
+        raise CodecError("trace payload needs 'dependencies' and 'steps'")
+    registry = [dependency_from_json(entry) for entry in payload["dependencies"]]
+    steps = []
+    for entry in payload["steps"]:
+        dependency = registry[entry["dependency"]]
+        bindings = tuple(
+            (name, value_from_json(value)) for name, value in entry["bindings"]
+        )
+        added_rows = tuple(
+            tuple(value_from_json(value) for value in row)
+            for row in entry["added_rows"]
+        )
+        steps.append(
+            ChaseStep(dependency=dependency, bindings=bindings, added_rows=added_rows)
+        )
+    return steps

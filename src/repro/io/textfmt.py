@@ -1,0 +1,137 @@
+"""Small text file formats for the command-line interface.
+
+**Dependency files** — one dependency per line, the parser syntax of
+:mod:`repro.dependencies.parser`; blank lines and ``#`` comments ignored:
+
+.. code-block:: text
+
+    # garment constraints
+    R(a, b, c) & R(a, b', c') -> R(a*, b, c')
+
+**Presentation files** — the Main Lemma's ``φ`` as text:
+
+.. code-block:: text
+
+    letters: A0 0
+    zero: 0
+    a0: A0
+    zero-equations: yes
+    A0 A0 = A0
+    A0 A0 = 0
+
+``zero-equations: yes`` (the default) adds the ``A·0 = 0 / 0·A = 0`` laws
+the Main Lemma requires; equation lines are space-separated letters with
+one ``=``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.dependencies.eid import EmbeddedImplicationalDependency
+from repro.dependencies.parser import parse_dependency
+from repro.dependencies.template import TemplateDependency
+from repro.errors import ParseError
+from repro.relational.schema import Schema
+from repro.semigroups.presentation import Equation, Presentation
+
+Dependency = Union[TemplateDependency, EmbeddedImplicationalDependency]
+
+
+def parse_dependency_file(
+    text: str, schema: Optional[Schema] = None
+) -> list[Dependency]:
+    """Parse a one-dependency-per-line file body."""
+    dependencies: list[Dependency] = []
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        try:
+            dependencies.append(parse_dependency(line, schema))
+        except ParseError as error:
+            raise ParseError(f"line {line_number}: {error}") from error
+    if dependencies and schema is None:
+        arities = {dependency.schema.arity for dependency in dependencies}
+        if len(arities) != 1:
+            raise ParseError(
+                f"dependencies have inconsistent arities {sorted(arities)}"
+            )
+        shared = dependencies[0].schema
+        rebuilt: list[Dependency] = []
+        for dependency in dependencies:
+            if isinstance(dependency, TemplateDependency):
+                rebuilt.append(
+                    TemplateDependency(
+                        shared,
+                        dependency.antecedents,
+                        dependency.conclusion,
+                        name=dependency.name,
+                    )
+                )
+            else:
+                rebuilt.append(
+                    EmbeddedImplicationalDependency(
+                        shared,
+                        dependency.antecedents,
+                        dependency.conclusions,
+                        name=dependency.name,
+                    )
+                )
+        dependencies = rebuilt
+    return dependencies
+
+
+def parse_presentation_text(text: str) -> Presentation:
+    """Parse a presentation file body."""
+    letters: Optional[list[str]] = None
+    zero = "0"
+    a0 = "A0"
+    add_zero_equations = True
+    equations: list[Equation] = []
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        lowered = line.lower()
+        if lowered.startswith("letters:"):
+            letters = line.split(":", 1)[1].split()
+            continue
+        if lowered.startswith("zero:"):
+            zero = line.split(":", 1)[1].strip()
+            continue
+        if lowered.startswith("a0:"):
+            a0 = line.split(":", 1)[1].strip()
+            continue
+        if lowered.startswith("zero-equations:"):
+            flag = line.split(":", 1)[1].strip().lower()
+            add_zero_equations = flag in ("yes", "true", "on", "1")
+            continue
+        if "=" not in line:
+            raise ParseError(f"line {line_number}: expected an equation with '='")
+        left, __, right = line.partition("=")
+        lhs = tuple(left.split())
+        rhs = tuple(right.split())
+        if not lhs or not rhs:
+            raise ParseError(f"line {line_number}: empty equation side")
+        equations.append(Equation(lhs, rhs))
+    if letters is None:
+        raise ParseError("presentation file needs a 'letters:' line")
+    if add_zero_equations:
+        return Presentation.with_zero_equations(
+            letters, equations, zero=zero, a0=a0
+        )
+    return Presentation(letters, equations, zero=zero, a0=a0)
+
+
+def render_presentation_text(presentation: Presentation) -> str:
+    """Render a presentation back into the file format (zero laws inline)."""
+    lines = [
+        "letters: " + " ".join(presentation.alphabet),
+        f"zero: {presentation.zero}",
+        f"a0: {presentation.a0}",
+        "zero-equations: no",  # every equation is written out explicitly
+    ]
+    for equation in presentation.equations:
+        lines.append(" ".join(equation.lhs) + " = " + " ".join(equation.rhs))
+    return "\n".join(lines) + "\n"

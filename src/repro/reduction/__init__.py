@@ -1,0 +1,60 @@
+"""The Gurevich-Lewis reduction (system S5).
+
+Everything in the proof of the paper's Main Theorem, as running code:
+
+* :mod:`repro.reduction.schema` — the ``2n+2``-attribute schema: for each
+  letter ``A`` the attributes ``A'`` and ``A''``, plus ``E`` (bottom row)
+  and ``E'`` (top row);
+* :mod:`repro.reduction.bridge` — bridge structures for words (Figure 2);
+* :mod:`repro.reduction.dependencies` — the dependencies ``D1(r) ... D4(r)``
+  for each short-form equation ``r: AB = C`` and the goal dependency
+  ``D0`` (Figure 3);
+* :mod:`repro.reduction.encode` — the full encoding ``φ ↦ (D, D0)``;
+* :mod:`repro.reduction.proofs` — direction (A): replay a word derivation
+  ``A0 →* 0`` as a machine-verified chase proof that ``D ⊨ D0``;
+* :mod:`repro.reduction.model` — direction (B): the finite
+  counterexample database ``P ∪ Q`` built from a finite cancellation
+  semigroup without identity, plus its verification;
+* :mod:`repro.reduction.theorem` — end-to-end drivers for both
+  directions and the operational three-valued Main-Theorem classifier.
+"""
+
+from repro.reduction.bridge import Bridge, bridge_instance
+from repro.reduction.dependencies import (
+    build_td,
+    d0_dependency,
+    equation_dependencies,
+)
+from repro.reduction.encode import ReductionEncoding, encode
+from repro.reduction.model import counterexample_database, verify_counterexample
+from repro.reduction.proofs import BridgeChaseProof, prove_from_derivation
+from repro.reduction.schema import ReductionSchema
+from repro.reduction.theorem import (
+    DirectionAReport,
+    DirectionBReport,
+    InstanceClass,
+    classify_instance,
+    prove_direction_a,
+    prove_direction_b,
+)
+
+__all__ = [
+    "ReductionSchema",
+    "Bridge",
+    "bridge_instance",
+    "build_td",
+    "d0_dependency",
+    "equation_dependencies",
+    "ReductionEncoding",
+    "encode",
+    "BridgeChaseProof",
+    "prove_from_derivation",
+    "counterexample_database",
+    "verify_counterexample",
+    "DirectionAReport",
+    "DirectionBReport",
+    "InstanceClass",
+    "classify_instance",
+    "prove_direction_a",
+    "prove_direction_b",
+]

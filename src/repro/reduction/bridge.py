@@ -1,0 +1,137 @@
+"""Bridges: the word-encoding structures of Figure 2.
+
+A *bridge* for a word ``A₁A₂...A_k`` is a database fragment with
+
+* ``k + 1`` *bottom* tuples, all agreeing on attribute ``E``;
+* ``k`` *apex* tuples, all agreeing on attribute ``E'``;
+* for each letter position ``i``, the apex ``dᵢ`` agreeing with the bottom
+  tuple to its left on ``Aᵢ'`` and with the one to its right on ``Aᵢ''``
+  (one triangle per letter).
+
+Bridges are both a standalone artefact (experiment E2 regenerates
+Figure 2 and checks the ``2k+1`` tuple count) and the state the direction
+(A) proof builder threads through a word derivation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.errors import ReductionError, VerificationError
+from repro.reduction.schema import BOTTOM_ROW, TOP_ROW, ReductionSchema
+from repro.relational.instance import Instance, Row
+from repro.relational.values import Const
+from repro.semigroups.words import Word
+
+
+@dataclass
+class Bridge:
+    """The tracked rows of a bridge for ``word`` inside some instance.
+
+    ``bottom[i]`` is the base tuple between letters ``i-1`` and ``i``
+    (``bottom[0]`` and ``bottom[-1]`` are the bridge's endpoints — the
+    paper's ``a`` and ``b``); ``apexes[i]`` is the triangle apex of letter
+    ``word[i]``.
+    """
+
+    reduction_schema: ReductionSchema
+    word: Word
+    bottom: list[Row]
+    apexes: list[Row]
+
+    @property
+    def span(self) -> tuple[Row, Row]:
+        """The endpoint base tuples ``(a, b)``."""
+        return self.bottom[0], self.bottom[-1]
+
+    @property
+    def tuple_count(self) -> int:
+        """``2k + 1`` for a ``k``-letter word."""
+        return len(self.bottom) + len(self.apexes)
+
+    def check(self) -> None:
+        """Verify the structural invariants of Figure 2.
+
+        Raises :class:`~repro.errors.VerificationError` on any breach.
+        The proof builder runs this after every derivation step.
+        """
+        schema = self.reduction_schema.schema
+        if len(self.bottom) != len(self.word) + 1:
+            raise VerificationError(
+                f"bridge for a {len(self.word)}-letter word needs "
+                f"{len(self.word) + 1} bottom tuples, has {len(self.bottom)}"
+            )
+        if len(self.apexes) != len(self.word):
+            raise VerificationError(
+                f"bridge needs one apex per letter, has {len(self.apexes)}"
+            )
+        bottom_column = schema.position(BOTTOM_ROW)
+        shared_bottom = {row[bottom_column] for row in self.bottom}
+        if len(shared_bottom) != 1:
+            raise VerificationError("bottom tuples do not share the E attribute")
+        if self.apexes:
+            top_column = schema.position(TOP_ROW)
+            shared_top = {row[top_column] for row in self.apexes}
+            if len(shared_top) != 1:
+                raise VerificationError("apex tuples do not share the E' attribute")
+        for index, letter in enumerate(self.word):
+            left = schema.position(self.reduction_schema.primed(letter))
+            right = schema.position(self.reduction_schema.double_primed(letter))
+            apex = self.apexes[index]
+            if apex[left] != self.bottom[index][left]:
+                raise VerificationError(
+                    f"apex {index} does not agree with its left base on "
+                    f"{self.reduction_schema.primed(letter)}"
+                )
+            if apex[right] != self.bottom[index + 1][right]:
+                raise VerificationError(
+                    f"apex {index} does not agree with its right base on "
+                    f"{self.reduction_schema.double_primed(letter)}"
+                )
+
+
+def bridge_instance(
+    reduction_schema: ReductionSchema,
+    word: Word,
+    *,
+    token: str = "bridge",
+) -> tuple[Instance, Bridge]:
+    """Build a fresh, minimal bridge instance for ``word`` (Figure 2).
+
+    Every component not forced to agree by the bridge pattern receives a
+    distinct constant, so the instance realises exactly the agreements of
+    the figure and nothing more.
+    """
+    for letter in word:
+        if letter not in reduction_schema.alphabet:
+            raise ReductionError(f"letter {letter!r} is not in the alphabet")
+    schema = reduction_schema.schema
+    counter = itertools.count()
+
+    def fresh(attribute: str) -> Const:
+        return Const((token, attribute, next(counter)))
+
+    bottom_shared = fresh(BOTTOM_ROW)
+    top_shared = fresh(TOP_ROW)
+    bottom_rows: list[list[Const]] = []
+    for __ in range(len(word) + 1):
+        row = [fresh(schema.attribute(column)) for column in range(schema.arity)]
+        row[schema.position(BOTTOM_ROW)] = bottom_shared
+        bottom_rows.append(row)
+    apex_rows: list[list[Const]] = []
+    for index, letter in enumerate(word):
+        row = [fresh(schema.attribute(column)) for column in range(schema.arity)]
+        row[schema.position(TOP_ROW)] = top_shared
+        left = schema.position(reduction_schema.primed(letter))
+        right = schema.position(reduction_schema.double_primed(letter))
+        row[left] = bottom_rows[index][left]
+        row[right] = bottom_rows[index + 1][right]
+        apex_rows.append(row)
+
+    bottom = [tuple(row) for row in bottom_rows]
+    apexes = [tuple(row) for row in apex_rows]
+    instance = Instance(schema, bottom + apexes)
+    bridge = Bridge(reduction_schema, word, list(bottom), list(apexes))
+    bridge.check()
+    return instance, bridge

@@ -1,0 +1,218 @@
+"""The reduction's dependencies: ``D1(r) .. D4(r)`` per equation, and ``D0``.
+
+Figure 3 of the paper gives, for each short-form equation ``r: AB = C``,
+four template dependencies over the bridge schema; together with the goal
+dependency ``D0`` they realise replacement steps of the word problem as
+chase steps:
+
+* **D1(r)** — *contraction* ``AB → C``: given adjacent triangles for ``A``
+  (over base points 1,2) and ``B`` (over 2,3), an apex for ``C`` spanning
+  1-3 exists.
+* **D2(r)** — start of *expansion* ``C → AB``: given a ``C`` triangle over
+  1-2, an ``A`` apex attached to base point 1 exists (its right endpoint
+  is existential).
+* **D3(r)** — "completely analogous" other half: a ``B`` apex attached to
+  base point 2 exists (its left endpoint existential).
+* **D4(r)** — *gluing*: given the ``C`` triangle plus an ``A`` apex from
+  point 1 and a ``B`` apex into point 2 (all apexes E'-equivalent), a new
+  **base** point exists that simultaneously ends the ``A`` apex and starts
+  the ``B`` apex — in the proof its existence is exactly where the
+  semigroup's cancellation property is used.
+
+* **D0** — "a bridge for the single letter ``A0`` spans a-b implies a
+  bridge for ``0`` spans a-b": given an ``A0`` triangle over base points
+  1-2, a ``0`` apex over 1-2 exists, E'-equivalent to the ``A0`` apex.
+
+Each dependency is specified as a node/edge diagram (the same data as the
+paper's figures) through :func:`build_td`, so the construction is readable
+against Figure 3 line by line. Every dependency has at most **five**
+antecedents — the boundedness the paper highlights as complementary to
+Vardi's result.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.dependencies.template import TemplateDependency, Variable
+from repro.errors import ReductionError
+from repro.reduction.schema import BOTTOM_ROW, TOP_ROW, ReductionSchema
+from repro.relational.schema import Attribute
+from repro.semigroups.presentation import Equation
+
+#: A diagram edge: two node labels and the attribute they agree on.
+EdgeSpec = tuple[str, str, Attribute]
+
+#: The conclusion node's label in specifications.
+STAR = "*"
+
+
+def build_td(
+    reduction_schema: ReductionSchema,
+    antecedent_nodes: Sequence[str],
+    edges: Iterable[EdgeSpec],
+    *,
+    name: str,
+) -> TemplateDependency:
+    """Build a TD from a node/edge specification (a textual Figure 3).
+
+    ``antecedent_nodes`` lists the antecedent node labels in atom order;
+    the conclusion node is always ``"*"``. Every node gets a distinct
+    variable in every column; each edge merges the two endpoint variables
+    of its attribute's column. Conclusion-node variables not merged with
+    any antecedent come out existentially quantified, exactly as in the
+    paper's diagrams.
+    """
+    schema = reduction_schema.schema
+    nodes = list(antecedent_nodes) + [STAR]
+    if len(set(nodes)) != len(nodes):
+        raise ReductionError(f"duplicate node labels in {nodes}")
+    # Union-find over (node, column) cells.
+    parent: dict[tuple[str, int], tuple[str, int]] = {
+        (node, column): (node, column)
+        for node in nodes
+        for column in range(schema.arity)
+    }
+
+    def find(cell: tuple[str, int]) -> tuple[str, int]:
+        while parent[cell] != cell:
+            parent[cell] = parent[parent[cell]]
+            cell = parent[cell]
+        return cell
+
+    for node_a, node_b, attribute in edges:
+        column = schema.position(attribute)
+        for node in (node_a, node_b):
+            if node not in nodes:
+                raise ReductionError(f"edge uses unknown node {node!r}")
+        parent[find((node_a, column))] = find((node_b, column))
+
+    def atom_for(node: str) -> tuple[Variable, ...]:
+        variables = []
+        for column in range(schema.arity):
+            root_node, root_column = find((node, column))
+            variables.append(
+                Variable(f"{schema.attribute(root_column)}@{root_node}")
+            )
+        return tuple(variables)
+
+    return TemplateDependency(
+        schema,
+        [atom_for(node) for node in antecedent_nodes],
+        atom_for(STAR),
+        name=name,
+    )
+
+
+def equation_dependencies(
+    reduction_schema: ReductionSchema, equation: Equation
+) -> tuple[TemplateDependency, ...]:
+    """The four dependencies ``D1(r) .. D4(r)`` for ``r: AB = C``."""
+    if not equation.is_short_form():
+        raise ReductionError(f"equation {equation} is not in short form AB = C")
+    letter_a, letter_b = equation.lhs
+    letter_c = equation.rhs[0]
+    a_p = reduction_schema.primed(letter_a)
+    a_pp = reduction_schema.double_primed(letter_a)
+    b_p = reduction_schema.primed(letter_b)
+    b_pp = reduction_schema.double_primed(letter_b)
+    c_p = reduction_schema.primed(letter_c)
+    c_pp = reduction_schema.double_primed(letter_c)
+    tag = f"{'.'.join(equation.lhs)}={'.'.join(equation.rhs)}"
+
+    # D1(r): contract A B -> C. Base points 1,2,3; A-apex 4, B-apex 5;
+    # conclusion: C-apex over 1-3, joining the apex row.
+    d1 = build_td(
+        reduction_schema,
+        ["1", "2", "3", "4", "5"],
+        [
+            ("1", "2", BOTTOM_ROW),
+            ("2", "3", BOTTOM_ROW),
+            ("1", "4", a_p),
+            ("4", "2", a_pp),
+            ("2", "5", b_p),
+            ("5", "3", b_pp),
+            ("4", "5", TOP_ROW),
+            ("1", STAR, c_p),
+            (STAR, "3", c_pp),
+            (STAR, "4", TOP_ROW),
+        ],
+        name=f"D1[{tag}]",
+    )
+
+    # D2(r): expansion, first half. Base points 1,2; C-apex 3;
+    # conclusion: an A-apex hanging off base point 1 (right end
+    # existential), E'-equivalent to the C-apex.
+    d2 = build_td(
+        reduction_schema,
+        ["1", "2", "3"],
+        [
+            ("1", "2", BOTTOM_ROW),
+            ("1", "3", c_p),
+            ("3", "2", c_pp),
+            ("1", STAR, a_p),
+            (STAR, "3", TOP_ROW),
+        ],
+        name=f"D2[{tag}]",
+    )
+
+    # D3(r): expansion, second half ("completely analogous to D2"):
+    # a B-apex ending at base point 2 (left end existential).
+    d3 = build_td(
+        reduction_schema,
+        ["1", "2", "3"],
+        [
+            ("1", "2", BOTTOM_ROW),
+            ("1", "3", c_p),
+            ("3", "2", c_pp),
+            (STAR, "2", b_pp),
+            (STAR, "3", TOP_ROW),
+        ],
+        name=f"D3[{tag}]",
+    )
+
+    # D4(r): gluing. Base points 1,2; C-apex 3; A-apex 4 from point 1;
+    # B-apex 5 into point 2; conclusion: a new *base* point that ends the
+    # A-apex and starts the B-apex. (In the model proof, its existence is
+    # cancellation: b1·B = t1·A·B = t1·C = t2 = b2·B forces b1 = b2.)
+    d4 = build_td(
+        reduction_schema,
+        ["1", "2", "3", "4", "5"],
+        [
+            ("1", "2", BOTTOM_ROW),
+            ("1", "3", c_p),
+            ("3", "2", c_pp),
+            ("1", "4", a_p),
+            ("4", "3", TOP_ROW),
+            ("5", "2", b_pp),
+            ("5", "3", TOP_ROW),
+            (STAR, "1", BOTTOM_ROW),
+            ("4", STAR, a_pp),
+            (STAR, "5", b_p),
+        ],
+        name=f"D4[{tag}]",
+    )
+    return d1, d2, d3, d4
+
+
+def d0_dependency(reduction_schema: ReductionSchema, a0: str, zero: str) -> TemplateDependency:
+    """The goal dependency ``D0``.
+
+    Antecedents: a triangle for the one-letter word ``A0`` spanning base
+    points 1-2 (apex node 3). Conclusion: a ``0`` apex over the same base
+    points, E'-equivalent to the ``A0`` apex — i.e. a bridge for the word
+    ``0`` spans the same endpoints.
+    """
+    return build_td(
+        reduction_schema,
+        ["1", "2", "3"],
+        [
+            ("1", "2", BOTTOM_ROW),
+            ("1", "3", reduction_schema.primed(a0)),
+            ("3", "2", reduction_schema.double_primed(a0)),
+            ("3", STAR, TOP_ROW),
+            ("1", STAR, reduction_schema.primed(zero)),
+            (STAR, "2", reduction_schema.double_primed(zero)),
+        ],
+        name="D0",
+    )

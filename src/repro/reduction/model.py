@@ -1,0 +1,257 @@
+"""Direction (B): the finite counterexample database.
+
+Given a finite semigroup ``G`` *without identity* having the cancellation
+property, in which every antecedent equation holds but ``A0 ≠ 0``, the
+paper constructs a finite database satisfying every dependency in ``D``
+but not ``D0``:
+
+1. adjoin an identity: ``G' = G ∪ {I}`` (cancellation is preserved —
+   that is what condition (ii) is for);
+2. ``P = {a ∈ G' : ∃b ∈ G', a·b = Ā₀}`` — the "divisors" of ``Ā₀``;
+   ``I, Ā₀ ∈ P`` and ``0 ∉ P``;
+3. ``Q = {⟨a, A, b⟩ : a, b ∈ P, a·Ā = b}`` — one fresh element per edge
+   of the partial 1-1 functions ``→_A`` (1-1 by cancellation);
+4. the universe is ``P ∪ Q`` with the four equivalence-relation families:
+
+   * ``~A'`` links ``⟨a,A,b⟩`` with ``a``      (classes of size ≤ 2),
+   * ``~A''`` links ``⟨a,A,b⟩`` with ``b``     (classes of size ≤ 2),
+   * ``~E``  makes all of ``P`` one class,
+   * ``~E'`` makes all of ``Q`` one class.
+
+Each element becomes one database tuple whose component in attribute
+``α`` is (a constant naming) its ``~α``-equivalence class, so two tuples
+agree on ``α`` exactly when their elements are ``~α``-equivalent.
+
+:func:`verify_counterexample` then model-checks the whole of ``D``
+against the database and exhibits ``D0``'s violation — the paper's
+``(NOT D0)`` witness ``t₁ = I, t₂ = Ā₀, t₃ = ⟨I, A₀, Ā₀⟩``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.chase.modelcheck import all_violations
+from repro.dependencies.template import TemplateDependency
+from repro.errors import ReductionError, VerificationError
+from repro.reduction.encode import ReductionEncoding
+from repro.reduction.schema import BOTTOM_ROW, TOP_ROW, ReductionSchema
+from repro.relational.instance import Instance, Row
+from repro.relational.values import Const
+from repro.semigroups.construct import adjoin_identity
+from repro.semigroups.finite import FiniteSemigroup
+from repro.semigroups.search import CounterModel
+
+#: A universe element: a plain semigroup element index (member of P) or a
+#: triple ``(a, letter, b)`` (member of Q).
+Element = Union[int, tuple[int, str, int]]
+
+
+@dataclass
+class CounterexampleDatabase:
+    """The finite model of ``D`` in which ``D0`` fails, with provenance."""
+
+    encoding: ReductionEncoding
+    counter_model: CounterModel
+    extended: FiniteSemigroup  # G' = G with identity adjoined
+    p_elements: list[int]
+    q_elements: list[tuple[int, str, int]]
+    instance: Instance
+    row_of: dict[Element, Row]
+
+    @property
+    def universe_size(self) -> int:
+        """``|P| + |Q|``."""
+        return len(self.p_elements) + len(self.q_elements)
+
+    def describe(self) -> str:
+        """Summary for experiment logs."""
+        return (
+            f"|G|={self.counter_model.semigroup.size} -> |G'|={self.extended.size}, "
+            f"|P|={len(self.p_elements)}, |Q|={len(self.q_elements)}, "
+            f"database rows={len(self.instance)}"
+        )
+
+
+def counterexample_database(
+    encoding: ReductionEncoding, counter_model: CounterModel
+) -> CounterexampleDatabase:
+    """Build the paper's finite model from a verified counter-semigroup."""
+    semigroup = counter_model.semigroup
+    if semigroup.has_identity():
+        raise ReductionError("the construction starts from a semigroup WITHOUT identity")
+    if semigroup.zero() is None:
+        raise ReductionError("the counter-semigroup must have a zero")
+    if not semigroup.has_cancellation_property():
+        raise ReductionError("the counter-semigroup must have the cancellation property")
+    presentation = encoding.presentation
+    assignment = dict(counter_model.assignment)
+    missing = set(presentation.alphabet) - set(assignment)
+    if missing:
+        raise ReductionError(f"assignment misses letters {sorted(missing)}")
+
+    extended = adjoin_identity(semigroup)
+    a0_element = assignment[presentation.a0]
+    zero_element = assignment[presentation.zero]
+    if a0_element == zero_element:
+        raise ReductionError("the counter-model does not refute A0 = 0")
+
+    # P = divisors of the A0 element in G'.
+    p_elements = [
+        a
+        for a in range(extended.size)
+        if any(extended.product(a, b) == a0_element for b in range(extended.size))
+    ]
+    p_set = set(p_elements)
+    identity = extended.size - 1  # adjoin_identity appends I last
+    if identity not in p_set or a0_element not in p_set:
+        raise VerificationError("P must contain I and the A0 element")
+    if zero_element in p_set:
+        raise VerificationError("P must not contain 0 (else A0 would be 0)")
+
+    # Q = one element per edge of each partial function ->_A on P.
+    q_elements: list[tuple[int, str, int]] = []
+    for letter in presentation.alphabet:
+        letter_element = assignment[letter]
+        for a in p_elements:
+            b = extended.product(a, letter_element)
+            if b in p_set:
+                q_elements.append((a, letter, b))
+
+    schema = encoding.reduction_schema
+    row_of = _build_rows(schema, presentation.alphabet, p_elements, q_elements)
+    instance = Instance(schema.schema, row_of.values())
+    return CounterexampleDatabase(
+        encoding=encoding,
+        counter_model=counter_model,
+        extended=extended,
+        p_elements=p_elements,
+        q_elements=q_elements,
+        instance=instance,
+        row_of=row_of,
+    )
+
+
+def _build_rows(
+    schema: ReductionSchema,
+    alphabet: tuple[str, ...],
+    p_elements: list[int],
+    q_elements: list[tuple[int, str, int]],
+) -> dict[Element, Row]:
+    """One tuple per element; components name equivalence classes."""
+    universe: list[Element] = list(p_elements) + list(q_elements)
+    # For each attribute, map element -> class representative.
+    class_of: dict[str, dict[Element, Element]] = {}
+
+    identity_classes = {element: element for element in universe}
+    # ~E: all of P together; Q elements alone.
+    e_classes: dict[Element, Element] = dict(identity_classes)
+    if p_elements:
+        for element in p_elements:
+            e_classes[element] = p_elements[0]
+    class_of[BOTTOM_ROW] = e_classes
+    # ~E': all of Q together; P elements alone.
+    ep_classes: dict[Element, Element] = dict(identity_classes)
+    if q_elements:
+        for element in q_elements:
+            ep_classes[element] = q_elements[0]
+    class_of[TOP_ROW] = ep_classes
+    # ~A' pairs <a,A,b> with a;  ~A'' pairs <a,A,b> with b.
+    for letter in alphabet:
+        primed: dict[Element, Element] = dict(identity_classes)
+        doubled: dict[Element, Element] = dict(identity_classes)
+        for triple in q_elements:
+            a, triple_letter, b = triple
+            if triple_letter != letter:
+                continue
+            primed[triple] = a  # class {a, <a,A,b>}
+            doubled[triple] = b  # class {b, <a,A,b>}
+        class_of[schema.primed(letter)] = primed
+        class_of[schema.double_primed(letter)] = doubled
+
+    rows: dict[Element, Row] = {}
+    for element in universe:
+        components = []
+        for attribute in schema.schema:
+            representative = class_of[attribute][element]
+            components.append(Const((attribute, representative)))
+        rows[element] = tuple(components)
+    if len(set(rows.values())) != len(universe):
+        raise VerificationError("distinct elements produced identical tuples")
+    return rows
+
+
+def check_class_facts(database: CounterexampleDatabase) -> None:
+    """Machine-check the proof's Facts 1 and 2.
+
+    *Fact 1*: each ``~A'`` equivalence class has cardinality 1 or 2, and
+    the only classes contained entirely within ``P`` or entirely within
+    ``Q`` are trivial (singletons). *Fact 2*: likewise for ``~A''``.
+    Raises :class:`~repro.errors.VerificationError` on any breach.
+    """
+    schema = database.encoding.reduction_schema
+    p_set = set(database.p_elements)
+    for letter in database.encoding.presentation.alphabet:
+        for attribute in (schema.primed(letter), schema.double_primed(letter)):
+            column = schema.schema.position(attribute)
+            classes: dict[object, list[Element]] = {}
+            for element, row in database.row_of.items():
+                classes.setdefault(row[column], []).append(element)
+            for members in classes.values():
+                if len(members) > 2:
+                    raise VerificationError(
+                        f"~{attribute} class {members} has cardinality "
+                        f"{len(members)} > 2 (Facts 1/2 violated)"
+                    )
+                if len(members) == 2:
+                    in_p = [member in p_set for member in members]
+                    if all(in_p) or not any(in_p):
+                        raise VerificationError(
+                            f"nontrivial ~{attribute} class {members} lies "
+                            "entirely within P or entirely within Q"
+                        )
+
+
+@dataclass
+class CounterexampleReport:
+    """Outcome of verifying a counterexample database."""
+
+    database: CounterexampleDatabase
+    d_satisfied: bool
+    d0_violated: bool
+    d0_witness: Optional[dict]
+    violations: list[tuple[TemplateDependency, dict]]
+
+    @property
+    def ok(self) -> bool:
+        """True when direction (B) is fully confirmed."""
+        return self.d_satisfied and self.d0_violated
+
+    def describe(self) -> str:
+        """Summary for experiment logs."""
+        status = "CONFIRMED" if self.ok else "FAILED"
+        return (
+            f"direction (B) {status}: all D hold={self.d_satisfied}, "
+            f"D0 violated={self.d0_violated} ({self.database.describe()})"
+        )
+
+
+def verify_counterexample(database: CounterexampleDatabase) -> CounterexampleReport:
+    """Model-check the whole encoding against the database.
+
+    Confirms every ``Di(r)`` holds and ``D0`` fails, returning the full
+    report (including ``D0``'s violating match — the paper's
+    ``t₁ = I, t₂ = Ā₀, t₃ = ⟨I, A₀, Ā₀⟩`` witness, or a symmetric one).
+    """
+    encoding = database.encoding
+    check_class_facts(database)  # the proof's Facts 1 and 2
+    violations = all_violations(database.instance, encoding.dependencies)
+    d0_witness = encoding.d0.find_violation(database.instance)
+    return CounterexampleReport(
+        database=database,
+        d_satisfied=not violations,
+        d0_violated=d0_witness is not None,
+        d0_witness=d0_witness,
+        violations=violations,
+    )

@@ -1,0 +1,285 @@
+"""Direction (A): word derivations replayed as machine-verified chase proofs.
+
+The proof of part (A) of the Reduction Theorem is an induction: a
+derivation ``u₀ = A0, u₁, ..., u_m = 0`` is mirrored, step by step, by
+chase steps over the encoded dependencies, maintaining a bridge for the
+current word that spans the two frozen base points ``a`` and ``b`` of
+``D0``'s antecedent. Concretely:
+
+* a **contraction** step (replace ``AB`` by ``C``) fires ``D1(r)`` once;
+* an **expansion** step (replace ``C`` by ``AB``) fires ``D2(r)``,
+  ``D3(r)`` and ``D4(r)`` in sequence — D2/D3 grow the two new apexes
+  (with existential endpoints) and D4 glues them at a new base point;
+* after processing the whole derivation the bridge is a bridge for the
+  word ``0``, whose apex is precisely ``D0``'s conclusion tuple.
+
+Every constructed :class:`~repro.chase.result.ChaseStep` is replayed
+through the chase engine's verifying :func:`~repro.chase.engine.apply_step`
+— the builder cannot produce an unsound proof without raising — and the
+final instance is checked to satisfy ``D0``'s conclusion at the frozen
+match. The result is an explicit, independently checkable certificate
+that ``D ⊨ D0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.chase.engine import apply_step
+from repro.chase.implication import conclusion_satisfied
+from repro.chase.result import ChaseStep
+from repro.dependencies.template import TemplateDependency, Variable, is_variable
+from repro.errors import ReductionError, VerificationError
+from repro.reduction.bridge import Bridge
+from repro.reduction.encode import ReductionEncoding
+from repro.relational.instance import Instance, Row
+from repro.relational.values import NullFactory, Value
+from repro.semigroups.presentation import Equation
+from repro.semigroups.rewriting import Derivation
+from repro.semigroups.words import Word, show
+
+
+@dataclass
+class BridgeChaseProof:
+    """A verified chase proof that the encoding's ``D`` implies ``D0``.
+
+    ``steps`` replayed from ``start`` (the frozen ``D0`` antecedents)
+    yield ``final``, which satisfies ``D0``'s conclusion at the frozen
+    assignment. ``derivation`` is the word-problem certificate the proof
+    was built from.
+    """
+
+    encoding: ReductionEncoding
+    derivation: Derivation
+    start: Instance
+    final: Instance
+    steps: list[ChaseStep]
+    frozen_assignment: dict[Variable, Value]
+
+    @property
+    def step_count(self) -> int:
+        """Number of chase steps (≤ 3 per derivation step)."""
+        return len(self.steps)
+
+    def verify(self) -> None:
+        """Re-run the whole proof from scratch, verifying every step.
+
+        Raises :class:`~repro.errors.VerificationError` on any problem.
+        """
+        working = self.start.copy()
+        for step in self.steps:
+            apply_step(working, step, verify=True)
+        if working.rows != self.final.rows:
+            raise VerificationError("replayed proof does not reproduce the final instance")
+        if not conclusion_satisfied(working, self.encoding.d0, self.frozen_assignment):
+            raise VerificationError("proof does not establish D0's conclusion")
+
+
+class _ProofBuilder:
+    """Threads a bridge through a derivation, emitting chase steps."""
+
+    def __init__(self, encoding: ReductionEncoding):
+        self.encoding = encoding
+        self.schema = encoding.reduction_schema
+        self.fresh = NullFactory()
+        self.steps: list[ChaseStep] = []
+        self.instance, self.frozen = self._freeze_d0()
+        self.bridge = self._initial_bridge()
+
+    # -- setup ---------------------------------------------------------
+
+    def _freeze_d0(self) -> tuple[Instance, dict[Variable, Value]]:
+        instance, frozen = self.encoding.d0.freeze()
+        return instance, frozen
+
+    def _initial_bridge(self) -> Bridge:
+        """The frozen ``D0`` antecedents *are* a bridge for the word A0."""
+        d0 = self.encoding.d0
+        rows = [
+            tuple(self.frozen[variable] for variable in atom)
+            for atom in d0.antecedents
+        ]
+        base_left, base_right, apex = rows
+        bridge = Bridge(
+            self.schema,
+            (self.encoding.presentation.a0,),
+            bottom=[base_left, base_right],
+            apexes=[apex],
+        )
+        bridge.check()
+        return bridge
+
+    # -- firing machinery ----------------------------------------------
+
+    def _fire(
+        self, dependency: TemplateDependency, node_rows: dict[str, Row]
+    ) -> Row:
+        """Fire ``dependency`` at the given node-to-row match.
+
+        Computes the variable bindings from the node rows, builds the
+        conclusion row (fresh nulls for existentials), and replays the
+        step through the verifying applier. Returns the added row.
+        """
+        bindings: dict[Variable, Value] = {}
+        for atom, node in zip(dependency.antecedents, self._node_order(dependency)):
+            row = node_rows[node]
+            for variable, value in zip(atom, row):
+                known = bindings.setdefault(variable, value)
+                if known != value:
+                    raise ReductionError(
+                        f"inconsistent match for {dependency.name} at node {node}"
+                    )
+        conclusion_values: list[Value] = []
+        for variable in dependency.conclusion:
+            if variable in bindings:
+                conclusion_values.append(bindings[variable])
+            else:
+                null = self.fresh()
+                bindings[variable] = null
+                conclusion_values.append(null)
+        added = tuple(conclusion_values)
+        step = ChaseStep(
+            dependency=dependency,
+            bindings=tuple(
+                sorted(
+                    (
+                        (variable.name, value)
+                        for variable, value in bindings.items()
+                        if variable in dependency.universal_variables()
+                    ),
+                    key=lambda pair: pair[0],
+                )
+            ),
+            added_rows=(added,),
+        )
+        apply_step(self.instance, step, verify=True)
+        self.steps.append(step)
+        return added
+
+    @staticmethod
+    def _node_order(dependency: TemplateDependency) -> list[str]:
+        """The node labels behind a built dependency's antecedent order.
+
+        :func:`repro.reduction.dependencies.build_td` lays out antecedents
+        in the node order it was given, which for D1/D4 is 1..5 and for
+        D0/D2/D3 is 1..3.
+        """
+        return [str(index + 1) for index in range(len(dependency.antecedents))]
+
+    # -- derivation steps ----------------------------------------------
+
+    def contract(self, equation: Equation, position: int) -> None:
+        """Apply ``AB -> C`` at ``position`` (one D1 firing)."""
+        d1 = self.encoding.by_equation[equation][0]
+        bottom, apexes = self.bridge.bottom, self.bridge.apexes
+        new_apex = self._fire(
+            d1,
+            {
+                "1": bottom[position],
+                "2": bottom[position + 1],
+                "3": bottom[position + 2],
+                "4": apexes[position],
+                "5": apexes[position + 1],
+            },
+        )
+        word = self.bridge.word
+        self.bridge = Bridge(
+            self.schema,
+            word[:position] + equation.rhs + word[position + 2 :],
+            bottom=bottom[: position + 1] + bottom[position + 2 :],
+            apexes=apexes[:position] + [new_apex] + apexes[position + 2 :],
+        )
+        self.bridge.check()
+
+    def expand(self, equation: Equation, position: int) -> None:
+        """Apply ``C -> AB`` at ``position`` (D2, D3, then D4)."""
+        __, d2, d3, d4 = self.encoding.by_equation[equation]
+        bottom, apexes = self.bridge.bottom, self.bridge.apexes
+        base_match = {
+            "1": bottom[position],
+            "2": bottom[position + 1],
+            "3": apexes[position],
+        }
+        apex_a = self._fire(d2, base_match)
+        apex_b = self._fire(d3, base_match)
+        new_base = self._fire(d4, {**base_match, "4": apex_a, "5": apex_b})
+        word = self.bridge.word
+        self.bridge = Bridge(
+            self.schema,
+            word[:position] + equation.lhs + word[position + 1 :],
+            bottom=bottom[: position + 1] + [new_base] + bottom[position + 1 :],
+            apexes=apexes[:position] + [apex_a, apex_b] + apexes[position + 1 :],
+        )
+        self.bridge.check()
+
+
+def classify_replacement(
+    encoding: ReductionEncoding, before: Word, after: Word
+) -> tuple[Equation, int, str]:
+    """Identify which equation, where, and in which direction.
+
+    Returns ``(equation, position, kind)`` with ``kind`` one of
+    ``"contract"`` (``lhs -> rhs``) or ``"expand"`` (``rhs -> lhs``).
+    """
+    for equation in encoding.presentation.equations:
+        lhs, rhs = equation.lhs, equation.rhs
+        for position in range(len(before) - len(lhs) + 1):
+            if (
+                before[position : position + len(lhs)] == lhs
+                and before[:position] + rhs + before[position + len(lhs) :] == after
+            ):
+                return equation, position, "contract"
+        for position in range(len(before) - len(rhs) + 1):
+            if (
+                before[position : position + len(rhs)] == rhs
+                and before[:position] + lhs + before[position + len(rhs) :] == after
+            ):
+                return equation, position, "expand"
+    raise ReductionError(
+        f"no single replacement explains {show(before)} -> {show(after)}"
+    )
+
+
+def prove_from_derivation(
+    encoding: ReductionEncoding, derivation: Derivation
+) -> BridgeChaseProof:
+    """Build and verify the chase proof mirroring ``derivation``.
+
+    The derivation must run from the one-letter word ``A0`` to the
+    one-letter word ``0`` over the encoding's presentation.
+    """
+    presentation = encoding.presentation
+    if derivation.source != (presentation.a0,):
+        raise ReductionError(
+            f"derivation must start at {presentation.a0}, starts at "
+            f"{show(derivation.source)}"
+        )
+    if derivation.target != (presentation.zero,):
+        raise ReductionError(
+            f"derivation must end at {presentation.zero}, ends at "
+            f"{show(derivation.target)}"
+        )
+    derivation.validate(presentation)
+    builder = _ProofBuilder(encoding)
+    for before, after in derivation.steps():
+        equation, position, kind = classify_replacement(encoding, before, after)
+        if kind == "contract":
+            builder.contract(equation, position)
+        else:
+            builder.expand(equation, position)
+        if builder.bridge.word != after:
+            raise ReductionError(
+                f"bridge word {show(builder.bridge.word)} diverged from "
+                f"derivation word {show(after)}"
+            )
+    proof = BridgeChaseProof(
+        encoding=encoding,
+        derivation=derivation,
+        start=encoding.d0.freeze()[0],
+        final=builder.instance,
+        steps=builder.steps,
+        frozen_assignment=builder.frozen,
+    )
+    proof.verify()
+    return proof

@@ -1,0 +1,82 @@
+"""The reduction's relational schema: ``2n + 2`` attributes.
+
+For an alphabet ``S`` of ``n`` letters, the construction uses one relation
+whose attributes are the equivalence relations of the proof:
+
+* ``A'`` and ``A''`` for each letter ``A`` — an apex tuple representing an
+  occurrence of ``A`` agrees with the bottom tuple to its left on ``A'``
+  and with the bottom tuple to its right on ``A''``;
+* ``E`` — all bottom tuples of a bridge agree here;
+* ``E'`` — all apex tuples of a bridge agree here.
+
+"if S contains n symbols, the relation will have 2n + 2 attributes."
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReductionError
+from repro.relational.schema import Attribute, Schema
+from repro.semigroups.presentation import Presentation
+
+#: Attribute shared by all bottom (base) tuples of a bridge.
+BOTTOM_ROW: Attribute = "E"
+
+#: Attribute shared by all apex (top) tuples of a bridge.
+TOP_ROW: Attribute = "E'"
+
+
+class ReductionSchema:
+    """The ``2n + 2``-attribute schema for an alphabet.
+
+    Attribute order: ``E``, ``E'``, then ``A'``, ``A''`` per letter in
+    alphabet order. Letters named ``E`` or ``E'`` would collide with the
+    row attributes and are rejected (rename the letter).
+    """
+
+    __slots__ = ("alphabet", "schema")
+
+    def __init__(self, alphabet: tuple[str, ...]):
+        if len(set(alphabet)) != len(alphabet):
+            raise ReductionError("alphabet contains duplicate letters")
+        names: list[Attribute] = [BOTTOM_ROW, TOP_ROW]
+        for letter in alphabet:
+            primed, doubled = f"{letter}'", f"{letter}''"
+            if letter in (BOTTOM_ROW, TOP_ROW) or primed in (BOTTOM_ROW, TOP_ROW):
+                raise ReductionError(
+                    f"letter {letter!r} collides with the bridge-row attributes; "
+                    "rename it before encoding"
+                )
+            names.append(primed)
+            names.append(doubled)
+        self.alphabet = alphabet
+        self.schema = Schema(names)
+
+    @staticmethod
+    def for_presentation(presentation: Presentation) -> "ReductionSchema":
+        """The schema for a presentation's alphabet."""
+        return ReductionSchema(tuple(presentation.alphabet))
+
+    def primed(self, letter: str) -> Attribute:
+        """The ``A'`` attribute of ``letter`` (apex-to-left-base agreement)."""
+        self._check_letter(letter)
+        return f"{letter}'"
+
+    def double_primed(self, letter: str) -> Attribute:
+        """The ``A''`` attribute of ``letter`` (apex-to-right-base agreement)."""
+        self._check_letter(letter)
+        return f"{letter}''"
+
+    def _check_letter(self, letter: str) -> None:
+        if letter not in self.alphabet:
+            raise ReductionError(f"letter {letter!r} is not in the alphabet")
+
+    @property
+    def attribute_count(self) -> int:
+        """``2n + 2`` for an ``n``-letter alphabet."""
+        return self.schema.arity
+
+    def __repr__(self) -> str:
+        return (
+            f"<ReductionSchema letters={len(self.alphabet)} "
+            f"attributes={self.attribute_count}>"
+        )

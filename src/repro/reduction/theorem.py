@@ -1,0 +1,217 @@
+"""End-to-end drivers for the Reduction Theorem and the Main Theorem.
+
+* :func:`prove_direction_a` — positive instances: find a derivation
+  ``A0 →* 0``, replay it as a verified chase proof, and (optionally)
+  cross-check with the generic chase engine.
+* :func:`prove_direction_b` — negative instances: find a finite
+  cancellation counter-semigroup, build the counterexample database, and
+  model-check both halves of the claim.
+* :func:`classify_instance` — the Main Theorem made operational: a
+  bounded, three-valued classifier. ``A0_COLLAPSES`` and
+  ``FINITELY_REFUTABLE`` come with machine-checked certificates;
+  ``UNKNOWN`` is the honest third value that the undecidability theorem
+  says cannot always be avoided.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.chase.budget import Budget
+from repro.chase.implication import InferenceOutcome, InferenceStatus, implies
+from repro.errors import ReductionError
+from repro.reduction.encode import ReductionEncoding, encode
+from repro.reduction.model import (
+    CounterexampleReport,
+    counterexample_database,
+    verify_counterexample,
+)
+from repro.reduction.proofs import BridgeChaseProof, prove_from_derivation
+from repro.semigroups.presentation import Presentation
+from repro.semigroups.rewriting import Derivation, word_problem
+from repro.semigroups.search import CounterModel, find_counter_model
+
+
+@dataclass
+class DirectionAReport:
+    """A fully verified positive instance: ``φ`` valid, hence ``D ⊨ D0``."""
+
+    encoding: ReductionEncoding
+    derivation: Derivation
+    proof: BridgeChaseProof
+    generic_outcome: Optional[InferenceOutcome] = None
+
+    def describe(self) -> str:
+        """Summary for experiment logs."""
+        parts = [
+            f"derivation of length {self.derivation.length}",
+            f"guided chase proof with {self.proof.step_count} steps",
+        ]
+        if self.generic_outcome is not None:
+            parts.append(f"generic chase: {self.generic_outcome.status.value}")
+        return "direction (A) CONFIRMED: " + ", ".join(parts)
+
+
+@dataclass
+class DirectionBReport:
+    """A fully verified negative instance: finite model of ``D`` failing ``D0``."""
+
+    encoding: ReductionEncoding
+    counter_model: CounterModel
+    report: CounterexampleReport
+
+    def describe(self) -> str:
+        """Summary for experiment logs."""
+        return (
+            f"{self.report.describe()}; counter-semigroup: "
+            f"{self.counter_model.describe()}"
+        )
+
+
+def prove_direction_a(
+    presentation: Presentation,
+    *,
+    max_word_length: int = 8,
+    max_visited: int = 200_000,
+    cross_check: bool = False,
+    cross_check_budget: Optional[Budget] = None,
+) -> DirectionAReport:
+    """Run direction (A) end to end on a positive instance.
+
+    Raises :class:`~repro.errors.ReductionError` when no derivation is
+    found within the search bounds (the instance may still be positive —
+    undecidability — so this is a resource failure, not a refutation).
+    """
+    encoding = encode(presentation)
+    derivation = word_problem(
+        encoding.presentation,
+        max_length=max_word_length,
+        max_visited=max_visited,
+    )
+    if derivation is None:
+        raise ReductionError(
+            "no derivation A0 ->* 0 found within bounds; cannot run direction (A)"
+        )
+    proof = prove_from_derivation(encoding, derivation)
+    generic: Optional[InferenceOutcome] = None
+    if cross_check:
+        generic = implies(
+            encoding.dependencies,
+            encoding.d0,
+            budget=cross_check_budget or Budget(),
+        )
+    return DirectionAReport(
+        encoding=encoding,
+        derivation=derivation,
+        proof=proof,
+        generic_outcome=generic,
+    )
+
+
+def prove_direction_b(
+    presentation: Presentation,
+    *,
+    max_semigroup_size: int = 6,
+) -> DirectionBReport:
+    """Run direction (B) end to end on a negative instance.
+
+    Raises :class:`~repro.errors.ReductionError` when no counter-semigroup
+    is found within the size bound, and
+    :class:`~repro.errors.VerificationError` if (impossibly, unless the
+    construction is wrong) the built database fails its model check.
+    """
+    encoding = encode(presentation)
+    counter_model = find_counter_model(
+        encoding.presentation, max_size=max_semigroup_size
+    )
+    if counter_model is None:
+        raise ReductionError(
+            "no finite cancellation counter-semigroup found within bounds; "
+            "cannot run direction (B)"
+        )
+    database = counterexample_database(encoding, counter_model)
+    report = verify_counterexample(database)
+    return DirectionBReport(
+        encoding=encoding, counter_model=counter_model, report=report
+    )
+
+
+class InstanceClass(enum.Enum):
+    """What the bounded classifier established about a presentation."""
+
+    #: ``A0 = 0`` is derivable: ``φ`` holds in every semigroup and
+    #: ``D ⊨ D0`` (certificate: derivation + chase proof).
+    A0_COLLAPSES = "a0_collapses"
+
+    #: A finite cancellation counter-semigroup exists: ``D ⊭ D0`` even
+    #: finitely (certificate: verified counterexample database).
+    FINITELY_REFUTABLE = "finitely_refutable"
+
+    #: Neither found within bounds. The Main Theorem guarantees no budget
+    #: makes this case empty.
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class ClassificationReport:
+    """Outcome of :func:`classify_instance` with its certificate."""
+
+    presentation: Presentation
+    instance_class: InstanceClass
+    direction_a: Optional[DirectionAReport] = None
+    direction_b: Optional[DirectionBReport] = None
+
+    def describe(self) -> str:
+        """Summary for experiment logs."""
+        detail = ""
+        if self.direction_a is not None:
+            detail = f" ({self.direction_a.describe()})"
+        elif self.direction_b is not None:
+            detail = f" ({self.direction_b.describe()})"
+        return f"{self.instance_class.value}{detail}"
+
+
+def classify_instance(
+    presentation: Presentation,
+    *,
+    max_word_length: int = 8,
+    max_visited: int = 50_000,
+    max_semigroup_size: int = 5,
+) -> ClassificationReport:
+    """The Main Theorem, operationally: try both directions under bounds.
+
+    First searches for a derivation (positive), then for a finite
+    counter-model (negative); returns ``UNKNOWN`` when both bounded
+    searches fail — the three-valued behaviour that undecidability forces
+    on every terminating procedure.
+    """
+    try:
+        report_a = prove_direction_a(
+            presentation,
+            max_word_length=max_word_length,
+            max_visited=max_visited,
+        )
+        return ClassificationReport(
+            presentation=presentation,
+            instance_class=InstanceClass.A0_COLLAPSES,
+            direction_a=report_a,
+        )
+    except ReductionError:
+        pass
+    try:
+        report_b = prove_direction_b(
+            presentation, max_semigroup_size=max_semigroup_size
+        )
+        if report_b.report.ok:
+            return ClassificationReport(
+                presentation=presentation,
+                instance_class=InstanceClass.FINITELY_REFUTABLE,
+                direction_b=report_b,
+            )
+    except ReductionError:
+        pass
+    return ClassificationReport(
+        presentation=presentation, instance_class=InstanceClass.UNKNOWN
+    )

@@ -1,0 +1,213 @@
+"""Database instances: finite sets of typed tuples over one relation.
+
+An :class:`Instance` is the paper's "database": a finite relational structure
+consisting of a single relation ``R`` over a fixed schema. Tuples are plain
+Python tuples of :class:`~repro.relational.values.Value`. The instance keeps
+a per-(column, value) inverted index so that trigger enumeration during the
+chase can seed backtracking from the rarest cell instead of scanning.
+
+Instances are mutable (the chase extends them in place) but expose
+value-semantics helpers (:meth:`Instance.copy`, equality on row sets) for
+tests and model search.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Mapping
+
+from repro.errors import TypingError
+from repro.relational.schema import Schema
+from repro.relational.values import Value
+
+#: A database row: one value per column.
+Row = tuple[Value, ...]
+
+
+class Instance:
+    """A finite set of rows over a :class:`~repro.relational.schema.Schema`.
+
+    >>> from repro.relational import Schema, Const
+    >>> garments = Instance(Schema(["SUPPLIER", "STYLE", "SIZE"]))
+    >>> garments.add((Const("BVD"), Const("Brief"), Const(36)))
+    True
+    >>> len(garments)
+    1
+    """
+
+    __slots__ = ("schema", "_rows", "_index")
+
+    def __init__(self, schema: Schema, rows: Iterable[Row] = ()):
+        self.schema = schema
+        self._rows: set[Row] = set()
+        # (column, value) -> set of rows having that value in that column.
+        self._index: dict[tuple[int, Value], set[Row]] = {}
+        for row in rows:
+            self.add(row)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def add(self, row: Row) -> bool:
+        """Insert ``row``; return True when it was not already present."""
+        self.schema.check_arity(row)
+        if row in self._rows:
+            return False
+        self._rows.add(row)
+        for column, value in enumerate(row):
+            self._index.setdefault((column, value), set()).add(row)
+        return True
+
+    def add_all(self, rows: Iterable[Row]) -> int:
+        """Insert every row; return the number of genuinely new rows."""
+        return sum(1 for row in rows if self.add(row))
+
+    def discard(self, row: Row) -> bool:
+        """Remove ``row`` if present; return True when it was removed."""
+        if row not in self._rows:
+            return False
+        self._rows.discard(row)
+        for column, value in enumerate(row):
+            bucket = self._index.get((column, value))
+            if bucket is not None:
+                bucket.discard(row)
+                if not bucket:
+                    del self._index[(column, value)]
+        return True
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def __contains__(self, row: object) -> bool:
+        return row in self._rows
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __bool__(self) -> bool:
+        return bool(self._rows)
+
+    @property
+    def rows(self) -> frozenset[Row]:
+        """A frozen snapshot of the current row set."""
+        return frozenset(self._rows)
+
+    def rows_with(self, column: int, value: Value) -> frozenset[Row]:
+        """All rows whose ``column`` component equals ``value``."""
+        return frozenset(self._index.get((column, value), ()))
+
+    def matching_rows(self, pattern: Mapping[int, Value]) -> Iterator[Row]:
+        """Yield rows agreeing with ``pattern`` (a column -> value map).
+
+        The scan is seeded from the most selective constrained column; with
+        an empty pattern every row matches.
+        """
+        if not pattern:
+            yield from self._rows
+            return
+        candidates: set[Row] | None = None
+        best_size = None
+        for column, value in pattern.items():
+            bucket = self._index.get((column, value))
+            if not bucket:
+                return
+            if best_size is None or len(bucket) < best_size:
+                candidates = bucket
+                best_size = len(bucket)
+        assert candidates is not None
+        for row in tuple(candidates):
+            if all(row[column] == value for column, value in pattern.items()):
+                yield row
+
+    def column_values(self, column: int) -> set[Value]:
+        """The set of values occurring in ``column``."""
+        return {row[column] for row in self._rows}
+
+    def active_domain(self) -> set[Value]:
+        """All values occurring anywhere in the instance."""
+        domain: set[Value] = set()
+        for row in self._rows:
+            domain.update(row)
+        return domain
+
+    def validate(self) -> None:
+        """Enforce the typing restriction (disjoint attribute domains).
+
+        Raises :class:`~repro.errors.TypingError` if some value occurs in
+        two different columns, which the paper's typed setting forbids.
+        """
+        seen: dict[Value, int] = {}
+        for row in self._rows:
+            for column, value in enumerate(row):
+                previous = seen.setdefault(value, column)
+                if previous != column:
+                    raise TypingError(
+                        f"value {value!r} occurs in columns "
+                        f"{self.schema.attribute(previous)!r} and "
+                        f"{self.schema.attribute(column)!r}"
+                    )
+
+    def is_typed(self) -> bool:
+        """Return True when the typing restriction holds."""
+        try:
+            self.validate()
+        except TypingError:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Derived instances
+    # ------------------------------------------------------------------
+
+    def copy(self) -> "Instance":
+        """An independent copy sharing the schema."""
+        return Instance(self.schema, self._rows)
+
+    def map_values(self, mapping: Callable[[Value], Value]) -> "Instance":
+        """Apply ``mapping`` to every component, returning a new instance."""
+        return Instance(
+            self.schema,
+            (tuple(mapping(value) for value in row) for row in self._rows),
+        )
+
+    def union(self, other: "Instance") -> "Instance":
+        """Union of two instances over the same schema."""
+        if other.schema != self.schema:
+            raise TypingError("cannot union instances over different schemas")
+        merged = self.copy()
+        merged.add_all(other.rows)
+        return merged
+
+    def induced(self, keep: Callable[[Row], bool]) -> "Instance":
+        """The sub-instance of rows satisfying ``keep``."""
+        return Instance(self.schema, (row for row in self._rows if keep(row)))
+
+    # ------------------------------------------------------------------
+    # Comparison and display
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Instance):
+            return NotImplemented
+        return self.schema == other.schema and self._rows == other._rows
+
+    def __hash__(self) -> int:  # pragma: no cover - instances are mutable
+        raise TypeError("Instance is mutable and unhashable; use .rows")
+
+    def __repr__(self) -> str:
+        return f"<Instance arity={self.schema.arity} rows={len(self._rows)}>"
+
+    def pretty(self, limit: int = 20) -> str:
+        """A small fixed-width rendering, for logs and examples."""
+        header = " | ".join(self.schema.attributes)
+        lines = [header, "-" * len(header)]
+        for count, row in enumerate(sorted(self._rows, key=repr)):
+            if count >= limit:
+                lines.append(f"... ({len(self._rows) - limit} more rows)")
+                break
+            lines.append(" | ".join(str(value) for value in row))
+        return "\n".join(lines)

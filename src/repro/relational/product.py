@@ -1,0 +1,51 @@
+"""Direct products of instances.
+
+Template dependencies are Horn-like sentences and are therefore preserved
+under direct products (cf. Fagin 1980, "Horn clauses and database
+dependencies"). The product is used by the test suite as a semantic
+invariant: whenever two databases satisfy a TD, so does their direct
+product. It is also a classic tool for building counterexamples.
+
+The product of rows ``r`` and ``s`` is the row of componentwise pairs; pair
+values are constants named by the pair of underlying values, so products of
+typed instances remain typed (pairs inherit their column).
+"""
+
+from __future__ import annotations
+
+from repro.errors import TypingError
+from repro.relational.instance import Instance
+from repro.relational.values import Const, Value
+
+
+def pair_value(left: Value, right: Value) -> Const:
+    """The product value of ``left`` and ``right``."""
+    return Const((left, right))
+
+
+def direct_product(left: Instance, right: Instance) -> Instance:
+    """The direct product ``left × right`` over the common schema.
+
+    Its rows are all componentwise pairings of a row of ``left`` with a row
+    of ``right``; its size is ``len(left) * len(right)``.
+    """
+    if left.schema != right.schema:
+        raise TypingError("direct product requires a common schema")
+    product = Instance(left.schema)
+    for row_l in left:
+        for row_r in right:
+            product.add(tuple(pair_value(a, b) for a, b in zip(row_l, row_r)))
+    return product
+
+
+def power(instance: Instance, exponent: int) -> Instance:
+    """The ``exponent``-fold direct product of ``instance`` with itself.
+
+    ``power(I, 1)`` is a copy of ``I``; ``exponent`` must be positive.
+    """
+    if exponent < 1:
+        raise ValueError("exponent must be >= 1")
+    result = instance.copy()
+    for __ in range(exponent - 1):
+        result = direct_product(result, instance)
+    return result

@@ -1,0 +1,113 @@
+"""Values that may occupy tuple components: constants and labelled nulls.
+
+Two kinds of values appear in database instances:
+
+* :class:`Const` — a named, externally meaningful value ("St. Laurent",
+  "Brief", 36). Constants compare by name and are only ever mapped to
+  themselves by homomorphisms.
+* :class:`LabeledNull` — an anonymous value invented by the chase for an
+  existentially quantified conclusion component. Nulls compare by identity
+  of their label and may be mapped to any value of the same column by a
+  homomorphism.
+
+Both are immutable and hashable so they can be stored in tuples and sets.
+The *typing restriction* of the paper (disjoint attribute domains) is not a
+property of values themselves but of where they occur; it is enforced by
+:meth:`repro.relational.instance.Instance.validate`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Union
+
+
+class Const:
+    """A named constant value.
+
+    >>> Const("BVD") == Const("BVD")
+    True
+    """
+
+    __slots__ = ("name", "_hash")
+
+    def __init__(self, name: object):
+        self.name = name
+        self._hash = hash(("Const", name))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Const):
+            return NotImplemented
+        return self.name == other.name
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Const({self.name!r})"
+
+    def __str__(self) -> str:
+        return str(self.name)
+
+
+class LabeledNull:
+    """A labelled null: an anonymous, renameable value.
+
+    Labelled nulls stand for existentially quantified individuals. Two nulls
+    are equal when they carry the same label. Fresh nulls should be obtained
+    from a :class:`NullFactory`, which guarantees unique labels within one
+    computation.
+    """
+
+    __slots__ = ("label", "_hash")
+
+    def __init__(self, label: int):
+        self.label = label
+        self._hash = hash(("Null", label))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LabeledNull):
+            return NotImplemented
+        return self.label == other.label
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"LabeledNull({self.label})"
+
+    def __str__(self) -> str:
+        return f"_N{self.label}"
+
+
+#: Anything that can sit in a tuple component.
+Value = Union[Const, LabeledNull]
+
+
+def is_null(value: object) -> bool:
+    """Return True when ``value`` is a labelled null."""
+    return isinstance(value, LabeledNull)
+
+
+class NullFactory:
+    """Produces labelled nulls with unique labels.
+
+    A single factory is threaded through a chase run so that every invented
+    value is distinct. Factories are cheap; create one per computation.
+
+    >>> fresh = NullFactory()
+    >>> fresh() == fresh()
+    False
+    """
+
+    __slots__ = ("_counter",)
+
+    def __init__(self, start: int = 0):
+        self._counter = itertools.count(start)
+
+    def __call__(self) -> LabeledNull:
+        return LabeledNull(next(self._counter))
+
+    def take(self, count: int) -> list[LabeledNull]:
+        """Return ``count`` fresh nulls."""
+        return [self() for __ in range(count)]

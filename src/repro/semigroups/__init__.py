@@ -1,0 +1,68 @@
+"""Semigroup substrate (system S4).
+
+The paper's undecidability proof rests on a word problem for *cancellation
+semigroups with zero* (the Main Lemma, proved in the companion paper
+Gurevich & Lewis, "The word problem for cancellation semigroups with
+zero"). This package implements everything the reduction consumes:
+
+* words and presentations with the paper's distinguished symbols ``A0``
+  (the letter whose triviality is asked) and ``0`` (the zero), including
+  the zero equations ``A·0 = 0``, ``0·A = 0``;
+* normalisation of presentations to the paper's *short form* — every
+  antecedent equation ``AB = C`` with ``|lhs| = 2`` and ``|rhs| = 1``;
+* a rewriting-based semi-decision procedure for the word problem that
+  returns explicit derivations ``u₀, u₁, ..., u_m`` (replayed by the
+  reduction as chase proofs);
+* finite semigroups as Cayley tables, with the paper's cancellation
+  property (conditions (i) and (ii)), zero/identity detection, identity
+  adjunction, and a catalogue plus exhaustive search for finite
+  counter-models.
+"""
+
+from repro.semigroups.congruence import (
+    BoundedQuotient,
+    bounded_quotient,
+    quotient_agrees_with_rewriting,
+)
+from repro.semigroups.construct import (
+    adjoin_identity,
+    adjoin_zero,
+    cyclic_group,
+    free_nilpotent,
+    left_zero,
+    monogenic,
+    null_semigroup,
+)
+from repro.semigroups.finite import Assignment, FiniteSemigroup
+from repro.semigroups.presentation import Equation, Presentation
+from repro.semigroups.rewriting import Derivation, find_derivation, word_problem
+from repro.semigroups.search import CounterModel, find_counter_model, iter_semigroups
+from repro.semigroups.words import Word, concat, letters_of, replace_at, word
+
+__all__ = [
+    "Word",
+    "word",
+    "concat",
+    "letters_of",
+    "replace_at",
+    "Equation",
+    "Presentation",
+    "Derivation",
+    "find_derivation",
+    "word_problem",
+    "FiniteSemigroup",
+    "Assignment",
+    "adjoin_identity",
+    "adjoin_zero",
+    "cyclic_group",
+    "free_nilpotent",
+    "left_zero",
+    "monogenic",
+    "null_semigroup",
+    "CounterModel",
+    "find_counter_model",
+    "iter_semigroups",
+    "BoundedQuotient",
+    "bounded_quotient",
+    "quotient_agrees_with_rewriting",
+]

@@ -1,0 +1,179 @@
+"""Bounded congruence closure: the quotient semigroup ``S*/≈``, truncated.
+
+The proof of part (A) invokes the quotient construction: if no derivation
+``A0 →* 0`` exists, "let ≈ be the equivalence relation on strings induced
+by such replacements; then the quotient semigroup ``S*/≈`` would provide a
+counterexample to φ". The full quotient is infinite in general; this
+module computes its restriction to words of bounded length:
+
+* all words of length ≤ L over the alphabet;
+* the congruence classes induced by single replacements (union-find over
+  the replacement edges);
+* the partial multiplication table on classes (defined where the
+  concatenation still fits in the bound).
+
+Uses: an independent cross-check of the rewriting engine (``A0 ≈ 0``
+within the bound iff a bounded derivation exists), class-growth series
+for the benchmarks, and explicit finite *approximations* of the paper's
+counterexample quotient on negative instances.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.semigroups.presentation import Presentation
+from repro.semigroups.words import Word, single_replacements
+
+
+@dataclass
+class BoundedQuotient:
+    """The congruence classes of words of length ≤ bound.
+
+    ``class_of`` maps each word to its class representative (the
+    lexicographically least, shortest member); ``classes`` groups the
+    words; ``products`` is the partial class multiplication (defined when
+    some concatenation of members stays within the bound).
+    """
+
+    presentation: Presentation
+    bound: int
+    class_of: dict[Word, Word]
+    classes: dict[Word, frozenset[Word]]
+    products: dict[tuple[Word, Word], Word]
+
+    @property
+    def word_count(self) -> int:
+        """Number of words enumerated."""
+        return len(self.class_of)
+
+    @property
+    def class_count(self) -> int:
+        """Number of congruence classes within the bound."""
+        return len(self.classes)
+
+    def are_congruent(self, left: Word, right: Word) -> bool:
+        """Are two (bounded) words congruent *within the bound*?
+
+        A negative answer is only "not congruent via words of length
+        ≤ bound" — derivations may need longer intermediate words, which
+        is precisely why the word problem is undecidable.
+        """
+        return self.class_of[left] == self.class_of[right]
+
+    def a0_collapses(self) -> bool:
+        """Does ``A0 ≈ 0`` hold within the bound?"""
+        return self.are_congruent(
+            (self.presentation.a0,), (self.presentation.zero,)
+        )
+
+    def describe(self) -> str:
+        """One-line summary for experiment logs."""
+        return (
+            f"bound {self.bound}: {self.word_count} words in "
+            f"{self.class_count} classes; A0 ~ 0: {self.a0_collapses()}"
+        )
+
+
+class _WordUnionFind:
+    def __init__(self) -> None:
+        self._parent: dict[Word, Word] = {}
+
+    def add(self, word: Word) -> None:
+        self._parent.setdefault(word, word)
+
+    def find(self, word: Word) -> Word:
+        parent = self._parent
+        root = word
+        while parent[root] != root:
+            root = parent[root]
+        while parent[word] != root:
+            parent[word], word = root, parent[word]
+        return root
+
+    def union(self, left: Word, right: Word) -> None:
+        # Keep the "nicer" representative: shorter, then lexicographic.
+        root_left, root_right = self.find(left), self.find(right)
+        if root_left == root_right:
+            return
+        keep, drop = sorted(
+            (root_left, root_right), key=lambda w: (len(w), w)
+        )
+        self._parent[drop] = keep
+
+    def words(self):
+        return self._parent.keys()
+
+
+def bounded_quotient(presentation: Presentation, bound: int) -> BoundedQuotient:
+    """Compute the length-bounded quotient of ``S*`` by the equations.
+
+    Enumerates all ``n + n² + ... + n^bound`` words, links each to its
+    single-replacement neighbours that stay within the bound, and closes
+    under union-find. Exponential in the bound — meant for small bounds
+    (cross-checks and benchmarks), not as a solver.
+    """
+    if bound < 1:
+        raise ValueError("bound must be >= 1")
+    forest = _WordUnionFind()
+    words: list[Word] = []
+    for length in range(1, bound + 1):
+        for letters in itertools.product(presentation.alphabet, repeat=length):
+            forest.add(letters)
+            words.append(letters)
+    for word in words:
+        for equation in presentation.equations:
+            for lhs, rhs in (
+                (equation.lhs, equation.rhs),
+                (equation.rhs, equation.lhs),
+            ):
+                if len(word) - len(lhs) + len(rhs) > bound:
+                    continue
+                for neighbour in single_replacements(word, lhs, rhs):
+                    forest.union(word, neighbour)
+
+    class_of = {word: forest.find(word) for word in words}
+    classes: dict[Word, set[Word]] = {}
+    for word, representative in class_of.items():
+        classes.setdefault(representative, set()).add(word)
+
+    products: dict[tuple[Word, Word], Word] = {}
+    representatives = sorted(classes, key=lambda w: (len(w), w))
+    for left in representatives:
+        for right in representatives:
+            if len(left) + len(right) <= bound:
+                products[(left, right)] = class_of[left + right]
+
+    return BoundedQuotient(
+        presentation=presentation,
+        bound=bound,
+        class_of=class_of,
+        classes={rep: frozenset(members) for rep, members in classes.items()},
+        products=products,
+    )
+
+
+def quotient_agrees_with_rewriting(
+    presentation: Presentation, bound: int, *, max_visited: int = 100_000
+) -> bool:
+    """Cross-check: quotient congruence == bounded derivation existence.
+
+    For every pair of class representatives, the rewriting engine (capped
+    at the same word-length bound) finds a derivation exactly when the
+    quotient puts them in one class. Used by the test suite to validate
+    both components against each other.
+    """
+    from repro.semigroups.rewriting import find_derivation
+
+    quotient = bounded_quotient(presentation, bound)
+    representatives = sorted(quotient.classes, key=lambda w: (len(w), w))
+    for left, right in itertools.combinations(representatives, 2):
+        derivation = find_derivation(
+            presentation, left, right, max_length=bound, max_visited=max_visited
+        )
+        congruent = quotient.are_congruent(left, right)
+        if congruent != (derivation is not None):
+            return False
+    return True

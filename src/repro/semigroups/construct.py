@@ -1,0 +1,126 @@
+"""Standard finite semigroup constructions.
+
+These provide the counter-models for the negative instances of the word
+problem (direction (B) of the Reduction Theorem) and the raw material for
+the search catalogue. The star of the show is :func:`free_nilpotent`: the
+monogenic nilpotent semigroup ``{a, a², ..., a^{k-1}, 0}`` with
+``a^k = 0``, which has a zero, no identity, and the paper's cancellation
+property — exactly what the Main Lemma's second set asks for.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SemigroupError
+from repro.semigroups.finite import FiniteSemigroup
+
+
+def null_semigroup(size: int) -> FiniteSemigroup:
+    """The null (constant) semigroup: every product is the zero element.
+
+    Element ``size - 1`` is the zero. Trivially associative; has the
+    cancellation property vacuously (no nonzero products at all) and, for
+    ``size >= 2``, no identity.
+    """
+    if size < 1:
+        raise SemigroupError("size must be >= 1")
+    zero = size - 1
+    table = np.full((size, size), zero, dtype=np.int64)
+    names = [f"n{index}" for index in range(size - 1)] + ["zero"]
+    return FiniteSemigroup(table, names)
+
+
+def free_nilpotent(index: int) -> FiniteSemigroup:
+    """The monogenic nilpotent semigroup of nilpotency index ``index``.
+
+    Elements ``a, a², ..., a^{index-1}, 0`` with ``a^index = 0``:
+    ``size = index`` elements, element ``i`` (0-based) standing for
+    ``a^{i+1}`` and the last element being zero. For ``index = 3`` this is
+    the canonical counter-model ``{a, a², 0}`` used in the experiments.
+    """
+    if index < 2:
+        raise SemigroupError("nilpotency index must be >= 2")
+    size = index
+    zero = size - 1
+    table = np.empty((size, size), dtype=np.int64)
+    for x in range(size):
+        for y in range(size):
+            power = (x + 1) + (y + 1)  # a^(x+1) · a^(y+1) = a^power
+            table[x, y] = power - 1 if power <= index - 1 else zero
+    names = [f"a^{power}" for power in range(1, size)] + ["zero"]
+    names[0] = "a"
+    return FiniteSemigroup(table, names)
+
+
+def monogenic(index: int, period: int) -> FiniteSemigroup:
+    """The monogenic semigroup with the given index and period.
+
+    Elements ``a, a², ..., a^{index+period-1}`` with
+    ``a^{index+period} = a^{index}``. ``monogenic(1, n)`` is the cyclic
+    group of order ``n``; large-index instances populate the search
+    catalogue with non-nilpotent shapes.
+    """
+    if index < 1 or period < 1:
+        raise SemigroupError("index and period must be >= 1")
+    size = index + period - 1
+    table = np.empty((size, size), dtype=np.int64)
+    for x in range(size):
+        for y in range(size):
+            power = (x + 1) + (y + 1)
+            while power > size:
+                power -= period
+            table[x, y] = power - 1
+    names = [f"a^{power}" for power in range(1, size + 1)]
+    names[0] = "a"
+    return FiniteSemigroup(table, names)
+
+
+def cyclic_group(order: int) -> FiniteSemigroup:
+    """The cyclic group of the given order (written multiplicatively)."""
+    if order < 1:
+        raise SemigroupError("order must be >= 1")
+    table = np.fromfunction(
+        lambda x, y: (x + y) % order, (order, order), dtype=np.int64
+    ).astype(np.int64)
+    names = ["e"] + [f"g^{index}" for index in range(1, order)]
+    if order > 1:
+        names[1] = "g"
+    return FiniteSemigroup(table, names)
+
+
+def left_zero(size: int) -> FiniteSemigroup:
+    """The left-zero semigroup: ``x · y = x``. No zero for ``size >= 2``."""
+    if size < 1:
+        raise SemigroupError("size must be >= 1")
+    table = np.tile(np.arange(size, dtype=np.int64).reshape(size, 1), (1, size))
+    return FiniteSemigroup(table, [f"l{index}" for index in range(size)])
+
+
+def adjoin_identity(semigroup: FiniteSemigroup) -> FiniteSemigroup:
+    """``G′ = G ∪ {I}``: add a fresh two-sided identity.
+
+    This is the first move in the proof of part (B); the paper's claim
+    that it preserves the cancellation property (thanks to condition (ii))
+    is verified by the test suite over the whole catalogue.
+    """
+    size = semigroup.size
+    table = np.empty((size + 1, size + 1), dtype=np.int64)
+    table[:size, :size] = semigroup.table
+    identity = size
+    table[identity, : size + 1] = np.arange(size + 1)
+    table[: size + 1, identity] = np.arange(size + 1)
+    names = semigroup.names + ("I",)
+    return FiniteSemigroup(table, names)
+
+
+def adjoin_zero(semigroup: FiniteSemigroup) -> FiniteSemigroup:
+    """``G ∪ {0}``: add a fresh two-sided zero."""
+    size = semigroup.size
+    table = np.empty((size + 1, size + 1), dtype=np.int64)
+    table[:size, :size] = semigroup.table
+    zero = size
+    table[zero, :] = zero
+    table[:, zero] = zero
+    names = semigroup.names + ("0*",)
+    return FiniteSemigroup(table, names)

@@ -1,0 +1,271 @@
+"""Finite semigroups as Cayley tables.
+
+A :class:`FiniteSemigroup` stores its multiplication as an ``n × n`` numpy
+integer table over element indices ``0..n-1``. Everything the paper's
+direction (B) needs is here:
+
+* zero and identity detection;
+* the paper's **cancellation property**: for a semigroup with zero and an
+  identity, condition
+
+  (i)  ``(xy = xy' ≠ 0  or  yx = y'x ≠ 0)  ⇒  y = y'``;
+
+  for a semigroup with zero but **no** identity, conditions (i) **and**
+
+  (ii) ``(xy = x  or  yx = x)  ⇒  x = 0``
+
+  (condition (ii) is what makes identity adjunction — used in the proof of
+  part (B) — preserve cancellation, and the test suite checks exactly
+  that);
+* evaluation of words under letter assignments and equation/presentation
+  satisfaction;
+* generated subsemigroups, so "S-generated" can be enforced.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import SemigroupError
+from repro.semigroups.presentation import Equation, Presentation
+from repro.semigroups.words import Word
+
+#: A letter assignment: presentation letter -> element index.
+Assignment = Mapping[str, int]
+
+
+class FiniteSemigroup:
+    """A finite semigroup given by its Cayley table.
+
+    ``table[i, j]`` is the product of elements ``i`` and ``j``. Element
+    names are optional and used only for display.
+    """
+
+    __slots__ = ("table", "names", "_zero", "_identity")
+
+    def __init__(
+        self,
+        table: Sequence[Sequence[int]] | np.ndarray,
+        names: Optional[Sequence[str]] = None,
+        *,
+        check: bool = True,
+    ):
+        array = np.asarray(table, dtype=np.int64)
+        if array.ndim != 2 or array.shape[0] != array.shape[1]:
+            raise SemigroupError(f"Cayley table must be square, got shape {array.shape}")
+        size = array.shape[0]
+        if size == 0:
+            raise SemigroupError("a semigroup needs at least one element")
+        if array.min() < 0 or array.max() >= size:
+            raise SemigroupError("table entries must be element indices 0..n-1")
+        self.table = array
+        if names is None:
+            self.names = tuple(f"e{index}" for index in range(size))
+        else:
+            if len(names) != size:
+                raise SemigroupError("names must match the table size")
+            self.names = tuple(names)
+        if check and not self.is_associative():
+            raise SemigroupError("multiplication table is not associative")
+        self._zero = self._find_zero()
+        self._identity = self._find_identity()
+
+    # ------------------------------------------------------------------
+    # Basic structure
+    # ------------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of elements."""
+        return int(self.table.shape[0])
+
+    def product(self, x: int, y: int) -> int:
+        """The product ``x · y``."""
+        return int(self.table[x, y])
+
+    def is_associative(self) -> bool:
+        """Check ``(xy)z = x(yz)`` for all triples (vectorised)."""
+        table = self.table
+        left = table[table, :]  # left[i, j, k] = (i·j)·k
+        right = table[:, table]  # right[i, j, k] = i·(j·k)
+        return bool(np.array_equal(left, right))
+
+    def _find_zero(self) -> Optional[int]:
+        for candidate in range(self.size):
+            row_ok = bool(np.all(self.table[candidate, :] == candidate))
+            column_ok = bool(np.all(self.table[:, candidate] == candidate))
+            if row_ok and column_ok:
+                return candidate
+        return None
+
+    def _find_identity(self) -> Optional[int]:
+        indices = np.arange(self.size)
+        for candidate in range(self.size):
+            row_ok = bool(np.array_equal(self.table[candidate, :], indices))
+            column_ok = bool(np.array_equal(self.table[:, candidate], indices))
+            if row_ok and column_ok:
+                return candidate
+        return None
+
+    def zero(self) -> Optional[int]:
+        """The zero element's index, or None."""
+        return self._zero
+
+    def identity(self) -> Optional[int]:
+        """The identity element's index, or None."""
+        return self._identity
+
+    def has_zero(self) -> bool:
+        """True when a (necessarily unique) zero exists."""
+        return self._zero is not None
+
+    def has_identity(self) -> bool:
+        """True when a (necessarily unique) identity exists."""
+        return self._identity is not None
+
+    # ------------------------------------------------------------------
+    # The paper's cancellation property
+    # ------------------------------------------------------------------
+
+    def satisfies_condition_i(self) -> bool:
+        """Condition (i): nonzero products cancel.
+
+        ``(xy = xy' ≠ 0 or yx = y'x ≠ 0) ⇒ y = y'``. Requires a zero.
+        """
+        zero = self._zero
+        if zero is None:
+            raise SemigroupError("the cancellation property presumes a zero")
+        table = self.table
+        for x in range(self.size):
+            row = table[x, :]
+            if _has_nonzero_collision(row, zero):
+                return False
+            column = table[:, x]
+            if _has_nonzero_collision(column, zero):
+                return False
+        return True
+
+    def satisfies_condition_ii(self) -> bool:
+        """Condition (ii): ``(xy = x or yx = x) ⇒ x = 0``.
+
+        Describes the circumstance where cancellation *would* produce an
+        identity; the paper imposes it on identity-free semigroups so that
+        adjoining an identity preserves cancellation.
+        """
+        zero = self._zero
+        if zero is None:
+            raise SemigroupError("the cancellation property presumes a zero")
+        table = self.table
+        for x in range(self.size):
+            if x == zero:
+                continue
+            if bool(np.any(table[x, :] == x)) or bool(np.any(table[:, x] == x)):
+                return False
+        return True
+
+    def has_cancellation_property(self) -> bool:
+        """The paper's cancellation property.
+
+        With an identity: condition (i) alone. Without: (i) and (ii).
+        """
+        if self.has_identity():
+            return self.satisfies_condition_i()
+        return self.satisfies_condition_i() and self.satisfies_condition_ii()
+
+    # ------------------------------------------------------------------
+    # Words, equations, presentations
+    # ------------------------------------------------------------------
+
+    def evaluate(self, w: Word, assignment: Assignment) -> int:
+        """Evaluate a word under a letter assignment."""
+        try:
+            elements = [assignment[letter] for letter in w]
+        except KeyError as missing:
+            raise SemigroupError(f"assignment misses letter {missing}") from None
+        value = elements[0]
+        for element in elements[1:]:
+            value = int(self.table[value, element])
+        return value
+
+    def satisfies_equation(self, equation: Equation, assignment: Assignment) -> bool:
+        """Does the equation hold under the assignment?"""
+        return self.evaluate(equation.lhs, assignment) == self.evaluate(
+            equation.rhs, assignment
+        )
+
+    def satisfies_presentation(
+        self, presentation: Presentation, assignment: Assignment
+    ) -> bool:
+        """Do all the presentation's equations hold under the assignment?"""
+        return all(
+            self.satisfies_equation(equation, assignment)
+            for equation in presentation.equations
+        )
+
+    def generated_subsemigroup(self, generators: Iterable[int]) -> set[int]:
+        """The closure of ``generators`` under multiplication."""
+        closure = set(generators)
+        frontier = list(closure)
+        while frontier:
+            fresh: list[int] = []
+            for x in frontier:
+                for y in sorted(closure):
+                    for product in (self.product(x, y), self.product(y, x)):
+                        if product not in closure:
+                            closure.add(product)
+                            fresh.append(product)
+            frontier = fresh
+        return closure
+
+    def is_generated_by(self, generators: Iterable[int]) -> bool:
+        """True when the generators' closure is the whole semigroup."""
+        return len(self.generated_subsemigroup(generators)) == self.size
+
+    # ------------------------------------------------------------------
+    # Display
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FiniteSemigroup):
+            return NotImplemented
+        return self.names == other.names and bool(
+            np.array_equal(self.table, other.table)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.names, self.table.tobytes()))
+
+    def __repr__(self) -> str:
+        flags = []
+        if self.has_zero():
+            flags.append("zero")
+        if self.has_identity():
+            flags.append("identity")
+        extras = f" ({', '.join(flags)})" if flags else ""
+        return f"<FiniteSemigroup size={self.size}{extras}>"
+
+    def pretty(self) -> str:
+        """The Cayley table with element names."""
+        width = max(len(name) for name in self.names)
+        header = " " * (width + 1) + " ".join(name.rjust(width) for name in self.names)
+        lines = [header]
+        for x in range(self.size):
+            row = " ".join(
+                self.names[self.product(x, y)].rjust(width) for y in range(self.size)
+            )
+            lines.append(f"{self.names[x].rjust(width)} {row}")
+        return "\n".join(lines)
+
+
+def _has_nonzero_collision(values: np.ndarray, zero: int) -> bool:
+    """True when two distinct positions share a nonzero value."""
+    seen: dict[int, bool] = {}
+    for value in values.tolist():
+        if value == zero:
+            continue
+        if value in seen:
+            return True
+        seen[value] = True
+    return False

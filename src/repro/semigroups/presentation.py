@@ -1,0 +1,309 @@
+"""Semigroup presentations and the paper's short-form normalisation.
+
+A :class:`Presentation` is an alphabet ``S`` (containing the distinguished
+symbols ``0`` and ``A0``) together with equations ``xᵢ = yᵢ`` between
+words. The formulas ``φ`` of the Main Lemma are presentations whose
+antecedent equations include the zero equations ``A·0 = 0`` and
+``0·A = 0`` for every letter, with the implicit conclusion ``A0 = 0``.
+
+The Reduction Theorem consumes presentations in **short form**: every
+equation has ``|lhs| = 2`` and ``|rhs| = 1`` (written ``AB = C``).
+:meth:`Presentation.normalized` implements the paper's transformation —
+"if φ contains a conjunct ABC = DA, we introduce new symbols E and F into
+S, add the equations AB = E and DA = F, and replace ABC = DA by EC = F" —
+generalised to arbitrary word lengths. The transformation changes only the
+presentation, not the presented semigroup, and in particular preserves
+derivability of ``A0 = 0`` (checked by the test suite in both directions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional
+
+from repro.errors import PresentationError
+from repro.semigroups.words import Word, show, word
+
+#: Conventional names for the distinguished symbols.
+ZERO = "0"
+A0 = "A0"
+
+
+@dataclass(frozen=True)
+class Equation:
+    """An equation ``lhs = rhs`` between non-empty words."""
+
+    lhs: Word
+    rhs: Word
+
+    @staticmethod
+    def make(lhs: Iterable[str] | str, rhs: Iterable[str] | str) -> "Equation":
+        """Build an equation from letter sequences."""
+        return Equation(word(lhs), word(rhs))
+
+    def is_short_form(self) -> bool:
+        """True when ``|lhs| = 2`` and ``|rhs| = 1`` (the paper's AB = C)."""
+        return len(self.lhs) == 2 and len(self.rhs) == 1
+
+    def letters(self) -> set[str]:
+        """All letters occurring on either side."""
+        return set(self.lhs) | set(self.rhs)
+
+    def oriented(self) -> "Equation":
+        """The same equation with the longer side on the left."""
+        if len(self.rhs) > len(self.lhs):
+            return Equation(self.rhs, self.lhs)
+        return self
+
+    def __str__(self) -> str:
+        return f"{show(self.lhs)} = {show(self.rhs)}"
+
+
+class Presentation:
+    """An alphabet with equations, in the shape of the Main Lemma's ``φ``.
+
+    The conclusion ``A0 = 0`` is implicit: a presentation *is* the
+    antecedent conjunction, and the question asked of it is always whether
+    ``A0 = 0`` follows (equivalently, whether ``A0`` and ``0`` are
+    congruent modulo the equations).
+    """
+
+    __slots__ = ("alphabet", "equations", "zero", "a0")
+
+    def __init__(
+        self,
+        alphabet: Iterable[str],
+        equations: Iterable[Equation],
+        *,
+        zero: str = ZERO,
+        a0: str = A0,
+    ):
+        self.alphabet = tuple(dict.fromkeys(alphabet))  # order-preserving dedupe
+        self.equations = tuple(equations)
+        self.zero = zero
+        self.a0 = a0
+        if zero not in self.alphabet:
+            raise PresentationError(f"the zero symbol {zero!r} must be in the alphabet")
+        if a0 not in self.alphabet:
+            raise PresentationError(f"the symbol {a0!r} must be in the alphabet")
+        if zero == a0:
+            raise PresentationError("A0 and 0 must be distinct symbols")
+        for equation in self.equations:
+            unknown = equation.letters() - set(self.alphabet)
+            if unknown:
+                raise PresentationError(
+                    f"equation {equation} uses letters {sorted(unknown)} "
+                    "outside the alphabet"
+                )
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def with_zero_equations(
+        alphabet: Iterable[str],
+        extra_equations: Iterable[Equation] = (),
+        *,
+        zero: str = ZERO,
+        a0: str = A0,
+    ) -> "Presentation":
+        """A presentation whose equations include the zero laws.
+
+        Adds ``A·0 = 0`` and ``0·A = 0`` for every letter ``A`` (including
+        ``0`` itself), as the Main Lemma requires, followed by the caller's
+        extra equations.
+        """
+        letters = tuple(dict.fromkeys(tuple(alphabet) + (zero, a0)))
+        equations: list[Equation] = []
+        for letter in letters:
+            equations.append(Equation((letter, zero), (zero,)))
+            if letter != zero:
+                equations.append(Equation((zero, letter), (zero,)))
+        equations.extend(extra_equations)
+        unique = tuple(dict.fromkeys(equations))
+        return Presentation(letters, unique, zero=zero, a0=a0)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    def is_short_form(self) -> bool:
+        """True when every equation is ``AB = C`` shaped."""
+        return all(equation.is_short_form() for equation in self.equations)
+
+    def has_zero_equations(self) -> bool:
+        """True when ``A·0 = 0`` and ``0·A = 0`` are present for all letters."""
+        present = set(self.equations)
+        for letter in self.alphabet:
+            if Equation((letter, self.zero), (self.zero,)) not in present:
+                return False
+            if Equation((self.zero, letter), (self.zero,)) not in present:
+                return False
+        return True
+
+    def short_equations(self) -> Iterator[Equation]:
+        """The equations, verified to be in short form.
+
+        Raises :class:`~repro.errors.PresentationError` if any is not; the
+        reduction calls this so it can never silently mis-encode.
+        """
+        for equation in self.equations:
+            if not equation.is_short_form():
+                raise PresentationError(
+                    f"equation {equation} is not in short form; "
+                    "call .normalized() first"
+                )
+            yield equation
+
+    def __repr__(self) -> str:
+        return (
+            f"<Presentation letters={len(self.alphabet)} "
+            f"equations={len(self.equations)}>"
+        )
+
+    def describe(self) -> str:
+        """Multi-line rendering: alphabet, then one equation per line."""
+        lines = [f"alphabet: {', '.join(self.alphabet)}  (zero={self.zero}, A0={self.a0})"]
+        lines.extend(f"  {equation}" for equation in self.equations)
+        lines.append(f"conclusion asked: {self.a0} = {self.zero}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Short-form normalisation
+    # ------------------------------------------------------------------
+
+    def normalized(self) -> "Presentation":
+        """An equivalent presentation with every equation in short form.
+
+        Implements the paper's transformation with three cases per
+        equation (after orienting the longer side left):
+
+        * ``|lhs| >= 2`` — abbreviate the left side down to two letters and
+          the right side down to one, introducing fresh abbreviation
+          letters with their defining ``XY = Z`` equations;
+        * ``|lhs| = |rhs| = 1`` — a letter identification ``A = B``;
+          realised by substituting one letter for the other throughout
+          (keeping the distinguished symbols), which presents the same
+          semigroup;
+        * empty sides are impossible (words are non-empty by construction).
+        """
+        fresh = _FreshLetters(self.alphabet)
+        substitution: dict[str, str] = {}
+        pending = [equation.oriented() for equation in self.equations]
+        produced: list[Equation] = []
+        extra_letters: list[str] = []
+
+        def substitute(w: Word) -> Word:
+            return tuple(substitution.get(letter, letter) for letter in w)
+
+        for equation in pending:
+            lhs = substitute(equation.lhs)
+            rhs = substitute(equation.rhs)
+            if len(lhs) == 1 and len(rhs) == 1:
+                keep, drop = _identification(lhs[0], rhs[0], self.zero, self.a0)
+                if keep == drop:
+                    continue  # the equation became trivial under substitution
+                if drop in (self.zero, self.a0):
+                    # Both letters distinguished: the presentation forces
+                    # A0 = 0 outright; keep that fact as a marker equation
+                    # the rewriting engine can use directly.
+                    produced.append(Equation((self.a0, self.zero), (self.zero,)))
+                    produced.append(Equation((self.a0, self.a0), (self.a0,)))
+                    produced.append(Equation((self.a0, self.a0), (self.zero,)))
+                    continue
+                substitution[drop] = keep
+                substitution.update(
+                    {
+                        old: (keep if new == drop else new)
+                        for old, new in substitution.items()
+                    }
+                )
+                continue
+            lhs, abbrev_eqs, abbrev_letters = _shorten(lhs, 2, fresh)
+            produced.extend(abbrev_eqs)
+            extra_letters.extend(abbrev_letters)
+            rhs, abbrev_eqs, abbrev_letters = _shorten(rhs, 1, fresh)
+            produced.extend(abbrev_eqs)
+            extra_letters.extend(abbrev_letters)
+            if len(lhs) == 1:
+                # Oriented equations can still end 1 = 1 after shortening
+                # only if lhs was length 1 to begin with, handled above.
+                raise PresentationError(f"unexpected shape for {equation}")
+            produced.append(Equation(lhs, rhs))
+
+        if substitution:
+            produced = [
+                Equation(
+                    tuple(substitution.get(letter, letter) for letter in eq.lhs),
+                    tuple(substitution.get(letter, letter) for letter in eq.rhs),
+                )
+                for eq in produced
+            ]
+        alphabet = tuple(
+            dict.fromkeys(
+                tuple(substitution.get(letter, letter) for letter in self.alphabet)
+                + tuple(extra_letters)
+            )
+        )
+        # Abbreviation letters are definitional (Abbr = XY), so their zero
+        # equations follow from the originals (Abbr·0 = X·Y·0 = 0); adding
+        # them keeps the normalised presentation in the Main Lemma's form
+        # whenever the original was. Only fresh letters are extended — the
+        # caller's own letters keep exactly the laws they were given.
+        if self.has_zero_equations():
+            for letter in extra_letters:
+                produced.append(Equation((letter, self.zero), (self.zero,)))
+                produced.append(Equation((self.zero, letter), (self.zero,)))
+        unique = tuple(dict.fromkeys(produced))
+        result = Presentation(alphabet, unique, zero=self.zero, a0=self.a0)
+        if not result.is_short_form():
+            raise PresentationError("normalisation failed to reach short form")
+        return result
+
+
+def _identification(a: str, b: str, zero: str, a0: str) -> tuple[str, str]:
+    """Decide which letter survives an ``A = B`` identification."""
+    if a == b:
+        return a, a
+    distinguished = {zero, a0}
+    if a in distinguished and b in distinguished:
+        return a, b  # caller treats this as the forced A0 = 0 case
+    if b in distinguished:
+        return b, a
+    return a, b
+
+
+def _shorten(
+    w: Word, target_length: int, fresh: "_FreshLetters"
+) -> tuple[Word, list[Equation], list[str]]:
+    """Abbreviate ``w`` down to ``target_length`` letters.
+
+    Repeatedly replaces the leading two letters by a fresh abbreviation
+    letter, emitting the defining short-form equation ``w₁w₂ = E``.
+    """
+    equations: list[Equation] = []
+    letters: list[str] = []
+    current = w
+    while len(current) > target_length:
+        abbreviation = fresh.take()
+        equations.append(Equation(current[:2], (abbreviation,)))
+        letters.append(abbreviation)
+        current = (abbreviation,) + current[2:]
+    return current, equations, letters
+
+
+class _FreshLetters:
+    """Generates abbreviation letters avoiding an existing alphabet."""
+
+    def __init__(self, avoid: Iterable[str]):
+        self._avoid = set(avoid)
+        self._counter = 0
+
+    def take(self) -> str:
+        while True:
+            candidate = f"Abbr{self._counter}"
+            self._counter += 1
+            if candidate not in self._avoid:
+                self._avoid.add(candidate)
+                return candidate

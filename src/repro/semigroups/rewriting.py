@@ -1,0 +1,180 @@
+"""Derivations and a semi-decision procedure for the word problem.
+
+``φ`` holds in every S-generated semigroup exactly when ``A0`` and ``0``
+are congruent modulo the equations — equivalently (as the proof of the
+Reduction Theorem's part (A) spells out), when there is a sequence of
+words ``u₀ = A0, u₁, ..., u_m = 0`` where each ``uᵢ₊₁`` results from
+``uᵢ`` by replacing a single occurrence of some ``xᵢ`` by ``yᵢ`` or vice
+versa. A :class:`Derivation` is exactly such a sequence, and it is the
+object the reduction replays as a chase proof.
+
+The search is a bidirectional breadth-first search over the replacement
+graph, bounded by a maximum word length and a visited-state budget.
+Undecidability of the underlying word problem means the bounds are
+essential: failure to find a derivation proves nothing, and the API says
+so by returning ``None`` rather than "no".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.errors import VerificationError
+from repro.semigroups.presentation import Presentation
+from repro.semigroups.words import Word, show, single_replacements
+
+
+@dataclass(frozen=True)
+class Derivation:
+    """A replacement sequence ``u₀ → u₁ → ... → u_m``."""
+
+    words: tuple[Word, ...]
+
+    def __post_init__(self) -> None:
+        if not self.words:
+            raise VerificationError("a derivation needs at least one word")
+
+    @property
+    def source(self) -> Word:
+        """The first word, ``u₀``."""
+        return self.words[0]
+
+    @property
+    def target(self) -> Word:
+        """The last word, ``u_m``."""
+        return self.words[-1]
+
+    @property
+    def length(self) -> int:
+        """The number of replacement steps, ``m``."""
+        return len(self.words) - 1
+
+    def steps(self) -> Iterator[tuple[Word, Word]]:
+        """Consecutive word pairs."""
+        for index in range(self.length):
+            yield self.words[index], self.words[index + 1]
+
+    def validate(self, presentation: Presentation) -> None:
+        """Check every step is a single legal replacement.
+
+        Raises :class:`~repro.errors.VerificationError` otherwise. This is
+        run before a derivation is ever replayed as a chase proof.
+        """
+        for before, after in self.steps():
+            if not _is_single_replacement(presentation, before, after):
+                raise VerificationError(
+                    f"step {show(before)} -> {show(after)} is not a single "
+                    "replacement under the presentation"
+                )
+
+    def describe(self) -> str:
+        """The sequence rendered one word per arrow."""
+        return " -> ".join(show(w) for w in self.words)
+
+
+def _is_single_replacement(presentation: Presentation, before: Word, after: Word) -> bool:
+    for equation in presentation.equations:
+        for lhs, rhs in ((equation.lhs, equation.rhs), (equation.rhs, equation.lhs)):
+            for produced in single_replacements(before, lhs, rhs):
+                if produced == after:
+                    return True
+    return False
+
+
+def _neighbours(
+    presentation: Presentation, current: Word, max_length: int
+) -> Iterator[Word]:
+    for equation in presentation.equations:
+        for lhs, rhs in ((equation.lhs, equation.rhs), (equation.rhs, equation.lhs)):
+            if len(current) - len(lhs) + len(rhs) > max_length:
+                continue
+            yield from single_replacements(current, lhs, rhs)
+
+
+def find_derivation(
+    presentation: Presentation,
+    source: Word,
+    target: Word,
+    *,
+    max_length: int = 8,
+    max_visited: int = 200_000,
+) -> Optional[Derivation]:
+    """Search for a derivation from ``source`` to ``target``.
+
+    Bidirectional BFS over single replacements, restricted to words of at
+    most ``max_length`` letters and at most ``max_visited`` explored words.
+    Returns a validated :class:`Derivation` or ``None`` (which, given the
+    word problem's undecidability, means only "not found within bounds").
+    """
+    if source == target:
+        return Derivation((source,))
+    # parent maps also serve as visited sets; None marks the roots.
+    forward: dict[Word, Optional[Word]] = {source: None}
+    backward: dict[Word, Optional[Word]] = {target: None}
+    forward_frontier = deque([source])
+    backward_frontier = deque([target])
+    visited = 2
+
+    while forward_frontier and backward_frontier:
+        # Expand the smaller frontier: classic bidirectional heuristic.
+        if len(forward_frontier) <= len(backward_frontier):
+            frontier, seen, other = forward_frontier, forward, backward
+        else:
+            frontier, seen, other = backward_frontier, backward, forward
+        for __ in range(len(frontier)):
+            current = frontier.popleft()
+            for neighbour in _neighbours(presentation, current, max_length):
+                if neighbour in seen:
+                    continue
+                seen[neighbour] = current
+                visited += 1
+                if neighbour in other:
+                    derivation = _reconstruct(forward, backward, neighbour)
+                    derivation.validate(presentation)
+                    return derivation
+                if visited >= max_visited:
+                    return None
+                frontier.append(neighbour)
+    return None
+
+
+def _reconstruct(
+    forward: dict[Word, Optional[Word]],
+    backward: dict[Word, Optional[Word]],
+    meeting: Word,
+) -> Derivation:
+    front: list[Word] = []
+    cursor: Optional[Word] = meeting
+    while cursor is not None:
+        front.append(cursor)
+        cursor = forward[cursor]
+    front.reverse()  # source ... meeting
+    cursor = backward[meeting]
+    tail: list[Word] = []
+    while cursor is not None:
+        tail.append(cursor)
+        cursor = backward[cursor]
+    return Derivation(tuple(front + tail))
+
+
+def word_problem(
+    presentation: Presentation,
+    *,
+    max_length: int = 8,
+    max_visited: int = 200_000,
+) -> Optional[Derivation]:
+    """Search for a derivation witnessing ``A0 = 0``.
+
+    This is the positive half of the Main Lemma's question: a returned
+    derivation proves ``φ`` holds in every S-generated semigroup. ``None``
+    is inconclusive.
+    """
+    return find_derivation(
+        presentation,
+        (presentation.a0,),
+        (presentation.zero,),
+        max_length=max_length,
+        max_visited=max_visited,
+    )

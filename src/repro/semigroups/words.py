@@ -1,0 +1,85 @@
+"""Words over an alphabet: the elements of the free semigroup ``S*``.
+
+A word is a non-empty tuple of letters (strings). The paper's two
+distinguished letters are the zero symbol ``0`` and the letter ``A0``
+whose collapse to zero the formula ``φ`` asserts; those conventions live
+in :mod:`repro.semigroups.presentation`, while this module is plain
+string-rewriting plumbing: occurrence search and replacement.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.errors import PresentationError
+
+#: A word: a tuple of letters. The empty word is not a semigroup element
+#: (semigroups have no identity by default) and is rejected everywhere.
+Word = tuple[str, ...]
+
+
+def word(text: Sequence[str] | str) -> Word:
+    """Build a word from a sequence of letters.
+
+    Accepts an iterable of letter names. A plain string is treated as a
+    single letter (letters like ``"A0"`` are multi-character, so strings
+    are **not** split character-wise).
+    """
+    if isinstance(text, str):
+        letters: tuple[str, ...] = (text,)
+    else:
+        letters = tuple(text)
+    if not letters:
+        raise PresentationError("the empty word is not a semigroup element")
+    for letter in letters:
+        if not isinstance(letter, str) or not letter:
+            raise PresentationError(f"letters must be non-empty strings, got {letter!r}")
+    return letters
+
+
+def concat(*parts: Word) -> Word:
+    """Concatenate words."""
+    letters: list[str] = []
+    for part in parts:
+        letters.extend(part)
+    if not letters:
+        raise PresentationError("concatenation produced the empty word")
+    return tuple(letters)
+
+
+def letters_of(w: Word) -> set[str]:
+    """The set of letters occurring in ``w``."""
+    return set(w)
+
+
+def show(w: Word) -> str:
+    """Render a word with dots between letters: ``A0.0``."""
+    return ".".join(w)
+
+
+def occurrences(w: Word, pattern: Word) -> Iterator[int]:
+    """Yield every start index at which ``pattern`` occurs in ``w``."""
+    limit = len(w) - len(pattern)
+    for start in range(limit + 1):
+        if w[start : start + len(pattern)] == pattern:
+            yield start
+
+
+def replace_at(w: Word, start: int, pattern: Word, replacement: Word) -> Word:
+    """Replace the occurrence of ``pattern`` at ``start`` by ``replacement``.
+
+    Raises :class:`~repro.errors.PresentationError` when ``pattern`` does
+    not actually occur at ``start`` — replacements in derivations are
+    always verified, never trusted.
+    """
+    if w[start : start + len(pattern)] != pattern:
+        raise PresentationError(
+            f"pattern {show(pattern)} does not occur at {start} in {show(w)}"
+        )
+    return w[:start] + replacement + w[start + len(pattern) :]
+
+
+def single_replacements(w: Word, lhs: Word, rhs: Word) -> Iterator[Word]:
+    """All words obtained by replacing one occurrence of ``lhs`` by ``rhs``."""
+    for start in occurrences(w, lhs):
+        yield replace_at(w, start, lhs, rhs)

@@ -1,0 +1,45 @@
+"""Workloads (system S7): canonical examples, families and generators.
+
+* :mod:`repro.workloads.garment` — the paper's running garment-supply
+  example (the Figure 1 dependency and the example EID);
+* :mod:`repro.workloads.instances` — the canonical word-problem
+  instances and scalable families used by the experiments;
+* :mod:`repro.workloads.generators` — seeded random dependencies and
+  databases for property tests and chase-scaling benchmarks.
+"""
+
+from repro.workloads.garment import (
+    figure1_dependency,
+    garment_database,
+    garment_eid,
+    garment_schema,
+)
+from repro.workloads.generators import (
+    random_instance,
+    random_full_td,
+    random_td,
+    transitivity_family,
+)
+from repro.workloads.instances import (
+    gap_instance,
+    negative_instance,
+    negative_family,
+    positive_chain_family,
+    positive_instance,
+)
+
+__all__ = [
+    "garment_schema",
+    "garment_database",
+    "figure1_dependency",
+    "garment_eid",
+    "positive_instance",
+    "negative_instance",
+    "gap_instance",
+    "positive_chain_family",
+    "negative_family",
+    "random_td",
+    "random_full_td",
+    "random_instance",
+    "transitivity_family",
+]

@@ -1,0 +1,79 @@
+"""The paper's running example: garments, suppliers, styles and sizes.
+
+"suppose the relation R represents the availability of garments of
+various styles and sizes from various suppliers. Then R has three
+attributes: SUPPLIER, STYLE, and SIZE, and typical members of the R
+relation might be (St. Laurent, Evening Dress, 10) and (BVD, Brief, 36)."
+
+This module reproduces that database, the Figure 1 template dependency
+
+    R(a, b, c) & R(a, b', c')  =>  (for some a*) R(a*, b, c')
+
+("if a supplier supplies both garments of some style b and garments of
+some size c', then there is a supplier — not necessarily the same one —
+of style b garments in size c'"), and the example EID from the Chandra
+et al. comparison.
+"""
+
+from __future__ import annotations
+
+from repro.dependencies.eid import EmbeddedImplicationalDependency
+from repro.dependencies.template import TemplateDependency, Variable
+from repro.relational.instance import Instance
+from repro.relational.schema import Schema
+from repro.relational.values import Const
+
+
+def garment_schema() -> Schema:
+    """The three-attribute garment schema."""
+    return Schema(["SUPPLIER", "STYLE", "SIZE"])
+
+
+def garment_database() -> Instance:
+    """A small garment catalogue including the paper's two sample tuples."""
+    rows = [
+        ("St. Laurent", "Evening Dress", "size-10"),
+        ("BVD", "Brief", "size-36"),
+        ("St. Laurent", "Evening Dress", "size-12"),
+        ("St. Laurent", "Blazer", "size-10"),
+        ("BVD", "Brief", "size-32"),
+        ("Hanes", "Brief", "size-36"),
+        ("Hanes", "T-Shirt", "size-36"),
+    ]
+    return Instance(
+        garment_schema(),
+        (tuple(Const(value) for value in row) for row in rows),
+    )
+
+
+def figure1_dependency() -> TemplateDependency:
+    """The Figure 1 dependency, exactly as written in the paper."""
+    a, b, c = Variable("a"), Variable("b"), Variable("c")
+    b_prime, c_prime = Variable("b'"), Variable("c'")
+    a_star = Variable("a*")
+    return TemplateDependency(
+        garment_schema(),
+        antecedents=[(a, b, c), (a, b_prime, c_prime)],
+        conclusion=(a_star, b, c_prime),
+        name="figure-1",
+    )
+
+
+def garment_eid() -> EmbeddedImplicationalDependency:
+    """The paper's example EID (conclusion is a two-atom conjunction).
+
+        R(a, b, c) & R(a, b', c')  =>  R(a*, b, c) & R(a*, b, c')
+
+    "if one supplier supplies a garment b in a size c and also supplies
+    some garment in size c', then there is a supplier of garment b in
+    both sizes c and c'."
+    """
+    a, b, c = Variable("a"), Variable("b"), Variable("c")
+    b_prime, c_prime = Variable("b'"), Variable("c'")
+    a_star = Variable("a*")
+    return EmbeddedImplicationalDependency(
+        garment_schema(),
+        antecedents=[(a, b, c), (a, b_prime, c_prime)],
+        conclusions=[(a_star, b, c), (a_star, b, c_prime)],
+        name="garment-eid",
+    )

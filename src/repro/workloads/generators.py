@@ -1,0 +1,137 @@
+"""Seeded random generators for property tests and scaling benchmarks.
+
+Everything here is deterministic in its ``seed`` argument, so failures
+reproduce and benchmarks are stable run to run.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.dependencies.template import TemplateDependency, Variable
+from repro.relational.instance import Instance
+from repro.relational.schema import Schema
+from repro.relational.values import Const
+
+
+def _default_schema(arity: int) -> Schema:
+    return Schema([f"A{index + 1}" for index in range(arity)])
+
+
+def random_td(
+    *,
+    arity: int = 3,
+    antecedents: int = 3,
+    variables_per_column: int = 2,
+    existential_probability: float = 0.5,
+    seed: int = 0,
+    schema: Optional[Schema] = None,
+) -> TemplateDependency:
+    """A random typed template dependency.
+
+    Each column ``c`` owns a pool of ``variables_per_column`` variables
+    (typing restriction by construction). Antecedent atoms draw uniformly
+    from the pools; each conclusion component is, with
+    ``existential_probability``, a fresh existential variable, else a pool
+    variable that occurred in some antecedent.
+    """
+    rng = random.Random(seed)
+    schema = schema if schema is not None else _default_schema(arity)
+    pools = [
+        [Variable(f"c{column}v{index}") for index in range(variables_per_column)]
+        for column in range(schema.arity)
+    ]
+    antecedent_atoms = [
+        tuple(rng.choice(pools[column]) for column in range(schema.arity))
+        for __ in range(antecedents)
+    ]
+    used_per_column: list[list[Variable]] = [
+        sorted(
+            {atom[column] for atom in antecedent_atoms},
+            key=lambda variable: variable.name,
+        )
+        for column in range(schema.arity)
+    ]
+    conclusion = []
+    for column in range(schema.arity):
+        if rng.random() < existential_probability or not used_per_column[column]:
+            conclusion.append(Variable(f"c{column}star"))
+        else:
+            conclusion.append(rng.choice(used_per_column[column]))
+    return TemplateDependency(
+        schema, antecedent_atoms, tuple(conclusion), name=f"random-td-{seed}"
+    )
+
+
+def random_full_td(
+    *,
+    arity: int = 3,
+    antecedents: int = 3,
+    variables_per_column: int = 2,
+    seed: int = 0,
+    schema: Optional[Schema] = None,
+) -> TemplateDependency:
+    """A random *full* TD (no existential variables, chase terminates)."""
+    return random_td(
+        arity=arity,
+        antecedents=antecedents,
+        variables_per_column=variables_per_column,
+        existential_probability=0.0,
+        seed=seed,
+        schema=schema,
+    )
+
+
+def random_instance(
+    *,
+    arity: int = 3,
+    rows: int = 10,
+    constants_per_column: int = 3,
+    seed: int = 0,
+    schema: Optional[Schema] = None,
+) -> Instance:
+    """A random typed database instance.
+
+    Column ``c`` draws from its own pool of ``constants_per_column``
+    constants, so the typing restriction holds by construction.
+    """
+    rng = random.Random(seed)
+    schema = schema if schema is not None else _default_schema(arity)
+    instance = Instance(schema)
+    for __ in range(rows):
+        instance.add(
+            tuple(
+                Const((f"col{column}", rng.randrange(constants_per_column)))
+                for column in range(schema.arity)
+            )
+        )
+    return instance
+
+
+def transitivity_family(path_length: int) -> tuple[list[TemplateDependency], TemplateDependency]:
+    """Full-TD implication instances of growing difficulty.
+
+    Returns (``{transitivity}``, ``path_length``-step transitivity): the
+    single binary transitivity TD provably implies its ``k``-step
+    closure, with chase work growing in ``k``. Untyped on purpose (the
+    classic relational shape); used by the chase-scaling benchmark E9.
+    """
+    if path_length < 2:
+        raise ValueError("path_length must be >= 2")
+    schema = Schema(["FROM", "TO"])
+    x, y, z = Variable("x"), Variable("y"), Variable("z")
+    transitivity = TemplateDependency(
+        schema, [(x, y), (y, z)], (x, z), name="transitivity"
+    )
+    chain_variables = [Variable(f"p{index}") for index in range(path_length + 1)]
+    target = TemplateDependency(
+        schema,
+        [
+            (chain_variables[index], chain_variables[index + 1])
+            for index in range(path_length)
+        ],
+        (chain_variables[0], chain_variables[path_length]),
+        name=f"path-{path_length}",
+    )
+    return [transitivity], target

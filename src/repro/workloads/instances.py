@@ -1,0 +1,99 @@
+"""Canonical word-problem instances and scalable families.
+
+Three canonical instances drive the experiments:
+
+* :func:`positive_instance` — ``A0·A0 = A0`` and ``A0·A0 = 0`` force
+  ``A0 = A0·A0 = 0`` in every semigroup: ``φ`` is valid, direction (A)
+  applies and ``D ⊨ D0``.
+* :func:`negative_instance` — the zero equations alone force nothing:
+  the 2-element nilpotent semigroup (``a² = 0``) is an identity-free
+  cancellation counter-model, direction (B) applies and a finite database
+  separates ``D`` from ``D0``.
+* :func:`gap_instance` — ``A0·A0 = A0`` alone. ``A0 = 0`` is *not* valid
+  (a semilattice refutes it), but condition (ii) rules out any
+  cancellation counter-model (``a·a = a`` with ``a ≠ 0`` is exactly what
+  (ii) forbids). The instance lies in **neither** of the Main Lemma's two
+  inseparable sets — a bounded classifier must answer UNKNOWN, which is
+  the honest behaviour experiment E6 demonstrates.
+
+The families scale these shapes for the benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.semigroups.presentation import Equation, Presentation
+
+
+def positive_instance() -> Presentation:
+    """The canonical positive instance (``φ`` valid)."""
+    return Presentation.with_zero_equations(
+        ["A0", "0"],
+        [
+            Equation.make(["A0", "A0"], ["A0"]),
+            Equation.make(["A0", "A0"], ["0"]),
+        ],
+    )
+
+
+def negative_instance(extra_letters: int = 0) -> Presentation:
+    """The canonical negative instance: zero equations only.
+
+    ``extra_letters`` adds unconstrained letters ``X1..Xk``, scaling the
+    alphabet (and hence the ``2n+2`` attribute count) without changing
+    the answer.
+    """
+    letters = ["A0", "0"] + [f"X{index + 1}" for index in range(extra_letters)]
+    return Presentation.with_zero_equations(letters)
+
+
+def gap_instance() -> Presentation:
+    """An instance in neither of the Main Lemma's inseparable sets."""
+    return Presentation.with_zero_equations(
+        ["A0", "0"],
+        [Equation.make(["A0", "A0"], ["A0"])],
+    )
+
+
+def positive_chain_family(chain_length: int) -> Presentation:
+    """Positive instances with derivations of length ``Θ(chain_length)``.
+
+    Letters ``A0, B1..Bn, 0`` with equations
+
+        A0·A0 = A0        (pump A0 to any power)
+        A0·A0 = B1        (start the chain)
+        Bᵢ·A0 = Bᵢ₊₁      (consume one A0 per link)
+        Bₙ·A0 = 0         (finish)
+
+    ``A0 = 0`` holds in every model (``A0 = A0^{n+2} = B1·A0^n = ... = 0``)
+    and the shortest derivation grows linearly with ``n``, so the family
+    scales direction (A) end to end: word-problem search, encoding size
+    and guided-proof length.
+    """
+    if chain_length < 1:
+        raise ValueError("chain_length must be >= 1")
+    letters = ["A0"] + [f"B{index + 1}" for index in range(chain_length)] + ["0"]
+    equations = [
+        Equation.make(["A0", "A0"], ["A0"]),
+        Equation.make(["A0", "A0"], ["B1"]),
+    ]
+    for index in range(1, chain_length):
+        equations.append(Equation.make([f"B{index}", "A0"], [f"B{index + 1}"]))
+    equations.append(Equation.make([f"B{chain_length}", "A0"], ["0"]))
+    return Presentation.with_zero_equations(letters, equations)
+
+
+def negative_family(extra_letters: int, *, squares_to_zero: bool = True) -> Presentation:
+    """Negative instances with growing alphabets.
+
+    Letters ``A0, X1..Xk, 0``; with ``squares_to_zero`` each extra letter
+    carries the equation ``Xᵢ·Xᵢ = 0``, all satisfied by the 3-element
+    nilpotent semigroup (``Xᵢ ↦ a²``) — so direction (B) still has its
+    counter-model while the encoding grows.
+    """
+    letters = ["A0"] + [f"X{index + 1}" for index in range(extra_letters)] + ["0"]
+    equations = []
+    if squares_to_zero:
+        for index in range(extra_letters):
+            name = f"X{index + 1}"
+            equations.append(Equation.make([name, name], ["0"]))
+    return Presentation.with_zero_equations(letters, equations)

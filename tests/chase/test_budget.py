@@ -1,0 +1,75 @@
+"""Unit tests for repro.chase.budget."""
+
+import time
+
+from repro.chase.budget import Budget, ChaseStats
+
+
+class TestBudget:
+    def test_defaults_are_finite(self):
+        budget = Budget()
+        assert budget.max_steps is not None
+        assert budget.max_rows is not None
+        assert budget.max_seconds is not None
+
+    def test_unlimited(self):
+        budget = Budget.unlimited()
+        assert budget.max_steps is None
+        assert budget.max_rows is None
+        assert budget.max_seconds is None
+
+    def test_small_is_tighter_than_default(self):
+        assert Budget.small().max_steps < Budget().max_steps
+
+    def test_start_returns_fresh_stats(self):
+        stats = Budget().start()
+        assert stats.steps == 0
+        assert stats.rows_added == 0
+
+
+class TestChaseStats:
+    def test_step_counting(self):
+        stats = Budget().start()
+        stats.note_step()
+        stats.note_step()
+        assert stats.steps == 2
+
+    def test_row_counting(self):
+        stats = Budget().start()
+        stats.note_row()
+        assert stats.rows_added == 1
+
+    def test_exhausted_by_steps(self):
+        stats = Budget(max_steps=2, max_rows=None, max_seconds=None).start()
+        assert not stats.exhausted()
+        stats.note_step()
+        stats.note_step()
+        assert stats.exhausted()
+
+    def test_exhausted_by_rows_added(self):
+        stats = Budget(max_steps=None, max_rows=3, max_seconds=None).start()
+        for __ in range(3):
+            stats.note_row()
+        assert stats.exhausted()
+
+    def test_exhausted_by_current_rows_argument(self):
+        stats = Budget(max_steps=None, max_rows=10, max_seconds=None).start()
+        assert not stats.exhausted(current_rows=9)
+        assert stats.exhausted(current_rows=10)
+
+    def test_exhausted_by_time(self):
+        stats = Budget(max_steps=None, max_rows=None, max_seconds=0.01).start()
+        time.sleep(0.02)
+        assert stats.exhausted()
+
+    def test_unlimited_never_exhausts(self):
+        stats = Budget.unlimited().start()
+        for __ in range(1000):
+            stats.note_step()
+            stats.note_row()
+        assert not stats.exhausted(current_rows=10**9)
+
+    def test_describe_mentions_counters(self):
+        stats = Budget().start()
+        stats.note_step()
+        assert "steps=1" in stats.describe()

@@ -1,0 +1,56 @@
+"""Unit tests for repro.chase.modelcheck."""
+
+import pytest
+
+from repro.chase.modelcheck import all_violations, satisfies_all
+from repro.dependencies.parser import parse_td
+from repro.relational.instance import Instance
+from repro.relational.schema import Schema
+from repro.relational.values import Const
+
+
+@pytest.fixture
+def schema():
+    return Schema(["A", "B"])
+
+
+@pytest.fixture
+def path(schema):
+    return Instance(schema, [(Const("a"), Const("b")), (Const("b"), Const("c"))])
+
+
+class TestSatisfiesAll:
+    def test_empty_set_always_satisfied(self, path):
+        assert satisfies_all(path, [])
+
+    def test_detects_violation(self, path, schema):
+        transitivity = parse_td("R(x, y) & R(y, z) -> R(x, z)", schema)
+        assert not satisfies_all(path, [transitivity])
+
+    def test_satisfied_after_closure(self, path, schema):
+        transitivity = parse_td("R(x, y) & R(y, z) -> R(x, z)", schema)
+        path.add((Const("a"), Const("c")))
+        assert satisfies_all(path, [transitivity])
+
+    def test_mixed_set_short_circuits_on_first_violation(self, path, schema):
+        good = parse_td("R(x, y) -> R(x, y)", schema)
+        bad = parse_td("R(x, y) -> R(y, x)", schema)
+        assert not satisfies_all(path, [good, bad])
+
+
+class TestAllViolations:
+    def test_empty_when_satisfied(self, path, schema):
+        reflexive_ish = parse_td("R(x, y) -> R(x, y)", schema)
+        assert all_violations(path, [reflexive_ish]) == []
+
+    def test_reports_each_violated_dependency_once(self, path, schema):
+        transitivity = parse_td("R(x, y) & R(y, z) -> R(x, z)", schema)
+        symmetry = parse_td("R(x, y) -> R(y, x)", schema)
+        violations = all_violations(path, [transitivity, symmetry])
+        assert len(violations) == 2
+        assert {dep for dep, __ in violations} == {transitivity, symmetry}
+
+    def test_witness_is_antecedent_binding(self, path, schema):
+        symmetry = parse_td("R(x, y) -> R(y, x)", schema)
+        ((__, witness),) = all_violations(path, [symmetry])
+        assert set(variable.name for variable in witness) == {"x", "y"}

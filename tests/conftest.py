@@ -1,0 +1,68 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.reduction.encode import ReductionEncoding, encode
+from repro.relational.instance import Instance
+from repro.relational.schema import Schema
+from repro.relational.values import Const
+from repro.workloads.garment import figure1_dependency, garment_database
+from repro.workloads.instances import (
+    gap_instance,
+    negative_instance,
+    positive_instance,
+)
+
+
+@pytest.fixture
+def binary_schema() -> Schema:
+    return Schema(["FROM", "TO"])
+
+
+@pytest.fixture
+def ternary_schema() -> Schema:
+    return Schema(["SUPPLIER", "STYLE", "SIZE"])
+
+
+@pytest.fixture
+def garments() -> Instance:
+    return garment_database()
+
+
+@pytest.fixture
+def fig1():
+    return figure1_dependency()
+
+
+@pytest.fixture
+def edge_instance(binary_schema: Schema) -> Instance:
+    """A tiny binary instance: a path a -> b -> c."""
+    a, b, c = Const("a"), Const("b"), Const("c")
+    return Instance(binary_schema, [(a, b), (b, c)])
+
+
+@pytest.fixture(scope="session")
+def positive():
+    return positive_instance()
+
+
+@pytest.fixture(scope="session")
+def negative():
+    return negative_instance()
+
+
+@pytest.fixture(scope="session")
+def gap():
+    return gap_instance()
+
+
+@pytest.fixture(scope="session")
+def positive_encoding(positive) -> ReductionEncoding:
+    return encode(positive)
+
+
+@pytest.fixture(scope="session")
+def negative_encoding(negative) -> ReductionEncoding:
+    return encode(negative)

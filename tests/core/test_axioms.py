@@ -1,0 +1,188 @@
+"""Tests for the derivation calculus (repro.core.axioms)."""
+
+import pytest
+
+from repro.chase.implication import InferenceStatus, implies
+from repro.core.axioms import (
+    AxiomaticProof,
+    augment,
+    compose,
+    derive,
+    is_axiom,
+    subsumes,
+)
+from repro.dependencies.parser import parse_td
+from repro.dependencies.template import Variable
+from repro.errors import VerificationError
+from repro.relational.schema import Schema
+
+
+@pytest.fixture
+def schema():
+    return Schema(["A", "B"])
+
+
+@pytest.fixture
+def transitivity(schema):
+    return parse_td("R(x, y) & R(y, z) -> R(x, z)", schema)
+
+
+class TestTriviality:
+    def test_reflexive_td_is_axiom(self, schema):
+        assert is_axiom(parse_td("R(x, y) -> R(x, y)", schema))
+
+    def test_projection_with_existential_is_axiom(self, schema):
+        assert is_axiom(parse_td("R(x, y) -> R(x, w)", schema))
+
+    def test_transitivity_is_not_axiom(self, transitivity):
+        assert not is_axiom(transitivity)
+
+
+class TestSubsumption:
+    def test_augmented_version_subsumed(self, schema, transitivity):
+        augmented = parse_td(
+            "R(x, y) & R(y, z) & R(u, v) -> R(x, z)", schema
+        )
+        assert subsumes(transitivity, augmented) is not None
+
+    def test_variable_identification_subsumed(self, schema, transitivity):
+        identified = parse_td("R(x, x) -> R(x, x)", schema)
+        # transitivity with x=y=z: R(x,x) & R(x,x) -> R(x,x).
+        assert subsumes(transitivity, identified) is not None
+
+    def test_subsumption_is_sound(self, schema, transitivity):
+        augmented = parse_td(
+            "R(x, y) & R(y, z) & R(u, v) -> R(x, z)", schema
+        )
+        assert subsumes(transitivity, augmented) is not None
+        assert implies([transitivity], augmented).status is InferenceStatus.PROVED
+
+    def test_non_consequence_not_subsumed(self, schema, transitivity):
+        symmetry = parse_td("R(x, y) -> R(y, x)", schema)
+        assert subsumes(transitivity, symmetry) is None
+
+    def test_existential_maps_to_existential(self, schema):
+        general = parse_td("R(x, y) -> R(y, w)", schema)
+        specific = parse_td("R(x, y) -> R(y, v)", schema)
+        assert subsumes(general, specific) is not None
+
+    def test_existential_cannot_map_to_universal_mismatch(self, schema):
+        general = parse_td("R(x, y) -> R(y, w)", schema)
+        stronger = parse_td("R(x, y) -> R(y, x)", schema)
+        # R(y, x) pins the second column to a universal; the weaker
+        # existential dependency must not subsume it.
+        assert subsumes(general, stronger) is None
+
+    def test_schema_mismatch(self, transitivity):
+        other = parse_td("R(x, y, z) -> R(x, y, z)")
+        assert subsumes(transitivity, other) is None
+
+
+class TestComposition:
+    def test_transitivity_self_composition(self, schema, transitivity):
+        """Composing T with T yields consequences of {T} only."""
+        for derived in compose(transitivity, transitivity):
+            outcome = implies([transitivity], derived)
+            assert outcome.status is InferenceStatus.PROVED
+
+    def test_composition_through_conclusion(self, schema):
+        """The tableau includes the first dependency's conclusion."""
+        make_loop = parse_td("R(x, y) -> R(y, x)", schema)
+        derived = list(compose(make_loop, make_loop))
+        # Match the second copy against the concluded (y, x) atom:
+        # derives R(x, y) -> R(x, y) among others.
+        assert any(td.is_trivial() for td in derived)
+
+    def test_composition_soundness_random(self):
+        from repro.workloads.generators import random_td
+
+        for seed in range(6):
+            first = random_td(seed=seed, arity=2)
+            second = random_td(seed=seed + 100, arity=2)
+            for derived in list(compose(first, second))[:4]:
+                outcome = implies([first, second], derived)
+                assert outcome.status is InferenceStatus.PROVED
+
+    def test_variable_capture_avoided(self, schema):
+        first = parse_td("R(x, y) -> R(y, w)", schema)
+        second = parse_td("R(w, y) -> R(y, w)", schema)
+        for derived in compose(first, second):
+            # All derived conclusions draw on first's variables or fresh
+            # ones; second's 'w' was renamed apart.
+            assert derived.schema == schema
+
+
+class TestAugmentation:
+    def test_augment_adds_antecedents(self, transitivity):
+        u, v = Variable("u"), Variable("v")
+        augmented = augment(transitivity, [(u, v)])
+        assert len(augmented.antecedents) == 3
+
+    def test_augment_sound(self, transitivity):
+        u, v = Variable("u"), Variable("v")
+        augmented = augment(transitivity, [(u, v)])
+        assert implies([transitivity], augmented).status is InferenceStatus.PROVED
+
+    def test_capture_rejected(self, schema):
+        td = parse_td("R(x, y) -> R(y, w)", schema)
+        w = Variable("w")
+        u = Variable("u")
+        with pytest.raises(VerificationError):
+            augment(td, [(w, u)])
+
+
+class TestDerive:
+    def test_path_three_derivable(self, schema, transitivity):
+        target = parse_td("R(x, y) & R(y, z) & R(z, w) -> R(x, w)", schema)
+        proof = derive([transitivity], target)
+        assert proof is not None
+        proof.verify()
+        assert proof.length >= 2  # two composition steps needed
+
+    def test_trivial_target_closes_immediately(self, schema, transitivity):
+        target = parse_td("R(x, y) -> R(x, y)", schema)
+        proof = derive([transitivity], target)
+        assert proof is not None
+        assert proof.length == 0
+
+    def test_non_consequence_not_derivable(self, schema, transitivity):
+        symmetry = parse_td("R(x, y) -> R(y, x)", schema)
+        assert derive([transitivity], symmetry, max_steps=30) is None
+
+    def test_derivations_agree_with_chase(self, schema):
+        """On a mixed suite, derive() and implies() agree."""
+        deps = [
+            parse_td("R(x, y) & R(y, z) -> R(x, z)", schema),
+            parse_td("R(x, y) -> R(y, x)", schema),
+        ]
+        suite = [
+            ("R(x, y) -> R(x, y)", True),
+            ("R(x, y) & R(y, z) & R(z, w) -> R(w, x)", True),
+            ("R(x, y) -> R(x, w)", True),
+        ]
+        for text, expected in suite:
+            target = parse_td(text, schema)
+            proof = derive(deps, target, max_steps=80)
+            chased = implies(deps, target)
+            assert (proof is not None) == expected
+            assert (chased.status is InferenceStatus.PROVED) == expected
+
+    def test_proof_verification_catches_tampering(self, schema, transitivity):
+        target = parse_td("R(x, y) & R(y, z) & R(z, w) -> R(x, w)", schema)
+        proof = derive([transitivity], target)
+        tampered = AxiomaticProof(
+            hypotheses=[],  # steps now use a non-hypothesis
+            target=proof.target,
+            steps=proof.steps,
+            closing_substitution=proof.closing_substitution,
+        )
+        if proof.steps:
+            with pytest.raises(VerificationError):
+                tampered.verify()
+
+    def test_embedded_hypotheses(self, schema):
+        successor = parse_td("R(x, y) -> R(y, s)", schema)
+        target = parse_td("R(x, y) & R(y, z) -> R(z, w)", schema)
+        proof = derive([successor], target, max_steps=20)
+        assert proof is not None
+        proof.verify()

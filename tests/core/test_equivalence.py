@@ -1,0 +1,80 @@
+"""Unit tests for repro.core.equivalence."""
+
+import pytest
+
+from repro.chase.implication import InferenceStatus
+from repro.core.equivalence import equivalent_sets, is_redundant, minimal_cover
+from repro.dependencies.parser import parse_td
+from repro.relational.schema import Schema
+
+
+@pytest.fixture
+def schema():
+    return Schema(["A", "B"])
+
+
+@pytest.fixture
+def transitivity(schema):
+    return parse_td("R(x, y) & R(y, z) -> R(x, z)", schema)
+
+
+@pytest.fixture
+def three_step(schema):
+    return parse_td("R(x, y) & R(y, z) & R(z, w) -> R(x, w)", schema)
+
+
+class TestEquivalentSets:
+    def test_set_equivalent_to_itself_plus_consequence(
+        self, transitivity, three_step
+    ):
+        report = equivalent_sets([transitivity], [transitivity, three_step])
+        assert report.equivalent
+        assert report.status is InferenceStatus.PROVED
+
+    def test_inequivalent_sets(self, schema, transitivity):
+        symmetry = parse_td("R(x, y) -> R(y, x)", schema)
+        report = equivalent_sets([transitivity], [symmetry])
+        assert report.status is InferenceStatus.DISPROVED
+        assert symmetry in report.missing_left_to_right
+
+    def test_direction_tracking(self, schema, transitivity):
+        symmetry = parse_td("R(x, y) -> R(y, x)", schema)
+        report = equivalent_sets([transitivity, symmetry], [transitivity])
+        # left covers right, right does not cover left.
+        assert report.missing_left_to_right == []
+        assert symmetry in report.missing_right_to_left
+
+    def test_empty_sets_equivalent(self):
+        assert equivalent_sets([], []).equivalent
+
+
+class TestRedundancy:
+    def test_consequence_is_redundant(self, transitivity, three_step):
+        status = is_redundant([transitivity, three_step], three_step)
+        assert status is InferenceStatus.PROVED
+
+    def test_generator_not_redundant(self, transitivity, three_step):
+        status = is_redundant([transitivity, three_step], transitivity)
+        assert status is InferenceStatus.DISPROVED
+
+
+class TestMinimalCover:
+    def test_removes_consequences(self, transitivity, three_step, schema):
+        four_step = parse_td(
+            "R(x, y) & R(y, z) & R(z, w) & R(w, u) -> R(x, u)", schema
+        )
+        cover = minimal_cover([transitivity, three_step, four_step])
+        assert cover == [transitivity]
+
+    def test_keeps_independent_dependencies(self, schema, transitivity):
+        symmetry = parse_td("R(x, y) -> R(y, x)", schema)
+        cover = minimal_cover([transitivity, symmetry])
+        assert set(cover) == {transitivity, symmetry}
+
+    def test_cover_still_equivalent(self, transitivity, three_step):
+        original = [transitivity, three_step]
+        cover = minimal_cover(original)
+        assert equivalent_sets(cover, original).equivalent
+
+    def test_singleton_kept(self, transitivity):
+        assert minimal_cover([transitivity]) == [transitivity]

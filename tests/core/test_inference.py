@@ -1,0 +1,117 @@
+"""Unit tests for repro.core.inference (the facade)."""
+
+import pytest
+
+from repro.chase.budget import Budget
+from repro.chase.implication import InferenceStatus
+from repro.core.inference import Semantics, infer
+from repro.dependencies.parser import parse_td
+from repro.relational.schema import Schema
+
+
+@pytest.fixture
+def schema():
+    return Schema(["A", "B"])
+
+
+@pytest.fixture
+def transitivity(schema):
+    return parse_td("R(x, y) & R(y, z) -> R(x, z)", schema)
+
+
+@pytest.fixture
+def successor(schema):
+    return parse_td("R(x, y) -> R(y, s)", schema)
+
+
+class TestProved:
+    def test_proved_under_both_semantics(self, schema, transitivity):
+        target = parse_td("R(x, y) & R(y, z) & R(z, w) -> R(x, w)", schema)
+        for semantics in Semantics:
+            report = infer([transitivity], target, semantics=semantics)
+            assert report.proved
+            assert report.semantics is semantics
+
+    def test_proof_certificate_attached(self, schema, transitivity):
+        target = parse_td("R(x, y) & R(y, z) & R(z, w) -> R(x, w)", schema)
+        report = infer([transitivity], target)
+        assert report.chase_outcome is not None
+        assert report.chase_outcome.chase_result.steps
+
+
+class TestDisprovedByChase:
+    def test_terminating_chase_counterexample(self, schema, transitivity):
+        symmetry = parse_td("R(x, y) -> R(y, x)", schema)
+        report = infer([transitivity], symmetry)
+        assert report.disproved
+        assert report.finite_counterexample is not None
+
+    def test_counterexample_verified(self, schema, transitivity):
+        symmetry = parse_td("R(x, y) -> R(y, x)", schema)
+        report = infer([transitivity], symmetry, verify_certificates=True)
+        assert transitivity.holds_in(report.finite_counterexample)
+
+
+class TestDisprovedByFiniteSearch:
+    def test_divergent_chase_rescued_by_model_search(self, schema, successor):
+        predecessor = parse_td("R(x, y) -> R(p, x)", schema)
+        report = infer(
+            [successor], predecessor,
+            semantics=Semantics.FINITE,
+            budget=Budget.small(),
+        )
+        assert report.disproved
+        assert report.finite_counterexample is not None
+        assert successor.holds_in(report.finite_counterexample)
+        assert predecessor.find_violation(report.finite_counterexample) is not None
+
+    def test_finite_witness_refutes_unrestricted_too(self, schema, successor):
+        predecessor = parse_td("R(x, y) -> R(p, x)", schema)
+        report = infer(
+            [successor], predecessor,
+            semantics=Semantics.UNRESTRICTED,
+            budget=Budget.small(),
+        )
+        assert report.disproved
+
+
+class TestUnknown:
+    def test_unknown_when_everything_fails(self, schema, successor):
+        # successor |= successor-renamed is actually PROVED; build a case
+        # where the implication holds only "in the limit": the chase
+        # cannot reach it under a tiny budget and no finite counterexample
+        # exists. successor |= 'every node reaches a 2-step descendant'
+        # IS proved quickly, so use the reduction's gap-like shape instead:
+        # successor |= predecessor restricted... Simplest honest UNKNOWN:
+        # make the finite search fail by demanding something true.
+        target = parse_td("R(x, y) & R(y, z) & R(z, w) -> R(w, v)", schema)
+        report = infer(
+            [successor],
+            target,
+            budget=Budget(max_steps=1, max_rows=3, max_seconds=5),
+        )
+        # Either the goal-directed chase proves it within one step (it
+        # needs just one firing) or it is UNKNOWN; both are sound. Check
+        # that the report is never DISPROVED (the implication is valid).
+        assert report.status in (InferenceStatus.PROVED, InferenceStatus.UNKNOWN)
+
+    def test_genuine_unknown_reported(self, positive_encoding):
+        """The encoded positive instance under a starvation budget: the
+        implication holds, but one chase step cannot establish it and no
+        finite counterexample exists within the searcher's bounds."""
+        report = infer(
+            positive_encoding.dependencies,
+            positive_encoding.d0,
+            budget=Budget(max_steps=2, max_rows=10, max_seconds=5),
+            finite_search_seed=0,
+            finite_search_restarts=2,
+            finite_search_seconds=2.0,
+        )
+        assert report.status is InferenceStatus.UNKNOWN
+
+
+class TestDescribe:
+    def test_mentions_semantics(self, schema, transitivity):
+        target = parse_td("R(x, y) & R(y, z) & R(z, w) -> R(x, w)", schema)
+        report = infer([transitivity], target, semantics=Semantics.FINITE)
+        assert "finite" in report.describe()

@@ -1,0 +1,201 @@
+"""Tests for serialization (repro.io)."""
+
+import json
+
+import pytest
+
+from repro.chase.engine import chase, replay
+from repro.dependencies.parser import parse_dependency, parse_td
+from repro.errors import ParseError
+from repro.io.json_codec import (
+    CodecError,
+    dependency_from_json,
+    dependency_to_json,
+    instance_from_json,
+    instance_to_json,
+    presentation_from_json,
+    presentation_to_json,
+    semigroup_from_json,
+    semigroup_to_json,
+    trace_from_json,
+    trace_to_json,
+    value_from_json,
+    value_to_json,
+)
+from repro.io.textfmt import (
+    parse_dependency_file,
+    parse_presentation_text,
+    render_presentation_text,
+)
+from repro.relational.instance import Instance
+from repro.relational.schema import Schema
+from repro.relational.values import Const, LabeledNull
+from repro.semigroups.construct import free_nilpotent
+from repro.workloads.garment import garment_database, garment_eid
+from repro.workloads.instances import positive_instance
+
+
+def round_trip(payload):
+    """Force a pass through actual JSON text."""
+    return json.loads(json.dumps(payload))
+
+
+class TestValueCodec:
+    def test_plain_constant(self):
+        value = Const("BVD")
+        assert value_from_json(round_trip(value_to_json(value))) == value
+
+    def test_tuple_named_constant(self):
+        value = Const(("frozen", "x", 3))
+        assert value_from_json(round_trip(value_to_json(value))) == value
+
+    def test_nested_value_constant(self):
+        value = Const((Const("a"), Const("b")))  # a direct-product value
+        assert value_from_json(round_trip(value_to_json(value))) == value
+
+    def test_labelled_null(self):
+        value = LabeledNull(7)
+        assert value_from_json(round_trip(value_to_json(value))) == value
+
+    def test_bad_payload(self):
+        with pytest.raises(CodecError):
+            value_from_json({"wat": 1})
+
+
+class TestInstanceCodec:
+    def test_garment_database(self):
+        db = garment_database()
+        assert instance_from_json(round_trip(instance_to_json(db))) == db
+
+    def test_instance_with_nulls(self):
+        schema = Schema(["A", "B"])
+        instance = Instance(schema, [(Const("a"), LabeledNull(0))])
+        decoded = instance_from_json(round_trip(instance_to_json(instance)))
+        assert decoded == instance
+
+    def test_chased_instance_round_trips(self):
+        fig1 = parse_td("R(a, b, c) & R(a, b', c') -> R(a*, b, c')",
+                        garment_database().schema)
+        result = chase(garment_database(), [fig1])
+        decoded = instance_from_json(
+            round_trip(instance_to_json(result.instance))
+        )
+        assert decoded == result.instance
+
+
+class TestDependencyCodec:
+    def test_td(self):
+        td = parse_td("R(x, y) & R(y, z) -> R(x, z)")
+        assert dependency_from_json(round_trip(dependency_to_json(td))) == td
+
+    def test_eid(self):
+        eid = garment_eid()
+        decoded = dependency_from_json(round_trip(dependency_to_json(eid)))
+        assert decoded == eid
+
+    def test_name_preserved(self):
+        eid = garment_eid()
+        assert dependency_from_json(dependency_to_json(eid)).name == eid.name
+
+    def test_td_with_many_conclusions_rejected(self):
+        payload = dependency_to_json(garment_eid())
+        payload["kind"] = "td"
+        with pytest.raises(CodecError):
+            dependency_from_json(payload)
+
+
+class TestPresentationAndSemigroupCodec:
+    def test_presentation(self):
+        presentation = positive_instance()
+        decoded = presentation_from_json(
+            round_trip(presentation_to_json(presentation))
+        )
+        assert decoded.alphabet == presentation.alphabet
+        assert decoded.equations == presentation.equations
+        assert decoded.zero == presentation.zero
+
+    def test_semigroup(self):
+        semigroup = free_nilpotent(4)
+        decoded = semigroup_from_json(round_trip(semigroup_to_json(semigroup)))
+        assert decoded == semigroup
+
+    def test_semigroup_associativity_rechecked(self):
+        payload = {"table": [[0, 0], [1, 0]], "names": ["a", "b"]}
+        from repro.errors import SemigroupError
+
+        with pytest.raises(SemigroupError):
+            semigroup_from_json(payload)
+
+
+class TestTraceCodec:
+    def test_trace_round_trips_and_replays(self):
+        schema = Schema(["A", "B"])
+        td = parse_td("R(x, y) & R(y, z) -> R(x, z)", schema)
+        start = Instance(
+            schema,
+            [(Const("a"), Const("b")), (Const("b"), Const("c"))],
+        )
+        result = chase(start, [td])
+        decoded = trace_from_json(round_trip(trace_to_json(result.steps)))
+        replayed = replay(start, decoded)
+        assert replayed.rows == result.instance.rows
+
+    def test_registry_deduplicates(self):
+        schema = Schema(["A", "B"])
+        td = parse_td("R(x, y) & R(y, z) -> R(x, z)", schema)
+        nodes = [Const(f"n{i}") for i in range(5)]
+        start = Instance(schema, [(nodes[i], nodes[i + 1]) for i in range(4)])
+        result = chase(start, [td])
+        payload = trace_to_json(result.steps)
+        assert len(payload["dependencies"]) == 1
+        assert len(payload["steps"]) == result.step_count
+
+
+class TestTextFormats:
+    def test_dependency_file(self):
+        text = """
+        # two constraints
+        R(x, y) & R(y, z) -> R(x, z)
+
+        R(x, y) -> R(y, x)   # symmetry
+        """
+        deps = parse_dependency_file(text)
+        assert len(deps) == 2
+        assert deps[0].schema is deps[1].schema  # unified default schema
+
+    def test_dependency_file_reports_line(self):
+        with pytest.raises(ParseError, match="line 2"):
+            parse_dependency_file("R(x,y) -> R(y,x)\nnot a dependency\n")
+
+    def test_dependency_file_arity_mismatch(self):
+        with pytest.raises(ParseError):
+            parse_dependency_file("R(x,y) -> R(y,x)\nR(x,y,z) -> R(x,y,z)\n")
+
+    def test_presentation_file(self):
+        text = """
+        letters: A0 0
+        zero: 0
+        a0: A0
+        A0 A0 = A0
+        A0 A0 = 0
+        """
+        presentation = parse_presentation_text(text)
+        assert presentation.has_zero_equations()
+        assert len(presentation.alphabet) == 2
+
+    def test_presentation_without_zero_laws(self):
+        text = "letters: A0 0\nzero-equations: no\nA0 A0 = 0\n"
+        presentation = parse_presentation_text(text)
+        assert not presentation.has_zero_equations()
+        assert len(presentation.equations) == 1
+
+    def test_presentation_requires_letters(self):
+        with pytest.raises(ParseError):
+            parse_presentation_text("A0 A0 = 0\n")
+
+    def test_presentation_render_parse_round_trip(self):
+        presentation = positive_instance()
+        text = render_presentation_text(presentation)
+        decoded = parse_presentation_text(text)
+        assert decoded.alphabet == presentation.alphabet
+        assert set(decoded.equations) == set(presentation.equations)

@@ -1,0 +1,70 @@
+"""Unit tests for repro.dependencies.classify."""
+
+import pytest
+
+from repro.dependencies.classify import (
+    attribute_count,
+    max_antecedent_count,
+    summarize,
+)
+from repro.dependencies.parser import parse_td
+from repro.relational.schema import Schema
+from repro.workloads.garment import figure1_dependency, garment_eid
+
+
+class TestCounts:
+    def test_max_antecedent_count(self):
+        deps = [
+            parse_td("R(x, y) -> R(y, x)"),
+            parse_td("R(x, y) & R(y, z) & R(z, w) -> R(x, w)"),
+        ]
+        assert max_antecedent_count(deps) == 3
+
+    def test_max_antecedent_count_empty(self):
+        assert max_antecedent_count([]) == 0
+
+    def test_attribute_count(self):
+        assert attribute_count([figure1_dependency()]) == 3
+
+    def test_attribute_count_empty_rejected(self):
+        with pytest.raises(ValueError):
+            attribute_count([])
+
+    def test_attribute_count_mixed_schemas_rejected(self):
+        deps = [parse_td("R(x, y) -> R(y, x)"), figure1_dependency()]
+        with pytest.raises(ValueError):
+            attribute_count(deps)
+
+
+class TestSummary:
+    def test_summary_fields(self):
+        deps = [figure1_dependency(), garment_eid()]
+        summary = summarize(deps)
+        assert summary.count == 2
+        assert summary.attribute_count == 3
+        assert summary.max_antecedents == 2
+        assert summary.embedded_count == 2
+        assert summary.full_count == 0
+        assert summary.typed
+
+    def test_summary_detects_untyped(self):
+        deps = [parse_td("R(x, y) & R(y, z) -> R(x, z)")]
+        assert not summarize(deps).typed
+
+    def test_summary_counts_full(self):
+        schema = Schema(["A", "B"])
+        full = parse_td("R(x, y) & R(x, y2) -> R(x, y)", schema)
+        assert summarize([full]).full_count == 1
+
+    def test_str_mentions_key_numbers(self):
+        text = str(summarize([figure1_dependency()]))
+        assert "1 dependencies" in text
+        assert "3 attributes" in text
+
+    def test_reduction_encoding_summary(self, positive_encoding):
+        """Paper claims (E3): at most 5 antecedents, 2n+2 attributes."""
+        summary = summarize(positive_encoding.dependencies + [positive_encoding.d0])
+        assert summary.max_antecedents == 5
+        letters = len(positive_encoding.presentation.alphabet)
+        assert summary.attribute_count == 2 * letters + 2
+        assert summary.typed

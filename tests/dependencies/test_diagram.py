@@ -1,0 +1,126 @@
+"""Unit tests for repro.dependencies.diagram (the Figure 1 notation)."""
+
+import pytest
+
+from repro.dependencies.diagram import CONCLUSION, Diagram, DiagramEdge, diagram_of
+from repro.dependencies.parser import parse_td
+from repro.errors import DiagramError, TypingError
+from repro.relational.schema import Schema
+from repro.workloads.garment import figure1_dependency
+
+
+class TestDiagramEdge:
+    def test_make_normalises_endpoint_order(self):
+        assert DiagramEdge.make("2", "1", "A") == DiagramEdge.make("1", "2", "A")
+
+    def test_make_accepts_ints(self):
+        edge = DiagramEdge.make(1, CONCLUSION, "A")
+        assert edge.endpoints() == ("*", "1")
+
+    def test_str(self):
+        assert "--A--" in str(DiagramEdge.make("1", "2", "A"))
+
+
+class TestDiagramConstruction:
+    def test_figure1_shape(self):
+        diagram = diagram_of(figure1_dependency())
+        assert diagram.antecedent_count == 2
+        assert diagram.node_labels() == ("1", "2", "*")
+        assert len(diagram.edges) == 3  # SUPPLIER 1-2, STYLE 1-*, SIZE 2-*
+
+    def test_unknown_attribute_rejected(self):
+        schema = Schema(["A", "B"])
+        with pytest.raises(DiagramError):
+            Diagram(schema, 1, [DiagramEdge.make("1", "*", "Z")])
+
+    def test_unknown_node_rejected(self):
+        schema = Schema(["A", "B"])
+        with pytest.raises(DiagramError):
+            Diagram(schema, 1, [DiagramEdge.make("1", "7", "A")])
+
+    def test_zero_antecedents_rejected(self):
+        with pytest.raises(DiagramError):
+            Diagram(Schema(["A"]), 0, [])
+
+    def test_untyped_dependency_has_no_diagram(self):
+        transitivity = parse_td("R(x, y) & R(y, z) -> R(x, z)")
+        with pytest.raises(TypingError):
+            diagram_of(transitivity)
+
+
+class TestRoundTrip:
+    def test_figure1_round_trips(self):
+        fig1 = figure1_dependency()
+        rebuilt = diagram_of(fig1).to_dependency()
+        assert rebuilt.structurally_equal(fig1)
+
+    def test_round_trip_preserves_existentials(self):
+        fig1 = figure1_dependency()
+        rebuilt = diagram_of(fig1).to_dependency()
+        assert len(rebuilt.existential_variables()) == 1
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_typed_dependencies_round_trip(self, seed):
+        from repro.workloads.generators import random_td
+
+        td = random_td(arity=3, antecedents=3, seed=seed)
+        rebuilt = diagram_of(td).to_dependency()
+        assert rebuilt.structurally_equal(td)
+
+    def test_dependency_with_no_shared_variables(self):
+        td = parse_td("R(a, b) -> R(c, d)")
+        diagram = diagram_of(td)
+        assert len(diagram.edges) == 0
+        rebuilt = diagram.to_dependency()
+        assert rebuilt.structurally_equal(td)
+
+    def test_transitive_edges_equivalent(self):
+        """A clique of edges and its spanning tree denote the same TD."""
+        schema = Schema(["A"])
+        full = Diagram(
+            schema,
+            3,
+            [
+                DiagramEdge.make("1", "2", "A"),
+                DiagramEdge.make("2", "3", "A"),
+                DiagramEdge.make("1", "3", "A"),
+            ],
+        )
+        spanning = Diagram(
+            schema,
+            3,
+            [DiagramEdge.make("1", "2", "A"), DiagramEdge.make("2", "3", "A")],
+        )
+        assert full.to_dependency().structurally_equal(spanning.to_dependency())
+
+
+class TestReducedEdges:
+    def test_reduced_removes_implied_edge(self):
+        schema = Schema(["A"])
+        full = Diagram(
+            schema,
+            3,
+            [
+                DiagramEdge.make("1", "2", "A"),
+                DiagramEdge.make("2", "3", "A"),
+                DiagramEdge.make("1", "3", "A"),
+            ],
+        )
+        assert len(full.reduced_edges()) == 2
+
+    def test_reduced_keeps_components(self):
+        diagram = diagram_of(figure1_dependency())
+        reduced = Diagram(diagram.schema, diagram.antecedent_count, diagram.reduced_edges())
+        assert reduced.to_dependency().structurally_equal(diagram.to_dependency())
+
+
+class TestEqualityAndDisplay:
+    def test_equal_diagrams(self):
+        assert diagram_of(figure1_dependency()) == diagram_of(figure1_dependency())
+
+    def test_hashable(self):
+        d = diagram_of(figure1_dependency())
+        assert len({d, diagram_of(figure1_dependency())}) == 1
+
+    def test_repr(self):
+        assert "Diagram" in repr(diagram_of(figure1_dependency()))

@@ -1,0 +1,128 @@
+"""Unit tests for repro.dependencies.eid."""
+
+import pytest
+
+from repro.dependencies.eid import EmbeddedImplicationalDependency, td_as_eid
+from repro.dependencies.template import TemplateDependency, Variable
+from repro.errors import DependencyError
+from repro.relational.instance import Instance
+from repro.relational.schema import Schema
+from repro.relational.values import Const
+from repro.workloads.garment import garment_eid
+
+
+@pytest.fixture
+def schema():
+    return Schema(["A", "B", "C"])
+
+
+class TestConstruction:
+    def test_paper_example(self):
+        eid = garment_eid()
+        assert len(eid.antecedents) == 2
+        assert len(eid.conclusions) == 2
+        assert eid.is_typed()
+
+    def test_needs_antecedents(self, schema):
+        v = tuple(Variable(f"v{i}") for i in range(3))
+        with pytest.raises(DependencyError):
+            EmbeddedImplicationalDependency(schema, [], [v])
+
+    def test_needs_conclusions(self, schema):
+        v = tuple(Variable(f"v{i}") for i in range(3))
+        with pytest.raises(DependencyError):
+            EmbeddedImplicationalDependency(schema, [v], [])
+
+
+class TestStructure:
+    def test_existential_variables(self):
+        eid = garment_eid()
+        assert {v.name for v in eid.existential_variables()} == {"a*"}
+
+    def test_single_conclusion_is_td(self, schema):
+        v = tuple(Variable(f"v{i}") for i in range(3))
+        eid = EmbeddedImplicationalDependency(schema, [v], [v])
+        assert eid.is_template_dependency()
+        assert isinstance(eid.as_template_dependency(), TemplateDependency)
+
+    def test_multi_conclusion_is_not_td(self):
+        eid = garment_eid()
+        assert not eid.is_template_dependency()
+        with pytest.raises(DependencyError):
+            eid.as_template_dependency()
+
+    def test_split_produces_one_td_per_conclusion(self):
+        split = garment_eid().split()
+        assert len(split) == 2
+        assert all(isinstance(td, TemplateDependency) for td in split)
+
+    def test_td_as_eid_round_trip(self, schema):
+        a, b, c = Variable("a"), Variable("b"), Variable("c")
+        td = TemplateDependency(schema, [(a, b, c)], (a, b, c))
+        eid = td_as_eid(td)
+        assert eid.as_template_dependency() == td
+
+
+class TestSemantics:
+    def test_conjunction_stronger_than_split(self):
+        """The EID requires ONE witness for both atoms; the split does not."""
+        eid = garment_eid()
+        schema = eid.schema
+        s1, s2, s3 = Const("s1"), Const("s2"), Const("s3")
+        dress, brief = Const("dress"), Const("brief")
+        small, large = Const("small"), Const("large")
+        # s1 supplies dress/small and brief/large; s2 covers dress/large
+        # and s3 covers brief/small, so each split TD has a witness for
+        # every match. But nobody supplies dress in BOTH sizes, so the
+        # conjunction (one witness for both atoms) fails.
+        instance = Instance(
+            schema,
+            [
+                (s1, dress, small),
+                (s1, brief, large),
+                (s2, dress, large),
+                (s3, brief, small),
+            ],
+        )
+        assert all(td.holds_in(instance) for td in eid.split())
+        assert not eid.holds_in(instance)
+
+    def test_holds_with_common_witness(self):
+        eid = garment_eid()
+        schema = eid.schema
+        s1 = Const("s1")
+        dress = Const("dress")
+        small, large = Const("small"), Const("large")
+        # One supplier of one style in two sizes: every antecedent match
+        # has s1 itself as the common witness for both conclusion atoms.
+        instance = Instance(schema, [(s1, dress, small), (s1, dress, large)])
+        assert eid.holds_in(instance)
+
+    def test_empty_instance_vacuous(self):
+        eid = garment_eid()
+        assert eid.holds_in(Instance(eid.schema))
+
+    def test_find_violation_returns_universal_binding(self):
+        eid = garment_eid()
+        schema = eid.schema
+        s1 = Const("s1")
+        dress, brief = Const("dress"), Const("brief")
+        small, large = Const("small"), Const("large")
+        # s1 supplies dress/small and brief/large; no common witness for
+        # "dress in both sizes" exists, so the EID is violated.
+        instance = Instance(schema, [(s1, dress, small), (s1, brief, large)])
+        witness = eid.find_violation(instance)
+        assert witness is not None
+        assert set(witness) <= eid.universal_variables()
+
+
+
+class TestDisplay:
+    def test_str_shows_conjunction(self):
+        text = str(garment_eid())
+        assert text.count("->") == 1
+        assert text.split("->")[1].count("R(") == 2
+
+    def test_equality_and_hash(self):
+        assert garment_eid() == garment_eid()
+        assert hash(garment_eid()) == hash(garment_eid())

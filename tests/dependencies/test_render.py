@@ -1,0 +1,55 @@
+"""Unit tests for repro.dependencies.render."""
+
+from repro.dependencies.diagram import diagram_of
+from repro.dependencies.render import render_ascii, render_dot
+from repro.workloads.garment import figure1_dependency
+
+
+class TestAscii:
+    def test_contains_nodes_and_edges(self):
+        text = render_ascii(diagram_of(figure1_dependency()))
+        assert "nodes: 1, 2, *" in text
+        assert "--SUPPLIER--" in text
+        assert "--STYLE--" in text
+        assert "--SIZE--" in text
+
+    def test_title_rendered_with_underline(self):
+        text = render_ascii(diagram_of(figure1_dependency()), "Figure 1")
+        lines = text.splitlines()
+        assert lines[0] == "Figure 1"
+        assert lines[1] == "=" * len("Figure 1")
+
+    def test_deterministic(self):
+        diagram = diagram_of(figure1_dependency())
+        assert render_ascii(diagram) == render_ascii(diagram)
+
+    def test_edgeless_diagram_notes_independence(self):
+        from repro.dependencies.parser import parse_td
+
+        diagram = diagram_of(parse_td("R(a, b) -> R(c, d)"))
+        assert "none" in render_ascii(diagram)
+
+
+class TestDot:
+    def test_valid_graph_structure(self):
+        dot = render_dot(diagram_of(figure1_dependency()), "fig1")
+        assert dot.startswith("graph fig1 {")
+        assert dot.rstrip().endswith("}")
+
+    def test_star_node_doubled(self):
+        dot = render_dot(diagram_of(figure1_dependency()))
+        assert "doublecircle" in dot
+
+    def test_edges_labelled(self):
+        dot = render_dot(diagram_of(figure1_dependency()))
+        assert 'label="SUPPLIER"' in dot
+
+    def test_identifier_sanitised(self):
+        dot = render_dot(diagram_of(figure1_dependency()), "D1[A0.A0=0]")
+        first_line = dot.splitlines()[0]
+        assert "[" not in first_line
+        assert "=" not in first_line
+
+    def test_identifier_leading_digit_prefixed(self):
+        dot = render_dot(diagram_of(figure1_dependency()), "1abc")
+        assert dot.startswith("graph g_1abc")

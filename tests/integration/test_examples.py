@@ -1,0 +1,54 @@
+"""The shipped examples run cleanly (smoke-level integration)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+EXAMPLES = [
+    "quickstart",
+    "garment_catalog",
+    "undecidability_reduction",
+    "finite_vs_unrestricted",
+    "diagrams_gallery",
+    "certificates",
+    "query_containment",
+]
+
+
+def _load(name: str):
+    spec = importlib.util.spec_from_file_location(
+        f"examples.{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys):
+    module = _load(name)
+    module.main()
+    output = capsys.readouterr().out
+    assert output.strip()  # every example narrates what it did
+
+
+def test_quickstart_reports_all_three_statuses(capsys):
+    module = _load("quickstart")
+    module.main()
+    output = capsys.readouterr().out
+    assert "proved" in output
+    assert "disproved" in output
+
+
+def test_reduction_example_confirms_both_directions(capsys):
+    module = _load("undecidability_reduction")
+    module.main()
+    output = capsys.readouterr().out
+    assert "direction (A) CONFIRMED" in output
+    assert "direction (B) CONFIRMED" in output
+    assert "unknown" in output  # the gap instance

@@ -1,0 +1,79 @@
+"""Property-based tests: JSON codecs round-trip exactly."""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.io.json_codec import (
+    dependency_from_json,
+    dependency_to_json,
+    instance_from_json,
+    instance_to_json,
+    presentation_from_json,
+    presentation_to_json,
+    value_from_json,
+    value_to_json,
+)
+from repro.relational.values import Const, LabeledNull
+
+from tests.properties.strategies import typed_instances, typed_tds
+
+# Constant names as they actually occur in the library: scalars, nested
+# tuples of scalars, and pair-values (direct products).
+scalar_names = st.one_of(st.text(max_size=8), st.integers(), st.booleans())
+constant_names = st.recursive(
+    scalar_names,
+    lambda inner: st.tuples(inner, inner),
+    max_leaves=4,
+)
+values = st.one_of(
+    constant_names.map(Const),
+    st.integers(min_value=0, max_value=10_000).map(LabeledNull),
+)
+
+
+def through_json(payload):
+    return json.loads(json.dumps(payload))
+
+
+@given(values)
+@settings(max_examples=100, deadline=None)
+def test_value_round_trip(value):
+    assert value_from_json(through_json(value_to_json(value))) == value
+
+
+@given(st.tuples(values, values))
+@settings(max_examples=50, deadline=None)
+def test_product_value_round_trip(pair):
+    from repro.relational.product import pair_value
+
+    value = pair_value(*pair)
+    assert value_from_json(through_json(value_to_json(value))) == value
+
+
+@given(typed_instances())
+@settings(max_examples=50, deadline=None)
+def test_instance_round_trip(instance):
+    decoded = instance_from_json(through_json(instance_to_json(instance)))
+    assert decoded == instance
+
+
+@given(typed_tds())
+@settings(max_examples=50, deadline=None)
+def test_dependency_round_trip(td):
+    decoded = dependency_from_json(through_json(dependency_to_json(td)))
+    assert decoded == td
+
+
+@given(st.integers(min_value=0, max_value=3))
+@settings(max_examples=4, deadline=None)
+def test_presentation_round_trip(extra):
+    from repro.workloads.instances import negative_family
+
+    presentation = negative_family(extra)
+    decoded = presentation_from_json(
+        through_json(presentation_to_json(presentation))
+    )
+    assert decoded.alphabet == presentation.alphabet
+    assert decoded.equations == presentation.equations

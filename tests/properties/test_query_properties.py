@@ -1,0 +1,88 @@
+"""Property-based tests for conjunctive queries: the homomorphism theorem
+read semantically."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dependencies.template import Variable
+from repro.relational.queries import ConjunctiveQuery
+from repro.relational.schema import Schema
+
+from tests.properties.strategies import typed_instances
+
+
+@st.composite
+def queries(draw, schema=None, max_atoms=3):
+    """Random safe conjunctive queries over a small variable pool."""
+    if schema is None:
+        arity = draw(st.integers(min_value=1, max_value=2))
+        schema = Schema([f"A{index}" for index in range(arity)])
+    pool = [Variable(f"v{index}") for index in range(3)]
+    atom_count = draw(st.integers(min_value=1, max_value=max_atoms))
+    body = []
+    for __ in range(atom_count):
+        body.append(
+            tuple(
+                pool[draw(st.integers(min_value=0, max_value=2))]
+                for __c in range(schema.arity)
+            )
+        )
+    body_variables = sorted(
+        {variable for atom in body for variable in atom},
+        key=lambda variable: variable.name,
+    )
+    head_size = draw(st.integers(min_value=0, max_value=len(body_variables)))
+    head = body_variables[:head_size]
+    return ConjunctiveQuery(schema, head, body)
+
+
+@st.composite
+def query_pairs_with_instance(draw):
+    arity = draw(st.integers(min_value=1, max_value=2))
+    schema = Schema([f"A{index}" for index in range(arity)])
+    first = draw(queries(schema=schema))
+    second = draw(queries(schema=schema))
+    instance = draw(typed_instances(schema=schema, max_rows=5))
+    return first, second, instance
+
+
+@given(query_pairs_with_instance())
+@settings(max_examples=60, deadline=None)
+def test_containment_implies_answer_inclusion(data):
+    """The easy direction of Chandra-Merlin, on random instances."""
+    first, second, instance = data
+    if len(first.head) != len(second.head):
+        return
+    if first.is_contained_in(second):
+        assert first.answers(instance) <= second.answers(instance)
+
+
+@given(queries(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_minimization_preserves_answers(query, data):
+    minimal = query.minimized()
+    assert minimal.is_equivalent_to(query)
+    instance = data.draw(typed_instances(schema=query.schema, max_rows=5))
+    assert minimal.answers(instance) == query.answers(instance)
+
+
+@given(queries())
+@settings(max_examples=60, deadline=None)
+def test_minimized_is_no_larger(query):
+    assert len(query.minimized().body) <= len(query.body)
+
+
+@given(queries())
+@settings(max_examples=60, deadline=None)
+def test_self_containment(query):
+    assert query.is_contained_in(query)
+
+
+@given(queries())
+@settings(max_examples=40, deadline=None)
+def test_canonical_instance_answers_include_frozen_head(query):
+    """Evaluating a query over its own canonical database returns the
+    frozen head (the identity match) -- the heart of Chandra-Merlin."""
+    canonical, assignment = query.canonical_instance()
+    frozen_head = tuple(assignment[variable] for variable in query.head)
+    assert frozen_head in query.answers(canonical)

@@ -1,0 +1,92 @@
+"""Property-based tests for the reduction's structural guarantees."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dependencies.classify import summarize
+from repro.reduction.bridge import bridge_instance
+from repro.reduction.encode import encode
+from repro.reduction.schema import ReductionSchema
+from repro.semigroups.presentation import Equation, Presentation
+from repro.workloads.instances import negative_family
+
+LETTERS = ["A0", "X1", "X2", "X3", "0"]
+
+
+@st.composite
+def small_presentations(draw):
+    """Random short-form presentations with zero equations."""
+    letter_count = draw(st.integers(min_value=0, max_value=3))
+    letters = ["A0"] + [f"X{index + 1}" for index in range(letter_count)] + ["0"]
+    extra_count = draw(st.integers(min_value=0, max_value=3))
+    extras = []
+    for __ in range(extra_count):
+        lhs = tuple(
+            letters[draw(st.integers(min_value=0, max_value=len(letters) - 1))]
+            for __i in range(2)
+        )
+        rhs = (letters[draw(st.integers(min_value=0, max_value=len(letters) - 1))],)
+        extras.append(Equation(lhs, rhs))
+    return Presentation.with_zero_equations(letters, extras)
+
+
+@given(small_presentations())
+@settings(max_examples=30, deadline=None)
+def test_encoding_size_formulas(presentation):
+    """|attributes| = 2n+2 and |D| = 4|E| for every presentation."""
+    encoding = encode(presentation)
+    n = len(encoding.presentation.alphabet)
+    assert encoding.attribute_count == 2 * n + 2
+    assert encoding.dependency_count == 4 * len(encoding.presentation.equations)
+
+
+@given(small_presentations())
+@settings(max_examples=30, deadline=None)
+def test_antecedent_bound_holds_universally(presentation):
+    """Every encoded dependency has at most five antecedents."""
+    encoding = encode(presentation)
+    summary = summarize(encoding.dependencies + [encoding.d0])
+    assert summary.max_antecedents <= 5
+    assert summary.typed
+
+
+@given(small_presentations())
+@settings(max_examples=30, deadline=None)
+def test_encoded_triviality_pattern(presentation):
+    """D1/D4 are never trivial; D2 (resp. D3) is trivial exactly when the
+    equation's first (resp. second) left letter equals the right letter —
+    for A = C the C-apex already is the A-apex D2 asserts (degenerate
+    zero equations like 0.X = 0 hit this), which is sound: trivial
+    dependencies hold in every database.
+    """
+    encoding = encode(presentation)
+    for equation, (d1, d2, d3, d4) in encoding.by_equation.items():
+        letter_a, letter_b = equation.lhs
+        letter_c = equation.rhs[0]
+        assert not d1.is_trivial()
+        assert not d4.is_trivial()
+        assert d2.is_trivial() == (letter_a == letter_c)
+        assert d3.is_trivial() == (letter_b == letter_c)
+    assert not encoding.d0.is_trivial()
+
+
+@given(st.lists(st.integers(min_value=0, max_value=2), min_size=1, max_size=6))
+@settings(max_examples=40, deadline=None)
+def test_bridge_size_formula(letter_indices):
+    """A bridge for a k-letter word has exactly 2k+1 tuples, all typed."""
+    schema = ReductionSchema(("A0", "X1", "0"))
+    word = tuple(("A0", "X1", "0")[index] for index in letter_indices)
+    instance, bridge = bridge_instance(schema, word)
+    assert bridge.tuple_count == 2 * len(word) + 1
+    assert len(instance) == bridge.tuple_count
+    instance.validate()
+
+
+@given(st.integers(min_value=0, max_value=2))
+@settings(max_examples=3, deadline=None)
+def test_negative_family_verifies_direction_b(extra):
+    """Direction (B) holds across the scaled negative family."""
+    from repro.reduction.theorem import prove_direction_b
+
+    report = prove_direction_b(negative_family(extra))
+    assert report.report.ok

@@ -1,0 +1,106 @@
+"""Property-based tests for the semigroup substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.semigroups.construct import (
+    adjoin_identity,
+    adjoin_zero,
+    free_nilpotent,
+    monogenic,
+    null_semigroup,
+)
+from repro.semigroups.presentation import Equation, Presentation
+from repro.semigroups.rewriting import find_derivation
+from repro.semigroups.search import _iter_all_tables
+from repro.semigroups.words import word
+
+INDICES = st.integers(min_value=2, max_value=6)
+
+
+@given(INDICES)
+@settings(max_examples=10, deadline=None)
+def test_nilpotent_semigroups_satisfy_paper_profile(index):
+    """zero, no identity, cancellation: the Main Lemma's second set."""
+    semigroup = free_nilpotent(index)
+    assert semigroup.zero() is not None
+    assert not semigroup.has_identity()
+    assert semigroup.has_cancellation_property()
+
+
+@given(INDICES)
+@settings(max_examples=10, deadline=None)
+def test_adjoin_identity_preserves_cancellation(index):
+    """The paper's lemma inside the proof of (B), over a family."""
+    base = free_nilpotent(index)
+    extended = adjoin_identity(base)
+    assert extended.has_identity()
+    assert extended.has_cancellation_property()
+
+
+@given(st.integers(min_value=1, max_value=5))
+@settings(max_examples=10, deadline=None)
+def test_adjoin_zero_creates_zero(size):
+    extended = adjoin_zero(null_semigroup(size))
+    assert extended.zero() == extended.size - 1
+
+
+@given(st.integers(min_value=1, max_value=4), st.integers(min_value=1, max_value=4))
+@settings(max_examples=16, deadline=None)
+def test_monogenic_is_associative_by_construction(index, period):
+    assert monogenic(index, period).is_associative()
+
+
+def test_all_exhaustive_tables_have_detected_structure():
+    """zero/identity detection agrees with brute force on all size-2 tables."""
+    for semigroup in _iter_all_tables(2):
+        size = semigroup.size
+        brute_zero = next(
+            (
+                z
+                for z in range(size)
+                if all(
+                    semigroup.product(z, x) == z and semigroup.product(x, z) == z
+                    for x in range(size)
+                )
+            ),
+            None,
+        )
+        assert semigroup.zero() == brute_zero
+
+
+@given(st.integers(min_value=0, max_value=10))
+@settings(max_examples=10, deadline=None)
+def test_derivations_are_symmetric(seed):
+    """If u derives to v, then v derives to u (replacements invert)."""
+    presentation = Presentation.with_zero_equations(
+        ["A0", "0"],
+        [Equation.make(["A0", "A0"], ["0"])],
+    )
+    source = word(["A0", "A0"]) if seed % 2 else word(["A0"])
+    target = word(["0"])
+    forward = find_derivation(presentation, source, target, max_length=4)
+    backward = find_derivation(presentation, target, source, max_length=4)
+    assert (forward is None) == (backward is None)
+    if forward is not None:
+        backward.validate(presentation)
+
+
+@given(st.integers(min_value=2, max_value=4))
+@settings(max_examples=6, deadline=None)
+def test_normalisation_preserves_positivity(copies):
+    """A0^k = A0 and A0^k = 0 force A0 = 0 for every k >= 2, before and
+    after short-form normalisation."""
+    presentation = Presentation.with_zero_equations(
+        ["A0", "0"],
+        [
+            Equation.make(["A0"] * copies, ["A0"]),
+            Equation.make(["A0"] * copies, ["0"]),
+        ],
+    )
+    normalized = presentation.normalized()
+    assert normalized.is_short_form()
+    derivation = find_derivation(
+        normalized, ("A0",), ("0",), max_length=copies + 4
+    )
+    assert derivation is not None

@@ -1,0 +1,104 @@
+"""Unit tests for repro.reduction.bridge (Figure 2)."""
+
+import pytest
+
+from repro.errors import ReductionError, VerificationError
+from repro.reduction.bridge import Bridge, bridge_instance
+from repro.reduction.schema import BOTTOM_ROW, TOP_ROW, ReductionSchema
+
+
+@pytest.fixture
+def schema():
+    return ReductionSchema(("A0", "B", "0"))
+
+
+class TestBridgeInstance:
+    @pytest.mark.parametrize("length", [1, 2, 3, 6])
+    def test_tuple_count_is_2k_plus_1(self, schema, length):
+        word = tuple(["A0", "B", "0"][i % 3] for i in range(length))
+        instance, bridge = bridge_instance(schema, word)
+        assert bridge.tuple_count == 2 * length + 1
+        assert len(instance) == bridge.tuple_count
+
+    def test_bottom_row_shares_e(self, schema):
+        __, bridge = bridge_instance(schema, ("A0", "B"))
+        column = schema.schema.position(BOTTOM_ROW)
+        assert len({row[column] for row in bridge.bottom}) == 1
+
+    def test_apexes_share_e_prime(self, schema):
+        __, bridge = bridge_instance(schema, ("A0", "B"))
+        column = schema.schema.position(TOP_ROW)
+        assert len({row[column] for row in bridge.apexes}) == 1
+
+    def test_triangles_agree_with_bases(self, schema):
+        __, bridge = bridge_instance(schema, ("A0", "B"))
+        bridge.check()  # structural invariants hold
+
+    def test_non_forced_components_distinct(self, schema):
+        """The bridge realises exactly the figure's agreements."""
+        instance, bridge = bridge_instance(schema, ("A0",))
+        # The two bottom tuples agree ONLY on E.
+        left, right = bridge.bottom
+        agreements = [
+            column
+            for column in range(schema.schema.arity)
+            if left[column] == right[column]
+        ]
+        assert agreements == [schema.schema.position(BOTTOM_ROW)]
+
+    def test_unknown_letter_rejected(self, schema):
+        with pytest.raises(ReductionError):
+            bridge_instance(schema, ("Z",))
+
+    def test_instance_is_typed(self, schema):
+        instance, __ = bridge_instance(schema, ("A0", "B", "0"))
+        instance.validate()
+
+    def test_span_endpoints(self, schema):
+        __, bridge = bridge_instance(schema, ("A0", "B"))
+        a, b = bridge.span
+        assert a == bridge.bottom[0]
+        assert b == bridge.bottom[-1]
+
+
+class TestBridgeCheck:
+    def test_wrong_bottom_count_detected(self, schema):
+        __, bridge = bridge_instance(schema, ("A0",))
+        broken = Bridge(schema, ("A0",), bridge.bottom[:1], bridge.apexes)
+        with pytest.raises(VerificationError):
+            broken.check()
+
+    def test_wrong_apex_count_detected(self, schema):
+        __, bridge = bridge_instance(schema, ("A0",))
+        broken = Bridge(schema, ("A0",), bridge.bottom, [])
+        with pytest.raises(VerificationError):
+            broken.check()
+
+    def test_broken_e_row_detected(self, schema):
+        __, bridge = bridge_instance(schema, ("A0", "B"))
+        __, other = bridge_instance(schema, ("A0",), token="other")
+        broken = Bridge(
+            schema,
+            ("A0", "B"),
+            [bridge.bottom[0], other.bottom[0], bridge.bottom[2]],
+            bridge.apexes,
+        )
+        with pytest.raises(VerificationError):
+            broken.check()
+
+    def test_wrong_triangle_detected(self, schema):
+        __, bridge = bridge_instance(schema, ("A0", "B"))
+        swapped = Bridge(
+            schema,
+            ("A0", "B"),
+            bridge.bottom,
+            [bridge.apexes[1], bridge.apexes[0]],
+        )
+        with pytest.raises(VerificationError):
+            swapped.check()
+
+    def test_mislabelled_word_detected(self, schema):
+        __, bridge = bridge_instance(schema, ("A0", "B"))
+        relabelled = Bridge(schema, ("B", "A0"), bridge.bottom, bridge.apexes)
+        with pytest.raises(VerificationError):
+            relabelled.check()

@@ -1,0 +1,148 @@
+"""Unit tests for repro.reduction.dependencies (Figure 3)."""
+
+import pytest
+
+from repro.dependencies.diagram import diagram_of
+from repro.errors import ReductionError
+from repro.reduction.dependencies import (
+    build_td,
+    d0_dependency,
+    equation_dependencies,
+)
+from repro.reduction.schema import BOTTOM_ROW, TOP_ROW, ReductionSchema
+from repro.semigroups.presentation import Equation
+
+
+@pytest.fixture
+def schema():
+    return ReductionSchema(("A0", "B", "C", "0"))
+
+
+@pytest.fixture
+def equation():
+    return Equation.make(["A0", "B"], ["C"])
+
+
+class TestBuildTd:
+    def test_nodes_become_atoms(self, schema):
+        td = build_td(schema, ["1", "2"], [("1", "2", BOTTOM_ROW)], name="t")
+        assert len(td.antecedents) == 2
+        assert td.name == "t"
+
+    def test_edge_merges_variables(self, schema):
+        td = build_td(schema, ["1", "2"], [("1", "2", BOTTOM_ROW)], name="t")
+        column = schema.schema.position(BOTTOM_ROW)
+        assert td.antecedents[0][column] == td.antecedents[1][column]
+
+    def test_unconnected_cells_distinct(self, schema):
+        td = build_td(schema, ["1", "2"], [], name="t")
+        for column in range(schema.schema.arity):
+            assert td.antecedents[0][column] != td.antecedents[1][column]
+
+    def test_conclusion_unmerged_cells_existential(self, schema):
+        td = build_td(schema, ["1"], [("1", "*", BOTTOM_ROW)], name="t")
+        # Every column except E is existential on the conclusion.
+        assert len(td.existential_variables()) == schema.schema.arity - 1
+
+    def test_result_is_typed(self, schema):
+        td = build_td(
+            schema, ["1", "2"], [("1", "2", BOTTOM_ROW), ("1", "*", TOP_ROW)],
+            name="t",
+        )
+        assert td.is_typed()
+
+    def test_duplicate_nodes_rejected(self, schema):
+        with pytest.raises(ReductionError):
+            build_td(schema, ["1", "1"], [], name="t")
+
+    def test_unknown_edge_node_rejected(self, schema):
+        with pytest.raises(ReductionError):
+            build_td(schema, ["1"], [("1", "9", BOTTOM_ROW)], name="t")
+
+
+class TestEquationDependencies:
+    def test_four_dependencies(self, schema, equation):
+        four = equation_dependencies(schema, equation)
+        assert len(four) == 4
+        assert [td.name for td in four] == [
+            "D1[A0.B=C]",
+            "D2[A0.B=C]",
+            "D3[A0.B=C]",
+            "D4[A0.B=C]",
+        ]
+
+    def test_antecedent_counts(self, schema, equation):
+        d1, d2, d3, d4 = equation_dependencies(schema, equation)
+        assert len(d1.antecedents) == 5
+        assert len(d2.antecedents) == 3
+        assert len(d3.antecedents) == 3
+        assert len(d4.antecedents) == 5
+
+    def test_at_most_five_antecedents(self, schema, equation):
+        """The paper's headline boundedness claim."""
+        for td in equation_dependencies(schema, equation):
+            assert len(td.antecedents) <= 5
+
+    def test_all_typed_and_embedded(self, schema, equation):
+        for td in equation_dependencies(schema, equation):
+            assert td.is_typed()
+            assert td.is_embedded()
+
+    def test_non_short_equation_rejected(self, schema):
+        with pytest.raises(ReductionError):
+            equation_dependencies(schema, Equation.make(["A0"], ["0"]))
+
+    def test_d1_conclusion_spans_outer_bases(self, schema, equation):
+        d1 = equation_dependencies(schema, equation)[0]
+        c_p = schema.schema.position(schema.primed("C"))
+        c_pp = schema.schema.position(schema.double_primed("C"))
+        # conclusion shares C' with node 1 and C'' with node 3.
+        assert d1.conclusion[c_p] == d1.antecedents[0][c_p]
+        assert d1.conclusion[c_pp] == d1.antecedents[2][c_pp]
+
+    def test_d2_conclusion_has_existential_endpoint(self, schema, equation):
+        d2 = equation_dependencies(schema, equation)[1]
+        a_pp = schema.schema.position(schema.double_primed("A0"))
+        assert d2.conclusion[a_pp] in d2.existential_variables()
+
+    def test_d4_concludes_a_base_point(self, schema, equation):
+        d4 = equation_dependencies(schema, equation)[3]
+        e = schema.schema.position(BOTTOM_ROW)
+        assert d4.conclusion[e] == d4.antecedents[0][e]
+
+    def test_diagrams_renderable(self, schema, equation):
+        for td in equation_dependencies(schema, equation):
+            diagram = diagram_of(td)
+            assert diagram.antecedent_count == len(td.antecedents)
+
+
+class TestD0:
+    def test_shape(self, schema):
+        d0 = d0_dependency(schema, "A0", "0")
+        assert len(d0.antecedents) == 3
+        assert d0.name == "D0"
+        assert d0.is_typed()
+        assert d0.is_embedded()
+
+    def test_antecedents_form_a0_triangle(self, schema):
+        d0 = d0_dependency(schema, "A0", "0")
+        a0_p = schema.schema.position(schema.primed("A0"))
+        a0_pp = schema.schema.position(schema.double_primed("A0"))
+        e = schema.schema.position(BOTTOM_ROW)
+        base1, base2, apex = d0.antecedents
+        assert base1[e] == base2[e]
+        assert base1[a0_p] == apex[a0_p]
+        assert apex[a0_pp] == base2[a0_pp]
+
+    def test_conclusion_is_zero_apex(self, schema):
+        d0 = d0_dependency(schema, "A0", "0")
+        z_p = schema.schema.position(schema.primed("0"))
+        z_pp = schema.schema.position(schema.double_primed("0"))
+        e_p = schema.schema.position(TOP_ROW)
+        base1, base2, apex = d0.antecedents
+        assert d0.conclusion[z_p] == base1[z_p]
+        assert d0.conclusion[z_pp] == base2[z_pp]
+        assert d0.conclusion[e_p] == apex[e_p]
+
+    def test_nontrivial(self, schema):
+        assert not d0_dependency(schema, "A0", "0").is_trivial()

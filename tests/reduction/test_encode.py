@@ -1,0 +1,62 @@
+"""Unit tests for repro.reduction.encode."""
+
+import pytest
+
+from repro.errors import ReductionError
+from repro.reduction.encode import encode
+from repro.semigroups.presentation import Equation, Presentation
+from repro.workloads.instances import negative_instance, positive_instance
+
+
+class TestEncode:
+    def test_dependency_count_is_four_per_equation(self, positive_encoding):
+        equations = len(positive_encoding.presentation.equations)
+        assert positive_encoding.dependency_count == 4 * equations
+
+    def test_attribute_count_is_2n_plus_2(self, positive_encoding):
+        letters = len(positive_encoding.presentation.alphabet)
+        assert positive_encoding.attribute_count == 2 * letters + 2
+
+    def test_by_equation_index_complete(self, positive_encoding):
+        for equation in positive_encoding.presentation.equations:
+            assert len(positive_encoding.by_equation[equation]) == 4
+
+    def test_all_dependencies_share_schema(self, positive_encoding):
+        schemas = {td.schema for td in positive_encoding.dependencies}
+        schemas.add(positive_encoding.d0.schema)
+        assert len(schemas) == 1
+
+    def test_d0_present(self, negative_encoding):
+        assert negative_encoding.d0.name == "D0"
+
+    def test_describe_mentions_counts(self, positive_encoding):
+        text = positive_encoding.describe()
+        assert "attributes" in text
+        assert "dependencies" in text
+
+    def test_normalizes_by_default(self):
+        presentation = Presentation.with_zero_equations(
+            ["A0", "0"],
+            [Equation.make(["A0", "A0", "A0"], ["0"])],
+        )
+        encoding = encode(presentation)
+        assert encoding.presentation.is_short_form()
+
+    def test_rejects_long_equations_without_normalize(self):
+        presentation = Presentation.with_zero_equations(
+            ["A0", "0"],
+            [Equation.make(["A0", "A0", "A0"], ["0"])],
+        )
+        with pytest.raises(ReductionError):
+            encode(presentation, normalize=False)
+
+    def test_rejects_missing_zero_equations(self):
+        presentation = Presentation(
+            ["A0", "0"], [Equation.make(["A0", "A0"], ["0"])]
+        )
+        with pytest.raises(ReductionError):
+            encode(presentation)
+
+    def test_short_form_accepted_without_normalize(self):
+        encoding = encode(negative_instance(), normalize=False)
+        assert encoding.dependency_count == 12  # 3 zero equations x 4

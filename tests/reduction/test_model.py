@@ -1,0 +1,183 @@
+"""Unit tests for repro.reduction.model (direction B)."""
+
+import pytest
+
+from repro.errors import ReductionError
+from repro.reduction.encode import encode
+from repro.reduction.model import counterexample_database, verify_counterexample
+from repro.reduction.schema import BOTTOM_ROW, TOP_ROW
+from repro.semigroups.construct import cyclic_group, free_nilpotent
+from repro.semigroups.search import CounterModel, find_counter_model
+from repro.workloads.instances import negative_family, negative_instance
+
+
+@pytest.fixture(scope="module")
+def encoding():
+    return encode(negative_instance())
+
+
+@pytest.fixture(scope="module")
+def counter_model(encoding):
+    model = find_counter_model(encoding.presentation)
+    assert model is not None
+    return model
+
+
+@pytest.fixture(scope="module")
+def database(encoding, counter_model):
+    return counterexample_database(encoding, counter_model)
+
+
+class TestConstruction:
+    def test_p_contains_identity_and_a0(self, database):
+        identity = database.extended.size - 1
+        a0 = database.counter_model.assignment["A0"]
+        assert identity in database.p_elements
+        assert a0 in database.p_elements
+
+    def test_p_excludes_zero(self, database):
+        zero = database.counter_model.assignment["0"]
+        assert zero not in database.p_elements
+
+    def test_q_triples_follow_multiplication(self, database):
+        for a, letter, b in database.q_elements:
+            element = database.counter_model.assignment[letter]
+            assert database.extended.product(a, element) == b
+
+    def test_zero_arrows_empty(self, database):
+        """The paper: ->_0 is empty (0 is not in P)."""
+        assert all(letter != "0" for __, letter, __b in database.q_elements)
+
+    def test_one_row_per_element(self, database):
+        assert len(database.instance) == database.universe_size
+
+    def test_rows_typed(self, database):
+        database.instance.validate()
+
+    def test_p_rows_share_e(self, database):
+        column = database.encoding.reduction_schema.schema.position(BOTTOM_ROW)
+        values = {database.row_of[p][column] for p in database.p_elements}
+        assert len(values) == 1
+
+    def test_q_rows_share_e_prime(self, database):
+        column = database.encoding.reduction_schema.schema.position(TOP_ROW)
+        values = {database.row_of[q][column] for q in database.q_elements}
+        assert len(values) <= 1
+
+    def test_triple_agrees_with_endpoints(self, database):
+        schema = database.encoding.reduction_schema
+        for triple in database.q_elements:
+            a, letter, b = triple
+            p_col = schema.schema.position(schema.primed(letter))
+            pp_col = schema.schema.position(schema.double_primed(letter))
+            assert database.row_of[triple][p_col] == database.row_of[a][p_col]
+            assert database.row_of[triple][pp_col] == database.row_of[b][pp_col]
+
+
+class TestGuards:
+    def test_semigroup_with_identity_rejected(self, encoding):
+        bogus = CounterModel(cyclic_group(3), {"A0": 1, "0": 0})
+        with pytest.raises(ReductionError):
+            counterexample_database(encoding, bogus)
+
+    def test_assignment_must_refute(self, encoding):
+        nilpotent = free_nilpotent(3)
+        bogus = CounterModel(nilpotent, {"A0": 2, "0": 2})
+        with pytest.raises(ReductionError):
+            counterexample_database(encoding, bogus)
+
+    def test_missing_letter_rejected(self, encoding):
+        nilpotent = free_nilpotent(3)
+        bogus = CounterModel(nilpotent, {"A0": 0})
+        with pytest.raises(ReductionError):
+            counterexample_database(encoding, bogus)
+
+
+class TestClassFacts:
+    """The proof's Facts 1 and 2, machine-checked."""
+
+    def test_facts_hold_on_canonical_database(self, database):
+        from repro.reduction.model import check_class_facts
+
+        check_class_facts(database)  # raises on violation
+
+    def test_primed_classes_at_most_two(self, database):
+        schema = database.encoding.reduction_schema
+        for letter in database.encoding.presentation.alphabet:
+            column = schema.schema.position(schema.primed(letter))
+            sizes = {}
+            for row in database.row_of.values():
+                sizes[row[column]] = sizes.get(row[column], 0) + 1
+            assert max(sizes.values()) <= 2
+
+    def test_nontrivial_class_crosses_p_and_q(self, database):
+        """Every 2-element ~A' class pairs a P element with a Q triple."""
+        schema = database.encoding.reduction_schema
+        p_set = set(database.p_elements)
+        for letter in database.encoding.presentation.alphabet:
+            column = schema.schema.position(schema.primed(letter))
+            classes: dict = {}
+            for element, row in database.row_of.items():
+                classes.setdefault(row[column], []).append(element)
+            for members in classes.values():
+                if len(members) == 2:
+                    assert sum(member in p_set for member in members) == 1
+
+    def test_facts_checker_detects_breach(self, database):
+        """Tampering with the rows trips the checker."""
+        import dataclasses
+
+        from repro.errors import VerificationError
+        from repro.reduction.model import check_class_facts
+
+        schema = database.encoding.reduction_schema
+        column = schema.schema.position(schema.primed("A0"))
+        # Give every element the same A0' class: cardinality blows up.
+        shared = next(iter(database.row_of.values()))[column]
+        tampered_rows = {
+            element: row[:column] + (shared,) + row[column + 1 :]
+            for element, row in database.row_of.items()
+        }
+        tampered = dataclasses.replace(database, row_of=tampered_rows)
+        with pytest.raises(VerificationError):
+            check_class_facts(tampered)
+
+
+class TestVerification:
+    def test_direction_b_confirmed(self, database):
+        report = verify_counterexample(database)
+        assert report.ok
+        assert report.d_satisfied
+        assert report.d0_violated
+        assert report.violations == []
+
+    def test_d0_witness_matches_paper(self, database):
+        """(NOT D0): t1 = I, t2 = A0-bar, t3 = <I, A0, A0-bar>."""
+        report = verify_counterexample(database)
+        witness = report.d0_witness
+        assert witness is not None
+        schema = database.encoding.reduction_schema
+        # The witness binds D0's three antecedent nodes; recover the rows
+        # it matched and check the apex row is the <I, A0, A0> triple row.
+        identity = database.extended.size - 1
+        a0 = database.counter_model.assignment["A0"]
+        triple_row = database.row_of[(identity, "A0", a0)]
+        matched_rows = set()
+        d0 = database.encoding.d0
+        for atom in d0.antecedents:
+            matched_rows.add(tuple(witness[variable] for variable in atom))
+        assert triple_row in matched_rows
+
+    def test_scaled_alphabet_still_confirms(self):
+        presentation = negative_family(2)
+        encoding = encode(presentation)
+        model = find_counter_model(presentation)
+        assert model is not None
+        database = counterexample_database(encoding, model)
+        report = verify_counterexample(database)
+        assert report.ok
+
+    def test_describe(self, database):
+        report = verify_counterexample(database)
+        assert "CONFIRMED" in report.describe()
+        assert "|P|" in database.describe()

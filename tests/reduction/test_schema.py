@@ -1,0 +1,48 @@
+"""Unit tests for repro.reduction.schema."""
+
+import pytest
+
+from repro.errors import ReductionError
+from repro.reduction.schema import BOTTOM_ROW, TOP_ROW, ReductionSchema
+from repro.workloads.instances import negative_instance
+
+
+class TestReductionSchema:
+    def test_attribute_count_is_2n_plus_2(self):
+        for letters in (("A0", "0"), ("A0", "X", "Y", "0")):
+            schema = ReductionSchema(letters)
+            assert schema.attribute_count == 2 * len(letters) + 2
+
+    def test_row_attributes_first(self):
+        schema = ReductionSchema(("A0", "0"))
+        assert schema.schema.attributes[0] == BOTTOM_ROW
+        assert schema.schema.attributes[1] == TOP_ROW
+
+    def test_primed_attributes(self):
+        schema = ReductionSchema(("A0", "0"))
+        assert schema.primed("A0") == "A0'"
+        assert schema.double_primed("A0") == "A0''"
+        assert schema.primed("0") == "0'"
+
+    def test_primed_attributes_in_schema(self):
+        schema = ReductionSchema(("A0", "0"))
+        assert "A0'" in schema.schema
+        assert "A0''" in schema.schema
+
+    def test_unknown_letter_rejected(self):
+        schema = ReductionSchema(("A0", "0"))
+        with pytest.raises(ReductionError):
+            schema.primed("Z")
+
+    def test_duplicate_letters_rejected(self):
+        with pytest.raises(ReductionError):
+            ReductionSchema(("A0", "A0"))
+
+    def test_colliding_letter_rejected(self):
+        with pytest.raises(ReductionError):
+            ReductionSchema(("A0", "E", "0"))
+
+    def test_for_presentation(self):
+        schema = ReductionSchema.for_presentation(negative_instance())
+        assert schema.alphabet == ("A0", "0")
+        assert schema.attribute_count == 6

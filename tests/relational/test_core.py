@@ -1,0 +1,107 @@
+"""Unit tests for repro.relational.core (instance cores)."""
+
+import pytest
+
+from repro.relational.core import (
+    core_of,
+    find_retraction,
+    homomorphically_equivalent,
+    is_core,
+    null_count,
+)
+from repro.relational.instance import Instance
+from repro.relational.schema import Schema
+from repro.relational.values import Const, LabeledNull
+
+
+@pytest.fixture
+def schema():
+    return Schema(["A", "B"])
+
+
+class TestRetraction:
+    def test_ground_instance_is_core(self, schema):
+        instance = Instance(schema, [(Const("a"), Const("b"))])
+        assert is_core(instance)
+        assert find_retraction(instance) is None
+
+    def test_redundant_null_row_retracts(self, schema):
+        x = LabeledNull(0)
+        instance = Instance(
+            schema, [(Const("a"), Const("b")), (Const("a"), x)]
+        )
+        retraction = find_retraction(instance)
+        assert retraction is not None
+        assert retraction[x] == Const("b")
+
+    def test_incomparable_null_rows_do_not_retract(self, schema):
+        # (x, b) and (a, y): folding either away needs the other's
+        # missing constant, so the instance is its own core.
+        x, y = LabeledNull(0), LabeledNull(1)
+        instance = Instance(schema, [(x, Const("b")), (Const("a"), y)])
+        assert is_core(instance)
+
+
+class TestCoreOf:
+    def test_core_is_subinstance_semantically(self, schema):
+        x = LabeledNull(0)
+        instance = Instance(
+            schema, [(Const("a"), Const("b")), (Const("a"), x)]
+        )
+        core = core_of(instance)
+        assert core.rows == frozenset({(Const("a"), Const("b"))})
+
+    def test_core_idempotent(self, schema):
+        x, y = LabeledNull(0), LabeledNull(1)
+        instance = Instance(
+            schema,
+            [(Const("a"), Const("b")), (Const("a"), x), (y, Const("b"))],
+        )
+        once = core_of(instance)
+        twice = core_of(once)
+        assert once == twice
+
+    def test_core_of_core_free_instance_is_identity(self, schema):
+        instance = Instance(
+            schema, [(Const("a"), Const("b")), (Const("c"), Const("d"))]
+        )
+        assert core_of(instance) == instance
+
+    def test_chain_of_nulls_collapses(self, schema):
+        # Ground loop + null path that folds onto it entirely.
+        a = Const("a")
+        nulls = [LabeledNull(i) for i in range(4)]
+        instance = Instance(schema, [(a, a)])
+        instance.add((a, nulls[0]))
+        for i in range(3):
+            instance.add((nulls[i], nulls[i + 1]))
+        core = core_of(instance)
+        assert core.rows == frozenset({(a, a)})
+
+
+class TestHomEquivalence:
+    def test_instance_equivalent_to_its_core(self, schema):
+        x = LabeledNull(0)
+        instance = Instance(
+            schema, [(Const("a"), Const("b")), (Const("a"), x)]
+        )
+        assert homomorphically_equivalent(instance, core_of(instance))
+
+    def test_different_ground_instances_not_equivalent(self, schema):
+        left = Instance(schema, [(Const("a"), Const("b"))])
+        right = Instance(schema, [(Const("c"), Const("d"))])
+        assert not homomorphically_equivalent(left, right)
+
+    def test_schema_mismatch_not_equivalent(self, schema):
+        other = Instance(Schema(["X"]), [(Const("a"),)])
+        assert not homomorphically_equivalent(Instance(schema), other)
+
+
+class TestNullCount:
+    def test_counts_distinct_nulls(self, schema):
+        x, y = LabeledNull(0), LabeledNull(1)
+        instance = Instance(schema, [(x, y), (x, Const("b"))])
+        assert null_count(instance) == 2
+
+    def test_ground_instance_has_zero(self, schema):
+        assert null_count(Instance(schema, [(Const("a"), Const("b"))])) == 0

@@ -1,0 +1,162 @@
+"""Unit tests for repro.relational.instance."""
+
+import pytest
+
+from repro.errors import ArityError, TypingError
+from repro.relational.instance import Instance
+from repro.relational.schema import Schema
+from repro.relational.values import Const, LabeledNull
+
+
+@pytest.fixture
+def schema():
+    return Schema(["A", "B"])
+
+
+def row(*parts):
+    return tuple(Const(part) for part in parts)
+
+
+class TestMutation:
+    def test_add_new_row(self, schema):
+        instance = Instance(schema)
+        assert instance.add(row("a", "b")) is True
+        assert len(instance) == 1
+
+    def test_add_duplicate_returns_false(self, schema):
+        instance = Instance(schema, [row("a", "b")])
+        assert instance.add(row("a", "b")) is False
+        assert len(instance) == 1
+
+    def test_add_wrong_arity(self, schema):
+        with pytest.raises(ArityError):
+            Instance(schema).add(row("a",))
+
+    def test_add_all_counts_new_rows(self, schema):
+        instance = Instance(schema, [row("a", "b")])
+        added = instance.add_all([row("a", "b"), row("c", "d")])
+        assert added == 1
+
+    def test_discard_present(self, schema):
+        instance = Instance(schema, [row("a", "b")])
+        assert instance.discard(row("a", "b")) is True
+        assert len(instance) == 0
+
+    def test_discard_absent(self, schema):
+        assert Instance(schema).discard(row("a", "b")) is False
+
+    def test_discard_cleans_index(self, schema):
+        instance = Instance(schema, [row("a", "b")])
+        instance.discard(row("a", "b"))
+        assert instance.rows_with(0, Const("a")) == frozenset()
+
+
+class TestQueries:
+    def test_contains(self, schema):
+        instance = Instance(schema, [row("a", "b")])
+        assert row("a", "b") in instance
+        assert row("b", "a") not in instance
+
+    def test_rows_snapshot_is_frozen(self, schema):
+        instance = Instance(schema, [row("a", "b")])
+        snapshot = instance.rows
+        instance.add(row("c", "d"))
+        assert len(snapshot) == 1
+
+    def test_rows_with(self, schema):
+        instance = Instance(schema, [row("a", "b"), row("a", "c"), row("x", "b")])
+        assert len(instance.rows_with(0, Const("a"))) == 2
+
+    def test_matching_rows_empty_pattern_yields_all(self, schema):
+        instance = Instance(schema, [row("a", "b"), row("c", "d")])
+        assert len(list(instance.matching_rows({}))) == 2
+
+    def test_matching_rows_single_column(self, schema):
+        instance = Instance(schema, [row("a", "b"), row("a", "c")])
+        matches = list(instance.matching_rows({1: Const("c")}))
+        assert matches == [row("a", "c")]
+
+    def test_matching_rows_conjunction(self, schema):
+        instance = Instance(schema, [row("a", "b"), row("a", "c"), row("x", "c")])
+        matches = set(instance.matching_rows({0: Const("a"), 1: Const("c")}))
+        assert matches == {row("a", "c")}
+
+    def test_matching_rows_no_match(self, schema):
+        instance = Instance(schema, [row("a", "b")])
+        assert list(instance.matching_rows({0: Const("zzz")})) == []
+
+    def test_column_values(self, schema):
+        instance = Instance(schema, [row("a", "b"), row("a", "c")])
+        assert instance.column_values(1) == {Const("b"), Const("c")}
+
+    def test_active_domain(self, schema):
+        instance = Instance(schema, [row("a", "b")])
+        assert instance.active_domain() == {Const("a"), Const("b")}
+
+    def test_bool(self, schema):
+        assert not Instance(schema)
+        assert Instance(schema, [row("a", "b")])
+
+
+class TestTyping:
+    def test_typed_instance_validates(self, schema):
+        Instance(schema, [row("a", "b")]).validate()
+
+    def test_value_in_two_columns_rejected(self, schema):
+        instance = Instance(schema, [(Const("a"), Const("a"))])
+        with pytest.raises(TypingError):
+            instance.validate()
+        assert not instance.is_typed()
+
+    def test_cross_row_typing_violation(self, schema):
+        instance = Instance(schema, [row("a", "b"), (Const("b"), Const("c"))])
+        assert not instance.is_typed()
+
+
+class TestDerivedInstances:
+    def test_copy_is_independent(self, schema):
+        original = Instance(schema, [row("a", "b")])
+        clone = original.copy()
+        clone.add(row("c", "d"))
+        assert len(original) == 1
+        assert len(clone) == 2
+
+    def test_map_values(self, schema):
+        instance = Instance(schema, [(Const("a"), LabeledNull(0))])
+        grounded = instance.map_values(
+            lambda value: Const("g") if isinstance(value, LabeledNull) else value
+        )
+        assert (Const("a"), Const("g")) in grounded
+
+    def test_union(self, schema):
+        left = Instance(schema, [row("a", "b")])
+        right = Instance(schema, [row("c", "d")])
+        assert len(left.union(right)) == 2
+
+    def test_union_schema_mismatch(self, schema):
+        other = Instance(Schema(["X", "Y", "Z"]))
+        with pytest.raises(TypingError):
+            Instance(schema).union(other)
+
+    def test_induced(self, schema):
+        instance = Instance(schema, [row("a", "b"), row("c", "d")])
+        sub = instance.induced(lambda r: r[0] == Const("a"))
+        assert sub.rows == frozenset({row("a", "b")})
+
+
+class TestComparisonAndDisplay:
+    def test_equality(self, schema):
+        assert Instance(schema, [row("a", "b")]) == Instance(schema, [row("a", "b")])
+
+    def test_unhashable(self, schema):
+        with pytest.raises(TypeError):
+            hash(Instance(schema))
+
+    def test_pretty_contains_attributes(self, schema):
+        text = Instance(schema, [row("a", "b")]).pretty()
+        assert "A | B" in text
+        assert "a | b" in text
+
+    def test_pretty_truncates(self, schema):
+        instance = Instance(schema, (row(f"a{i}", f"b{i}") for i in range(30)))
+        assert "more rows" in instance.pretty(limit=5)

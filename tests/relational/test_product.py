@@ -1,0 +1,76 @@
+"""Unit tests for repro.relational.product."""
+
+import pytest
+
+from repro.errors import TypingError
+from repro.relational.instance import Instance
+from repro.relational.product import direct_product, pair_value, power
+from repro.relational.schema import Schema
+from repro.relational.values import Const
+from repro.workloads.garment import figure1_dependency, garment_database
+
+
+@pytest.fixture
+def schema():
+    return Schema(["A", "B"])
+
+
+def make(schema, *rows):
+    return Instance(schema, [tuple(Const(part) for part in r) for r in rows])
+
+
+class TestDirectProduct:
+    def test_size_is_product_of_sizes(self, schema):
+        left = make(schema, ("a", "b"), ("c", "d"))
+        right = make(schema, ("x", "y"), ("u", "v"), ("p", "q"))
+        assert len(direct_product(left, right)) == 6
+
+    def test_componentwise_pairs(self, schema):
+        left = make(schema, ("a", "b"))
+        right = make(schema, ("x", "y"))
+        product = direct_product(left, right)
+        expected = (pair_value(Const("a"), Const("x")), pair_value(Const("b"), Const("y")))
+        assert expected in product
+
+    def test_schema_mismatch_rejected(self, schema):
+        other = Instance(Schema(["X"]))
+        with pytest.raises(TypingError):
+            direct_product(Instance(schema), other)
+
+    def test_product_with_empty_is_empty(self, schema):
+        left = make(schema, ("a", "b"))
+        assert len(direct_product(left, Instance(schema))) == 0
+
+    def test_product_preserves_typing(self, schema):
+        left = make(schema, ("a", "b"))
+        right = make(schema, ("x", "y"))
+        direct_product(left, right).validate()
+
+
+class TestPower:
+    def test_power_one_is_copy(self, schema):
+        instance = make(schema, ("a", "b"))
+        assert power(instance, 1) == instance
+
+    def test_power_two_sizes(self, schema):
+        instance = make(schema, ("a", "b"), ("c", "d"))
+        assert len(power(instance, 2)) == 4
+
+    def test_power_zero_rejected(self, schema):
+        with pytest.raises(ValueError):
+            power(Instance(schema), 0)
+
+
+class TestHornPreservation:
+    """TDs are Horn-like, hence preserved under direct products."""
+
+    def test_figure1_preserved_under_product(self):
+        from repro.chase.engine import chase
+
+        fig1 = figure1_dependency()
+        # Repair the catalogue so it satisfies the dependency...
+        satisfied = chase(garment_database(), [fig1]).instance
+        assert fig1.holds_in(satisfied)
+        # ...then the product with itself still satisfies it.
+        squared = direct_product(satisfied, satisfied)
+        assert fig1.holds_in(squared)

@@ -1,0 +1,165 @@
+"""Tests for conjunctive queries (repro.relational.queries)."""
+
+import pytest
+
+from repro.dependencies.template import Variable
+from repro.errors import DependencyError
+from repro.relational.instance import Instance
+from repro.relational.queries import ConjunctiveQuery
+from repro.relational.schema import Schema
+from repro.relational.values import Const
+
+
+@pytest.fixture
+def schema():
+    return Schema(["FROM", "TO"])
+
+
+def var(name):
+    return Variable(name)
+
+
+def cq(schema, head_names, body_specs):
+    return ConjunctiveQuery(
+        schema,
+        [var(name) for name in head_names],
+        [tuple(var(name) for name in atom) for atom in body_specs],
+    )
+
+
+@pytest.fixture
+def path_db(schema):
+    a, b, c = Const("a"), Const("b"), Const("c")
+    return Instance(schema, [(a, b), (b, c)])
+
+
+class TestConstruction:
+    def test_basic(self, schema):
+        query = cq(schema, ["x", "y"], [("x", "y")])
+        assert len(query.body) == 1
+
+    def test_empty_body_rejected(self, schema):
+        with pytest.raises(DependencyError):
+            ConjunctiveQuery(schema, [], [])
+
+    def test_unsafe_head_rejected(self, schema):
+        with pytest.raises(DependencyError):
+            cq(schema, ["z"], [("x", "y")])
+
+    def test_arity_mismatch_rejected(self, schema):
+        with pytest.raises(DependencyError):
+            cq(schema, ["x"], [("x",)])
+
+
+class TestEvaluation:
+    def test_edge_query(self, schema, path_db):
+        query = cq(schema, ["x", "y"], [("x", "y")])
+        assert query.answers(path_db) == {
+            (Const("a"), Const("b")),
+            (Const("b"), Const("c")),
+        }
+
+    def test_two_step_query(self, schema, path_db):
+        query = cq(schema, ["x", "z"], [("x", "y"), ("y", "z")])
+        assert query.answers(path_db) == {(Const("a"), Const("c"))}
+
+    def test_projection(self, schema, path_db):
+        query = cq(schema, ["x"], [("x", "y")])
+        assert query.answers(path_db) == {(Const("a"),), (Const("b"),)}
+
+    def test_boolean_query(self, schema, path_db):
+        query = cq(schema, [], [("x", "y"), ("y", "z")])
+        assert query.is_boolean()
+        assert query.holds_in(path_db)
+
+    def test_boolean_query_false(self, schema, path_db):
+        loop = cq(schema, [], [("x", "x")])
+        assert not loop.holds_in(path_db)
+
+    def test_empty_instance(self, schema):
+        query = cq(schema, ["x", "y"], [("x", "y")])
+        assert query.answers(Instance(schema)) == set()
+
+
+class TestContainment:
+    def test_adding_conjuncts_shrinks_answers(self, schema):
+        edge = cq(schema, ["x", "y"], [("x", "y")])
+        edge_with_context = cq(schema, ["x", "y"], [("x", "y"), ("u", "v")])
+        # More conjuncts -> fewer answers: edge_with_context ⊆ edge.
+        assert edge_with_context.is_contained_in(edge)
+        # And here the converse also holds (the extra conjunct folds onto
+        # the first atom), so the two are equivalent -- the classic
+        # redundancy that minimization removes.
+        assert edge.is_contained_in(edge_with_context)
+        assert edge_with_context.minimized() == edge
+
+    def test_containment_answer_inclusion(self, schema, path_db):
+        smaller = cq(schema, ["x", "z"], [("x", "y"), ("y", "z")])
+        larger = cq(schema, ["x", "z"], [("x", "y"), ("u", "z")])
+        assert smaller.is_contained_in(larger)
+        assert smaller.answers(path_db) <= larger.answers(path_db)
+
+    def test_non_containment(self, schema):
+        edge = cq(schema, ["x", "y"], [("x", "y")])
+        two_step = cq(schema, ["x", "z"], [("x", "y"), ("y", "z")])
+        assert not edge.is_contained_in(two_step)
+
+    def test_equivalence_of_renamings(self, schema):
+        first = cq(schema, ["x", "z"], [("x", "y"), ("y", "z")])
+        second = cq(schema, ["a", "c"], [("a", "b"), ("b", "c")])
+        assert first.is_equivalent_to(second)
+
+    def test_repeated_head_variable_alignment(self, schema):
+        loop = cq(schema, ["x", "x"], [("x", "x")])
+        pair = cq(schema, ["x", "y"], [("x", "y")])
+        # loop ⊆ pair (every loop answer is an edge answer)...
+        assert loop.is_contained_in(pair)
+        # ...but not conversely.
+        assert not pair.is_contained_in(loop)
+
+    def test_arity_mismatch_not_contained(self, schema):
+        unary = cq(schema, ["x"], [("x", "y")])
+        binary = cq(schema, ["x", "y"], [("x", "y")])
+        assert not unary.is_contained_in(binary)
+
+
+class TestMinimization:
+    def test_redundant_atom_folds_away(self, schema):
+        query = cq(
+            schema, ["x", "y"], [("x", "y"), ("x", "v")]
+        )
+        minimal = query.minimized()
+        assert len(minimal.body) == 1
+        assert minimal.is_equivalent_to(query)
+
+    def test_core_query_unchanged(self, schema):
+        query = cq(schema, ["x", "z"], [("x", "y"), ("y", "z")])
+        assert query.minimized() == query
+
+    def test_minimization_preserves_answers(self, schema, path_db):
+        query = cq(
+            schema,
+            ["x", "z"],
+            [("x", "y"), ("y", "z"), ("x", "v"), ("w", "z")],
+        )
+        minimal = query.minimized()
+        assert minimal.answers(path_db) == query.answers(path_db)
+
+    def test_head_variables_never_folded(self, schema):
+        query = cq(schema, ["x", "y"], [("x", "y"), ("y", "y2")])
+        minimal = query.minimized()
+        head_vars = set(minimal.head)
+        body_vars = {v for atom in minimal.body for v in atom}
+        assert head_vars <= body_vars
+
+
+class TestDisplay:
+    def test_str(self, schema):
+        query = cq(schema, ["x", "z"], [("x", "y"), ("y", "z")])
+        assert str(query) == "q(x, z) :- R(x, y), R(y, z)"
+
+    def test_hash_and_eq_ignore_body_order(self, schema):
+        first = cq(schema, ["x"], [("x", "y"), ("y", "z")])
+        second = cq(schema, ["x"], [("y", "z"), ("x", "y")])
+        assert first == second
+        assert hash(first) == hash(second)

@@ -1,0 +1,94 @@
+"""Unit tests for repro.relational.schema."""
+
+import pytest
+
+from repro.errors import ArityError, SchemaError
+from repro.relational.schema import Schema
+
+
+class TestConstruction:
+    def test_attributes_preserved_in_order(self):
+        schema = Schema(["A", "B", "C"])
+        assert schema.attributes == ("A", "B", "C")
+
+    def test_arity(self):
+        assert Schema(["A", "B"]).arity == 2
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(["A", "A"])
+
+    def test_non_string_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(["A", 3])
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([""])
+
+    def test_accepts_any_iterable(self):
+        schema = Schema(name for name in ["X", "Y"])
+        assert schema.arity == 2
+
+
+class TestLookup:
+    def test_position(self):
+        schema = Schema(["A", "B", "C"])
+        assert schema.position("B") == 1
+
+    def test_position_unknown_raises(self):
+        with pytest.raises(SchemaError):
+            Schema(["A"]).position("Z")
+
+    def test_attribute_by_position(self):
+        schema = Schema(["A", "B"])
+        assert schema.attribute(1) == "B"
+
+    def test_attribute_out_of_range(self):
+        with pytest.raises(SchemaError):
+            Schema(["A"]).attribute(5)
+
+    def test_attribute_negative_position(self):
+        with pytest.raises(SchemaError):
+            Schema(["A"]).attribute(-1)
+
+    def test_contains(self):
+        schema = Schema(["A", "B"])
+        assert "A" in schema
+        assert "Z" not in schema
+
+    def test_iteration_and_len(self):
+        schema = Schema(["A", "B", "C"])
+        assert list(schema) == ["A", "B", "C"]
+        assert len(schema) == 3
+
+
+class TestEqualityAndHashing:
+    def test_equal_schemas(self):
+        assert Schema(["A", "B"]) == Schema(["A", "B"])
+
+    def test_order_matters(self):
+        assert Schema(["A", "B"]) != Schema(["B", "A"])
+
+    def test_hashable(self):
+        assert len({Schema(["A"]), Schema(["A"]), Schema(["B"])}) == 2
+
+    def test_not_equal_to_other_types(self):
+        assert Schema(["A"]) != ("A",)
+
+
+class TestArityCheck:
+    def test_check_arity_accepts_matching(self):
+        Schema(["A", "B"]).check_arity(("x", "y"))
+
+    def test_check_arity_rejects_short(self):
+        with pytest.raises(ArityError):
+            Schema(["A", "B"]).check_arity(("x",))
+
+    def test_check_arity_rejects_long(self):
+        with pytest.raises(ArityError):
+            Schema(["A"]).check_arity(("x", "y"))

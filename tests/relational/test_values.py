@@ -1,0 +1,56 @@
+"""Unit tests for repro.relational.values."""
+
+from repro.relational.values import Const, LabeledNull, NullFactory, is_null
+
+
+class TestConst:
+    def test_equality_by_name(self):
+        assert Const("a") == Const("a")
+        assert Const("a") != Const("b")
+
+    def test_hashable_consistently(self):
+        assert len({Const("a"), Const("a"), Const("b")}) == 2
+
+    def test_tuple_names_supported(self):
+        assert Const(("frozen", "x")) == Const(("frozen", "x"))
+
+    def test_str_and_repr(self):
+        assert str(Const("BVD")) == "BVD"
+        assert "BVD" in repr(Const("BVD"))
+
+    def test_not_equal_to_null(self):
+        assert Const(0) != LabeledNull(0)
+
+
+class TestLabeledNull:
+    def test_equality_by_label(self):
+        assert LabeledNull(3) == LabeledNull(3)
+        assert LabeledNull(3) != LabeledNull(4)
+
+    def test_str_shows_label(self):
+        assert str(LabeledNull(7)) == "_N7"
+
+    def test_is_null_predicate(self):
+        assert is_null(LabeledNull(0))
+        assert not is_null(Const("a"))
+        assert not is_null("plain string")
+
+
+class TestNullFactory:
+    def test_fresh_nulls_distinct(self):
+        fresh = NullFactory()
+        assert fresh() != fresh()
+
+    def test_take_returns_requested_count(self):
+        fresh = NullFactory()
+        batch = fresh.take(5)
+        assert len(batch) == 5
+        assert len(set(batch)) == 5
+
+    def test_start_offset(self):
+        fresh = NullFactory(start=100)
+        assert fresh().label == 100
+
+    def test_independent_factories_overlap(self):
+        # Factories are per-computation; separate runs may reuse labels.
+        assert NullFactory()() == NullFactory()()

@@ -1,0 +1,84 @@
+"""Tests for the bounded quotient (repro.semigroups.congruence)."""
+
+import pytest
+
+from repro.semigroups.congruence import (
+    bounded_quotient,
+    quotient_agrees_with_rewriting,
+)
+from repro.workloads.instances import (
+    gap_instance,
+    negative_instance,
+    positive_instance,
+)
+
+
+class TestBoundedQuotient:
+    def test_word_count(self):
+        quotient = bounded_quotient(negative_instance(), 3)
+        # alphabet {A0, 0}: 2 + 4 + 8 = 14 words.
+        assert quotient.word_count == 14
+
+    def test_positive_instance_collapses(self):
+        quotient = bounded_quotient(positive_instance(), 2)
+        assert quotient.a0_collapses()
+
+    def test_negative_instance_does_not_collapse(self):
+        quotient = bounded_quotient(negative_instance(), 4)
+        assert not quotient.a0_collapses()
+
+    def test_gap_instance_does_not_collapse(self):
+        quotient = bounded_quotient(gap_instance(), 4)
+        assert not quotient.a0_collapses()
+
+    def test_zero_class_absorbs_in_negative_instance(self):
+        """All words containing 0 collapse to the 0 class (zero laws)."""
+        quotient = bounded_quotient(negative_instance(), 3)
+        zero_class = quotient.classes[quotient.class_of[("0",)]]
+        for word in quotient.class_of:
+            if "0" in word:
+                assert word in zero_class
+
+    def test_class_count_positive_vs_negative(self):
+        """In the positive instance everything containing A0 or 0 merges;
+        the negative instance keeps the A0-powers apart."""
+        positive = bounded_quotient(positive_instance(), 3)
+        negative = bounded_quotient(negative_instance(), 3)
+        assert positive.class_count < negative.class_count
+
+    def test_products_well_defined(self):
+        quotient = bounded_quotient(negative_instance(), 4)
+        for (left, right), result in quotient.products.items():
+            assert result == quotient.class_of[left + right]
+
+    def test_products_respect_congruence(self):
+        """Class multiplication is independent of representatives (spot
+        check: multiplying members of one class lands in one class)."""
+        quotient = bounded_quotient(positive_instance(), 3)
+        for representative, members in quotient.classes.items():
+            for member in members:
+                if len(member) + 1 <= quotient.bound:
+                    product_class = quotient.class_of.get(
+                        member + (quotient.presentation.a0,)
+                    )
+                    expected = quotient.class_of.get(
+                        representative + (quotient.presentation.a0,)
+                    )
+                    if product_class is not None and expected is not None:
+                        assert product_class == expected
+
+    def test_bound_validation(self):
+        with pytest.raises(ValueError):
+            bounded_quotient(negative_instance(), 0)
+
+    def test_describe(self):
+        quotient = bounded_quotient(positive_instance(), 2)
+        assert "A0 ~ 0: True" in quotient.describe()
+
+
+class TestCrossValidation:
+    @pytest.mark.parametrize(
+        "build", [positive_instance, negative_instance, gap_instance]
+    )
+    def test_quotient_agrees_with_rewriting(self, build):
+        assert quotient_agrees_with_rewriting(build(), 3)

@@ -1,0 +1,118 @@
+"""Unit tests for repro.semigroups.construct."""
+
+import pytest
+
+from repro.errors import SemigroupError
+from repro.semigroups.construct import (
+    adjoin_identity,
+    adjoin_zero,
+    cyclic_group,
+    free_nilpotent,
+    left_zero,
+    monogenic,
+    null_semigroup,
+)
+
+
+class TestNullSemigroup:
+    def test_all_products_zero(self):
+        null = null_semigroup(4)
+        zero = null.zero()
+        assert all(
+            null.product(x, y) == zero for x in range(4) for y in range(4)
+        )
+
+    def test_no_identity_for_size_two_plus(self):
+        assert not null_semigroup(2).has_identity()
+
+    def test_size_one_rejects_zero(self):
+        with pytest.raises(SemigroupError):
+            null_semigroup(0)
+
+
+class TestFreeNilpotent:
+    def test_index_three_is_canonical_counter_model(self):
+        nilpotent = free_nilpotent(3)
+        assert nilpotent.size == 3
+        assert nilpotent.zero() == 2
+        # a * a = a^2, a * a^2 = 0.
+        assert nilpotent.product(0, 0) == 1
+        assert nilpotent.product(0, 1) == 2
+
+    def test_nilpotency(self):
+        for index in (2, 3, 5):
+            nilpotent = free_nilpotent(index)
+            power = 0
+            for __ in range(index - 1):
+                power = nilpotent.product(power, 0)
+            assert power == nilpotent.zero()
+
+    def test_index_below_two_rejected(self):
+        with pytest.raises(SemigroupError):
+            free_nilpotent(1)
+
+    def test_names(self):
+        assert free_nilpotent(3).names == ("a", "a^2", "zero")
+
+
+class TestMonogenic:
+    def test_cyclic_case(self):
+        # index 1, period n: the cyclic group of order n.
+        cyclic = monogenic(1, 4)
+        assert cyclic.size == 4
+        assert cyclic.has_identity()
+
+    def test_index_and_period(self):
+        semigroup = monogenic(3, 2)  # a..a^4, a^5 = a^3
+        assert semigroup.size == 4
+        a4 = semigroup.product(semigroup.product(0, 0), semigroup.product(0, 0))
+        a5 = semigroup.product(a4, 0)
+        assert a5 == 2  # a^5 = a^3 (0-based index 2)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(SemigroupError):
+            monogenic(0, 1)
+        with pytest.raises(SemigroupError):
+            monogenic(1, 0)
+
+
+class TestCyclicGroup:
+    def test_group_axioms(self):
+        group = cyclic_group(5)
+        assert group.has_identity()
+        assert group.zero() is None
+
+    def test_order_one(self):
+        assert cyclic_group(1).size == 1
+
+
+class TestLeftZero:
+    def test_products(self):
+        lz = left_zero(3)
+        assert all(lz.product(x, y) == x for x in range(3) for y in range(3))
+
+
+class TestAdjunctions:
+    def test_adjoin_identity_adds_working_identity(self):
+        extended = adjoin_identity(free_nilpotent(3))
+        identity = extended.identity()
+        assert identity == extended.size - 1
+        assert all(
+            extended.product(identity, x) == x for x in range(extended.size)
+        )
+
+    def test_adjoin_identity_preserves_base_products(self):
+        base = free_nilpotent(3)
+        extended = adjoin_identity(base)
+        for x in range(base.size):
+            for y in range(base.size):
+                assert extended.product(x, y) == base.product(x, y)
+
+    def test_adjoin_zero_overrides_old_zero(self):
+        extended = adjoin_zero(null_semigroup(2))
+        assert extended.zero() == extended.size - 1
+
+    def test_adjoin_zero_to_group(self):
+        extended = adjoin_zero(cyclic_group(3))
+        assert extended.has_identity()
+        assert extended.zero() == extended.size - 1

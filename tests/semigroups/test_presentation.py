@@ -1,0 +1,168 @@
+"""Unit tests for repro.semigroups.presentation."""
+
+import pytest
+
+from repro.errors import PresentationError
+from repro.semigroups.presentation import Equation, Presentation
+from repro.semigroups.rewriting import find_derivation
+
+
+class TestEquation:
+    def test_make(self):
+        equation = Equation.make(["A", "B"], ["C"])
+        assert equation.lhs == ("A", "B")
+        assert equation.rhs == ("C",)
+
+    def test_short_form(self):
+        assert Equation.make(["A", "B"], ["C"]).is_short_form()
+        assert not Equation.make(["A"], ["C"]).is_short_form()
+        assert not Equation.make(["A", "B", "C"], ["D"]).is_short_form()
+        assert not Equation.make(["A", "B"], ["C", "D"]).is_short_form()
+
+    def test_letters(self):
+        assert Equation.make(["A", "B"], ["C"]).letters() == {"A", "B", "C"}
+
+    def test_oriented_puts_longer_left(self):
+        equation = Equation.make(["C"], ["A", "B"])
+        assert equation.oriented().lhs == ("A", "B")
+
+    def test_str(self):
+        assert str(Equation.make(["A", "B"], ["C"])) == "A.B = C"
+
+
+class TestPresentationBasics:
+    def test_requires_zero_in_alphabet(self):
+        with pytest.raises(PresentationError):
+            Presentation(["A0"], [])
+
+    def test_requires_a0_in_alphabet(self):
+        with pytest.raises(PresentationError):
+            Presentation(["0"], [])
+
+    def test_zero_and_a0_distinct(self):
+        with pytest.raises(PresentationError):
+            Presentation(["X"], [], zero="X", a0="X")
+
+    def test_unknown_letter_in_equation_rejected(self):
+        with pytest.raises(PresentationError):
+            Presentation(["A0", "0"], [Equation.make(["Z", "0"], ["0"])])
+
+    def test_alphabet_deduplicated_in_order(self):
+        presentation = Presentation(["A0", "0", "A0"], [])
+        assert presentation.alphabet == ("A0", "0")
+
+    def test_describe_mentions_conclusion(self):
+        presentation = Presentation(["A0", "0"], [])
+        assert "A0 = 0" in presentation.describe()
+
+
+class TestZeroEquations:
+    def test_with_zero_equations_covers_all_letters(self):
+        presentation = Presentation.with_zero_equations(["A0", "X", "0"])
+        assert presentation.has_zero_equations()
+        # per letter: X.0=0 and 0.X=0; for 0 itself only 0.0=0 (dedup).
+        assert len(presentation.equations) == 5
+
+    def test_has_zero_equations_false_without(self):
+        presentation = Presentation(["A0", "0"], [])
+        assert not presentation.has_zero_equations()
+
+    def test_zero_equations_are_short_form(self):
+        presentation = Presentation.with_zero_equations(["A0", "0"])
+        assert presentation.is_short_form()
+
+    def test_extra_equations_appended(self):
+        extra = Equation.make(["A0", "A0"], ["0"])
+        presentation = Presentation.with_zero_equations(["A0", "0"], [extra])
+        assert extra in presentation.equations
+
+
+class TestShortEquations:
+    def test_short_equations_pass_through(self):
+        presentation = Presentation.with_zero_equations(["A0", "0"])
+        assert len(list(presentation.short_equations())) == 3
+
+    def test_short_equations_reject_long(self):
+        presentation = Presentation(
+            ["A0", "B", "0"],
+            [Equation.make(["A0", "B", "A0"], ["0"])],
+        )
+        with pytest.raises(PresentationError):
+            list(presentation.short_equations())
+
+
+class TestNormalisation:
+    def test_already_short_unchanged_semantically(self):
+        presentation = Presentation.with_zero_equations(["A0", "0"])
+        normalized = presentation.normalized()
+        assert normalized.is_short_form()
+        assert set(normalized.equations) == set(presentation.equations)
+
+    def test_paper_example_abc_eq_da(self):
+        """ABC = DA becomes AB = E, DA = F, EC = F (up to naming)."""
+        presentation = Presentation(
+            ["A0", "A", "B", "C", "D", "0"],
+            [Equation.make(["A", "B", "C"], ["D", "A"])],
+        )
+        normalized = presentation.normalized()
+        assert normalized.is_short_form()
+        # One abbreviation for AB, one for DA, plus the rewritten equation.
+        assert len(normalized.equations) == 3
+        assert len(normalized.alphabet) == len(presentation.alphabet) + 2
+
+    def test_long_words_fully_abbreviated(self):
+        presentation = Presentation(
+            ["A0", "A", "0"],
+            [Equation.make(["A"] * 5, ["A", "A"])],
+        )
+        normalized = presentation.normalized()
+        assert normalized.is_short_form()
+
+    def test_normalisation_preserves_derivability(self):
+        """The positive instance stays positive after a detour through
+        longer equations."""
+        presentation = Presentation.with_zero_equations(
+            ["A0", "0"],
+            [
+                # A0.A0.A0 = A0  and  A0.A0.A0 = 0: still forces A0 = 0.
+                Equation.make(["A0", "A0", "A0"], ["A0"]),
+                Equation.make(["A0", "A0", "A0"], ["0"]),
+            ],
+        )
+        normalized = presentation.normalized()
+        derivation = find_derivation(
+            normalized, ("A0",), ("0",), max_length=8
+        )
+        assert derivation is not None
+
+    def test_letter_identification_substitutes(self):
+        presentation = Presentation(
+            ["A0", "A", "B", "0"],
+            [
+                Equation.make(["A"], ["B"]),
+                Equation.make(["A", "B"], ["0"]),
+            ],
+        )
+        normalized = presentation.normalized()
+        assert normalized.is_short_form()
+        # A and B identified: the second equation mentions one letter only.
+        survivors = {letter for eq in normalized.equations for letter in eq.letters()}
+        assert not {"A", "B"} <= survivors
+
+    def test_identifying_a0_with_zero_forces_positive(self):
+        presentation = Presentation(
+            ["A0", "0"],
+            [Equation.make(["A0"], ["0"])],
+        )
+        normalized = presentation.normalized()
+        assert normalized.is_short_form()
+        derivation = find_derivation(normalized, ("A0",), ("0",), max_length=4)
+        assert derivation is not None
+
+    def test_fresh_letters_get_zero_equations(self):
+        presentation = Presentation.with_zero_equations(
+            ["A0", "A", "0"],
+            [Equation.make(["A", "A", "A"], ["0"])],
+        )
+        normalized = presentation.normalized()
+        assert normalized.has_zero_equations()

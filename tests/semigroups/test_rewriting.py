@@ -1,0 +1,100 @@
+"""Unit tests for repro.semigroups.rewriting."""
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.semigroups.presentation import Equation, Presentation
+from repro.semigroups.rewriting import Derivation, find_derivation, word_problem
+from repro.workloads.instances import (
+    gap_instance,
+    negative_instance,
+    positive_chain_family,
+    positive_instance,
+)
+
+
+class TestDerivation:
+    def test_properties(self):
+        derivation = Derivation((("A0",), ("A0", "A0"), ("0",)))
+        assert derivation.source == ("A0",)
+        assert derivation.target == ("0",)
+        assert derivation.length == 2
+        assert len(list(derivation.steps())) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(VerificationError):
+            Derivation(())
+
+    def test_validate_accepts_legal_steps(self):
+        presentation = positive_instance()
+        derivation = Derivation((("A0",), ("A0", "A0"), ("0",)))
+        derivation.validate(presentation)
+
+    def test_validate_rejects_illegal_step(self):
+        presentation = positive_instance()
+        bogus = Derivation((("A0",), ("0",)))  # no single replacement does this
+        with pytest.raises(VerificationError):
+            bogus.validate(presentation)
+
+    def test_describe(self):
+        derivation = Derivation((("A0",), ("0",)))
+        assert "A0 -> 0" in derivation.describe()
+
+
+class TestFindDerivation:
+    def test_source_equals_target(self):
+        presentation = positive_instance()
+        derivation = find_derivation(presentation, ("A0",), ("A0",))
+        assert derivation is not None
+        assert derivation.length == 0
+
+    def test_positive_instance_solved(self):
+        derivation = word_problem(positive_instance())
+        assert derivation is not None
+        assert derivation.source == ("A0",)
+        assert derivation.target == ("0",)
+
+    def test_derivation_is_validated(self):
+        derivation = word_problem(positive_instance())
+        derivation.validate(positive_instance())
+
+    def test_negative_instance_unsolved(self):
+        assert word_problem(negative_instance(), max_visited=5_000) is None
+
+    def test_gap_instance_unsolved(self):
+        assert word_problem(gap_instance(), max_visited=5_000) is None
+
+    def test_max_length_blocks_necessary_growth(self):
+        # The positive instance needs words of length 2; cap at 1.
+        assert (
+            find_derivation(positive_instance(), ("A0",), ("0",), max_length=1)
+            is None
+        )
+
+    def test_visited_budget_respected(self):
+        assert (
+            find_derivation(positive_instance(), ("A0",), ("0",), max_visited=2)
+            is None
+        )
+
+    @pytest.mark.parametrize("chain", [1, 2, 4])
+    def test_chain_family_solved_with_growing_derivations(self, chain):
+        presentation = positive_chain_family(chain)
+        derivation = word_problem(presentation, max_length=chain + 4)
+        assert derivation is not None
+        assert derivation.length >= chain
+
+    def test_zero_equations_alone_connect_zero_words(self):
+        presentation = negative_instance()
+        # 0.0 -> 0 is a legal zero-equation contraction.
+        derivation = find_derivation(presentation, ("0", "0"), ("0",))
+        assert derivation is not None
+        assert derivation.length == 1
+
+    def test_unreachable_word(self):
+        presentation = negative_instance()
+        # Nothing rewrites A0 alone under zero equations only.
+        assert (
+            find_derivation(presentation, ("A0",), ("0",), max_visited=1_000)
+            is None
+        )

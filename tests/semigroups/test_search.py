@@ -1,0 +1,94 @@
+"""Unit tests for repro.semigroups.search."""
+
+import pytest
+
+from repro.semigroups.finite import FiniteSemigroup
+from repro.semigroups.presentation import Equation, Presentation
+from repro.semigroups.search import (
+    CounterModel,
+    _iter_all_tables,
+    find_counter_model,
+    iter_semigroups,
+)
+from repro.workloads.instances import (
+    gap_instance,
+    negative_family,
+    negative_instance,
+    positive_instance,
+)
+
+
+class TestExhaustiveTables:
+    def test_size_one_count(self):
+        assert len(list(_iter_all_tables(1))) == 1
+
+    def test_size_two_count(self):
+        # 8 associative binary operations on a 2-element set.
+        assert len(list(_iter_all_tables(2))) == 8
+
+    def test_size_three_count(self):
+        # Classic count: 113 associative tables on 3 labelled elements.
+        assert len(list(_iter_all_tables(3))) == 113
+
+    def test_all_results_associative(self):
+        for semigroup in _iter_all_tables(2):
+            assert semigroup.is_associative()
+
+
+class TestCatalogue:
+    def test_catalogue_members_are_semigroups(self):
+        for semigroup in iter_semigroups(5):
+            assert isinstance(semigroup, FiniteSemigroup)
+            assert semigroup.is_associative()
+
+    def test_catalogue_reaches_requested_size(self):
+        sizes = {semigroup.size for semigroup in iter_semigroups(6)}
+        assert 6 in sizes
+
+
+class TestFindCounterModel:
+    def test_negative_instance_has_counter_model(self):
+        model = find_counter_model(negative_instance())
+        assert model is not None
+        semigroup, assignment = model.semigroup, model.assignment
+        assert semigroup.zero() is not None
+        assert not semigroup.has_identity()
+        assert semigroup.has_cancellation_property()
+        assert assignment["A0"] != semigroup.zero()
+        assert assignment["0"] == semigroup.zero()
+        assert semigroup.satisfies_presentation(negative_instance(), assignment)
+
+    def test_counter_model_is_generated(self):
+        model = find_counter_model(negative_instance())
+        assert model.semigroup.is_generated_by(model.assignment.values())
+
+    def test_positive_instance_has_no_counter_model(self):
+        assert find_counter_model(positive_instance(), max_size=4) is None
+
+    def test_gap_instance_has_no_cancellation_counter_model(self):
+        """a*a = a with a != 0 contradicts condition (ii)."""
+        assert find_counter_model(gap_instance(), max_size=4) is None
+
+    def test_negative_family_with_square_equations(self):
+        presentation = negative_family(2)
+        model = find_counter_model(presentation)
+        assert model is not None
+        assert model.semigroup.satisfies_presentation(
+            presentation, model.assignment
+        )
+
+    def test_require_generated_can_be_disabled(self):
+        model = find_counter_model(
+            negative_instance(), require_generated=False
+        )
+        assert model is not None
+
+    def test_max_checked_budget(self):
+        assert (
+            find_counter_model(negative_instance(), max_checked=0) is None
+        )
+
+    def test_describe(self):
+        model = find_counter_model(negative_instance())
+        text = model.describe()
+        assert "A0" in text and "semigroup" in text

@@ -1,0 +1,83 @@
+"""Unit tests for repro.semigroups.words."""
+
+import pytest
+
+from repro.errors import PresentationError
+from repro.semigroups.words import (
+    concat,
+    letters_of,
+    occurrences,
+    replace_at,
+    show,
+    single_replacements,
+    word,
+)
+
+
+class TestWord:
+    def test_from_sequence(self):
+        assert word(["A", "B"]) == ("A", "B")
+
+    def test_plain_string_is_single_letter(self):
+        # "A0" is one letter, not two characters.
+        assert word("A0") == ("A0",)
+
+    def test_empty_rejected(self):
+        with pytest.raises(PresentationError):
+            word([])
+
+    def test_bad_letter_rejected(self):
+        with pytest.raises(PresentationError):
+            word(["A", ""])
+        with pytest.raises(PresentationError):
+            word([3])
+
+    def test_show(self):
+        assert show(("A0", "0")) == "A0.0"
+
+
+class TestConcat:
+    def test_concat(self):
+        assert concat(("A",), ("B", "C")) == ("A", "B", "C")
+
+    def test_letters_of(self):
+        assert letters_of(("A", "B", "A")) == {"A", "B"}
+
+
+class TestOccurrences:
+    def test_single(self):
+        assert list(occurrences(("A", "B", "C"), ("B",))) == [1]
+
+    def test_overlapping(self):
+        assert list(occurrences(("A", "A", "A"), ("A", "A"))) == [0, 1]
+
+    def test_none(self):
+        assert list(occurrences(("A", "B"), ("C",))) == []
+
+    def test_pattern_longer_than_word(self):
+        assert list(occurrences(("A",), ("A", "B"))) == []
+
+    def test_full_word(self):
+        assert list(occurrences(("A", "B"), ("A", "B"))) == [0]
+
+
+class TestReplace:
+    def test_replace_at(self):
+        assert replace_at(("A", "B", "C"), 1, ("B",), ("X", "Y")) == (
+            "A",
+            "X",
+            "Y",
+            "C",
+        )
+
+    def test_replace_verifies_occurrence(self):
+        with pytest.raises(PresentationError):
+            replace_at(("A", "B"), 0, ("C",), ("X",))
+
+    def test_single_replacements_all_positions(self):
+        produced = set(single_replacements(("A", "A"), ("A",), ("B",)))
+        assert produced == {("B", "A"), ("A", "B")}
+
+    def test_single_replacements_grow(self):
+        produced = list(single_replacements(("C",), ("C",), ("A", "B")))
+        assert produced == [("A", "B")]

@@ -1,0 +1,51 @@
+"""Unit tests for repro.workloads.garment."""
+
+from repro.relational.values import Const
+from repro.workloads.garment import (
+    figure1_dependency,
+    garment_database,
+    garment_eid,
+    garment_schema,
+)
+
+
+class TestGarmentWorkload:
+    def test_schema_matches_paper(self):
+        assert garment_schema().attributes == ("SUPPLIER", "STYLE", "SIZE")
+
+    def test_database_contains_papers_tuples(self):
+        db = garment_database()
+        assert (
+            Const("St. Laurent"),
+            Const("Evening Dress"),
+            Const("size-10"),
+        ) in db
+        assert (Const("BVD"), Const("Brief"), Const("size-36")) in db
+
+    def test_database_is_typed(self):
+        garment_database().validate()
+
+    def test_figure1_shape(self):
+        fig1 = figure1_dependency()
+        assert len(fig1.antecedents) == 2
+        assert fig1.is_embedded()
+        assert fig1.is_typed()
+        assert {v.name for v in fig1.existential_variables()} == {"a*"}
+
+    def test_eid_shape(self):
+        eid = garment_eid()
+        assert len(eid.conclusions) == 2
+        assert not eid.is_template_dependency()
+
+    def test_figure1_diagram_matches_paper(self):
+        """Fig 1: edges SUPPLIER(1,2), STYLE(1,*), SIZE(2,*)."""
+        from repro.dependencies.diagram import DiagramEdge, diagram_of
+
+        diagram = diagram_of(figure1_dependency())
+        assert diagram.edges == frozenset(
+            {
+                DiagramEdge.make("1", "2", "SUPPLIER"),
+                DiagramEdge.make("1", "*", "STYLE"),
+                DiagramEdge.make("2", "*", "SIZE"),
+            }
+        )

@@ -1,0 +1,75 @@
+"""Unit tests for repro.workloads.instances."""
+
+import pytest
+
+from repro.semigroups.rewriting import word_problem
+from repro.semigroups.search import find_counter_model
+from repro.workloads.instances import (
+    gap_instance,
+    negative_family,
+    negative_instance,
+    positive_chain_family,
+    positive_instance,
+)
+
+
+class TestCanonicalInstances:
+    def test_positive_is_positive(self):
+        assert word_problem(positive_instance()) is not None
+
+    def test_positive_has_no_counter_model(self):
+        assert find_counter_model(positive_instance(), max_size=4) is None
+
+    def test_negative_is_negative(self):
+        assert find_counter_model(negative_instance()) is not None
+
+    def test_negative_has_no_derivation(self):
+        assert word_problem(negative_instance(), max_visited=3_000) is None
+
+    def test_gap_has_neither(self):
+        assert word_problem(gap_instance(), max_visited=3_000) is None
+        assert find_counter_model(gap_instance(), max_size=4) is None
+
+    def test_all_instances_short_form_with_zero_equations(self):
+        for presentation in (
+            positive_instance(),
+            negative_instance(),
+            gap_instance(),
+        ):
+            assert presentation.is_short_form()
+            assert presentation.has_zero_equations()
+
+
+class TestFamilies:
+    @pytest.mark.parametrize("chain", [1, 2, 3])
+    def test_chain_family_positive(self, chain):
+        derivation = word_problem(
+            positive_chain_family(chain), max_length=chain + 4
+        )
+        assert derivation is not None
+
+    def test_chain_family_derivation_grows(self):
+        short = word_problem(positive_chain_family(1), max_length=6)
+        long = word_problem(positive_chain_family(4), max_length=9)
+        assert long.length > short.length
+
+    def test_chain_family_rejects_zero(self):
+        with pytest.raises(ValueError):
+            positive_chain_family(0)
+
+    @pytest.mark.parametrize("extra", [0, 1, 3])
+    def test_negative_family_alphabet_scales(self, extra):
+        presentation = negative_family(extra)
+        assert len(presentation.alphabet) == extra + 2
+
+    def test_negative_family_refutable(self):
+        assert find_counter_model(negative_family(2)) is not None
+
+    def test_negative_extra_letters_variant(self):
+        presentation = negative_instance(extra_letters=2)
+        assert len(presentation.alphabet) == 4
+        assert find_counter_model(presentation) is not None
+
+    def test_negative_family_without_squares(self):
+        presentation = negative_family(2, squares_to_zero=False)
+        assert find_counter_model(presentation) is not None
