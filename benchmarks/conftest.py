@@ -16,6 +16,15 @@ from collections import OrderedDict
 _REPORTS: "OrderedDict[str, list[str]]" = OrderedDict()
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="shrink benchmark workloads for smoke runs (CI)",
+    )
+
+
 def record(experiment: str, line: str) -> None:
     """Add one line to an experiment's report table."""
     _REPORTS.setdefault(experiment, []).append(line)

@@ -1,2 +1,34 @@
-from setuptools import setup
-setup()
+from pathlib import Path
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro-gurevich-lewis-1982",
+    version="1.1.0",
+    description=(
+        "Gurevich & Lewis (1982), 'The Inference Problem for Template "
+        "Dependencies': chase-based inference with certificates, the "
+        "word-problem reduction, and a batch inference service"
+    ),
+    long_description=Path(__file__).with_name("README.md").read_text(encoding="utf-8"),
+    long_description_content_type="text/markdown",
+    author="paper-repo-growth",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    extras_require={
+        "test": ["pytest", "pytest-benchmark", "hypothesis"],
+    },
+    entry_points={
+        "console_scripts": [
+            "repro=repro.cli:main",
+        ],
+    },
+    classifiers=[
+        "Programming Language :: Python :: 3",
+        "Topic :: Scientific/Engineering",
+        "Topic :: Database",
+    ],
+)

@@ -11,7 +11,10 @@ The package provides (see DESIGN.md for the full inventory):
 * the paper's reduction, both directions machine-verified
   (:mod:`repro.reduction`);
 * a three-valued inference facade (:mod:`repro.core`);
-* canonical workloads and generators (:mod:`repro.workloads`).
+* canonical workloads and generators (:mod:`repro.workloads`);
+* a batch inference service — canonical query hashing, a
+  content-addressed result cache and a parallel chase scheduler
+  (:mod:`repro.service`).
 
 Quickstart::
 
@@ -43,10 +46,12 @@ from repro.reduction import (
     prove_direction_a,
     prove_direction_b,
 )
+from repro.dependencies.canonical import dependency_fingerprint, query_fingerprint
 from repro.relational import Const, Instance, LabeledNull, Schema
 from repro.semigroups import Equation, FiniteSemigroup, Presentation, word_problem
+from repro.service import InferenceService, ResultCache
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -89,4 +94,9 @@ __all__ = [
     "prove_direction_a",
     "prove_direction_b",
     "classify_instance",
+    # batch service
+    "InferenceService",
+    "ResultCache",
+    "dependency_fingerprint",
+    "query_fingerprint",
 ]

@@ -52,6 +52,9 @@ class ChaseStats:
     steps: int = 0
     rows_added: int = 0
     started_at: float = field(default_factory=time.monotonic)
+    #: When set, the clock is pinned (a deserialized record of a finished
+    #: run); ``elapsed_seconds`` reports this instead of live wall-clock.
+    frozen_elapsed: Optional[float] = None
 
     def note_step(self) -> None:
         """Record one trigger firing."""
@@ -63,7 +66,9 @@ class ChaseStats:
 
     @property
     def elapsed_seconds(self) -> float:
-        """Wall-clock seconds since the run started."""
+        """Wall-clock seconds since the run started (or the pinned value)."""
+        if self.frozen_elapsed is not None:
+            return self.frozen_elapsed
         return time.monotonic() - self.started_at
 
     def exhausted(self, current_rows: Optional[int] = None) -> bool:

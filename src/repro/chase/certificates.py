@@ -33,6 +33,31 @@ def _consumed_rows(step: ChaseStep) -> set[Row]:
     }
 
 
+def _required_conclusion_rows(step: ChaseStep) -> set[Row]:
+    """Conclusion images the step relied on being *already present*.
+
+    ``added_rows`` honestly lists only the genuinely new rows, so a
+    conclusion atom whose image was satisfied before the firing (an EID
+    conjunct another step already produced) appears nowhere in the step —
+    yet verified replay requires that image to exist. These rows are
+    provenance inputs exactly like the antecedent images. The walk is the
+    replay verifier's own (:func:`repro.chase.engine.match_conclusion_rows`),
+    so slicer and verifier cannot drift apart.
+    """
+    from repro.chase.engine import match_conclusion_rows
+
+    universals = step.dependency.universal_variables()
+    assignment: dict[Variable, Value] = {}
+    for name, value in step.bindings:
+        variable = Variable(name)
+        if variable in universals:
+            assignment[variable] = value
+    __, required, __ = match_conclusion_rows(
+        step.dependency, assignment, step.added_rows, strict=False
+    )
+    return required
+
+
 def minimize_trace(
     steps: Sequence[ChaseStep], required_rows: set[Row]
 ) -> list[ChaseStep]:
@@ -52,6 +77,7 @@ def minimize_trace(
             kept_reversed.append(step)
             needed -= produced
             needed |= _consumed_rows(step)
+            needed |= _required_conclusion_rows(step)
     return list(reversed(kept_reversed))
 
 

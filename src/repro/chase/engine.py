@@ -24,8 +24,8 @@ from repro.dependencies.classify import Dependency
 from repro.dependencies.template import Variable, is_variable
 from repro.errors import VerificationError
 from repro.relational.homomorphism import apply_assignment
-from repro.relational.instance import Instance
-from repro.relational.values import NullFactory, Value
+from repro.relational.instance import Instance, Row
+from repro.relational.values import LabeledNull, NullFactory, Value
 
 
 class ChaseVariant(enum.Enum):
@@ -182,7 +182,7 @@ def fire_trigger(
     return ChaseStep(
         dependency=dependency,
         bindings=trigger.bindings,
-        added_rows=added if added else tuple(rows),
+        added_rows=added,
     )
 
 
@@ -194,7 +194,9 @@ def apply_step(instance: Instance, step: ChaseStep, *, verify: bool = True) -> N
     * the bindings must send every antecedent atom to a row already present
       in the instance (i.e. they are a genuine trigger), and
     * the added rows must match the conclusion atoms under the bindings,
-      with a consistent choice for each existential variable.
+      with a consistent choice for each existential variable. Conclusion
+      images already present in the instance need not (but may) be listed,
+      so ``added_rows`` can honestly record only the genuinely new rows.
 
     Raises :class:`~repro.errors.VerificationError` on any mismatch. This
     is the checker behind the reduction's machine-verified direction (A)
@@ -215,21 +217,134 @@ def apply_step(instance: Instance, step: ChaseStep, *, verify: bool = True) -> N
                 raise VerificationError(
                     f"step is not a trigger: antecedent image {row} missing"
                 )
-        if len(step.added_rows) != len(dependency.conclusions):
-            raise VerificationError(
-                "step adds a different number of rows than the dependency concludes"
-            )
-        extended = dict(assignment)
-        for atom, row in zip(dependency.conclusions, step.added_rows):
-            if len(atom) != len(row):
-                raise VerificationError("conclusion row has the wrong arity")
+        _verify_added_rows(instance, dependency, assignment, step.added_rows)
+    instance.add_all(step.added_rows)
+
+
+def match_conclusion_rows(
+    dependency: Dependency,
+    assignment: dict[Variable, Value],
+    added_rows: Sequence[Row],
+    *,
+    strict: bool = False,
+) -> tuple[set[Row], set[Row], dict[Variable, Value]]:
+    """Match ``added_rows`` against the conclusion atoms under ``assignment``.
+
+    Walks the conclusion atoms in firing order, consuming added rows as it
+    goes: an atom with unbound existential variables must be witnessed by
+    the next added row (which fixes those existentials, consistently across
+    atoms); a fully bound atom either consumes the next added row (when it
+    matches) or was satisfied before the firing. Returns
+    ``(produced, required, witnesses)``: the rows this step introduced,
+    the conclusion images it relied on already being present, and the
+    values the added rows assigned to the existential variables.
+
+    This single walk backs both the replay verifier (``strict=True``:
+    raise :class:`~repro.errors.VerificationError` on any malformed step)
+    and the certificate slicer (``strict=False``: best effort, malformed
+    steps fail later at replay) — keeping their notions of "what a step
+    needs" identical by construction.
+    """
+    extended = dict(assignment)
+    produced: set[Row] = set()
+    required: set[Row] = set()
+    witnesses: dict[Variable, Value] = {}
+    pointer = 0
+    for atom in dependency.conclusions:
+        if any(variable not in extended for variable in atom):
+            # Unbound existentials: their values come from the added row.
+            if pointer >= len(added_rows):
+                if strict:
+                    raise VerificationError(
+                        f"no added row witnesses the existential conclusion {atom}"
+                    )
+                continue
+            row = added_rows[pointer]
+            if len(row) != len(atom):
+                if strict:
+                    raise VerificationError("conclusion row has the wrong arity")
+                continue
             for variable, value in zip(atom, row):
                 bound = extended.setdefault(variable, value)
                 if bound != value:
-                    raise VerificationError(
-                        f"inconsistent value for {variable} in added rows"
-                    )
-    instance.add_all(step.added_rows)
+                    if strict:
+                        raise VerificationError(
+                            f"inconsistent value for {variable} in added rows"
+                        )
+                    break
+                if variable not in assignment:
+                    witnesses.setdefault(variable, value)
+            else:
+                produced.add(row)
+                pointer += 1
+            continue
+        row = apply_assignment(atom, extended, flexible=is_variable)
+        if pointer < len(added_rows) and added_rows[pointer] == row:
+            produced.add(row)
+            pointer += 1
+        elif row not in produced:
+            # Not listed as added: the firing relied on it being present.
+            required.add(row)
+    if pointer != len(added_rows) and strict:
+        raise VerificationError(
+            "step lists added rows that no conclusion atom produces"
+        )
+    return produced, required, witnesses
+
+
+def _verify_added_rows(
+    instance: Instance,
+    dependency: Dependency,
+    assignment: dict[Variable, Value],
+    added_rows: Sequence[Row],
+) -> None:
+    """Check ``added_rows`` against the conclusions; raise on mismatch.
+
+    Beyond the structural walk of :func:`match_conclusion_rows`:
+
+    * every conclusion image the step did not list must already be in the
+      instance — ``added_rows`` may honestly omit only already-present
+      rows;
+    * every existential witness must be a *fresh* labelled null: pairwise
+      distinct and absent from the pre-step instance. Without this a
+      forged step could bind an existential to an existing value (or
+      identify two existentials) and "derive" facts the dependency does
+      not entail — certificates from untrusted sources (a shared result
+      cache, a file on disk) must not verify in that case. The bindings
+      are restricted to the dependency's universal variables first, so a
+      forged step cannot smuggle an existential binding past the witness
+      checks through ``step.bindings``.
+    """
+    universals = dependency.universal_variables()
+    restricted = {
+        variable: value
+        for variable, value in assignment.items()
+        if variable in universals
+    }
+    produced, required, witnesses = match_conclusion_rows(
+        dependency, restricted, added_rows, strict=True
+    )
+    del produced
+    for row in required:
+        if row not in instance:
+            raise VerificationError(
+                f"conclusion image {row} is missing from the added rows"
+            )
+    if len(set(witnesses.values())) != len(witnesses):
+        raise VerificationError(
+            "distinct existential variables share a witness value"
+        )
+    arity = instance.schema.arity
+    for variable, value in witnesses.items():
+        if not isinstance(value, LabeledNull):
+            raise VerificationError(
+                f"existential witness for {variable} is {value!r}, "
+                "not a fresh labelled null"
+            )
+        if any(instance.rows_with(column, value) for column in range(arity)):
+            raise VerificationError(
+                f"existential witness {value!r} already occurs in the instance"
+            )
 
 
 def replay(

@@ -44,16 +44,35 @@ class Trigger:
                 key=lambda pair: pair[0],
             )
         )
-        return Trigger(dependency, bindings)
+        trigger = Trigger(dependency, bindings)
+        # Seed the assignment cache from the dict we already have (copied:
+        # homomorphism enumeration reuses its dict between yields). The
+        # cache is not a dataclass field, so equality and hashing still key
+        # on (dependency, bindings) alone.
+        object.__setattr__(trigger, "_cached_assignment", dict(assignment))
+        return trigger
+
+    def _shared_assignment(self) -> dict[Variable, Value]:
+        """The cached variable -> value dict; callers must not mutate it.
+
+        ``is_active`` and ``conclusion_rows`` sit inside the innermost
+        chase loop, so the dict is built once per trigger instead of on
+        every call.
+        """
+        cached = getattr(self, "_cached_assignment", None)
+        if cached is None:
+            cached = {Variable(name): value for name, value in self.bindings}
+            object.__setattr__(self, "_cached_assignment", cached)
+        return cached
 
     def assignment(self) -> dict[Variable, Value]:
-        """The bindings as a variable -> value dict."""
-        return {Variable(name): value for name, value in self.bindings}
+        """The bindings as a fresh variable -> value dict."""
+        return dict(self._shared_assignment())
 
     def is_active(self, instance: Instance) -> bool:
         """True when no extension covers the conclusion atoms."""
         extension = extend_homomorphism(
-            self.assignment(),
+            self._shared_assignment(),
             self.dependency.conclusions,
             instance,
             flexible=is_variable,
@@ -64,8 +83,7 @@ class Trigger:
         self, existential_values: Mapping[Variable, Value]
     ) -> list[Row]:
         """The rows this trigger produces, given values for existentials."""
-        assignment = self.assignment()
-        assignment.update(existential_values)
+        assignment = {**self._shared_assignment(), **existential_values}
         return [
             apply_assignment(atom, assignment, flexible=is_variable)
             for atom in self.dependency.conclusions

@@ -5,6 +5,9 @@ Commands:
 * ``infer`` — the paper's inference problem on dependency files:
   does the set imply the target? Exit code 0 = proved, 1 = disproved,
   2 = unknown (the honest third value).
+* ``batch`` — the batch inference service: a file of targets in, a
+  per-target verdict table plus cache/dedup statistics out, with an
+  optional worker pool and on-disk result cache.
 * ``classify`` — run the Main-Theorem classifier on a presentation file
   (direction (A), then direction (B), else UNKNOWN).
 * ``encode`` — show the ``φ ↦ (D, D0)`` encoding for a presentation
@@ -62,6 +65,39 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write the proof trace (PROVED) or counterexample database "
         "(DISPROVED) as JSON",
+    )
+
+    batch_cmd = commands.add_parser(
+        "batch",
+        help="batch inference: dedup, result cache and a parallel chase pool",
+    )
+    batch_cmd.add_argument("--deps", required=True, help="dependency file (one per line)")
+    batch_cmd.add_argument(
+        "--targets", required=True, help="target dependency file (one per line)"
+    )
+    batch_cmd.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes for cache misses (0 = in-process serial)",
+    )
+    batch_cmd.add_argument(
+        "--cache",
+        metavar="FILE",
+        help="JSON-lines result cache; read on start, appended on new verdicts",
+    )
+    batch_cmd.add_argument(
+        "--race",
+        action="store_true",
+        help="race the STANDARD and SEMI_NAIVE chase per query",
+    )
+    batch_cmd.add_argument("--max-steps", type=int, default=10_000)
+    batch_cmd.add_argument("--max-seconds", type=float, default=30.0)
+    batch_cmd.add_argument(
+        "--share-budget",
+        action="store_true",
+        help="treat --max-steps/--max-seconds as a whole-batch budget, "
+        "divided across the queries actually executed",
     )
 
     classify_cmd = commands.add_parser(
@@ -131,6 +167,46 @@ def _dump_certificate(report, path: Path) -> None:
     path.write_text(json.dumps(payload, indent=2))
 
 
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from repro.service import InferenceService, JsonLinesStore, ResultCache
+
+    dependencies = parse_dependency_file(Path(args.deps).read_text())
+    schema = dependencies[0].schema if dependencies else None
+    targets = parse_dependency_file(Path(args.targets).read_text(), schema)
+    if not targets:
+        # Exit 0 must mean "every target proved", never "nothing checked".
+        print(f"error: no targets found in {args.targets}", file=sys.stderr)
+        return EXIT_USAGE
+    if args.workers < 0:
+        print("error: --workers must be >= 0", file=sys.stderr)
+        return EXIT_USAGE
+    store = JsonLinesStore(Path(args.cache)) if args.cache else None
+    service = InferenceService(
+        cache=ResultCache(store=store),
+        workers=args.workers,
+        race_variants=args.race,
+        share_budget=args.share_budget,
+    )
+    report = service.run_batch(
+        dependencies,
+        targets,
+        budget=Budget(max_steps=args.max_steps, max_seconds=args.max_seconds),
+    )
+    print(f"{'#':>4}  {'status':<10} {'source':<6} target")
+    for item in report.items:
+        source = "cache" if item.from_cache else ("dedup" if item.deduplicated else "chase")
+        print(f"{item.index:>4}  {item.outcome.status.value:<10} {source:<6} {targets[item.index]}")
+    print()
+    print(report.stats.describe())
+    print("cache:", service.cache.stats.describe())
+    statuses = {item.outcome.status for item in report.items}
+    if InferenceStatus.UNKNOWN in statuses:
+        return EXIT_UNKNOWN
+    if InferenceStatus.DISPROVED in statuses:
+        return EXIT_DISPROVED
+    return EXIT_PROVED
+
+
 def _cmd_classify(args: argparse.Namespace) -> int:
     presentation = parse_presentation_text(Path(args.presentation).read_text())
     outcome = classify_instance(
@@ -195,6 +271,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     handlers = {
         "infer": _cmd_infer,
+        "batch": _cmd_batch,
         "classify": _cmd_classify,
         "encode": _cmd_encode,
         "diagram": _cmd_diagram,

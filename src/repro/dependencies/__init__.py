@@ -10,6 +10,14 @@ dependencies (EIDs) of Chandra, Lewis & Makowsky 1981, together with:
   round-trip conversion and ASCII / DOT rendering.
 """
 
+from repro.dependencies.canonical import (
+    canonical_key,
+    canonicalize,
+    dependency_fingerprint,
+    premise_key,
+    query_fingerprint,
+    query_key,
+)
 from repro.dependencies.classify import (
     attribute_count,
     max_antecedent_count,
@@ -36,4 +44,10 @@ __all__ = [
     "attribute_count",
     "max_antecedent_count",
     "summarize",
+    "canonical_key",
+    "canonicalize",
+    "dependency_fingerprint",
+    "premise_key",
+    "query_key",
+    "query_fingerprint",
 ]

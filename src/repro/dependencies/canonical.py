@@ -1,0 +1,224 @@
+"""Canonical forms and content hashes for dependencies and queries.
+
+Dependencies are closed formulas: renaming variables or reordering the
+antecedent (or, for EIDs, conclusion) conjunction yields a logically
+identical sentence. The batch inference service deduplicates and caches
+queries by *content*, so it needs a canonical form that is invariant under
+exactly those transformations, plus a stable hash of it:
+
+* :func:`canonical_shape` — atoms as tuples of variable *numbers* (first
+  occurrence along a canonically chosen atom ordering), the
+  isomorphism-invariant skeleton of a dependency;
+* :func:`canonical_key` / :func:`dependency_fingerprint` — the shape plus
+  the schema, and its SHA-256 content hash;
+* :func:`query_key` / :func:`query_fingerprint` — the same for a whole
+  inference query ``D ⊨ d``: the dependency *set* is deduplicated and
+  sorted, so ``D``'s order and repetitions do not matter either;
+* :func:`canonicalize` — a dependency rebuilt with the canonical variable
+  names (``v0, v1, ...``), for display and structural comparison.
+
+The shape search is a greedy branch-and-prune canonical labeling: build
+the atom ordering one atom at a time, always extending with an atom whose
+numbered tuple is minimal, branching on ties and pruning branches that
+fall behind the best completed shape. Picking the minimal next tuple is
+*necessary* for the lexicographically least shape, so the search is exact
+whenever it runs to completion; hashing sits on the batch service's hot
+path, so a node budget caps pathological tie explosions (highly symmetric
+dependencies), degrading to a deterministic greedy choice over atoms
+pre-sorted by renaming-invariant features. The degraded case can at worst
+split one cache key in two — never conflate distinct dependencies.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Iterable, Optional, Sequence
+
+from repro.dependencies.classify import Dependency
+from repro.dependencies.eid import EmbeddedImplicationalDependency
+from repro.dependencies.template import Atom, TemplateDependency, Variable
+
+#: One antecedent/conclusion block of a shape: atoms over variable numbers.
+ShapeBlock = tuple[tuple[int, ...], ...]
+
+#: The isomorphism-invariant skeleton: (antecedent block, conclusion block).
+Shape = tuple[ShapeBlock, ShapeBlock]
+
+#: Candidate-tuple evaluations allowed per shape search before the search
+#: stops branching on ties. Generous: typical dependencies (the paper's
+#: have at most five antecedents) finish exactly within a tiny fraction.
+_NODE_BUDGET = 50_000
+
+
+def _invariant_sort(atoms: Sequence[Atom], degree: dict[Variable, int]) -> list[Atom]:
+    """Order atoms by renaming-invariant features (self-pattern, degrees).
+
+    Used to presort the search's tie exploration so that even the
+    budget-capped greedy fallback cannot see variable names or the
+    caller's atom order.
+    """
+
+    def key(atom: Atom) -> tuple:
+        local: dict[Variable, int] = {}
+        pattern = tuple(local.setdefault(variable, len(local)) for variable in atom)
+        degrees = tuple(degree[variable] for variable in atom)
+        return (pattern, degrees)
+
+    return sorted(atoms, key=key)
+
+
+def _least_shape(antecedents: Sequence[Atom], conclusions: Sequence[Atom]) -> Shape:
+    """The lexicographically least (antecedent, conclusion) numbering."""
+    degree: dict[Variable, int] = {}
+    for atom in list(antecedents) + list(conclusions):
+        for variable in set(atom):
+            degree[variable] = degree.get(variable, 0) + 1
+    antecedent_pool = _invariant_sort(antecedents, degree)
+    conclusion_pool = _invariant_sort(conclusions, degree)
+
+    split = len(antecedent_pool)
+    best: Optional[tuple[tuple[int, ...], ...]] = None
+    budget = _NODE_BUDGET
+    order: dict[Variable, int] = {}
+    prefix: list[tuple[int, ...]] = []
+
+    def numbered(atom: Atom) -> tuple[int, ...]:
+        """The atom's tuple if chosen next (without committing)."""
+        trial: dict[Variable, int] = {}
+        numbers = []
+        for variable in atom:
+            number = order.get(variable)
+            if number is None:
+                number = trial.setdefault(variable, len(order) + len(trial))
+            numbers.append(number)
+        return tuple(numbers)
+
+    def search(remaining: list[Atom], conclusions_left: list[Atom]) -> None:
+        nonlocal best, budget
+        if not remaining:
+            if conclusions_left:
+                search(conclusions_left, [])
+                return
+            shape = tuple(prefix)
+            if best is None or shape < best:
+                best = shape
+            return
+        if best is not None and tuple(prefix) > best[: len(prefix)]:
+            return  # this branch can no longer beat the best completed shape
+        scored = [(numbered(atom), position) for position, atom in enumerate(remaining)]
+        budget -= len(scored)
+        least = min(tuple_ for tuple_, __ in scored)
+        ties = [position for tuple_, position in scored if tuple_ == least]
+        if budget <= 0:
+            ties = ties[:1]
+        for position in ties:
+            atom = remaining[position]
+            added = []
+            for variable in atom:
+                if variable not in order:
+                    order[variable] = len(order)
+                    added.append(variable)
+            prefix.append(least)
+            search(remaining[:position] + remaining[position + 1 :], conclusions_left)
+            prefix.pop()
+            for variable in added:
+                del order[variable]
+
+    search(antecedent_pool, conclusion_pool)
+    assert best is not None
+    return best[:split], best[split:]
+
+
+def canonical_shape(dependency: Dependency) -> Shape:
+    """The least shape over antecedent and conclusion orderings.
+
+    Invariant under variable renaming and under reordering of the
+    antecedent and conclusion conjunctions.
+    """
+    return _least_shape(dependency.antecedents, dependency.conclusions)
+
+
+def canonical_key(dependency: Dependency) -> tuple:
+    """A hashable, comparison-friendly canonical identity.
+
+    Two dependencies get the same key exactly when they are the same
+    sentence up to variable renaming and conjunction order. The schema is
+    part of the key: the same shape over different attribute lists is a
+    different dependency.
+    """
+    antecedent_block, conclusion_block = canonical_shape(dependency)
+    return (dependency.schema.attributes, antecedent_block, conclusion_block)
+
+
+def canonicalize(dependency: Dependency) -> Dependency:
+    """Rebuild ``dependency`` with canonical variable names ``v0, v1, ...``."""
+    antecedent_block, conclusion_block = canonical_shape(dependency)
+
+    def rebuild(block: ShapeBlock) -> list[tuple[Variable, ...]]:
+        return [
+            tuple(Variable(f"v{index}") for index in atom) for atom in block
+        ]
+
+    if isinstance(dependency, TemplateDependency):
+        return TemplateDependency(
+            dependency.schema,
+            rebuild(antecedent_block),
+            rebuild(conclusion_block)[0],
+            name=dependency.name,
+        )
+    return EmbeddedImplicationalDependency(
+        dependency.schema,
+        rebuild(antecedent_block),
+        rebuild(conclusion_block),
+        name=dependency.name,
+    )
+
+
+def _digest(key: tuple) -> str:
+    """SHA-256 of a canonical key (tuples serialize as JSON arrays)."""
+    payload = json.dumps(key, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def dependency_fingerprint(dependency: Dependency) -> str:
+    """A stable content hash of one dependency's canonical key."""
+    return _digest(canonical_key(dependency))
+
+
+def premise_key(dependencies: Iterable[Dependency]) -> tuple:
+    """Canonical identity of a premise *set*: deduplicated, sorted keys.
+
+    Batch callers answering many targets against one premise set should
+    compute this once and pass it to :func:`query_fingerprint` via
+    ``premises`` — canonical labeling is the expensive part of hashing.
+    """
+    return tuple(sorted({canonical_key(dependency) for dependency in dependencies}))
+
+
+def query_key(
+    dependencies: Iterable[Dependency],
+    target: Dependency,
+    *,
+    premises: Optional[tuple] = None,
+) -> tuple:
+    """Canonical identity of the inference query ``dependencies ⊨ target``.
+
+    The premise set is deduplicated and sorted by canonical key, so the
+    key is invariant under reordering and repetition of ``dependencies``
+    as well as per-dependency renaming. ``premises`` short-circuits the
+    premise-set labeling with a precomputed :func:`premise_key`.
+    """
+    if premises is None:
+        premises = premise_key(dependencies)
+    return (premises, canonical_key(target))
+
+
+def query_fingerprint(
+    dependencies: Iterable[Dependency],
+    target: Dependency,
+    *,
+    premises: Optional[tuple] = None,
+) -> str:
+    """A stable content hash for a whole ``D ⊨ d`` query."""
+    return _digest(query_key(dependencies, target, premises=premises))

@@ -24,7 +24,6 @@ the paper's construction is typed.
 
 from __future__ import annotations
 
-import itertools
 from typing import Iterable, Iterator, Mapping, Optional, Sequence
 
 from repro.errors import ArityError, DependencyError, TypingError
@@ -299,64 +298,25 @@ class TemplateDependency:
             name=self.name,
         )
 
-    #: Antecedent counts up to which :meth:`canonical` is exact (it tries
-    #: every antecedent ordering; the paper's dependencies have at most 5).
-    _CANONICAL_EXACT_LIMIT = 7
-
-    def _shape(self, ordering: Sequence[Atom]) -> tuple:
-        """Rename variables by first occurrence along ``ordering``."""
-        order: dict[Variable, int] = {}
-        for atom in list(ordering) + [self.conclusion]:
-            for variable in atom:
-                if variable not in order:
-                    order[variable] = len(order)
-        antecedents = tuple(
-            tuple(order[variable] for variable in atom) for atom in ordering
-        )
-        conclusion = tuple(order[variable] for variable in self.conclusion)
-        return antecedents, conclusion
-
     def canonical(self) -> "TemplateDependency":
         """A canonical variable renaming, for structural comparison.
 
-        For dependencies with at most ``_CANONICAL_EXACT_LIMIT`` antecedents
-        the canonical form is exact: every antecedent ordering is tried and
-        the lexicographically least first-occurrence renaming is kept, so
-        two dependencies have equal canonical forms exactly when one is a
-        variable renaming (plus antecedent reordering) of the other. Larger
-        dependencies fall back to a deterministic heuristic ordering.
+        Delegates to :func:`repro.dependencies.canonical.canonicalize`
+        (the branch-and-prune least-shape labeling the batch service
+        hashes with), so there is exactly one definition of structural
+        identity in the library: two dependencies have equal canonical
+        forms exactly when one is a variable renaming (plus antecedent
+        reordering) of the other — exact whenever the labeling search
+        completes within its node budget, which covers everything but
+        pathologically symmetric conjunctions (where the degraded greedy
+        choice can at worst split an equivalence class, never conflate
+        two).
         """
-        if len(self.antecedents) <= self._CANONICAL_EXACT_LIMIT:
-            orderings: Iterable[tuple[Atom, ...]] = itertools.permutations(
-                self.antecedents
-            )
-        else:
-            orderings = [
-                tuple(
-                    sorted(
-                        self.antecedents,
-                        key=lambda atom: tuple(v.name for v in atom),
-                    )
-                )
-            ]
-        best_shape = None
-        best_order: Optional[tuple[Atom, ...]] = None
-        for ordering in orderings:
-            shape = self._shape(ordering)
-            if best_shape is None or shape < best_shape:
-                best_shape = shape
-                best_order = ordering
-        assert best_shape is not None and best_order is not None
-        numbered_antecedents, numbered_conclusion = best_shape
-        return TemplateDependency(
-            self.schema,
-            [
-                tuple(Variable(f"v{index}") for index in atom)
-                for atom in numbered_antecedents
-            ],
-            tuple(Variable(f"v{index}") for index in numbered_conclusion),
-            name=self.name,
-        )
+        from repro.dependencies.canonical import canonicalize
+
+        canonical = canonicalize(self)
+        assert isinstance(canonical, TemplateDependency)
+        return canonical
 
     def structurally_equal(self, other: "TemplateDependency") -> bool:
         """Equality up to variable renaming and antecedent order."""

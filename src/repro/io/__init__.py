@@ -9,10 +9,16 @@
 """
 
 from repro.io.json_codec import (
+    budget_from_json,
+    budget_to_json,
+    chase_result_from_json,
+    chase_result_to_json,
     dependency_from_json,
     dependency_to_json,
     instance_from_json,
     instance_to_json,
+    outcome_from_json,
+    outcome_to_json,
     presentation_from_json,
     presentation_to_json,
     semigroup_from_json,
@@ -37,6 +43,12 @@ __all__ = [
     "semigroup_from_json",
     "trace_to_json",
     "trace_from_json",
+    "budget_to_json",
+    "budget_from_json",
+    "chase_result_to_json",
+    "chase_result_from_json",
+    "outcome_to_json",
+    "outcome_from_json",
     "parse_dependency_file",
     "parse_presentation_text",
     "render_presentation_text",

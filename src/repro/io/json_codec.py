@@ -20,7 +20,9 @@ from typing import Union
 from repro.dependencies.eid import EmbeddedImplicationalDependency
 from repro.dependencies.template import TemplateDependency, Variable
 from repro.errors import ReproError
-from repro.chase.result import ChaseStep
+from repro.chase.budget import Budget, ChaseStats
+from repro.chase.implication import InferenceOutcome, InferenceStatus
+from repro.chase.result import ChaseResult, ChaseStatus, ChaseStep
 from repro.relational.instance import Instance
 from repro.relational.schema import Schema
 from repro.relational.values import Const, LabeledNull, Value
@@ -263,3 +265,145 @@ def trace_from_json(payload: Json) -> list[ChaseStep]:
             ChaseStep(dependency=dependency, bindings=bindings, added_rows=added_rows)
         )
     return steps
+
+
+# ---------------------------------------------------------------------------
+# Budgets, chase results and inference outcomes
+# ---------------------------------------------------------------------------
+
+def budget_to_json(budget: Budget) -> Json:
+    """Encode a budget (``None`` axes mean unlimited)."""
+    return {
+        "max_steps": budget.max_steps,
+        "max_rows": budget.max_rows,
+        "max_seconds": budget.max_seconds,
+    }
+
+
+def budget_from_json(payload: Json) -> Budget:
+    """Decode a budget."""
+    if not isinstance(payload, dict):
+        raise CodecError(f"bad budget payload {payload!r}")
+    return Budget(
+        max_steps=payload.get("max_steps"),
+        max_rows=payload.get("max_rows"),
+        max_seconds=payload.get("max_seconds"),
+    )
+
+
+def stats_to_json(stats: ChaseStats) -> Json:
+    """Encode run statistics, freezing the elapsed wall-clock time."""
+    return {
+        "budget": budget_to_json(stats.budget),
+        "steps": stats.steps,
+        "rows_added": stats.rows_added,
+        "elapsed_seconds": stats.elapsed_seconds,
+    }
+
+
+def stats_from_json(payload: Json) -> ChaseStats:
+    """Decode run statistics (the clock is pinned to the recorded elapsed)."""
+    if not isinstance(payload, dict) or "budget" not in payload:
+        raise CodecError(f"bad stats payload {payload!r}")
+    return ChaseStats(
+        budget=budget_from_json(payload["budget"]),
+        steps=int(payload.get("steps", 0)),
+        rows_added=int(payload.get("rows_added", 0)),
+        frozen_elapsed=float(payload.get("elapsed_seconds", 0.0)),
+    )
+
+
+def chase_result_to_json(result: ChaseResult) -> Json:
+    """Encode a full chase result (status, instance, trace, stats)."""
+    payload: dict = {
+        "status": result.status.value,
+        "instance": instance_to_json(result.instance),
+        "trace": trace_to_json(result.steps),
+    }
+    if result.stats is not None:
+        payload["stats"] = stats_to_json(result.stats)
+    return payload
+
+
+def chase_result_from_json(payload: Json) -> ChaseResult:
+    """Decode a chase result."""
+    if (
+        not isinstance(payload, dict)
+        or "status" not in payload
+        or "instance" not in payload
+    ):
+        raise CodecError("chase result payload needs 'status' and 'instance'")
+    stats = payload.get("stats")
+    return ChaseResult(
+        status=ChaseStatus(payload["status"]),
+        instance=instance_from_json(payload["instance"]),
+        steps=trace_from_json(payload.get("trace", {"dependencies": [], "steps": []})),
+        stats=stats_from_json(stats) if stats is not None else None,
+    )
+
+
+def outcome_to_json(outcome: InferenceOutcome) -> Json:
+    """Encode one ``D ⊨ d`` outcome with all its certificates.
+
+    The payload is self-contained: a PROVED trace can be replayed (the
+    chase start is the freezing of the target, reconstructable from the
+    encoded target and frozen assignment) and a DISPROVED counterexample
+    re-checked, in a fresh process that never saw the original run.
+    """
+    payload: dict = {
+        "status": outcome.status.value,
+        "target": dependency_to_json(outcome.target),
+    }
+    if outcome.chase_result is not None:
+        payload["chase_result"] = chase_result_to_json(outcome.chase_result)
+    if outcome.counterexample is not None:
+        if (
+            outcome.chase_result is not None
+            and outcome.counterexample == outcome.chase_result.instance
+        ):
+            # The usual DISPROVED case: the counterexample *is* the chased
+            # instance — mark the sharing instead of serializing it twice.
+            payload["counterexample_shared"] = True
+        else:
+            payload["counterexample"] = instance_to_json(outcome.counterexample)
+    if outcome.frozen_assignment is not None:
+        payload["frozen"] = [
+            [variable.name, value_to_json(value)]
+            for variable, value in sorted(
+                outcome.frozen_assignment.items(), key=lambda item: item[0].name
+            )
+        ]
+    return payload
+
+
+def outcome_from_json(payload: Json) -> InferenceOutcome:
+    """Decode one inference outcome."""
+    if (
+        not isinstance(payload, dict)
+        or "status" not in payload
+        or "target" not in payload
+    ):
+        raise CodecError("outcome payload needs 'status' and 'target'")
+    chase_payload = payload.get("chase_result")
+    chase_result = (
+        chase_result_from_json(chase_payload) if chase_payload is not None else None
+    )
+    counterexample_payload = payload.get("counterexample")
+    if payload.get("counterexample_shared") and chase_result is not None:
+        counterexample = chase_result.instance
+    elif counterexample_payload is not None:
+        counterexample = instance_from_json(counterexample_payload)
+    else:
+        counterexample = None
+    frozen = payload.get("frozen")
+    return InferenceOutcome(
+        status=InferenceStatus(payload["status"]),
+        target=dependency_from_json(payload["target"]),
+        chase_result=chase_result,
+        counterexample=counterexample,
+        frozen_assignment=(
+            {Variable(name): value_from_json(value) for name, value in frozen}
+            if frozen is not None
+            else None
+        ),
+    )

@@ -1,0 +1,60 @@
+"""Batch inference service (system S8).
+
+Serving ``D ⊨ d`` at scale needs more than a correct solver: structurally
+identical queries must be answered once, verdicts must be memoized with
+certificates that remain independently checkable, and independent chases
+must fan out across cores. This package layers exactly that on top of
+:mod:`repro.chase`:
+
+* :mod:`repro.service.cache` — a content-addressed verdict cache (LRU +
+  optional append-only JSON-lines disk tier), keyed by the canonical
+  query hashes of :mod:`repro.dependencies.canonical`;
+* :mod:`repro.service.scheduler` — serial and multiprocessing execution
+  with optional STANDARD-vs-SEMI_NAIVE variant racing and budget
+  division;
+* :mod:`repro.service.api` — the :class:`InferenceService` facade with
+  ``submit()`` / ``run()`` / ``run_batch()``.
+
+The CLI's ``batch`` command (``python -m repro batch``) is a thin wrapper
+over :class:`InferenceService`.
+"""
+
+from repro.service.api import (
+    BatchItem,
+    BatchReport,
+    BatchStats,
+    InferenceService,
+)
+from repro.service.cache import (
+    CacheEntry,
+    CacheStats,
+    JsonLinesStore,
+    ResultCache,
+    budget_covers,
+)
+from repro.service.scheduler import (
+    QueryTask,
+    RACING_VARIANTS,
+    divide_budget,
+    run_pool,
+    run_serial,
+    run_tasks,
+)
+
+__all__ = [
+    "InferenceService",
+    "BatchItem",
+    "BatchReport",
+    "BatchStats",
+    "ResultCache",
+    "CacheEntry",
+    "CacheStats",
+    "JsonLinesStore",
+    "budget_covers",
+    "QueryTask",
+    "RACING_VARIANTS",
+    "divide_budget",
+    "run_serial",
+    "run_pool",
+    "run_tasks",
+]

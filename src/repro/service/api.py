@@ -1,0 +1,281 @@
+"""The batch inference service facade.
+
+:class:`InferenceService` turns many ``D ⊨ d`` questions into one
+pipeline: canonical-hash every query, answer what the cache already
+knows, deduplicate the rest (structurally identical queries chase once),
+and dispatch the misses to the scheduler — serially or across a worker
+pool, optionally racing chase variants.
+
+Usage::
+
+    service = InferenceService(workers=4)
+    report = service.run_batch(dependencies, targets, budget=Budget())
+    for item in report.items:
+        print(item.target, item.outcome.status, item.from_cache)
+    print(report.stats.describe())
+
+Results come back aligned with submission order. A cache or dedup hit
+returns the outcome of the *structurally equal* query actually executed:
+same verdict and equally valid certificates (implication is invariant
+under variable renaming), though the certificate's variable names are
+those of the executed representative.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.chase.budget import Budget
+from repro.chase.engine import ChaseVariant
+from repro.chase.implication import InferenceOutcome
+from repro.dependencies.canonical import premise_key, query_fingerprint
+from repro.dependencies.classify import Dependency
+from repro.service.cache import ResultCache
+from repro.service.scheduler import (
+    RACING_VARIANTS,
+    QueryTask,
+    divide_budget,
+    run_tasks,
+)
+
+
+@dataclass
+class BatchItem:
+    """One answered query, in submission order."""
+
+    index: int
+    target: Dependency
+    fingerprint: str
+    outcome: InferenceOutcome
+    from_cache: bool = False
+    deduplicated: bool = False
+
+
+@dataclass
+class BatchStats:
+    """What one :meth:`InferenceService.run` actually did."""
+
+    submitted: int = 0
+    cache_hits: int = 0
+    deduplicated: int = 0
+    executed: int = 0
+    wall_seconds: float = 0.0
+
+    def describe(self) -> str:
+        """One-line summary for logs and the CLI."""
+        return (
+            f"{self.submitted} queries: {self.cache_hits} cache hit(s), "
+            f"{self.deduplicated} deduplicated, {self.executed} executed "
+            f"in {self.wall_seconds:.3f}s"
+        )
+
+
+@dataclass
+class BatchReport:
+    """Everything one batch produced."""
+
+    items: list[BatchItem]
+    stats: BatchStats
+
+    @property
+    def outcomes(self) -> list[InferenceOutcome]:
+        """Just the outcomes, aligned with submission order."""
+        return [item.outcome for item in self.items]
+
+
+@dataclass
+class _Pending:
+    index: int
+    dependencies: tuple[Dependency, ...]
+    target: Dependency
+    fingerprint: str
+
+
+class InferenceService:
+    """Batch ``D ⊨ d`` solving with dedup, caching and a worker pool.
+
+    * ``cache`` — a :class:`~repro.service.cache.ResultCache`; a private
+      in-memory one is created when omitted. Passing a disk-backed cache
+      makes verdicts survive the process.
+    * ``workers`` — 0 runs misses in-process (serial); ``n >= 1`` uses a
+      pool of ``n`` processes.
+    * ``race_variants`` — dispatch each miss under both the STANDARD and
+      SEMI_NAIVE chase and keep the first decisive verdict.
+    * ``record_trace`` — keep replayable proof traces (on by default; the
+      cache stores them, so leave it on unless outcomes are throwaway).
+    * ``share_budget`` — treat the budget handed to :meth:`run` as a
+      *whole-batch* bound, divided evenly across every chase dispatched
+      (cache misses times raced variants; cache hits are free), instead
+      of the default per-query bound.
+    """
+
+    def __init__(
+        self,
+        cache: Optional[ResultCache] = None,
+        *,
+        workers: int = 0,
+        variant: ChaseVariant = ChaseVariant.STANDARD,
+        race_variants: bool = False,
+        record_trace: bool = True,
+        share_budget: bool = False,
+    ):
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        self.cache = cache if cache is not None else ResultCache()
+        self.workers = workers
+        self.variants: tuple[ChaseVariant, ...] = (
+            RACING_VARIANTS if race_variants else (variant,)
+        )
+        self.record_trace = record_trace
+        self.share_budget = share_budget
+        self._pending: list[_Pending] = []
+        # Premise sets repeat across a batch (run_batch shares one for
+        # every target); memoize their canonical keys so hashing is
+        # O(premises + targets), not O(premises x targets).
+        self._premise_keys: dict[tuple[Dependency, ...], tuple] = {}
+
+    def _premise_key(self, dependencies: tuple[Dependency, ...]) -> tuple:
+        key = self._premise_keys.get(dependencies)
+        if key is None:
+            if len(self._premise_keys) > 128:
+                self._premise_keys.clear()
+            key = premise_key(dependencies)
+            self._premise_keys[dependencies] = key
+        return key
+
+    def submit(
+        self, dependencies: Sequence[Dependency], target: Dependency
+    ) -> str:
+        """Enqueue one query; returns its canonical fingerprint."""
+        shared = tuple(dependencies)
+        fingerprint = query_fingerprint(
+            shared, target, premises=self._premise_key(shared)
+        )
+        self._pending.append(
+            _Pending(
+                index=len(self._pending),
+                dependencies=shared,
+                target=target,
+                fingerprint=fingerprint,
+            )
+        )
+        return fingerprint
+
+    def run(self, budget: Optional[Budget] = None) -> BatchReport:
+        """Answer every pending query; clears the queue."""
+        budget = budget if budget is not None else Budget()
+        started = time.perf_counter()
+        pending, self._pending = self._pending, []
+        stats = BatchStats(submitted=len(pending))
+        items: list[Optional[BatchItem]] = [None] * len(pending)
+        variant_values = tuple(variant.value for variant in self.variants)
+
+        # Cache pass: serve what is already known, group the rest by
+        # fingerprint so structurally identical queries chase once. In
+        # share-budget mode UNKNOWN staleness is judged against the
+        # pessimistic division (as if every pending query missed): a
+        # cached run was given at least that much work, so identical
+        # re-runs hit instead of eternally re-chasing their UNKNOWNs.
+        lookup_budget = (
+            divide_budget(budget, len(pending) * len(self.variants))
+            if self.share_budget and pending
+            else budget
+        )
+        groups: dict[str, list[_Pending]] = {}
+        for query in pending:
+            entry = self.cache.lookup(
+                query.fingerprint,
+                lookup_budget,
+                require_trace=self.record_trace,
+                variants=variant_values,
+            )
+            if entry is not None:
+                stats.cache_hits += 1
+                items[query.index] = BatchItem(
+                    index=query.index,
+                    target=query.target,
+                    fingerprint=query.fingerprint,
+                    outcome=entry.outcome(),
+                    from_cache=True,
+                )
+                continue
+            groups.setdefault(query.fingerprint, []).append(query)
+
+        # Execute one representative per group, serially or on the pool.
+        tasks = []
+        representatives: list[tuple[str, list[_Pending]]] = []
+        for slot, (fingerprint, members) in enumerate(sorted(groups.items())):
+            representative = members[0]
+            tasks.append(
+                QueryTask(
+                    slot=slot,
+                    dependencies=representative.dependencies,
+                    target=representative.target,
+                )
+            )
+            representatives.append((fingerprint, members))
+        # With share_budget the batch budget is split across every chase
+        # actually dispatched — misses times variants, so racing cannot
+        # overspend the whole-batch bound. The divided budget is also what
+        # gets recorded (an UNKNOWN is only conclusive for the work its
+        # chase was given).
+        per_query = (
+            divide_budget(budget, len(tasks) * len(self.variants))
+            if self.share_budget and tasks
+            else budget
+        )
+        outcomes = run_tasks(
+            tasks,
+            per_query,
+            workers=self.workers,
+            variants=self.variants,
+            record_trace=self.record_trace,
+        )
+        stats.executed = len(tasks)
+
+        for slot, (fingerprint, members) in enumerate(representatives):
+            outcome = outcomes[slot]
+            self.cache.record(
+                fingerprint,
+                outcome,
+                per_query,
+                traced=self.record_trace,
+                variants=variant_values,
+            )
+            for position, query in enumerate(members):
+                if position > 0:
+                    stats.deduplicated += 1
+                items[query.index] = BatchItem(
+                    index=query.index,
+                    target=query.target,
+                    fingerprint=fingerprint,
+                    outcome=outcome,
+                    deduplicated=position > 0,
+                )
+
+        stats.wall_seconds = time.perf_counter() - started
+        answered: list[BatchItem] = []
+        for item in items:
+            if item is None:  # every slot is a cache hit or a group member
+                raise RuntimeError("batch bookkeeping left a query unanswered")
+            answered.append(item)
+        return BatchReport(items=answered, stats=stats)
+
+    def run_batch(
+        self,
+        dependencies: Sequence[Dependency],
+        targets: Sequence[Dependency],
+        budget: Optional[Budget] = None,
+    ) -> BatchReport:
+        """Submit every ``dependencies ⊨ target`` pair and run the batch.
+
+        The parallel, cached, deduplicating counterpart of
+        :func:`repro.chase.implication.implies_all`: outcome statuses
+        agree query-for-query.
+        """
+        shared = tuple(dependencies)
+        for target in targets:
+            self.submit(shared, target)
+        return self.run(budget)

@@ -1,0 +1,295 @@
+"""Content-addressed result cache for inference outcomes.
+
+Verdicts are keyed by :func:`repro.dependencies.canonical.query_fingerprint`,
+so alpha-renamed and reordered queries share one entry. Entries store the
+outcome as its JSON payload (:func:`repro.io.json_codec.outcome_to_json`),
+which keeps them cheap to persist and — more importantly — keeps cached
+PROVED traces and DISPROVED counterexamples *independently checkable*: a
+hit decodes to a full :class:`~repro.chase.implication.InferenceOutcome`
+whose certificates replay exactly like freshly computed ones.
+
+Caching policy by status:
+
+* **PROVED / DISPROVED** — final answers; reusable under any budget. A
+  PROVED entry recorded with tracing off is flagged (``traced=False``)
+  and treated as stale for callers that require a replayable proof.
+* **UNKNOWN** — only means "not decided *within this budget, by these
+  chase variants*", so the entry remembers both and is served only to
+  requests whose budget it covers and whose variant set it tried; a
+  bigger budget — or a variant the entry never ran (racing can decide
+  queries a lone STANDARD chase cannot) — is a miss and retries.
+
+The in-memory tier is a bounded LRU. An optional on-disk tier
+(:class:`JsonLinesStore`, append-only JSON lines) makes verdicts survive
+the process: later lines win on reload, so re-running an UNKNOWN with a
+bigger budget simply appends the better entry.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+import json
+
+from repro.chase.budget import Budget
+from repro.chase.implication import InferenceOutcome, InferenceStatus
+from repro.io.json_codec import (
+    CodecError,
+    Json,
+    budget_from_json,
+    budget_to_json,
+    outcome_from_json,
+    outcome_to_json,
+)
+
+
+def budget_covers(cached: Budget, requested: Budget) -> bool:
+    """Does work done under ``cached`` subsume a request under ``requested``?
+
+    True when every axis of ``cached`` is at least as generous as the
+    corresponding axis of ``requested`` (``None`` = unlimited). An UNKNOWN
+    computed under a covering budget cannot be improved by the request, so
+    it is safe to serve from cache.
+    """
+    axes = (
+        (cached.max_steps, requested.max_steps),
+        (cached.max_rows, requested.max_rows),
+        (cached.max_seconds, requested.max_seconds),
+    )
+    for have, want in axes:
+        if have is None:
+            continue
+        if want is None or want > have:
+            return False
+    return True
+
+
+@dataclass
+class CacheEntry:
+    """One cached verdict: fingerprint, status, budget and outcome payload."""
+
+    fingerprint: str
+    status: InferenceStatus
+    budget: Budget
+    payload: Json
+    #: Whether the outcome was computed with trace recording on. A PROVED
+    #: entry recorded without traces carries no replayable certificate and
+    #: is stale for callers that want one.
+    traced: bool = True
+    #: The chase variants the verdict was computed under (enum values).
+    #: An UNKNOWN is only conclusive for requests whose variants it tried.
+    variants: tuple[str, ...] = ("standard",)
+    #: Decoded-outcome memo (seeded with the live object on ``record``),
+    #: so repeated hits don't re-decode. Treat the outcome as read-only.
+    decoded: Optional[InferenceOutcome] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def outcome(self) -> InferenceOutcome:
+        """The stored outcome (certificates included), decoded at most once."""
+        if self.decoded is None:
+            self.decoded = outcome_from_json(self.payload)
+        return self.decoded
+
+    def to_json(self) -> Json:
+        """The entry as one JSON-lines record."""
+        return {
+            "fingerprint": self.fingerprint,
+            "status": self.status.value,
+            "budget": budget_to_json(self.budget),
+            "traced": self.traced,
+            "variants": list(self.variants),
+            "outcome": self.payload,
+        }
+
+    @staticmethod
+    def from_json(payload: Json) -> "CacheEntry":
+        """Decode one JSON-lines record; :class:`CodecError` on anything malformed."""
+        if not isinstance(payload, dict) or "fingerprint" not in payload:
+            raise CodecError(f"bad cache entry payload {payload!r}")
+        try:
+            return CacheEntry(
+                fingerprint=payload["fingerprint"],
+                status=InferenceStatus(payload["status"]),
+                budget=budget_from_json(payload["budget"]),
+                payload=payload["outcome"],
+                traced=bool(payload.get("traced", True)),
+                variants=tuple(payload.get("variants", ("standard",))),
+            )
+        except (KeyError, ValueError, TypeError) as error:
+            raise CodecError(f"bad cache entry payload: {error}") from error
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache's lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    stale: int = 0
+    evictions: int = 0
+
+    def describe(self) -> str:
+        """One-line summary for logs and CLI output."""
+        return (
+            f"hits={self.hits} misses={self.misses} "
+            f"stale_unknown={self.stale} evictions={self.evictions}"
+        )
+
+
+class JsonLinesStore:
+    """Append-only on-disk tier: one JSON cache entry per line."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+
+    def load(self) -> Iterator[CacheEntry]:
+        """Yield stored entries in file order (later entries override).
+
+        Undecodable lines — a torn append after a crash, or hand edits —
+        are skipped rather than raised: losing one verdict is recompute
+        work, but refusing to open the cache would defeat its purpose.
+        """
+        if not self.path.exists():
+            return
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield CacheEntry.from_json(json.loads(line))
+                except (json.JSONDecodeError, CodecError):
+                    continue
+
+    def append(self, entry: CacheEntry) -> None:
+        """Persist one entry (parent directory created on demand)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(entry.to_json(), separators=(",", ":")))
+            handle.write("\n")
+
+
+class ResultCache:
+    """Bounded LRU of verdicts, optionally backed by a :class:`JsonLinesStore`."""
+
+    def __init__(
+        self,
+        maxsize: int = 4096,
+        store: Optional[JsonLinesStore] = None,
+    ):
+        if maxsize < 1:
+            raise ValueError("cache maxsize must be positive")
+        self.maxsize = maxsize
+        self.stats = CacheStats()
+        self._store = store
+        self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+        if store is not None:
+            for entry in store.load():
+                self._insert(entry)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, fingerprint: object) -> bool:
+        return fingerprint in self._entries
+
+    def lookup(
+        self,
+        fingerprint: str,
+        budget: Budget,
+        *,
+        require_trace: bool = False,
+        variants: Optional[tuple[str, ...]] = None,
+    ) -> Optional[CacheEntry]:
+        """Return a usable entry for ``fingerprint`` under ``budget``, or None.
+
+        Three kinds of entries count as *stale* (the caller should
+        recompute and re-record, which overwrites): an UNKNOWN whose
+        recorded budget does not cover the request; an UNKNOWN that never
+        tried one of the request's ``variants`` (a different chase
+        discipline may decide what this one could not); and — with
+        ``require_trace`` — a PROVED computed with tracing off, which
+        carries no replayable certificate.
+        """
+        entry = self._entries.get(fingerprint)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        if entry.status is InferenceStatus.UNKNOWN:
+            if not budget_covers(entry.budget, budget):
+                self.stats.stale += 1
+                return None
+            if variants is not None and not set(variants) <= set(entry.variants):
+                self.stats.stale += 1
+                return None
+        if (
+            require_trace
+            and entry.status is InferenceStatus.PROVED
+            and not entry.traced
+        ):
+            self.stats.stale += 1
+            return None
+        self._entries.move_to_end(fingerprint)
+        self.stats.hits += 1
+        return entry
+
+    def record(
+        self,
+        fingerprint: str,
+        outcome: InferenceOutcome,
+        budget: Budget,
+        *,
+        traced: bool = True,
+        variants: tuple[str, ...] = ("standard",),
+    ) -> CacheEntry:
+        """Store ``outcome`` under ``fingerprint`` (and on disk, if tiered).
+
+        An UNKNOWN carries no reusable certificate — only its status,
+        budget and variants matter for later lookups — so its payload is
+        stripped of the (potentially huge, budget-exhausted) chase result
+        before encoding. The in-process memo still holds the full outcome.
+        """
+        payload = outcome_to_json(outcome)
+        if outcome.status is InferenceStatus.UNKNOWN and isinstance(payload, dict):
+            payload.pop("chase_result", None)
+        entry = CacheEntry(
+            fingerprint=fingerprint,
+            status=outcome.status,
+            budget=budget,
+            payload=payload,
+            traced=traced,
+            variants=tuple(variants),
+            decoded=outcome,
+        )
+        if not self._insert(entry):
+            return self._entries[entry.fingerprint]
+        if self._store is not None:
+            self._store.append(entry)
+        return entry
+
+    def _insert(self, entry: CacheEntry) -> bool:
+        """Insert unless it would demote a decisive verdict; True if stored.
+
+        PROVED/DISPROVED are final answers, so an UNKNOWN (some caller
+        recomputed under a tighter budget or stricter trace requirement)
+        must never replace one — in memory or, via the skipped disk
+        append, in the later-lines-win on-disk tier.
+        """
+        existing = self._entries.get(entry.fingerprint)
+        if (
+            existing is not None
+            and entry.status is InferenceStatus.UNKNOWN
+            and existing.status is not InferenceStatus.UNKNOWN
+        ):
+            self._entries.move_to_end(entry.fingerprint)
+            return False
+        self._entries[entry.fingerprint] = entry
+        self._entries.move_to_end(entry.fingerprint)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        return True

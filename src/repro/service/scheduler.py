@@ -1,0 +1,209 @@
+"""Chase scheduling: serial execution and a multiprocessing worker pool.
+
+Independent ``D ⊨ d`` queries share nothing, so they parallelize
+embarrassingly well. The pool ships each query to a worker as a JSON
+payload (dependencies, target, budget) and gets the full outcome JSON
+back — crossing the process boundary through
+:mod:`repro.io.json_codec` instead of pickle keeps workers agnostic of
+in-process object identity and exercises exactly the representation the
+result cache stores.
+
+**Variant racing**: because the inference problem is undecidable, no
+chase discipline dominates; with ``variants`` given more than one entry
+the scheduler dispatches each query once per variant and keeps the first
+*decisive* (PROVED/DISPROVED) verdict, falling back to an UNKNOWN only
+when every variant exhausted its budget.
+
+**Budget-aware division**: :func:`divide_budget` splits one global budget
+fairly across ``n`` queries, for callers that want a whole-batch bound
+rather than a per-query one.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.chase.budget import Budget
+from repro.chase.engine import ChaseVariant
+from repro.chase.implication import InferenceOutcome, InferenceStatus, implies
+from repro.dependencies.classify import Dependency
+from repro.io.json_codec import (
+    Json,
+    budget_from_json,
+    budget_to_json,
+    dependency_from_json,
+    dependency_to_json,
+    outcome_from_json,
+    outcome_to_json,
+)
+
+#: Default variant pair raced by ``race_variants`` mode.
+RACING_VARIANTS: tuple[ChaseVariant, ...] = (
+    ChaseVariant.STANDARD,
+    ChaseVariant.SEMI_NAIVE,
+)
+
+
+@dataclass(frozen=True)
+class QueryTask:
+    """One deduplicated query: a slot number plus its ``(D, d)`` pair."""
+
+    slot: int
+    dependencies: tuple[Dependency, ...]
+    target: Dependency
+
+
+def divide_budget(budget: Budget, ways: int) -> Budget:
+    """Split one budget evenly across ``ways`` queries (axes floor at 1)."""
+    if ways < 1:
+        raise ValueError("cannot divide a budget zero ways")
+
+    def split(limit: Optional[int]) -> Optional[int]:
+        return None if limit is None else max(1, limit // ways)
+
+    return Budget(
+        max_steps=split(budget.max_steps),
+        max_rows=split(budget.max_rows),
+        max_seconds=None if budget.max_seconds is None else budget.max_seconds / ways,
+    )
+
+
+def _decisive(outcome: InferenceOutcome) -> bool:
+    return outcome.status is not InferenceStatus.UNKNOWN
+
+
+def _prefer(
+    current: Optional[InferenceOutcome], candidate: InferenceOutcome
+) -> InferenceOutcome:
+    """Keep a decisive verdict over an UNKNOWN; first decisive wins."""
+    if current is None:
+        return candidate
+    if _decisive(current):
+        return current
+    return candidate
+
+
+def run_serial(
+    tasks: Sequence[QueryTask],
+    budget: Budget,
+    variants: Sequence[ChaseVariant],
+    record_trace: bool = True,
+) -> dict[int, InferenceOutcome]:
+    """Run every task in-process, trying variants until one is decisive."""
+    results: dict[int, InferenceOutcome] = {}
+    for task in tasks:
+        best: Optional[InferenceOutcome] = None
+        for variant in variants:
+            outcome = implies(
+                list(task.dependencies),
+                task.target,
+                budget=budget,
+                variant=variant,
+                record_trace=record_trace,
+            )
+            best = _prefer(best, outcome)
+            if _decisive(best):
+                break
+        assert best is not None
+        results[task.slot] = best
+    return results
+
+
+#: What crosses the process boundary, both directions JSON-codec encoded.
+_WirePayload = tuple[int, str, list, Json, Json, bool]
+
+
+def _encode_payloads(
+    tasks: Sequence[QueryTask],
+    variants: Sequence[ChaseVariant],
+    budget: Budget,
+    record_trace: bool,
+) -> list[_WirePayload]:
+    """Encode every (task, variant) wire payload.
+
+    Batches typically share one premise tuple across every task, so the
+    premise JSON is encoded once per distinct tuple rather than once per
+    payload (which would be O(premises x tasks x variants) before any
+    worker starts).
+    """
+    budget_payload = budget_to_json(budget)
+    premise_payloads: dict[tuple[Dependency, ...], list] = {}
+    payloads = []
+    for task in tasks:
+        premises = premise_payloads.get(task.dependencies)
+        if premises is None:
+            premises = [
+                dependency_to_json(dependency) for dependency in task.dependencies
+            ]
+            premise_payloads[task.dependencies] = premises
+        target_payload = dependency_to_json(task.target)
+        for variant in variants:
+            payloads.append(
+                (
+                    task.slot,
+                    variant.value,
+                    premises,
+                    target_payload,
+                    budget_payload,
+                    record_trace,
+                )
+            )
+    return payloads
+
+
+def _execute_payload(payload: _WirePayload) -> tuple[int, Json]:
+    """Worker entry point: decode, chase, encode. Must stay module-level
+    (and exception-free) so every start method can dispatch to it."""
+    slot, variant_value, deps_payload, target_payload, budget_payload, record = payload
+    outcome = implies(
+        [dependency_from_json(entry) for entry in deps_payload],
+        dependency_from_json(target_payload),
+        budget=budget_from_json(budget_payload),
+        variant=ChaseVariant(variant_value),
+        record_trace=record,
+    )
+    return slot, outcome_to_json(outcome)
+
+
+def run_pool(
+    tasks: Sequence[QueryTask],
+    budget: Budget,
+    workers: int,
+    variants: Sequence[ChaseVariant],
+    record_trace: bool = True,
+) -> dict[int, InferenceOutcome]:
+    """Fan tasks out over ``workers`` processes; first decisive verdict wins.
+
+    With several variants each query is dispatched once per variant
+    (results arrive unordered; losers are discarded). A pool of one
+    process still isolates chase memory from the caller.
+    """
+    if workers < 1:
+        raise ValueError("run_pool needs at least one worker")
+    if not tasks:
+        return {}
+    payloads = _encode_payloads(tasks, variants, budget, record_trace)
+    results: dict[int, InferenceOutcome] = {}
+    with multiprocessing.Pool(processes=workers) as pool:
+        for slot, outcome_payload in pool.imap_unordered(_execute_payload, payloads):
+            current = results.get(slot)
+            if current is not None and _decisive(current):
+                continue
+            results[slot] = _prefer(current, outcome_from_json(outcome_payload))
+    return results
+
+
+def run_tasks(
+    tasks: Sequence[QueryTask],
+    budget: Budget,
+    *,
+    workers: int = 0,
+    variants: Sequence[ChaseVariant] = (ChaseVariant.STANDARD,),
+    record_trace: bool = True,
+) -> dict[int, InferenceOutcome]:
+    """Dispatch tasks serially (``workers == 0``) or through the pool."""
+    if workers == 0:
+        return run_serial(tasks, budget, variants, record_trace)
+    return run_pool(tasks, budget, workers, variants, record_trace)

@@ -15,6 +15,8 @@ from repro.workloads.garment import (
     garment_schema,
 )
 from repro.workloads.generators import (
+    disguise,
+    inference_workload,
     random_instance,
     random_full_td,
     random_td,
@@ -42,4 +44,6 @@ __all__ = [
     "random_full_td",
     "random_instance",
     "transitivity_family",
+    "disguise",
+    "inference_workload",
 ]

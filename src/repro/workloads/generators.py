@@ -109,6 +109,72 @@ def random_instance(
     return instance
 
 
+def disguise(
+    dependency: TemplateDependency, *, seed: int = 0, tag: str = "d"
+) -> TemplateDependency:
+    """A structurally identical but syntactically different copy.
+
+    Alpha-renames every variable (suffixing ``tag``) and shuffles the
+    antecedent order — the two transformations the batch service's
+    canonical hashing must see through. The result is
+    ``structurally_equal`` to the input but rarely ``==`` to it.
+    """
+    rng = random.Random(seed)
+    mapping = {
+        variable: Variable(f"{variable.name}_{tag}{seed}")
+        for variable in dependency.variables()
+    }
+    renamed = dependency.rename(mapping)
+    atoms = list(renamed.antecedents)
+    rng.shuffle(atoms)
+    return TemplateDependency(
+        renamed.schema, atoms, renamed.conclusion, name=dependency.name
+    )
+
+
+def inference_workload(
+    *,
+    queries: int = 100,
+    duplicate_fraction: float = 0.3,
+    seed: int = 0,
+) -> tuple[list[TemplateDependency], list[TemplateDependency]]:
+    """A batch-service workload: one dependency set, many targets.
+
+    The premise set is binary transitivity (full, so every chase
+    terminates and each query is decided). Targets mix provable path
+    closures of varying length with random full TDs (mostly refutable);
+    with probability ``duplicate_fraction`` a target is instead a
+    *disguised* copy (alpha-renamed, antecedents shuffled) of an earlier
+    one, exercising canonical deduplication and the result cache the way
+    real repeated traffic would. Deterministic in ``seed``.
+    """
+    if queries < 1:
+        raise ValueError("queries must be positive")
+    rng = random.Random(seed)
+    schema = Schema(["FROM", "TO"])
+    dependencies, _ = transitivity_family(2)
+    targets: list[TemplateDependency] = []
+    for number in range(queries):
+        if targets and rng.random() < duplicate_fraction:
+            original = rng.choice(targets)
+            targets.append(disguise(original, seed=number, tag="q"))
+            continue
+        if rng.random() < 0.5:
+            _, path_target = transitivity_family(rng.randrange(3, 9))
+            targets.append(disguise(path_target, seed=number, tag="p"))
+        else:
+            targets.append(
+                random_full_td(
+                    arity=2,
+                    antecedents=rng.randrange(3, 6),
+                    variables_per_column=3,
+                    seed=seed * 100_003 + number,
+                    schema=schema,
+                )
+            )
+    return list(dependencies), targets
+
+
 def transitivity_family(path_length: int) -> tuple[list[TemplateDependency], TemplateDependency]:
     """Full-TD implication instances of growing difficulty.
 

@@ -50,6 +50,28 @@ class TestMinimizeTrace:
         full = proved_outcome.chase_result.steps
         assert len(sliced) <= len(full)
 
+    def test_slice_keeps_producers_of_unlisted_conclusion_images(self, schema):
+        """An EID step whose conjunct was already present must keep the
+        step that produced it: honest ``added_rows`` omit the row, but
+        verified replay still requires it to exist."""
+        from repro.chase.engine import chase
+        from repro.relational.instance import Instance
+        from repro.relational.values import Const
+
+        from repro.dependencies.parser import parse_dependency
+
+        loop = parse_dependency("R(x, y) -> R(x, x)", schema)
+        swap_and_loop = parse_dependency("R(x, y) -> R(y, x) & R(x, x)", schema)
+        a, b = Const("a"), Const("b")
+        start = Instance(schema, [(a, b)])
+        goal_row = (b, a)
+        result = chase(
+            start, [loop, swap_and_loop], goal=lambda inst: goal_row in inst
+        )
+        sliced = minimize_trace(result.steps, {goal_row})
+        final = replay(start, sliced, verify=True)  # must not raise
+        assert goal_row in final
+
     def test_irrelevant_steps_dropped(self, schema, transitivity):
         """A second, unrelated dependency's firings get sliced away."""
         noise = parse_td("R(x, y) -> R(y, x)", schema)

@@ -178,6 +178,71 @@ class TestReplay:
         with pytest.raises(VerificationError):
             apply_step(path, bogus)
 
+    def test_forged_existential_witness_is_rejected(self, path, schema):
+        """A crafted step that binds an existential to an existing value
+        must not verify — it would 'prove' facts the dependency does not
+        entail (e.g. a tampered cached certificate)."""
+        invent = parse_td("R(x, y) -> R(x, z)", schema)  # z existential
+        forged = ChaseStep(
+            dependency=invent,
+            bindings=(("x", Const("a")), ("y", Const("b"))),
+            added_rows=((Const("a"), Const("a")),),  # z := a, not a fresh null
+        )
+        with pytest.raises(VerificationError):
+            apply_step(path, forged)
+
+    def test_reused_null_witness_is_rejected(self, path, schema):
+        from repro.relational.values import LabeledNull
+
+        stale = LabeledNull(7)
+        path.add((Const("c"), stale))  # the null already lives in the instance
+        invent = parse_td("R(x, y) -> R(x, z)", schema)
+        forged = ChaseStep(
+            dependency=invent,
+            bindings=(("x", Const("a")), ("y", Const("b"))),
+            added_rows=((Const("a"), stale),),
+        )
+        with pytest.raises(VerificationError):
+            apply_step(path, forged)
+
+    def test_identified_existentials_are_rejected(self, path, schema):
+        from repro.relational.values import LabeledNull
+
+        invent = parse_td("R(x, y) -> R(u, v)", schema)  # u, v both existential
+        shared = LabeledNull(9)
+        forged = ChaseStep(
+            dependency=invent,
+            bindings=(("x", Const("a")), ("y", Const("b"))),
+            added_rows=((shared, shared),),  # one null serving two existentials
+        )
+        with pytest.raises(VerificationError):
+            apply_step(path, forged)
+
+    def test_existential_binding_smuggled_into_bindings_is_rejected(
+        self, path, schema
+    ):
+        """Pre-binding the existential in step.bindings must not bypass
+        the fresh-witness checks."""
+        invent = parse_td("R(x, y) -> R(x, z)", schema)
+        forged = ChaseStep(
+            dependency=invent,
+            bindings=(
+                ("x", Const("a")),
+                ("y", Const("b")),
+                ("z", Const("evil")),  # smuggled existential binding
+            ),
+            added_rows=((Const("a"), Const("evil")),),
+        )
+        with pytest.raises(VerificationError):
+            apply_step(path, forged)
+
+    def test_honest_existential_steps_still_verify(self, schema):
+        invent = parse_td("R(x, y) -> R(x, z)", schema)
+        start = Instance(schema, [(Const("a"), Const("b"))])
+        result = chase(start, [invent], budget=Budget(max_steps=3))
+        replayed = replay(start, result.steps)  # verifies each step
+        assert replayed.rows == result.instance.rows
+
     def test_apply_step_unverified_trusts_caller(self, path, transitivity):
         rogue = ChaseStep(
             dependency=transitivity,

@@ -1,0 +1,133 @@
+"""Tests for repro.dependencies.canonical."""
+
+import pytest
+
+from repro.dependencies.canonical import (
+    canonical_key,
+    canonicalize,
+    dependency_fingerprint,
+    query_fingerprint,
+    query_key,
+)
+from repro.dependencies.eid import EmbeddedImplicationalDependency
+from repro.dependencies.parser import parse_dependency, parse_td
+from repro.relational.schema import Schema
+from repro.workloads.generators import disguise, random_td
+
+
+@pytest.fixture
+def transitivity():
+    return parse_td("R(x, y) & R(y, z) -> R(x, z)")
+
+
+class TestDependencyFingerprint:
+    def test_invariant_under_renaming(self, transitivity):
+        renamed = parse_td("R(u, v) & R(v, w) -> R(u, w)")
+        assert dependency_fingerprint(transitivity) == dependency_fingerprint(renamed)
+
+    def test_invariant_under_antecedent_reordering(self, transitivity):
+        reordered = parse_td("R(y, z) & R(x, y) -> R(x, z)")
+        assert dependency_fingerprint(transitivity) == dependency_fingerprint(reordered)
+
+    def test_invariant_under_disguise_of_random_tds(self):
+        for seed in range(25):
+            dependency = random_td(seed=seed)
+            copy = disguise(dependency, seed=seed + 1)
+            assert dependency_fingerprint(dependency) == dependency_fingerprint(copy)
+
+    def test_distinguishes_different_dependencies(self, transitivity):
+        symmetry = parse_td("R(x, y) -> R(y, x)")
+        assert dependency_fingerprint(transitivity) != dependency_fingerprint(symmetry)
+
+    def test_distinguishes_structurally_distinct_random_tds(self):
+        fingerprints = {
+            dependency_fingerprint(random_td(seed=seed, antecedents=4))
+            for seed in range(20)
+        }
+        assert len(fingerprints) > 1
+
+    def test_schema_is_part_of_the_key(self, transitivity):
+        other_schema = parse_td(
+            "R(x, y) & R(y, z) -> R(x, z)", Schema(["SRC", "DST"])
+        )
+        assert dependency_fingerprint(transitivity) != dependency_fingerprint(
+            other_schema
+        )
+
+    def test_td_and_single_conclusion_eid_share_a_key(self, transitivity):
+        eid = EmbeddedImplicationalDependency(
+            transitivity.schema,
+            transitivity.antecedents,
+            (transitivity.conclusion,),
+        )
+        assert canonical_key(transitivity) == canonical_key(eid)
+
+    def test_agrees_with_structural_equality(self):
+        # Cross-validate the branch-and-prune labeling against the
+        # exact permutation-based structural equality of TDs.
+        tds = [random_td(seed=seed, antecedents=3) for seed in range(12)]
+        tds += [disguise(td, seed=90 + index) for index, td in enumerate(tds[:6])]
+        for left in tds:
+            for right in tds:
+                assert (
+                    dependency_fingerprint(left) == dependency_fingerprint(right)
+                ) == left.structurally_equal(right)
+
+    def test_eid_conclusion_order_does_not_matter(self):
+        schema = Schema(["A", "B"])
+        one = parse_dependency("R(x, y) -> R(w, x) & R(w, y)", schema)
+        two = parse_dependency("R(x, y) -> R(w, y) & R(w, x)", schema)
+        assert dependency_fingerprint(one) == dependency_fingerprint(two)
+
+
+class TestCanonicalize:
+    def test_round_trip_is_structurally_equal(self, transitivity):
+        canonical = canonicalize(transitivity)
+        assert transitivity.structurally_equal(canonical)
+
+    def test_disguised_copies_canonicalize_identically(self):
+        for seed in range(10):
+            dependency = random_td(seed=seed)
+            copy = disguise(dependency, seed=seed + 7)
+            assert canonicalize(dependency) == canonicalize(copy)
+
+    def test_idempotent(self, transitivity):
+        once = canonicalize(transitivity)
+        assert canonicalize(once) == once
+
+
+class TestQueryFingerprint:
+    def test_invariant_under_premise_order_and_duplicates(self, transitivity):
+        symmetry = parse_td("R(x, y) -> R(y, x)")
+        target = parse_td("R(a, b) & R(b, c) -> R(a, c)")
+        baseline = query_fingerprint([transitivity, symmetry], target)
+        assert query_fingerprint([symmetry, transitivity], target) == baseline
+        assert (
+            query_fingerprint([symmetry, transitivity, symmetry], target) == baseline
+        )
+
+    def test_invariant_under_renaming_everywhere(self, transitivity):
+        target = parse_td("R(a, b) & R(b, c) & R(c, d) -> R(a, d)")
+        renamed_deps = [parse_td("R(p, q) & R(q, r) -> R(p, r)")]
+        renamed_target = parse_td("R(k, l) & R(l, m) & R(m, n) -> R(k, n)")
+        assert query_fingerprint([transitivity], target) == query_fingerprint(
+            renamed_deps, renamed_target
+        )
+
+    def test_target_matters(self, transitivity):
+        provable = parse_td("R(a, b) & R(b, c) -> R(a, c)")
+        refutable = parse_td("R(a, b) -> R(b, a)")
+        assert query_fingerprint([transitivity], provable) != query_fingerprint(
+            [transitivity], refutable
+        )
+
+    def test_premises_matter(self, transitivity):
+        target = parse_td("R(a, b) -> R(b, a)")
+        assert query_fingerprint([transitivity], target) != query_fingerprint(
+            [], target
+        )
+
+    def test_key_is_json_stable(self, transitivity):
+        target = parse_td("R(a, b) -> R(b, a)")
+        key = query_key([transitivity], target)
+        assert key == query_key([transitivity], target)

@@ -1,0 +1,307 @@
+"""Tests for repro.service.cache: round-trips, budgets, LRU, disk tier."""
+
+import pytest
+
+from repro.chase.budget import Budget
+from repro.chase.engine import replay
+from repro.chase.implication import (
+    InferenceStatus,
+    conclusion_satisfied,
+    implies,
+)
+from repro.dependencies.canonical import query_fingerprint
+from repro.dependencies.parser import parse_td
+from repro.service.cache import (
+    JsonLinesStore,
+    ResultCache,
+    budget_covers,
+)
+
+
+@pytest.fixture
+def transitivity():
+    return parse_td("R(x, y) & R(y, z) -> R(x, z)")
+
+
+@pytest.fixture
+def provable_target():
+    return parse_td("R(a, b) & R(b, c) & R(c, d) -> R(a, d)")
+
+
+@pytest.fixture
+def refutable_target():
+    return parse_td("R(a, b) -> R(b, a)")
+
+
+def _fingerprint(dependencies, target):
+    return query_fingerprint(dependencies, target)
+
+
+class TestBudgetCovers:
+    def test_equal_budgets_cover(self):
+        budget = Budget(max_steps=10, max_rows=20, max_seconds=1.0)
+        assert budget_covers(budget, budget)
+
+    def test_bigger_request_is_not_covered(self):
+        cached = Budget(max_steps=10)
+        assert not budget_covers(cached, Budget(max_steps=11))
+        assert not budget_covers(cached, Budget(max_steps=None))
+
+    def test_smaller_request_is_covered(self):
+        cached = Budget(max_steps=10)
+        assert budget_covers(cached, Budget(max_steps=5))
+
+    def test_unlimited_cache_covers_everything(self):
+        assert budget_covers(Budget.unlimited(), Budget())
+
+
+class TestRoundTrip:
+    def test_proved_outcome_trace_still_replays(
+        self, transitivity, provable_target
+    ):
+        outcome = implies([transitivity], provable_target)
+        assert outcome.status is InferenceStatus.PROVED
+        cache = ResultCache()
+        fingerprint = _fingerprint([transitivity], provable_target)
+        cache.record(fingerprint, outcome, Budget())
+        entry = cache.lookup(fingerprint, Budget())
+        assert entry is not None
+        cached = entry.outcome()
+        assert cached.status is InferenceStatus.PROVED
+        # The certificate is independently checkable: replay the trace
+        # (with verification on) from the frozen target and confirm the
+        # conclusion is derived.
+        start, frozen = cached.target.freeze()
+        final = replay(start, cached.chase_result.steps, verify=True)
+        assert conclusion_satisfied(final, cached.target, frozen)
+
+    def test_disproved_counterexample_still_violates(
+        self, transitivity, refutable_target
+    ):
+        from repro.io.json_codec import outcome_from_json
+
+        outcome = implies([transitivity], refutable_target)
+        assert outcome.status is InferenceStatus.DISPROVED
+        cache = ResultCache()
+        fingerprint = _fingerprint([transitivity], refutable_target)
+        cache.record(fingerprint, outcome, Budget())
+        entry = cache.lookup(fingerprint, Budget())
+        # The counterexample is the chased instance: stored once, not twice.
+        assert "counterexample" not in entry.payload
+        assert entry.payload.get("counterexample_shared") is True
+        # Decode the stored payload (what a fresh process would read).
+        cached = outcome_from_json(entry.payload)
+        counterexample = cached.counterexample
+        assert counterexample is not None
+        # Still a genuine counterexample: satisfies the premises,
+        # violates the target.
+        assert transitivity.holds_in(counterexample)
+        assert refutable_target.find_violation(counterexample) is not None
+
+    def test_decoded_stats_clock_is_pinned(self, transitivity, provable_target):
+        import time
+
+        from repro.io.json_codec import outcome_from_json
+
+        outcome = implies([transitivity], provable_target)
+        cache = ResultCache()
+        cache.record("q", outcome, Budget())
+        # Decode from the JSON payload (not the memoized live object):
+        # the recorded elapsed time must not keep growing with wall-clock.
+        decoded = outcome_from_json(cache.lookup("q", Budget()).payload)
+        first = decoded.chase_result.stats.elapsed_seconds
+        time.sleep(0.05)
+        assert decoded.chase_result.stats.elapsed_seconds == first
+
+    def test_unknown_round_trip_keeps_status(self, transitivity):
+        from repro.io.json_codec import outcome_from_json
+
+        diverging = parse_td("R(x, y) -> R(y, z)")
+        tight = Budget(max_steps=3)
+        outcome = implies([diverging], parse_td("R(a, b) -> R(b, a)"), budget=tight)
+        assert outcome.status is InferenceStatus.UNKNOWN
+        cache = ResultCache()
+        cache.record("unknown-query", outcome, tight)
+        entry = cache.lookup("unknown-query", tight)
+        assert entry is not None
+        assert entry.outcome().status is InferenceStatus.UNKNOWN
+        # UNKNOWN carries no certificate, so its stored payload is slim:
+        # the budget-exhausted chase result is stripped before encoding.
+        assert "chase_result" not in entry.payload
+        assert outcome_from_json(entry.payload).status is InferenceStatus.UNKNOWN
+
+
+class TestUnknownBudgetPolicy:
+    def _unknown_outcome(self, budget):
+        diverging = parse_td("R(x, y) -> R(y, z)")
+        return implies([diverging], parse_td("R(a, b) -> R(b, a)"), budget=budget)
+
+    def test_bigger_budget_is_a_stale_miss(self):
+        cached_budget = Budget(max_steps=3)
+        cache = ResultCache()
+        cache.record("q", self._unknown_outcome(cached_budget), cached_budget)
+        assert cache.lookup("q", Budget(max_steps=100)) is None
+        assert cache.stats.stale == 1
+
+    def test_covered_budget_is_a_hit(self):
+        cached_budget = Budget(max_steps=50)
+        cache = ResultCache()
+        cache.record("q", self._unknown_outcome(Budget(max_steps=3)), cached_budget)
+        assert cache.lookup("q", Budget(max_steps=10)) is not None
+
+    def test_untried_variant_is_a_stale_miss(self):
+        cached_budget = Budget(max_steps=3)
+        cache = ResultCache()
+        cache.record(
+            "q",
+            self._unknown_outcome(cached_budget),
+            cached_budget,
+            variants=("standard",),
+        )
+        # Same budget, but the requester also races SEMI_NAIVE — a
+        # discipline the entry never tried, which might decide the query.
+        assert (
+            cache.lookup(
+                "q", cached_budget, variants=("standard", "semi_naive")
+            )
+            is None
+        )
+        assert cache.stats.stale == 1
+        # A requester whose variants the entry covers still hits.
+        assert cache.lookup("q", cached_budget, variants=("standard",)) is not None
+
+    def test_racing_service_retries_a_standard_only_unknown(self):
+        from repro.chase.engine import ChaseVariant
+        from repro.service import InferenceService
+
+        diverging = parse_td("R(x, y) -> R(y, z)")
+        target = parse_td("R(a, b) -> R(b, a)")
+        cache = ResultCache()
+        budget = Budget(max_steps=3)
+        standard = InferenceService(cache, variant=ChaseVariant.STANDARD)
+        first = standard.run_batch([diverging], [target], budget=budget)
+        assert first.outcomes[0].status is InferenceStatus.UNKNOWN
+        racing = InferenceService(cache, race_variants=True)
+        second = racing.run_batch([diverging], [target], budget=budget)
+        assert second.stats.cache_hits == 0 and second.stats.executed == 1
+
+    def test_retry_overwrites_the_unknown(self, transitivity, provable_target):
+        cache = ResultCache()
+        tight = Budget(max_steps=1)
+        unknown = implies([transitivity], provable_target, budget=tight)
+        assert unknown.status is InferenceStatus.UNKNOWN
+        cache.record("q", unknown, tight)
+        proved = implies([transitivity], provable_target)
+        cache.record("q", proved, Budget())
+        entry = cache.lookup("q", Budget())
+        assert entry.status is InferenceStatus.PROVED
+
+
+class TestTracePolicy:
+    def test_traceless_proved_is_stale_for_trace_wanting_callers(
+        self, transitivity, provable_target
+    ):
+        bare = implies([transitivity], provable_target, record_trace=False)
+        assert bare.status is InferenceStatus.PROVED
+        cache = ResultCache()
+        cache.record("q", bare, Budget(), traced=False)
+        # A caller content without certificates gets the hit...
+        assert cache.lookup("q", Budget()) is not None
+        # ...but a certificate-wanting caller recomputes.
+        assert cache.lookup("q", Budget(), require_trace=True) is None
+        assert cache.stats.stale == 1
+
+    def test_traceless_service_hit_is_upgraded_by_tracing_service(
+        self, transitivity, provable_target
+    ):
+        from repro.service import InferenceService
+
+        cache = ResultCache()
+        bare = InferenceService(cache, record_trace=False)
+        bare.run_batch([transitivity], [provable_target])
+        full = InferenceService(cache)  # record_trace=True by default
+        report = full.run_batch([transitivity], [provable_target])
+        assert report.stats.cache_hits == 0 and report.stats.executed == 1
+        outcome = report.outcomes[0]
+        assert outcome.chase_result.steps  # certificate present again
+        # And the upgraded entry now serves certificate-wanting callers.
+        warm = full.run_batch([transitivity], [provable_target])
+        assert warm.stats.cache_hits == 1
+
+
+class TestLru:
+    def test_eviction_drops_least_recently_used(
+        self, transitivity, refutable_target
+    ):
+        outcome = implies([transitivity], refutable_target)
+        cache = ResultCache(maxsize=2)
+        budget = Budget()
+        cache.record("a", outcome, budget)
+        cache.record("b", outcome, budget)
+        assert cache.lookup("a", budget) is not None  # refresh "a"
+        cache.record("c", outcome, budget)  # evicts "b"
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache
+        assert cache.stats.evictions == 1
+
+
+class TestDiskStore:
+    def test_verdicts_survive_the_process(
+        self, tmp_path, transitivity, provable_target
+    ):
+        path = tmp_path / "cache.jsonl"
+        outcome = implies([transitivity], provable_target)
+        fingerprint = _fingerprint([transitivity], provable_target)
+        first = ResultCache(store=JsonLinesStore(path))
+        first.record(fingerprint, outcome, Budget())
+
+        # A fresh cache (fresh "process") reloads the verdict from disk.
+        second = ResultCache(store=JsonLinesStore(path))
+        entry = second.lookup(fingerprint, Budget())
+        assert entry is not None
+        assert entry.outcome().status is InferenceStatus.PROVED
+
+    def test_corrupt_lines_are_skipped_not_fatal(
+        self, tmp_path, transitivity, provable_target
+    ):
+        path = tmp_path / "cache.jsonl"
+        outcome = implies([transitivity], provable_target)
+        first = ResultCache(store=JsonLinesStore(path))
+        first.record("good", outcome, Budget())
+        # Simulate a torn append and a hand-mangled record.
+        with path.open("a") as handle:
+            handle.write('{"fingerprint": "torn", "status": "pro')
+            handle.write("\n")
+            handle.write('{"fingerprint": "partial", "status": "proved"}\n')
+        reloaded = ResultCache(store=JsonLinesStore(path))
+        assert reloaded.lookup("good", Budget()) is not None
+        assert "torn" not in reloaded and "partial" not in reloaded
+
+    def test_unknown_never_demotes_a_decisive_verdict(
+        self, tmp_path, transitivity, provable_target
+    ):
+        path = tmp_path / "cache.jsonl"
+        cache = ResultCache(store=JsonLinesStore(path))
+        proved = implies([transitivity], provable_target)
+        cache.record("q", proved, Budget())
+        tight = Budget(max_steps=1)
+        unknown = implies([transitivity], provable_target, budget=tight)
+        assert unknown.status is InferenceStatus.UNKNOWN
+        cache.record("q", unknown, tight)
+        # The decisive verdict survives, in memory and on disk.
+        assert cache.lookup("q", Budget()).status is InferenceStatus.PROVED
+        reloaded = ResultCache(store=JsonLinesStore(path))
+        assert reloaded.lookup("q", Budget()).status is InferenceStatus.PROVED
+
+    def test_later_lines_override_earlier(self, tmp_path, transitivity, provable_target):
+        path = tmp_path / "cache.jsonl"
+        store = JsonLinesStore(path)
+        tight = Budget(max_steps=1)
+        unknown = implies([transitivity], provable_target, budget=tight)
+        proved = implies([transitivity], provable_target)
+        first = ResultCache(store=store)
+        first.record("q", unknown, tight)
+        first.record("q", proved, Budget())
+
+        reloaded = ResultCache(store=JsonLinesStore(path))
+        assert reloaded.lookup("q", Budget()).status is InferenceStatus.PROVED

@@ -1,0 +1,265 @@
+"""Tests for the InferenceService facade and the chase scheduler."""
+
+import pytest
+
+from repro.chase.budget import Budget
+from repro.chase.engine import ChaseVariant
+from repro.chase.implication import InferenceStatus, implies_all
+from repro.service import (
+    InferenceService,
+    QueryTask,
+    ResultCache,
+    divide_budget,
+    run_pool,
+    run_serial,
+)
+from repro.dependencies.parser import parse_td
+from repro.workloads.generators import inference_workload
+
+
+@pytest.fixture
+def workload():
+    return inference_workload(queries=24, seed=3)
+
+
+class TestRunBatchEquivalence:
+    def test_matches_serial_implies_all(self, workload):
+        dependencies, targets = workload
+        budget = Budget(max_steps=2_000)
+        serial = implies_all(dependencies, targets, budget=budget)
+        report = InferenceService().run_batch(dependencies, targets, budget=budget)
+        assert [o.status for o in report.outcomes] == [o.status for o in serial]
+
+    def test_items_align_with_submission_order(self, workload):
+        dependencies, targets = workload
+        report = InferenceService().run_batch(dependencies, targets)
+        assert [item.index for item in report.items] == list(range(len(targets)))
+        for item, target in zip(report.items, targets):
+            assert item.target.schema == target.schema
+
+    def test_semi_naive_variant_agrees(self, workload):
+        dependencies, targets = workload
+        budget = Budget(max_steps=2_000)
+        standard = InferenceService().run_batch(dependencies, targets, budget=budget)
+        semi = InferenceService(variant=ChaseVariant.SEMI_NAIVE).run_batch(
+            dependencies, targets, budget=budget
+        )
+        assert [o.status for o in semi.outcomes] == [
+            o.status for o in standard.outcomes
+        ]
+
+
+class TestDedupAndCache:
+    def test_disguised_duplicates_chase_once(self, workload):
+        dependencies, targets = workload
+        report = InferenceService().run_batch(dependencies, targets)
+        stats = report.stats
+        assert stats.submitted == len(targets)
+        assert stats.deduplicated > 0
+        assert stats.executed + stats.deduplicated + stats.cache_hits == len(targets)
+        assert stats.executed < len(targets)
+
+    def test_warm_second_batch_is_all_hits(self, workload):
+        dependencies, targets = workload
+        service = InferenceService()
+        service.run_batch(dependencies, targets)
+        warm = service.run_batch(dependencies, targets)
+        assert warm.stats.cache_hits == len(targets)
+        assert warm.stats.executed == 0
+
+    def test_unknown_retries_with_bigger_budget(self):
+        transitivity = parse_td("R(x, y) & R(y, z) -> R(x, z)")
+        target = parse_td("R(a, b) & R(b, c) & R(c, d) & R(d, e) -> R(a, e)")
+        service = InferenceService()
+        starved = Budget(max_steps=1)
+        first = service.run_batch([transitivity], [target], budget=starved)
+        assert first.outcomes[0].status is InferenceStatus.UNKNOWN
+        # Same budget: the UNKNOWN is served from cache.
+        again = service.run_batch([transitivity], [target], budget=starved)
+        assert again.stats.cache_hits == 1
+        # Bigger budget: the entry is stale, the query re-runs and is decided.
+        bigger = service.run_batch(
+            [transitivity], [target], budget=Budget(max_steps=500)
+        )
+        assert bigger.stats.cache_hits == 0
+        assert bigger.stats.executed == 1
+        assert bigger.outcomes[0].status is InferenceStatus.PROVED
+
+    def test_submit_returns_matching_fingerprints_for_duplicates(self):
+        transitivity = parse_td("R(x, y) & R(y, z) -> R(x, z)")
+        target = parse_td("R(a, b) & R(b, c) -> R(a, c)")
+        disguised = parse_td("R(q, r) & R(p, q) -> R(p, r)")
+        service = InferenceService()
+        assert service.submit([transitivity], target) == service.submit(
+            [transitivity], disguised
+        )
+
+
+class TestWorkerPool:
+    def test_pool_matches_serial(self):
+        dependencies, targets = inference_workload(queries=10, seed=11)
+        budget = Budget(max_steps=2_000)
+        serial = InferenceService().run_batch(dependencies, targets, budget=budget)
+        pooled = InferenceService(workers=2).run_batch(
+            dependencies, targets, budget=budget
+        )
+        assert [o.status for o in pooled.outcomes] == [
+            o.status for o in serial.outcomes
+        ]
+
+    def test_race_variants_matches_serial(self):
+        dependencies, targets = inference_workload(queries=8, seed=5)
+        budget = Budget(max_steps=2_000)
+        serial = InferenceService().run_batch(dependencies, targets, budget=budget)
+        raced = InferenceService(workers=2, race_variants=True).run_batch(
+            dependencies, targets, budget=budget
+        )
+        assert [o.status for o in raced.outcomes] == [
+            o.status for o in serial.outcomes
+        ]
+
+    def test_pooled_proof_traces_replay(self):
+        from repro.chase.engine import replay
+        from repro.chase.implication import conclusion_satisfied
+
+        transitivity = parse_td("R(x, y) & R(y, z) -> R(x, z)")
+        target = parse_td("R(a, b) & R(b, c) & R(c, d) -> R(a, d)")
+        report = InferenceService(workers=1).run_batch([transitivity], [target])
+        outcome = report.outcomes[0]
+        assert outcome.status is InferenceStatus.PROVED
+        start, frozen = outcome.target.freeze()
+        final = replay(start, outcome.chase_result.steps, verify=True)
+        assert conclusion_satisfied(final, outcome.target, frozen)
+
+
+class TestScheduler:
+    def test_run_serial_races_variants_until_decisive(self):
+        transitivity = parse_td("R(x, y) & R(y, z) -> R(x, z)")
+        target = parse_td("R(a, b) & R(b, c) -> R(a, c)")
+        task = QueryTask(slot=0, dependencies=(transitivity,), target=target)
+        results = run_serial(
+            [task],
+            Budget(max_steps=500),
+            (ChaseVariant.STANDARD, ChaseVariant.SEMI_NAIVE),
+        )
+        assert results[0].status is InferenceStatus.PROVED
+
+    def test_run_pool_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            run_pool([], Budget(), 0, (ChaseVariant.STANDARD,))
+
+    def test_divide_budget(self):
+        shared = Budget(max_steps=100, max_rows=10, max_seconds=8.0)
+        per_query = divide_budget(shared, 4)
+        assert per_query.max_steps == 25
+        assert per_query.max_rows == 2
+        assert per_query.max_seconds == 2.0
+
+    def test_divide_budget_floors_at_one(self):
+        per_query = divide_budget(Budget(max_steps=2, max_rows=None), 10)
+        assert per_query.max_steps == 1
+        assert per_query.max_rows is None
+
+    def test_share_budget_divides_across_misses(self):
+        transitivity = parse_td("R(x, y) & R(y, z) -> R(x, z)")
+        targets = [
+            parse_td("R(a, b) & R(b, c) & R(c, d) & R(d, e) -> R(a, e)"),
+            parse_td("R(p, q) & R(q, r) & R(r, s) & R(s, t) & R(t, u) -> R(p, u)"),
+        ]
+        # 4 whole-batch steps over 2 misses = 2 steps each: both starve.
+        shared = InferenceService(share_budget=True)
+        starved = shared.run_batch(
+            [transitivity], targets, budget=Budget(max_steps=4)
+        )
+        assert all(
+            o.status is InferenceStatus.UNKNOWN for o in starved.outcomes
+        )
+        # A generous per-query budget decides both.
+        per_query = InferenceService()
+        decided = per_query.run_batch(
+            [transitivity], targets, budget=Budget(max_steps=200)
+        )
+        assert all(o.status is InferenceStatus.PROVED for o in decided.outcomes)
+
+    def test_share_budget_unknowns_hit_cache_on_identical_reruns(self):
+        diverging = parse_td("R(x, y) -> R(y, z)")
+        targets = [
+            parse_td("R(a, b) -> R(b, a)"),
+            parse_td("R(p, q) -> R(q, q)"),
+        ]
+        service = InferenceService(share_budget=True)
+        budget = Budget(max_steps=10)
+        first = service.run_batch([diverging], targets, budget=budget)
+        assert all(o.status is InferenceStatus.UNKNOWN for o in first.outcomes)
+        # Identical re-run: the cached UNKNOWNs were computed under the
+        # same division, so they must be served, not eternally re-chased.
+        second = service.run_batch([diverging], targets, budget=budget)
+        assert second.stats.cache_hits == len(targets)
+        assert second.stats.executed == 0
+
+
+class TestCliBatch:
+    @pytest.fixture
+    def files(self, tmp_path):
+        deps = tmp_path / "deps.txt"
+        deps.write_text("R(x, y) & R(y, z) -> R(x, z)\n")
+        targets = tmp_path / "targets.txt"
+        targets.write_text(
+            "R(a, b) & R(b, c) -> R(a, c)\n"
+            "R(u, v) & R(v, w) -> R(u, w)\n"
+            "R(a, b) -> R(b, a)\n"
+        )
+        return str(deps), str(targets)
+
+    def test_batch_table_and_exit_code(self, files, capsys):
+        from repro.cli import EXIT_DISPROVED, main
+
+        deps, targets = files
+        code = main(["batch", "--deps", deps, "--targets", targets])
+        assert code == EXIT_DISPROVED  # one refuted target dominates
+        output = capsys.readouterr().out
+        assert "proved" in output and "disproved" in output
+        assert "dedup" in output  # the disguised duplicate was not re-chased
+        assert "cache" in output
+
+    def test_batch_all_proved_exit_code(self, tmp_path, capsys):
+        from repro.cli import EXIT_PROVED, main
+
+        deps = tmp_path / "deps.txt"
+        deps.write_text("R(x, y) & R(y, z) -> R(x, z)\n")
+        targets = tmp_path / "targets.txt"
+        targets.write_text("R(a, b) & R(b, c) -> R(a, c)\n")
+        code = main(["batch", "--deps", str(deps), "--targets", str(targets)])
+        assert code == EXIT_PROVED
+
+    def test_batch_empty_targets_is_usage_error(self, tmp_path, capsys):
+        from repro.cli import EXIT_USAGE, main
+
+        deps = tmp_path / "deps.txt"
+        deps.write_text("R(x, y) & R(y, z) -> R(x, z)\n")
+        targets = tmp_path / "targets.txt"
+        targets.write_text("# only comments, no targets\n")
+        code = main(["batch", "--deps", str(deps), "--targets", str(targets)])
+        assert code == EXIT_USAGE
+        assert "no targets" in capsys.readouterr().err
+
+    def test_batch_negative_workers_is_usage_error(self, files, capsys):
+        from repro.cli import EXIT_USAGE, main
+
+        deps, targets = files
+        code = main(
+            ["batch", "--deps", deps, "--targets", targets, "--workers", "-1"]
+        )
+        assert code == EXIT_USAGE
+        assert "--workers" in capsys.readouterr().err
+
+    def test_batch_disk_cache_warms_across_invocations(self, files, tmp_path, capsys):
+        from repro.cli import main
+
+        deps, targets = files
+        cache = str(tmp_path / "cache.jsonl")
+        main(["batch", "--deps", deps, "--targets", targets, "--cache", cache])
+        capsys.readouterr()
+        main(["batch", "--deps", deps, "--targets", targets, "--cache", cache])
+        output = capsys.readouterr().out
+        assert "3 cache hit(s)" in output

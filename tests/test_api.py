@@ -16,6 +16,7 @@ PACKAGES = [
     "repro.core",
     "repro.workloads",
     "repro.io",
+    "repro.service",
 ]
 
 
@@ -29,7 +30,7 @@ def test_all_names_exist(package_name):
 
 
 def test_version():
-    assert repro.__version__ == "1.0.0"
+    assert repro.__version__ == "1.1.0"
 
 
 def test_quickstart_docstring_is_accurate():
