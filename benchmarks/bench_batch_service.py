@@ -73,16 +73,16 @@ def test_batch_service_throughput(workload, quick):
         f"{cold_report.stats.submitted} submitted",
     )
 
-    pool_service = InferenceService(workers=2)
-    pool_report, __ = _timed(
-        "cold run_batch (pool, 2 workers)",
-        lambda: pool_service.run_batch(dependencies, targets, budget=BUDGET),
-    )
+    with InferenceService(workers=2) as pool_service:
+        pool_report, __ = _timed(
+            "cold run_batch (pool, 2 workers)",
+            lambda: pool_service.run_batch(dependencies, targets, budget=BUDGET),
+        )
 
-    warm_report, warm_seconds = _timed(
-        "warm run_batch (pool + full cache)",
-        lambda: pool_service.run_batch(dependencies, targets, budget=BUDGET),
-    )
+        warm_report, warm_seconds = _timed(
+            "warm run_batch (pool + full cache)",
+            lambda: pool_service.run_batch(dependencies, targets, budget=BUDGET),
+        )
     record(
         EXPERIMENT,
         f"  warm speedup over serial: {serial_seconds / max(warm_seconds, 1e-9):.0f}x "

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""CI smoke test: boot ``repro serve`` on an ephemeral port, hit it, tear down.
+
+Exercises the full deployment path — console entry point, ephemeral-port
+binding, banner parsing, ``/healthz``, one ``/v1/batch`` over real HTTP —
+and exits non-zero on any failure. Run from the repository root::
+
+    PYTHONPATH=src python scripts/server_smoke.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.chase.budget import Budget  # noqa: E402
+from repro.chase.implication import InferenceStatus  # noqa: E402
+from repro.dependencies.parser import parse_td  # noqa: E402
+from repro.service.client import ServiceClient  # noqa: E402
+from repro.service.testing import ServeSubprocess  # noqa: E402
+
+
+def main() -> int:
+    with ServeSubprocess("--window-ms", "5") as server:
+        print(f"server banner: {server.banner.strip()}")
+        client = ServiceClient(server.base_url, timeout=30.0)
+
+        health = client.health()
+        assert health["status"] == "ok", health
+        print(f"healthz: {health}")
+
+        transitivity = parse_td("R(x, y) & R(y, z) -> R(x, z)")
+        report = client.batch(
+            [transitivity],
+            [
+                parse_td("R(a, b) & R(b, c) -> R(a, c)"),
+                parse_td("R(a, b) -> R(b, a)"),
+            ],
+            budget=Budget(max_steps=1_000),
+        )
+        statuses = [status.value for status in report.statuses]
+        print(f"batch verdicts: {statuses}")
+        assert report.statuses == [
+            InferenceStatus.PROVED,
+            InferenceStatus.DISPROVED,
+        ], statuses
+
+        stats = client.stats()
+        assert stats["server"]["queries"] == 2, stats
+        print(f"server stats: {stats['server']}")
+        print("OK: serve boots, answers, and reports stats")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

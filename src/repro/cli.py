@@ -8,6 +8,9 @@ Commands:
 * ``batch`` — the batch inference service: a file of targets in, a
   per-target verdict table plus cache/dedup statistics out, with an
   optional worker pool and on-disk result cache.
+* ``serve`` — the long-lived asyncio HTTP server over the same service:
+  concurrent clients are micro-batched into shared runs, so dedup and
+  the result cache work across clients.
 * ``classify`` — run the Main-Theorem classifier on a presentation file
   (direction (A), then direction (B), else UNKNOWN).
 * ``encode`` — show the ``φ ↦ (D, D0)`` encoding for a presentation
@@ -100,6 +103,61 @@ def _build_parser() -> argparse.ArgumentParser:
         "divided across the queries actually executed",
     )
 
+    serve_cmd = commands.add_parser(
+        "serve",
+        help="long-lived HTTP inference server (asyncio, micro-batching)",
+    )
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument(
+        "--port", type=int, default=8765, help="0 binds an ephemeral port"
+    )
+    serve_cmd.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes for cache misses (0 = in-process serial)",
+    )
+    serve_cmd.add_argument(
+        "--cache-path",
+        metavar="FILE",
+        help="JSON-lines disk cache tier; verdicts survive restarts",
+    )
+    serve_cmd.add_argument(
+        "--race",
+        action="store_true",
+        help="race the STANDARD and SEMI_NAIVE chase per query",
+    )
+    serve_cmd.add_argument(
+        "--window-ms",
+        type=float,
+        default=10.0,
+        help="micro-batch coalescing window (milliseconds; 0 disables)",
+    )
+    serve_cmd.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        help="cap on queries coalesced into one run",
+    )
+    serve_cmd.add_argument(
+        "--max-steps",
+        type=int,
+        default=10_000,
+        help="per-query budget ceiling (chase steps)",
+    )
+    serve_cmd.add_argument(
+        "--max-rows",
+        type=int,
+        default=50_000,
+        help="per-query budget ceiling (instance rows)",
+    )
+    serve_cmd.add_argument(
+        "--max-seconds",
+        type=float,
+        default=30.0,
+        help="per-query budget ceiling (wall-clock seconds)",
+    )
+
     classify_cmd = commands.add_parser(
         "classify", help="Main-Theorem classification of a presentation file"
     )
@@ -181,17 +239,17 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         print("error: --workers must be >= 0", file=sys.stderr)
         return EXIT_USAGE
     store = JsonLinesStore(Path(args.cache)) if args.cache else None
-    service = InferenceService(
+    with InferenceService(
         cache=ResultCache(store=store),
         workers=args.workers,
         race_variants=args.race,
         share_budget=args.share_budget,
-    )
-    report = service.run_batch(
-        dependencies,
-        targets,
-        budget=Budget(max_steps=args.max_steps, max_seconds=args.max_seconds),
-    )
+    ) as service:
+        report = service.run_batch(
+            dependencies,
+            targets,
+            budget=Budget(max_steps=args.max_steps, max_seconds=args.max_seconds),
+        )
     print(f"{'#':>4}  {'status':<10} {'source':<6} target")
     for item in report.items:
         source = "cache" if item.from_cache else ("dedup" if item.deduplicated else "chase")
@@ -204,6 +262,60 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         return EXIT_UNKNOWN
     if InferenceStatus.DISPROVED in statuses:
         return EXIT_DISPROVED
+    return EXIT_PROVED
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import InferenceService, JsonLinesStore, ResultCache
+    from repro.service.server import InferenceServer
+
+    if args.workers < 0:
+        print("error: --workers must be >= 0", file=sys.stderr)
+        return EXIT_USAGE
+    if args.window_ms < 0 or args.max_batch < 1:
+        print(
+            "error: --window-ms must be >= 0 and --max-batch >= 1",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    store = JsonLinesStore(Path(args.cache_path)) if args.cache_path else None
+    service = InferenceService(
+        cache=ResultCache(store=store),
+        workers=args.workers,
+        race_variants=args.race,
+    )
+    server = InferenceServer(
+        service,
+        host=args.host,
+        port=args.port,
+        batch_window=args.window_ms / 1000.0,
+        max_batch=args.max_batch,
+        default_budget=Budget(
+            max_steps=args.max_steps,
+            max_rows=args.max_rows,
+            max_seconds=args.max_seconds,
+        ),
+    )
+
+    async def _serve() -> None:
+        await server.start()
+        print(
+            f"repro serve: listening on http://{server.host}:{server.port} "
+            f"(workers={args.workers}, window={args.window_ms:g}ms, "
+            f"cache={'disk:' + args.cache_path if args.cache_path else 'memory'})",
+            flush=True,
+        )
+        await server.serve_forever()
+
+    try:
+        service.warm_up()  # fork workers before the event loop exists
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("repro serve: shutting down")
+    finally:
+        service.close()
     return EXIT_PROVED
 
 
@@ -272,6 +384,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     handlers = {
         "infer": _cmd_infer,
         "batch": _cmd_batch,
+        "serve": _cmd_serve,
         "classify": _cmd_classify,
         "encode": _cmd_encode,
         "diagram": _cmd_diagram,

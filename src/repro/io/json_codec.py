@@ -376,6 +376,24 @@ def outcome_to_json(outcome: InferenceOutcome) -> Json:
     return payload
 
 
+def slim_unknown_outcome(payload: Json) -> Json:
+    """Drop the budget-exhausted chase result from an UNKNOWN payload.
+
+    An UNKNOWN carries no certificate — only its status matters for
+    later use — so the (potentially huge) exhausted chase result is
+    debris. Every layer that ships or stores UNKNOWN payloads (the
+    result cache, the worker-pool wire, the HTTP server) applies this
+    one policy; decisive payloads pass through untouched because their
+    traces/counterexamples replay.
+    """
+    if (
+        isinstance(payload, dict)
+        and payload.get("status") == InferenceStatus.UNKNOWN.value
+    ):
+        payload.pop("chase_result", None)
+    return payload
+
+
 def outcome_from_json(payload: Json) -> InferenceOutcome:
     """Decode one inference outcome."""
     if (

@@ -10,13 +10,20 @@ must fan out across cores. This package layers exactly that on top of
   optional append-only JSON-lines disk tier), keyed by the canonical
   query hashes of :mod:`repro.dependencies.canonical`;
 * :mod:`repro.service.scheduler` — serial and multiprocessing execution
-  with optional STANDARD-vs-SEMI_NAIVE variant racing and budget
+  through a persistent :class:`WorkerPool` (submit/drain, raced-variant
+  skipping) with optional STANDARD-vs-SEMI_NAIVE racing and budget
   division;
 * :mod:`repro.service.api` — the :class:`InferenceService` facade with
-  ``submit()`` / ``run()`` / ``run_batch()``.
+  ``submit()`` / ``run()`` / ``run_batch()``;
+* :mod:`repro.service.server` — a long-lived stdlib-asyncio HTTP
+  front-end that micro-batches concurrent clients into shared
+  :meth:`InferenceService.run` calls;
+* :mod:`repro.service.client` — the synchronous :class:`ServiceClient`
+  speaking the server's ``repro.io.json_codec`` wire format.
 
 The CLI's ``batch`` command (``python -m repro batch``) is a thin wrapper
-over :class:`InferenceService`.
+over :class:`InferenceService`; ``python -m repro serve`` boots the HTTP
+server.
 """
 
 from repro.service.api import (
@@ -31,15 +38,22 @@ from repro.service.cache import (
     JsonLinesStore,
     ResultCache,
     budget_covers,
+    budget_join,
+    budget_meet,
 )
+from repro.service.client import RemoteVerdict, ServiceClient, ServiceError
 from repro.service.scheduler import (
+    PoolRun,
     QueryTask,
     RACING_VARIANTS,
+    WorkerPool,
     divide_budget,
     run_pool,
     run_serial,
     run_tasks,
+    serial_run,
 )
+from repro.service.server import InferenceServer, ServerStats, ServerThread
 
 __all__ = [
     "InferenceService",
@@ -51,10 +65,21 @@ __all__ = [
     "CacheStats",
     "JsonLinesStore",
     "budget_covers",
+    "budget_join",
+    "budget_meet",
     "QueryTask",
+    "PoolRun",
+    "WorkerPool",
     "RACING_VARIANTS",
     "divide_budget",
     "run_serial",
+    "serial_run",
     "run_pool",
     "run_tasks",
+    "InferenceServer",
+    "ServerStats",
+    "ServerThread",
+    "ServiceClient",
+    "ServiceError",
+    "RemoteVerdict",
 ]

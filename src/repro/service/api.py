@@ -24,6 +24,7 @@ those of the executed representative.
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -35,9 +36,11 @@ from repro.dependencies.classify import Dependency
 from repro.service.cache import ResultCache
 from repro.service.scheduler import (
     RACING_VARIANTS,
+    PoolRun,
     QueryTask,
+    WorkerPool,
     divide_budget,
-    run_tasks,
+    serial_run,
 )
 
 
@@ -61,13 +64,17 @@ class BatchStats:
     cache_hits: int = 0
     deduplicated: int = 0
     executed: int = 0
+    #: Raced-variant dispatches never run because their slot was already
+    #: decided by another variant when their turn came.
+    skipped: int = 0
     wall_seconds: float = 0.0
 
     def describe(self) -> str:
         """One-line summary for logs and the CLI."""
         return (
             f"{self.submitted} queries: {self.cache_hits} cache hit(s), "
-            f"{self.deduplicated} deduplicated, {self.executed} executed "
+            f"{self.deduplicated} deduplicated, {self.executed} executed, "
+            f"{self.skipped} raced dispatch(es) skipped "
             f"in {self.wall_seconds:.3f}s"
         )
 
@@ -100,7 +107,9 @@ class InferenceService:
       in-memory one is created when omitted. Passing a disk-backed cache
       makes verdicts survive the process.
     * ``workers`` — 0 runs misses in-process (serial); ``n >= 1`` uses a
-      pool of ``n`` processes.
+      persistent pool of ``n`` processes, forked on the first batch and
+      reused by every later one (``close()`` — or using the service as a
+      context manager — shuts it down).
     * ``race_variants`` — dispatch each miss under both the STANDARD and
       SEMI_NAIVE chase and keep the first decisive verdict.
     * ``record_trace`` — keep replayable proof traces (on by default; the
@@ -131,19 +140,73 @@ class InferenceService:
         self.record_trace = record_trace
         self.share_budget = share_budget
         self._pending: list[_Pending] = []
+        self._worker_pool: Optional[WorkerPool] = None
         # Premise sets repeat across a batch (run_batch shares one for
         # every target); memoize their canonical keys so hashing is
-        # O(premises + targets), not O(premises x targets).
-        self._premise_keys: dict[tuple[Dependency, ...], tuple] = {}
+        # O(premises + targets), not O(premises x targets). Bounded LRU:
+        # long-lived callers (the HTTP server) see many distinct premise
+        # sets over their lifetime.
+        self._premise_keys: "OrderedDict[tuple[Dependency, ...], tuple]" = (
+            OrderedDict()
+        )
+
+    #: How many distinct premise tuples the canonical-key memo retains.
+    PREMISE_MEMO_SIZE = 128
 
     def _premise_key(self, dependencies: tuple[Dependency, ...]) -> tuple:
         key = self._premise_keys.get(dependencies)
-        if key is None:
-            if len(self._premise_keys) > 128:
-                self._premise_keys.clear()
-            key = premise_key(dependencies)
-            self._premise_keys[dependencies] = key
+        if key is not None:
+            self._premise_keys.move_to_end(dependencies)
+            return key
+        key = premise_key(dependencies)
+        self._premise_keys[dependencies] = key
+        while len(self._premise_keys) > self.PREMISE_MEMO_SIZE:
+            self._premise_keys.popitem(last=False)
         return key
+
+    def pool(self) -> Optional[WorkerPool]:
+        """The persistent worker pool (created on first use; None when
+        ``workers == 0``)."""
+        if self.workers == 0:
+            return None
+        if self._worker_pool is None:
+            self._worker_pool = WorkerPool(self.workers)
+        return self._worker_pool
+
+    def warm_up(self) -> "InferenceService":
+        """Fork the worker processes now rather than on the first batch.
+
+        Long-lived callers that dispatch from non-main threads (the HTTP
+        server runs batches on an executor thread) should warm up from
+        the main thread first.
+        """
+        pool = self.pool()
+        if pool is not None:
+            pool.start()
+        return self
+
+    def close(self) -> None:
+        """Shut down the worker pool (no-op for serial services)."""
+        if self._worker_pool is not None:
+            self._worker_pool.close()
+            self._worker_pool = None
+
+    def __enter__(self) -> "InferenceService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def discard_pending(self) -> int:
+        """Drop queued-but-unrun queries; returns how many were dropped.
+
+        For callers that manage submission transactionally (the HTTP
+        server): a submit() that failed partway must not leave orphans
+        whose answers would misalign with a later batch's.
+        """
+        dropped = len(self._pending)
+        self._pending.clear()
+        return dropped
 
     def submit(
         self, dependencies: Sequence[Dependency], target: Dependency
@@ -226,14 +289,19 @@ class InferenceService:
             if self.share_budget and tasks
             else budget
         )
-        outcomes = run_tasks(
-            tasks,
-            per_query,
-            workers=self.workers,
-            variants=self.variants,
-            record_trace=self.record_trace,
-        )
+        if not tasks:
+            run = PoolRun()
+        elif self.workers == 0:
+            run = serial_run(tasks, per_query, self.variants, self.record_trace)
+        else:
+            # The pool persists across run() calls: batch N+1 reuses the
+            # worker processes batch N forked.
+            run = self.pool().run(
+                tasks, per_query, self.variants, self.record_trace
+            )
+        outcomes = run.outcomes
         stats.executed = len(tasks)
+        stats.skipped = run.skipped
 
         for slot, (fingerprint, members) in enumerate(representatives):
             outcome = outcomes[slot]

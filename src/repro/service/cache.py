@@ -18,6 +18,12 @@ Caching policy by status:
   requests whose budget it covers and whose variant set it tried; a
   bigger budget — or a variant the entry never ran (racing can decide
   queries a lone STANDARD chase cannot) — is a miss and retries.
+  Re-recording an UNKNOWN never discards knowledge: a narrower
+  recording *merges* into the existing entry instead of overwriting it,
+  so a broad UNKNOWN survives narrow re-records and identical queries
+  keep hitting. The merge is per-variant — each variant remembers the
+  budget it was actually chased under, and the entry never claims a
+  (budget, variant) combination no chase ran.
 
 The in-memory tier is a bounded LRU. An optional on-disk tier
 (:class:`JsonLinesStore`, append-only JSON lines) makes verdicts survive
@@ -43,6 +49,7 @@ from repro.io.json_codec import (
     budget_to_json,
     outcome_from_json,
     outcome_to_json,
+    slim_unknown_outcome,
 )
 
 
@@ -67,6 +74,51 @@ def budget_covers(cached: Budget, requested: Budget) -> bool:
     return True
 
 
+def budget_join(first: Budget, second: Budget) -> Budget:
+    """The axis-wise most generous of two budgets (``None`` = unlimited).
+
+    The join covers both inputs; UNKNOWN entries use it as their
+    summary budget (the per-variant antichain is what staleness reads).
+    """
+
+    def join(a: Optional[float], b: Optional[float]) -> Optional[float]:
+        if a is None or b is None:
+            return None
+        return max(a, b)
+
+    steps = join(first.max_steps, second.max_steps)
+    rows = join(first.max_rows, second.max_rows)
+    return Budget(
+        max_steps=None if steps is None else int(steps),
+        max_rows=None if rows is None else int(rows),
+        max_seconds=join(first.max_seconds, second.max_seconds),
+    )
+
+
+def budget_meet(first: Budget, second: Budget) -> Budget:
+    """The axis-wise *least* generous of two budgets (``None`` loses).
+
+    Both inputs cover the meet, so clamping a request against a ceiling
+    (``budget_meet(requested, ceiling)``) can only narrow it — the HTTP
+    server uses this to keep client-supplied budgets inside its own.
+    """
+
+    def meet(a: Optional[float], b: Optional[float]) -> Optional[float]:
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return min(a, b)
+
+    steps = meet(first.max_steps, second.max_steps)
+    rows = meet(first.max_rows, second.max_rows)
+    return Budget(
+        max_steps=None if steps is None else int(steps),
+        max_rows=None if rows is None else int(rows),
+        max_seconds=meet(first.max_seconds, second.max_seconds),
+    )
+
+
 @dataclass
 class CacheEntry:
     """One cached verdict: fingerprint, status, budget and outcome payload."""
@@ -82,6 +134,17 @@ class CacheEntry:
     #: The chase variants the verdict was computed under (enum values).
     #: An UNKNOWN is only conclusive for requests whose variants it tried.
     variants: tuple[str, ...] = ("standard",)
+    #: Per-variant budgets the chases actually ran under — for each
+    #: variant, the *antichain* of mutually incomparable budgets tried
+    #: (dominated ones are pruned on merge). UNKNOWN staleness is judged
+    #: against these — never against a synthesized combination no chase
+    #: ran — and keeping every maximal recording means clients with
+    #: incomparable budgets (more steps vs more seconds) all hit instead
+    #: of alternately re-chasing. ``None`` derives the uniform mapping
+    #: ``{variant: (budget,)}`` (every pre-merge recording is uniform).
+    variant_budgets: Optional[dict[str, tuple[Budget, ...]]] = field(
+        default=None, repr=False
+    )
     #: Decoded-outcome memo (seeded with the live object on ``record``),
     #: so repeated hits don't re-decode. Treat the outcome as read-only.
     decoded: Optional[InferenceOutcome] = field(
@@ -94,9 +157,17 @@ class CacheEntry:
             self.decoded = outcome_from_json(self.payload)
         return self.decoded
 
+    def tried(self) -> dict[str, tuple[Budget, ...]]:
+        """What was actually chased: variant -> budgets it ran under."""
+        if self.variant_budgets is None:
+            self.variant_budgets = {
+                variant: (self.budget,) for variant in self.variants
+            }
+        return self.variant_budgets
+
     def to_json(self) -> Json:
         """The entry as one JSON-lines record."""
-        return {
+        record: dict = {
             "fingerprint": self.fingerprint,
             "status": self.status.value,
             "budget": budget_to_json(self.budget),
@@ -104,6 +175,12 @@ class CacheEntry:
             "variants": list(self.variants),
             "outcome": self.payload,
         }
+        if self.status is InferenceStatus.UNKNOWN:
+            record["variant_budgets"] = {
+                variant: [budget_to_json(budget) for budget in budgets]
+                for variant, budgets in self.tried().items()
+            }
+        return record
 
     @staticmethod
     def from_json(payload: Json) -> "CacheEntry":
@@ -111,6 +188,7 @@ class CacheEntry:
         if not isinstance(payload, dict) or "fingerprint" not in payload:
             raise CodecError(f"bad cache entry payload {payload!r}")
         try:
+            tried_payload = payload.get("variant_budgets")
             return CacheEntry(
                 fingerprint=payload["fingerprint"],
                 status=InferenceStatus(payload["status"]),
@@ -118,8 +196,18 @@ class CacheEntry:
                 payload=payload["outcome"],
                 traced=bool(payload.get("traced", True)),
                 variants=tuple(payload.get("variants", ("standard",))),
+                variant_budgets=(
+                    {
+                        variant: tuple(
+                            budget_from_json(entry) for entry in entries
+                        )
+                        for variant, entries in tried_payload.items()
+                    }
+                    if isinstance(tried_payload, dict)
+                    else None
+                ),
             )
-        except (KeyError, ValueError, TypeError) as error:
+        except (KeyError, ValueError, TypeError, AttributeError) as error:
             raise CodecError(f"bad cache entry payload: {error}") from error
 
 
@@ -131,12 +219,17 @@ class CacheStats:
     misses: int = 0
     stale: int = 0
     evictions: int = 0
+    #: LRU evictions incurred while replaying the disk store into memory.
+    #: Kept apart from ``evictions`` so lifetime serving stats start at
+    #: zero instead of inheriting load-time churn.
+    load_evictions: int = 0
 
     def describe(self) -> str:
         """One-line summary for logs and CLI output."""
         return (
             f"hits={self.hits} misses={self.misses} "
-            f"stale_unknown={self.stale} evictions={self.evictions}"
+            f"stale_unknown={self.stale} evictions={self.evictions} "
+            f"load_evictions={self.load_evictions}"
         )
 
 
@@ -190,6 +283,11 @@ class ResultCache:
         if store is not None:
             for entry in store.load():
                 self._insert(entry)
+            # Evictions while replaying the store are load churn, not
+            # serving behaviour; segregate them so lifetime stats start
+            # clean.
+            self.stats.load_evictions = self.stats.evictions
+            self.stats.evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -208,22 +306,36 @@ class ResultCache:
         """Return a usable entry for ``fingerprint`` under ``budget``, or None.
 
         Three kinds of entries count as *stale* (the caller should
-        recompute and re-record, which overwrites): an UNKNOWN whose
-        recorded budget does not cover the request; an UNKNOWN that never
-        tried one of the request's ``variants`` (a different chase
-        discipline may decide what this one could not); and — with
-        ``require_trace`` — a PROVED computed with tracing off, which
-        carries no replayable certificate.
+        recompute and re-record, which merges): an UNKNOWN some of whose
+        requested ``variants`` were never chased under a budget covering
+        the request (a different discipline — or more work — may decide
+        what the recorded chases could not; with ``variants=None`` any
+        one covered variant suffices); and — with ``require_trace`` — a
+        PROVED computed with tracing off, which carries no replayable
+        certificate.
         """
         entry = self._entries.get(fingerprint)
         if entry is None:
             self.stats.misses += 1
             return None
         if entry.status is InferenceStatus.UNKNOWN:
-            if not budget_covers(entry.budget, budget):
-                self.stats.stale += 1
-                return None
-            if variants is not None and not set(variants) <= set(entry.variants):
+            tried = entry.tried()
+
+            def covered(chased: tuple[Budget, ...]) -> bool:
+                return any(budget_covers(b, budget) for b in chased)
+
+            if variants is None:
+                # A variant-agnostic caller is served when *some* chase
+                # already did at least the requested work.
+                usable = any(covered(chased) for chased in tried.values())
+            else:
+                # A variant-specific caller needs *every* requested
+                # variant to have been chased with covering work.
+                usable = all(
+                    variant in tried and covered(tried[variant])
+                    for variant in variants
+                )
+            if not usable:
                 self.stats.stale += 1
                 return None
         if (
@@ -253,9 +365,7 @@ class ResultCache:
         stripped of the (potentially huge, budget-exhausted) chase result
         before encoding. The in-process memo still holds the full outcome.
         """
-        payload = outcome_to_json(outcome)
-        if outcome.status is InferenceStatus.UNKNOWN and isinstance(payload, dict):
-            payload.pop("chase_result", None)
+        payload = slim_unknown_outcome(outcome_to_json(outcome))
         entry = CacheEntry(
             fingerprint=fingerprint,
             status=outcome.status,
@@ -263,33 +373,101 @@ class ResultCache:
             payload=payload,
             traced=traced,
             variants=tuple(variants),
+            variant_budgets={variant: (budget,) for variant in variants},
             decoded=outcome,
         )
-        if not self._insert(entry):
+        stored = self._insert(entry)
+        if stored is None:
             return self._entries[entry.fingerprint]
         if self._store is not None:
-            self._store.append(entry)
-        return entry
+            # The *stored* entry goes to disk: when an UNKNOWN was merged
+            # with an earlier one, the appended line carries the joined
+            # budget and the variant union, so a later-lines-win reload
+            # keeps the merged knowledge rather than the narrow re-record.
+            self._store.append(stored)
+        return stored
 
-    def _insert(self, entry: CacheEntry) -> bool:
-        """Insert unless it would demote a decisive verdict; True if stored.
+    def _merge_unknown(
+        self, existing: CacheEntry, entry: CacheEntry
+    ) -> Optional[CacheEntry]:
+        """Combine two UNKNOWN recordings for one fingerprint.
 
-        PROVED/DISPROVED are final answers, so an UNKNOWN (some caller
-        recomputed under a tighter budget or stricter trace requirement)
-        must never replace one — in memory or, via the skipped disk
-        append, in the later-lines-win on-disk tier.
+        Returns None when ``entry`` adds nothing (every variant it tried
+        was already tried under a covering budget); otherwise an entry
+        whose per-variant budgets accumulate both recordings, so
+        knowledge is never overwritten by whichever caller recorded
+        last. Each kept (variant, budget) pair is one that really
+        chased: a fresh budget joins its variant's antichain (pruning
+        budgets it covers) rather than replacing it, so clients with
+        mutually incomparable budgets (more steps vs more seconds) all
+        keep hitting — a synthesized join of two recordings would be
+        unsound, and picking just one would make the others re-chase
+        forever.
+        """
+        merged = dict(existing.tried())
+        changed = False
+        for variant, fresh_budgets in entry.tried().items():
+            held = merged.get(variant, ())
+            for fresh in fresh_budgets:
+                if any(budget_covers(kept, fresh) for kept in held):
+                    continue  # a prior chase subsumes this one
+                held = tuple(
+                    kept for kept in held if not budget_covers(fresh, kept)
+                ) + (fresh,)
+                changed = True
+            merged[variant] = held
+        if not changed:
+            return None
+        budget = entry.budget
+        for chased in merged.values():
+            for each in chased:
+                budget = budget_join(budget, each)
+        return CacheEntry(
+            fingerprint=entry.fingerprint,
+            status=InferenceStatus.UNKNOWN,
+            # The entry-level budget is a summary (the join of what ran,
+            # for logs and humans); staleness reads variant_budgets.
+            budget=budget,
+            payload=entry.payload,
+            traced=entry.traced,
+            variants=existing.variants
+            + tuple(
+                variant
+                for variant in entry.variants
+                if variant not in existing.variants
+            ),
+            variant_budgets=merged,
+            decoded=entry.decoded,
+        )
+
+    def _insert(self, entry: CacheEntry) -> Optional[CacheEntry]:
+        """Insert ``entry``; returns what was stored, or None for a no-op.
+
+        Two invariants protect accumulated knowledge:
+
+        * PROVED/DISPROVED are final answers, so an UNKNOWN (some caller
+          recomputed under a tighter budget or stricter trace
+          requirement) must never replace one — in memory or, via the
+          skipped disk append, in the later-lines-win on-disk tier.
+        * An UNKNOWN must never *downgrade* an UNKNOWN: re-recording
+          under a narrower budget or fewer variants merges per-variant
+          knowledge instead of overwriting, otherwise the staleness
+          logic in :meth:`lookup` sees only the narrow entry and
+          identical queries re-chase forever.
         """
         existing = self._entries.get(entry.fingerprint)
-        if (
-            existing is not None
-            and entry.status is InferenceStatus.UNKNOWN
-            and existing.status is not InferenceStatus.UNKNOWN
-        ):
-            self._entries.move_to_end(entry.fingerprint)
-            return False
+        if existing is not None and entry.status is InferenceStatus.UNKNOWN:
+            if existing.status is not InferenceStatus.UNKNOWN:
+                self._entries.move_to_end(entry.fingerprint)
+                return None
+            merged = self._merge_unknown(existing, entry)
+            if merged is None:
+                self._entries.move_to_end(entry.fingerprint)
+                return None
+            entry = merged
         self._entries[entry.fingerprint] = entry
         self._entries.move_to_end(entry.fingerprint)
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
-        return True
+        return entry

@@ -1,0 +1,188 @@
+"""Synchronous HTTP client for the inference server (stdlib ``urllib``).
+
+:class:`ServiceClient` speaks the wire format of
+:mod:`repro.service.server`: requests and responses are
+:mod:`repro.io.json_codec` payloads, so a verdict fetched over HTTP
+decodes to the same :class:`~repro.chase.implication.InferenceOutcome`
+— certificates included — that a local
+:class:`~repro.service.api.InferenceService` would return, and PROVED
+traces replay client-side.
+
+Usage::
+
+    client = ServiceClient("http://127.0.0.1:8765")
+    client.health()                      # {"status": "ok", ...}
+    verdict = client.implies([transitivity], target)
+    verdict.status                       # InferenceStatus.PROVED
+    verdict.outcome.chase_result.steps   # replayable certificate
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.chase.budget import Budget
+from repro.chase.implication import InferenceOutcome, InferenceStatus
+from repro.dependencies.classify import Dependency
+from repro.errors import ReproError
+from repro.io.json_codec import (
+    CodecError,
+    Json,
+    budget_to_json,
+    dependency_to_json,
+    outcome_from_json,
+)
+
+
+class ServiceError(ReproError):
+    """The server was unreachable or answered with an HTTP error."""
+
+
+@dataclass
+class RemoteVerdict:
+    """One query's answer as served over HTTP."""
+
+    status: InferenceStatus
+    fingerprint: str
+    from_cache: bool
+    deduplicated: bool
+    outcome: InferenceOutcome
+
+    @staticmethod
+    def from_payload(payload: Json) -> "RemoteVerdict":
+        if not isinstance(payload, dict) or "outcome" not in payload:
+            raise ServiceError(f"malformed verdict payload {payload!r}")
+        try:
+            return RemoteVerdict(
+                status=InferenceStatus(payload["status"]),
+                fingerprint=payload.get("fingerprint", ""),
+                from_cache=bool(payload.get("from_cache", False)),
+                deduplicated=bool(payload.get("deduplicated", False)),
+                outcome=outcome_from_json(payload["outcome"]),
+            )
+        except (KeyError, ValueError, TypeError, CodecError) as error:
+            raise ServiceError(
+                f"malformed verdict payload: {error}"
+            ) from error
+
+
+@dataclass
+class RemoteBatch:
+    """A ``/v1/batch`` answer: verdicts in submission order plus the
+    request's slice of the batch statistics."""
+
+    items: list[RemoteVerdict]
+    stats: dict
+
+    @property
+    def statuses(self) -> list[InferenceStatus]:
+        return [item.status for item in self.items]
+
+
+class ServiceClient:
+    """Blocking client for one server base URL.
+
+    Each call is one HTTP request on a fresh connection (the server
+    answers ``Connection: close``), so instances are safe to share
+    across threads — the benchmark's concurrent clients do.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 120.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Raw HTTP
+    # ------------------------------------------------------------------
+
+    def request(self, method: str, path: str, payload: Optional[Json] = None) -> Json:
+        """One JSON-in/JSON-out request; :class:`ServiceError` on failure."""
+        data = (
+            json.dumps(payload, separators=(",", ":")).encode("utf-8")
+            if payload is not None
+            else None
+        )
+        http_request = urllib.request.Request(
+            self.base_url + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(
+                http_request, timeout=self.timeout
+            ) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            detail = ""
+            try:
+                detail = json.loads(error.read().decode("utf-8")).get("error", "")
+            except (ValueError, AttributeError):
+                pass
+            raise ServiceError(
+                f"{method} {path} -> HTTP {error.code}: {detail or error.reason}"
+            ) from error
+        except urllib.error.URLError as error:
+            raise ServiceError(f"{method} {path} failed: {error.reason}") from error
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+
+    def health(self) -> dict:
+        """``GET /healthz``."""
+        return self.request("GET", "/healthz")
+
+    def stats(self) -> dict:
+        """``GET /v1/stats``."""
+        return self.request("GET", "/v1/stats")
+
+    def implies(
+        self,
+        dependencies: Sequence[Dependency],
+        target: Dependency,
+        budget: Optional[Budget] = None,
+        *,
+        certificates: bool = True,
+    ) -> RemoteVerdict:
+        """``POST /v1/implies``: one ``D ⊨ d`` question."""
+        payload: dict = {
+            "dependencies": [dependency_to_json(d) for d in dependencies],
+            "target": dependency_to_json(target),
+        }
+        if budget is not None:
+            payload["budget"] = budget_to_json(budget)
+        if not certificates:
+            payload["certificates"] = False
+        return RemoteVerdict.from_payload(
+            self.request("POST", "/v1/implies", payload)
+        )
+
+    def batch(
+        self,
+        dependencies: Sequence[Dependency],
+        targets: Sequence[Dependency],
+        budget: Optional[Budget] = None,
+        *,
+        certificates: bool = True,
+    ) -> RemoteBatch:
+        """``POST /v1/batch``: many targets against one premise set."""
+        payload: dict = {
+            "dependencies": [dependency_to_json(d) for d in dependencies],
+            "targets": [dependency_to_json(t) for t in targets],
+        }
+        if budget is not None:
+            payload["budget"] = budget_to_json(budget)
+        if not certificates:
+            payload["certificates"] = False
+        answer = self.request("POST", "/v1/batch", payload)
+        if not isinstance(answer, dict) or "items" not in answer:
+            raise ServiceError(f"malformed batch payload {answer!r}")
+        return RemoteBatch(
+            items=[RemoteVerdict.from_payload(item) for item in answer["items"]],
+            stats=answer.get("stats", {}),
+        )

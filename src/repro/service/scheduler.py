@@ -1,4 +1,4 @@
-"""Chase scheduling: serial execution and a multiprocessing worker pool.
+"""Chase scheduling: serial execution and a persistent worker pool.
 
 Independent ``D ⊨ d`` queries share nothing, so they parallelize
 embarrassingly well. The pool ships each query to a worker as a JSON
@@ -8,11 +8,21 @@ back — crossing the process boundary through
 in-process object identity and exercises exactly the representation the
 result cache stores.
 
+**Persistent pool**: :class:`WorkerPool` owns long-lived worker
+processes with a submit/drain scheduler, so callers that dispatch many
+batches (the batch CLI looping over files, the HTTP server coalescing
+micro-batches) pay the fork cost once, not per batch. The one-shot
+:func:`run_pool` wrapper keeps the old construct-per-call API.
+
 **Variant racing**: because the inference problem is undecidable, no
 chase discipline dominates; with ``variants`` given more than one entry
 the scheduler dispatches each query once per variant and keeps the first
 *decisive* (PROVED/DISPROVED) verdict, falling back to an UNKNOWN only
-when every variant exhausted its budget.
+when every variant exhausted its budget. Dispatch is variant-major
+(every query's first variant before any second variant) and lazily
+submitted, so raced payloads for slots that are already decided are
+*skipped* rather than chased to budget exhaustion; skips are reported in
+:class:`PoolRun`.
 
 **Budget-aware division**: :func:`divide_budget` splits one global budget
 fairly across ``n`` queries, for callers that want a whole-batch bound
@@ -22,7 +32,15 @@ rather than a per-query one.
 from __future__ import annotations
 
 import multiprocessing
-from dataclasses import dataclass
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.chase.budget import Budget
@@ -37,6 +55,7 @@ from repro.io.json_codec import (
     dependency_to_json,
     outcome_from_json,
     outcome_to_json,
+    slim_unknown_outcome,
 )
 
 #: Default variant pair raced by ``race_variants`` mode.
@@ -53,6 +72,19 @@ class QueryTask:
     slot: int
     dependencies: tuple[Dependency, ...]
     target: Dependency
+
+
+@dataclass
+class PoolRun:
+    """What one scheduler dispatch produced.
+
+    ``outcomes`` maps each task's slot to its best verdict; ``skipped``
+    counts raced-variant dispatches that were never executed because
+    their slot was already decided when their turn came.
+    """
+
+    outcomes: dict[int, InferenceOutcome] = field(default_factory=dict)
+    skipped: int = 0
 
 
 def divide_budget(budget: Budget, ways: int) -> Budget:
@@ -85,17 +117,21 @@ def _prefer(
     return candidate
 
 
-def run_serial(
+def serial_run(
     tasks: Sequence[QueryTask],
     budget: Budget,
     variants: Sequence[ChaseVariant],
     record_trace: bool = True,
-) -> dict[int, InferenceOutcome]:
-    """Run every task in-process, trying variants until one is decisive."""
-    results: dict[int, InferenceOutcome] = {}
+) -> PoolRun:
+    """Run every task in-process, trying variants until one is decisive.
+
+    Variants a task never needed (it was decided earlier in the race
+    order) count as skipped, mirroring the pool's accounting.
+    """
+    run = PoolRun()
     for task in tasks:
         best: Optional[InferenceOutcome] = None
-        for variant in variants:
+        for position, variant in enumerate(variants):
             outcome = implies(
                 list(task.dependencies),
                 task.target,
@@ -105,10 +141,21 @@ def run_serial(
             )
             best = _prefer(best, outcome)
             if _decisive(best):
+                run.skipped += len(variants) - position - 1
                 break
         assert best is not None
-        results[task.slot] = best
-    return results
+        run.outcomes[task.slot] = best
+    return run
+
+
+def run_serial(
+    tasks: Sequence[QueryTask],
+    budget: Budget,
+    variants: Sequence[ChaseVariant],
+    record_trace: bool = True,
+) -> dict[int, InferenceOutcome]:
+    """:func:`serial_run`, returning just the slot-to-outcome mapping."""
+    return serial_run(tasks, budget, variants, record_trace).outcomes
 
 
 #: What crosses the process boundary, both directions JSON-codec encoded.
@@ -121,16 +168,21 @@ def _encode_payloads(
     budget: Budget,
     record_trace: bool,
 ) -> list[_WirePayload]:
-    """Encode every (task, variant) wire payload.
+    """Encode every (task, variant) wire payload, variant-major.
 
     Batches typically share one premise tuple across every task, so the
     premise JSON is encoded once per distinct tuple rather than once per
     payload (which would be O(premises x tasks x variants) before any
     worker starts).
+
+    The variant-major order (every task's first variant before any
+    task's second) matters for racing: by the time a second-variant
+    payload comes up for submission its slot has often been decided by
+    the first variant, letting the pool skip it entirely.
     """
     budget_payload = budget_to_json(budget)
     premise_payloads: dict[tuple[Dependency, ...], list] = {}
-    payloads = []
+    encoded_tasks = []
     for task in tasks:
         premises = premise_payloads.get(task.dependencies)
         if premises is None:
@@ -138,11 +190,13 @@ def _encode_payloads(
                 dependency_to_json(dependency) for dependency in task.dependencies
             ]
             premise_payloads[task.dependencies] = premises
-        target_payload = dependency_to_json(task.target)
-        for variant in variants:
+        encoded_tasks.append((task.slot, premises, dependency_to_json(task.target)))
+    payloads = []
+    for variant in variants:
+        for slot, premises, target_payload in encoded_tasks:
             payloads.append(
                 (
-                    task.slot,
+                    slot,
                     variant.value,
                     premises,
                     target_payload,
@@ -151,6 +205,11 @@ def _encode_payloads(
                 )
             )
     return payloads
+
+
+def _warm_worker() -> None:
+    """No-op shipped to each worker so ``WorkerPool.start`` can force
+    the lazily-spawning executor to actually create its processes."""
 
 
 def _execute_payload(payload: _WirePayload) -> tuple[int, Json]:
@@ -164,7 +223,152 @@ def _execute_payload(payload: _WirePayload) -> tuple[int, Json]:
         variant=ChaseVariant(variant_value),
         record_trace=record,
     )
-    return slot, outcome_to_json(outcome)
+    # UNKNOWN payloads cross the process boundary slim: the exhausted
+    # chase result can dwarf the chase itself on the wire.
+    return slot, slim_unknown_outcome(outcome_to_json(outcome))
+
+
+class WorkerPool:
+    """A persistent worker-process pool with a submit/drain scheduler.
+
+    Worker processes are created lazily on first use (:meth:`start`
+    forces it) and reused across :meth:`run` calls until :meth:`close`,
+    so repeated batches — the HTTP server's micro-batches, a CLI loop —
+    amortize process startup instead of re-forking per batch. The
+    backend is :class:`concurrent.futures.ProcessPoolExecutor` rather
+    than ``multiprocessing.Pool`` because a killed worker (OOM,
+    segfault) there surfaces as :class:`BrokenProcessPool` instead of a
+    silently lost callback — a long-lived server must fail one batch
+    loudly, not wedge forever. A broken pool is discarded so the next
+    :meth:`run` transparently forks fresh workers.
+
+    Submission is throttled to the worker count: a payload is handed to
+    the pool only when a worker can take it, and each hand-off first
+    checks whether the payload's slot was decided by an earlier result.
+    Still-queued raced-variant payloads for decided slots are discarded
+    (counted in :attr:`PoolRun.skipped`) instead of chasing to budget
+    exhaustion.
+    """
+
+    def __init__(self, workers: int):
+        if workers < 1:
+            raise ValueError("WorkerPool needs at least one worker")
+        self.workers = workers
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def start(self) -> "WorkerPool":
+        """Create the worker processes now (idempotent).
+
+        ``ProcessPoolExecutor`` spawns workers lazily on first submit,
+        which would silently defeat :meth:`InferenceService.warm_up`'s
+        fork-before-threads contract — so this submits one no-op per
+        worker and waits, forcing the processes into existence here.
+        Where the platform offers it, workers come from a ``forkserver``
+        context: children then fork from a dedicated single-threaded
+        server process, which keeps even later re-forks (after a
+        :class:`BrokenProcessPool` reset on a threaded server) safe.
+        """
+        if self._pool is None:
+            context = (
+                multiprocessing.get_context("forkserver")
+                if "forkserver" in multiprocessing.get_all_start_methods()
+                else None
+            )
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=context
+            )
+            wait([self._pool.submit(_warm_worker) for _ in range(self.workers)])
+        return self
+
+    def close(self) -> None:
+        """Shut the worker processes down (idempotent; pool restartable)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def run(
+        self,
+        tasks: Sequence[QueryTask],
+        budget: Budget,
+        variants: Sequence[ChaseVariant],
+        record_trace: bool = True,
+    ) -> PoolRun:
+        """Fan tasks out over the workers; first decisive verdict wins.
+
+        With several variants each query is dispatched once per variant
+        in variant-major order (results arrive unordered); raced
+        payloads whose slot is decided before they are submitted are
+        skipped, and late-arriving raced losers are discarded. A dead
+        worker raises :class:`BrokenProcessPool` after the drain (the
+        pool is reset, so the caller's next batch gets fresh workers).
+        """
+        run = PoolRun()
+        if not tasks:
+            return run
+        pool = self.start()._pool
+        assert pool is not None
+        pending = deque(_encode_payloads(tasks, variants, budget, record_trace))
+        decided: set[int] = set()
+        failure: Optional[BaseException] = None
+        in_flight: set[Future] = set()
+
+        # In-flight is capped at exactly `workers` — a deliberate trade:
+        # a prefetch margin (workers*2) would hide the ~sub-ms dispatch
+        # round-trip, but every prefetched raced payload is one the
+        # decided-slot check can no longer skip, and skipping a chase
+        # (ms-to-budget-exhaustion) is worth far more than hiding the
+        # hand-off latency.
+        def refill() -> None:
+            nonlocal failure
+            while pending and len(in_flight) < self.workers and failure is None:
+                payload = pending.popleft()
+                if payload[0] in decided:
+                    run.skipped += 1
+                    continue
+                try:
+                    in_flight.add(pool.submit(_execute_payload, payload))
+                except BaseException as error:  # broken/closing pool
+                    failure = error
+                    return
+
+        refill()
+        while in_flight:
+            done, in_flight = wait(in_flight, return_when=FIRST_COMPLETED)
+            arrivals = []
+            for future in done:
+                try:
+                    arrivals.append(future.result())
+                except BaseException as error:
+                    failure = failure if failure is not None else error
+            # Peek decisiveness from the raw statuses and hand the
+            # freed workers their next payloads *before* the (possibly
+            # heavy) outcome decodes, so workers never idle behind them.
+            for slot, outcome_payload in arrivals:
+                if (
+                    isinstance(outcome_payload, dict)
+                    and outcome_payload.get("status")
+                    != InferenceStatus.UNKNOWN.value
+                ):
+                    decided.add(slot)
+            refill()
+            for slot, outcome_payload in arrivals:
+                current = run.outcomes.get(slot)
+                if current is not None and _decisive(current):
+                    continue  # raced loser that was already in flight
+                outcome = _prefer(current, outcome_from_json(outcome_payload))
+                run.outcomes[slot] = outcome
+        if failure is not None:
+            if isinstance(failure, BrokenProcessPool):
+                # Fresh workers on the next run instead of a dead pool.
+                self._pool = None
+            raise failure
+        return run
 
 
 def run_pool(
@@ -174,25 +378,18 @@ def run_pool(
     variants: Sequence[ChaseVariant],
     record_trace: bool = True,
 ) -> dict[int, InferenceOutcome]:
-    """Fan tasks out over ``workers`` processes; first decisive verdict wins.
+    """One-shot :class:`WorkerPool` dispatch (constructs and tears down).
 
-    With several variants each query is dispatched once per variant
-    (results arrive unordered; losers are discarded). A pool of one
-    process still isolates chase memory from the caller.
+    A pool of one process still isolates chase memory from the caller.
+    Long-lived callers should hold a :class:`WorkerPool` instead and
+    reuse it across batches.
     """
     if workers < 1:
         raise ValueError("run_pool needs at least one worker")
     if not tasks:
         return {}
-    payloads = _encode_payloads(tasks, variants, budget, record_trace)
-    results: dict[int, InferenceOutcome] = {}
-    with multiprocessing.Pool(processes=workers) as pool:
-        for slot, outcome_payload in pool.imap_unordered(_execute_payload, payloads):
-            current = results.get(slot)
-            if current is not None and _decisive(current):
-                continue
-            results[slot] = _prefer(current, outcome_from_json(outcome_payload))
-    return results
+    with WorkerPool(workers) as pool:
+        return pool.run(tasks, budget, variants, record_trace).outcomes
 
 
 def run_tasks(

@@ -1,0 +1,732 @@
+"""A long-lived asyncio HTTP front-end over :class:`InferenceService`.
+
+The server makes budget-bounded verdicts — including first-class
+UNKNOWNs — servable to many concurrent clients: requests landing within
+a configurable coalescing window (default 10 ms) are micro-batched into
+*one* :meth:`InferenceService.run` call, so canonical deduplication and
+the shared :class:`~repro.service.cache.ResultCache` (optionally disk
+backed) work *across clients*, not just within one request's batch. Two
+clients submitting alpha-renamed copies of the same query cost one
+chase.
+
+Endpoints (JSON over HTTP/1.1, wire format = :mod:`repro.io.json_codec`
+payloads):
+
+* ``POST /v1/implies`` — one query: ``{"dependencies": [...],
+  "target": ..., "budget"?: ..., "certificates"?: bool}``; answers with
+  the verdict, fingerprint, cache/dedup provenance and the full outcome
+  payload (certificates included unless ``"certificates": false``).
+* ``POST /v1/batch`` — many targets against one premise set; answers
+  with per-item verdicts plus this request's slice of the batch stats.
+* ``GET /v1/stats`` — lifetime server, cache and batching counters.
+* ``GET /healthz`` — liveness.
+
+The event loop only parses HTTP and queues queries; chases run on an
+executor thread (one batch at a time, so the cache and the service's
+pending queue are touched by a single thread), and with ``workers > 0``
+fan out further over the service's persistent
+:class:`~repro.service.scheduler.WorkerPool`. Because runs execute one
+at a time, duplicate concurrent misses never race each other: a
+duplicate either coalesces into its original's run (deduplicated) or
+arrives after the verdict was recorded (cache hit) — never a second
+chase of the same fingerprint.
+
+``python -m repro serve`` is the CLI wrapper; tests and benchmarks use
+:class:`ServerThread` to host a server on a background thread of the
+same process.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import http.client
+import json
+import threading
+import time
+import warnings
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+import dataclasses
+
+from repro.chase.budget import Budget
+from repro.chase.implication import InferenceStatus
+from repro.dependencies.classify import Dependency
+from repro.io.json_codec import (
+    CodecError,
+    Json,
+    budget_from_json,
+    budget_to_json,
+    dependency_from_json,
+    outcome_to_json,
+)
+from repro.service.api import BatchItem, InferenceService
+from repro.service.cache import budget_meet
+
+#: Largest accepted request body; bigger requests get 413 instead of
+#: buffering unboundedly in the event loop.
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: Bodies up to this size are JSON-decoded inline on the event loop;
+#: larger ones decode on the executor so they cannot stall other
+#: connections.
+INLINE_DECODE_BYTES = 64 * 1024
+
+
+
+@dataclass
+class ServerStats:
+    """Lifetime counters for one server process."""
+
+    requests: int = 0
+    http_errors: int = 0
+    queries: int = 0
+    batches: int = 0
+    cache_hits: int = 0
+    deduplicated: int = 0
+    executed: int = 0
+    skipped: int = 0
+    chase_seconds: float = 0.0
+
+
+@dataclass
+class _QueuedQuery:
+    """One client query waiting for the micro-batching loop.
+
+    ``budget`` is always resolved (request budget clamped into the
+    server ceiling, or the ceiling itself) before queueing.
+    """
+
+    dependencies: tuple[Dependency, ...]
+    target: Dependency
+    budget: Budget
+    future: "asyncio.Future[BatchItem]" = field(repr=False)
+
+
+def _item_payload(item: BatchItem, include_certificates: bool) -> Json:
+    """Encode one answered query for the wire.
+
+    With certificates declined, the chase trace and counterexample are
+    dropped *before* encoding — a proof trace can dwarf the verdict.
+    An UNKNOWN's budget-exhausted chase result is never shipped: it is
+    not a certificate (``json_codec.slim_unknown_outcome`` is the same
+    policy at the payload level, applied by the cache and the pool
+    wire), and serial in-process outcomes would otherwise leak it where
+    pooled ones do not. Dropped here pre-encode so the trace is never
+    serialized at all.
+    """
+    outcome = item.outcome
+    if not include_certificates or outcome.status is InferenceStatus.UNKNOWN:
+        outcome = dataclasses.replace(
+            outcome,
+            chase_result=None,
+            counterexample=(
+                outcome.counterexample if include_certificates else None
+            ),
+        )
+    outcome_payload = outcome_to_json(outcome)
+    return {
+        "status": item.outcome.status.value,
+        "fingerprint": item.fingerprint,
+        "from_cache": item.from_cache,
+        "deduplicated": item.deduplicated,
+        "outcome": outcome_payload,
+    }
+
+
+class _BadRequest(Exception):
+    """Client-side error carried to the HTTP layer as a 400."""
+
+
+class InferenceServer:
+    """The asyncio HTTP server; one instance owns one listening socket.
+
+    * ``batch_window`` — how long (seconds) the micro-batching loop
+      waits after the first queued query for more to coalesce. 0 turns
+      coalescing off entirely: every query gets its own ``run``
+      (benchmark E12's one-request-per-run control). Runs stay
+      serialized either way, so even at 0 a concurrent duplicate of an
+      in-flight miss is answered by the cache, never chased twice; what
+      the window buys is shared runs — cross-client dedup *within* one
+      run and pool-wide fan-out of each run's misses.
+    * ``max_batch`` — cap on queries coalesced into one ``run``.
+    * ``default_budget`` — used for requests that carry no ``budget``,
+      and the *ceiling* for requests that do: a client budget is
+      clamped axis-wise into it (requests can only narrow the work, so
+      no request — e.g. an empty ``"budget": {}``, which decodes to
+      unlimited — can wedge the serialized run pipeline).
+    * ``read_timeout`` — seconds an idle or trickling connection may
+      take to deliver its request before being answered 400 and closed.
+    """
+
+    def __init__(
+        self,
+        service: Optional[InferenceService] = None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+        batch_window: float = 0.010,
+        max_batch: int = 64,
+        default_budget: Optional[Budget] = None,
+        read_timeout: float = 30.0,
+    ):
+        if batch_window < 0:
+            raise ValueError("batch_window must be >= 0")
+        if max_batch < 1:
+            raise ValueError("max_batch must be positive")
+        if read_timeout <= 0:
+            raise ValueError("read_timeout must be positive")
+        self.service = service if service is not None else InferenceService()
+        self.host = host
+        self.port = port  # rewritten to the bound port by start()
+        self.batch_window = batch_window
+        self.max_batch = max_batch
+        self.default_budget = (
+            default_budget if default_budget is not None else Budget()
+        )
+        self.read_timeout = read_timeout
+        self.stats = ServerStats()
+        self.started_at = time.monotonic()
+        self._queue: Optional["asyncio.Queue[_QueuedQuery]"] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._batcher: Optional["asyncio.Task"] = None
+        self._stopping = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> "InferenceServer":
+        """Bind the socket and start the micro-batching loop."""
+        self.service.warm_up()  # fork workers before any executor thread
+        self._stopping = False
+        self._queue = asyncio.Queue()
+        self._batcher = asyncio.get_running_loop().create_task(
+            self._batch_loop()
+        )
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.started_at = time.monotonic()
+        return self
+
+    async def serve_forever(self) -> None:
+        """Serve until cancelled (the CLI's main loop)."""
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Stop accepting, cancel the batching loop, drop queued work."""
+        # Handlers still alive (e.g. decoding a large body on the
+        # executor) must not enqueue into a loop with no consumer and
+        # hang forever; _submit checks this flag.
+        self._stopping = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._batcher is not None:
+            self._batcher.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._batcher
+            self._batcher = None
+        if self._queue is not None:
+            while not self._queue.empty():
+                query = self._queue.get_nowait()
+                if not query.future.done():
+                    query.future.cancel()
+
+    # ------------------------------------------------------------------
+    # Micro-batching
+    # ------------------------------------------------------------------
+
+    async def _batch_loop(self) -> None:
+        """Coalesce queued queries into shared InferenceService runs."""
+        assert self._queue is not None
+        loop = asyncio.get_running_loop()
+        while True:
+            batch = [await self._queue.get()]
+            try:
+                if self.batch_window > 0:
+                    deadline = loop.time() + self.batch_window
+                    while len(batch) < self.max_batch:
+                        remaining = deadline - loop.time()
+                        if remaining <= 0:
+                            break
+                        try:
+                            batch.append(
+                                await asyncio.wait_for(
+                                    self._queue.get(), remaining
+                                )
+                            )
+                        except asyncio.TimeoutError:
+                            break
+                    # Whatever queued while the window ran joins free.
+                    while len(batch) < self.max_batch and not self._queue.empty():
+                        batch.append(self._queue.get_nowait())
+                await self._execute_batch(batch)
+            except asyncio.CancelledError:
+                # Shutdown mid-collection/mid-run: the popped queries are
+                # in this local batch, not the queue — resolve their
+                # waiters so no connection handler hangs.
+                for query in batch:
+                    if not query.future.done():
+                        query.future.cancel()
+                raise
+
+    async def _execute_batch(self, batch: list[_QueuedQuery]) -> None:
+        """Run one coalesced batch, grouped by budget, on the executor."""
+        loop = asyncio.get_running_loop()
+        # Budget is a frozen dataclass: hashable, and a future extra
+        # axis keeps distinct budgets in distinct groups automatically.
+        # _submit resolved (clamped) every query's budget already, so
+        # the group key is always concrete.
+        groups: dict[Budget, list[_QueuedQuery]] = {}
+        for query in batch:
+            groups.setdefault(query.budget, []).append(query)
+        for budget, members in groups.items():
+            live = [member for member in members if not member.future.done()]
+            if not live:
+                continue
+            try:
+                report = await loop.run_in_executor(
+                    None, self._run_group, live, budget
+                )
+            except Exception as error:  # pragma: no cover - defensive
+                for member in live:
+                    if not member.future.done():
+                        member.future.set_exception(error)
+                continue
+            if len(report.items) != len(live):  # pragma: no cover - defensive
+                # Misaligned bookkeeping must fail loudly: pairing the
+                # futures positionally would hand clients each other's
+                # verdicts.
+                mismatch = RuntimeError(
+                    f"batch returned {len(report.items)} items for "
+                    f"{len(live)} queries"
+                )
+                for member in live:
+                    if not member.future.done():
+                        member.future.set_exception(mismatch)
+                continue
+            self.stats.batches += 1
+            self.stats.cache_hits += report.stats.cache_hits
+            self.stats.deduplicated += report.stats.deduplicated
+            self.stats.executed += report.stats.executed
+            self.stats.skipped += report.stats.skipped
+            self.stats.chase_seconds += report.stats.wall_seconds
+            for member, item in zip(live, report.items):
+                if not member.future.done():
+                    member.future.set_result(item)
+
+    def _run_group(self, members: Sequence[_QueuedQuery], budget: Budget):
+        """Executor-thread body: submit the group and run it.
+
+        The batching loop awaits each group, so only one executor thread
+        ever touches the service at a time. Submission is transactional:
+        a failure partway discards the queries already queued, so a
+        later group's answers can never misalign with its own futures.
+        """
+        try:
+            for member in members:
+                self.service.submit(member.dependencies, member.target)
+        except Exception:
+            self.service.discard_pending()
+            raise
+        return self.service.run(budget)
+
+    async def _submit(
+        self,
+        dependencies: tuple[Dependency, ...],
+        targets: Sequence[Dependency],
+        budget: Optional[Budget],
+    ) -> list[BatchItem]:
+        """Queue queries for the batching loop and await their items.
+
+        The single choke point for budgets: whatever the request asked
+        for is clamped into the server's ceiling before it is queued.
+        """
+        assert self._queue is not None
+        if self._stopping:
+            raise RuntimeError("server is stopping")
+        budget = self._effective_budget(budget)
+        loop = asyncio.get_running_loop()
+        futures: list["asyncio.Future[BatchItem]"] = []
+        for target in targets:
+            future: "asyncio.Future[BatchItem]" = loop.create_future()
+            futures.append(future)
+            await self._queue.put(
+                _QueuedQuery(dependencies, target, budget, future)
+            )
+        self.stats.queries += len(futures)
+        return list(await asyncio.gather(*futures))
+
+    # ------------------------------------------------------------------
+    # HTTP layer
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            status, payload = await self._respond(reader)
+        except asyncio.CancelledError:
+            writer.close()
+            raise
+        except (asyncio.IncompleteReadError, ConnectionError):
+            status, payload = 400, {"error": "malformed HTTP request"}
+        except asyncio.TimeoutError:
+            status, payload = 400, {"error": "request read timed out"}
+        except Exception as error:  # pragma: no cover - defensive
+            status, payload = 500, {"error": f"internal error: {error}"}
+        if status >= 400:
+            self.stats.http_errors += 1
+        if isinstance(payload, dict) and (
+            "outcome" in payload or "items" in payload
+        ):
+            # Verdict bodies can carry multi-megabyte certificates:
+            # serialize those off the loop. Small payloads (healthz,
+            # stats, errors) dump inline — the executor hop would cost
+            # more than the dumps call.
+            body = await asyncio.get_running_loop().run_in_executor(
+                None,
+                lambda: json.dumps(payload, separators=(",", ":")).encode(
+                    "utf-8"
+                ),
+            )
+        else:
+            body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {http.client.responses.get(status, 'OK')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n"
+            f"\r\n"
+        ).encode("ascii")
+        try:
+            writer.write(head + body)
+            await writer.drain()
+        except ConnectionError:
+            pass
+        finally:
+            writer.close()
+            with contextlib.suppress(ConnectionError):
+                await writer.wait_closed()
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Union[tuple[str, str, bytes], tuple[int, Json]]:
+        """Parse one request; (method, path, body) or an error response.
+
+        Everything here is protocol parsing, so a ValueError (including
+        the one readline raises for an over-limit request/header line)
+        is the client's fault — answered 400, never 500.
+        """
+        try:
+            return await self._parse_request(reader)
+        except (ValueError, asyncio.LimitOverrunError):
+            return 400, {"error": "malformed HTTP request"}
+
+    async def _parse_request(
+        self, reader: asyncio.StreamReader
+    ) -> Union[tuple[str, str, bytes], tuple[int, Json]]:
+        request_line = await reader.readline()
+        parts = request_line.decode("latin-1").split()
+        if len(parts) < 2:
+            return 400, {"error": "malformed request line"}
+        method, path = parts[0].upper(), parts[1]
+        content_length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            header = name.strip().lower()
+            if header == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    return 400, {"error": f"bad content-length {value.strip()!r}"}
+            elif header == "transfer-encoding":
+                # Without this check a chunked body would silently parse
+                # as empty and earn a misleading JSON error.
+                return 400, {
+                    "error": "Transfer-Encoding is not supported; "
+                    "send Content-Length"
+                }
+        if content_length < 0:
+            return 400, {"error": f"bad content-length {content_length}"}
+        if content_length > MAX_BODY_BYTES:
+            # Drain the declared body before answering: closing with
+            # unread bytes in flight usually RSTs the connection and the
+            # client never sees the 413. The outer read deadline bounds
+            # how long a huge drain may take.
+            remaining = content_length
+            while remaining > 0:
+                chunk = await reader.read(min(remaining, 1 << 20))
+                if not chunk:
+                    break
+                remaining -= len(chunk)
+            return 413, {"error": f"body exceeds {MAX_BODY_BYTES} bytes"}
+        body = (
+            await reader.readexactly(content_length) if content_length else b""
+        )
+        return method, path, body
+
+    async def _respond(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[int, Json]:
+        # Counted before any parsing, so error responses can never
+        # outnumber requests in /v1/stats.
+        self.stats.requests += 1
+        # Only the *read* is deadlined — an idle or trickling connection
+        # must not hold a handler task and socket forever. Routing (which
+        # legitimately waits on chases) stays unbounded.
+        request = await asyncio.wait_for(
+            self._read_request(reader), self.read_timeout
+        )
+        if isinstance(request[0], int):
+            return request  # an error response from the parser
+        method, path, body = request
+        try:
+            return await self._route(method, path, body)
+        except _BadRequest as error:
+            return 400, {"error": str(error)}
+        except (CodecError, json.JSONDecodeError) as error:
+            return 400, {"error": f"bad payload: {error}"}
+
+    async def _route(self, method: str, path: str, body: bytes) -> tuple[int, Json]:
+        if path == "/healthz":
+            if method != "GET":
+                return 405, {"error": "use GET"}
+            return 200, {
+                "status": "ok",
+                "uptime_seconds": time.monotonic() - self.started_at,
+            }
+        if path == "/v1/stats":
+            if method != "GET":
+                return 405, {"error": "use GET"}
+            return 200, self._stats_payload()
+        if path == "/v1/implies":
+            if method != "POST":
+                return 405, {"error": "use POST"}
+            return await self._implies(body)
+        if path == "/v1/batch":
+            if method != "POST":
+                return 405, {"error": "use POST"}
+            return await self._batch(body)
+        return 404, {"error": f"no route for {method} {path}"}
+
+    def _stats_payload(self) -> Json:
+        cache = self.service.cache
+        return {
+            "uptime_seconds": time.monotonic() - self.started_at,
+            # asdict: a counter added to ServerStats shows up here (and
+            # in monitoring) automatically.
+            "server": dataclasses.asdict(self.stats),
+            "cache": {
+                "size": len(cache),
+                "maxsize": cache.maxsize,
+                "hits": cache.stats.hits,
+                "misses": cache.stats.misses,
+                "stale_unknown": cache.stats.stale,
+                "evictions": cache.stats.evictions,
+                "load_evictions": cache.stats.load_evictions,
+            },
+            "batching": {
+                "window_seconds": self.batch_window,
+                "max_batch": self.max_batch,
+                "workers": self.service.workers,
+                "default_budget": budget_to_json(self.default_budget),
+            },
+        }
+
+    def _effective_budget(self, requested: Optional[Budget]) -> Budget:
+        """The request's budget clamped into the server's ceiling."""
+        if requested is None:
+            return self.default_budget
+        return budget_meet(requested, self.default_budget)
+
+    @staticmethod
+    def _decode_common(
+        body: bytes,
+    ) -> tuple[dict, tuple[Dependency, ...], Optional[Budget], bool]:
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except UnicodeDecodeError as error:
+            raise _BadRequest(f"body is not UTF-8: {error}") from error
+        if not isinstance(payload, dict):
+            raise _BadRequest("request body must be a JSON object")
+        raw_dependencies = payload.get("dependencies", [])
+        if not isinstance(raw_dependencies, list):
+            raise _BadRequest("'dependencies' must be a list")
+        dependencies = tuple(
+            dependency_from_json(entry) for entry in raw_dependencies
+        )
+        budget = (
+            budget_from_json(payload["budget"]) if "budget" in payload else None
+        )
+        include_certificates = bool(payload.get("certificates", True))
+        return payload, dependencies, budget, include_certificates
+
+    async def _decode_request(self, body: bytes, parser):
+        """Run a body parser inline, or on the executor for big bodies.
+
+        Mirrors the encode side: a 64 MB ``/v1/batch`` parse must not
+        stall every other connection behind its ``json.loads``.
+        """
+        if len(body) <= INLINE_DECODE_BYTES:
+            return parser(body)
+        return await asyncio.get_running_loop().run_in_executor(
+            None, parser, body
+        )
+
+    def _parse_implies(self, body: bytes):
+        payload, dependencies, budget, certificates = self._decode_common(body)
+        if "target" not in payload:
+            raise _BadRequest("'target' is required")
+        return (
+            dependencies,
+            dependency_from_json(payload["target"]),
+            budget,
+            certificates,
+        )
+
+    def _parse_batch(self, body: bytes):
+        payload, dependencies, budget, certificates = self._decode_common(body)
+        raw_targets = payload.get("targets")
+        if not isinstance(raw_targets, list) or not raw_targets:
+            raise _BadRequest("'targets' must be a non-empty list")
+        targets = [dependency_from_json(entry) for entry in raw_targets]
+        return dependencies, targets, budget, certificates
+
+    async def _implies(self, body: bytes) -> tuple[int, Json]:
+        dependencies, target, budget, certificates = await self._decode_request(
+            body, self._parse_implies
+        )
+        items = await self._submit(dependencies, [target], budget)
+        # Certificate payloads can dwarf the verdict: encode off the
+        # event loop so other connections keep being served meanwhile.
+        return 200, await asyncio.get_running_loop().run_in_executor(
+            None, _item_payload, items[0], certificates
+        )
+
+    async def _batch(self, body: bytes) -> tuple[int, Json]:
+        dependencies, targets, budget, certificates = await self._decode_request(
+            body, self._parse_batch
+        )
+        items = await self._submit(dependencies, targets, budget)
+        encoded = await asyncio.get_running_loop().run_in_executor(
+            None,
+            lambda: [_item_payload(item, certificates) for item in items],
+        )
+        return 200, {
+            "items": encoded,
+            "stats": {
+                "submitted": len(items),
+                "from_cache": sum(1 for item in items if item.from_cache),
+                "deduplicated": sum(1 for item in items if item.deduplicated),
+            },
+        }
+
+
+class ServerThread:
+    """Host an :class:`InferenceServer` on a daemon thread.
+
+    For tests and benchmarks that want a real HTTP server inside the
+    current process::
+
+        with ServerThread(InferenceService(), port=0) as handle:
+            client = ServiceClient(handle.base_url)
+            ...
+
+    ``port=0`` binds an ephemeral port; :attr:`base_url` reports the one
+    actually bound. :meth:`stop` tears the whole stack down, the
+    service's worker pool included.
+    """
+
+    def __init__(self, service: Optional[InferenceService] = None, **server_kwargs):
+        server_kwargs.setdefault("port", 0)
+        self.server = InferenceServer(service, **server_kwargs)
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._startup_error: Optional[BaseException] = None
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.server.host}:{self.server.port}"
+
+    def start(self) -> "ServerThread":
+        # Fork the worker pool from the calling thread, before the
+        # server thread exists — warm_up's contract (fork away from
+        # threaded context) would be unsatisfiable afterwards.
+        self.server.service.warm_up()
+        self._thread = threading.Thread(
+            target=self._thread_main, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait(timeout=30)
+        if self._startup_error is not None or not self._ready.is_set():
+            # Failed to come up (port taken, thread wedged): signal the
+            # thread down — a slow start must not finish later and serve
+            # with no stop handle — then drop the workers just forked.
+            self.stop()
+            self.server.service.close()
+            if self._startup_error is not None:
+                raise self._startup_error
+            raise RuntimeError("server thread failed to start in time")
+        return self
+
+    def stop(self) -> None:
+        exited = True
+        if self._loop is not None and self._stop_event is not None:
+            loop, stop_event = self._loop, self._stop_event
+            with contextlib.suppress(RuntimeError):
+                loop.call_soon_threadsafe(stop_event.set)
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+            exited = not self._thread.is_alive()
+            self._thread = None
+        # The harness owns the whole lifecycle: shut the service's
+        # worker pool down too, or every ServerThread with workers > 0
+        # would leak its forked processes (close() is idempotent, so a
+        # caller-owned service may still be closed again outside). Only
+        # once the server thread is really gone, though — closing a pool
+        # under a batch still draining on the orphaned executor would
+        # break that batch and block here behind it.
+        if exited:
+            self.server.service.close()
+        else:  # pragma: no cover - requires a wedged batch
+            warnings.warn(
+                "ServerThread: server thread still draining a batch after "
+                "30s; leaving its worker pool open (close the service "
+                "yourself once the batch finishes)",
+                ResourceWarning,
+                stacklevel=2,
+            )
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def _thread_main(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as error:  # pragma: no cover - startup failures
+            self._startup_error = error
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        await self.server.start()
+        self._ready.set()
+        await self._stop_event.wait()
+        await self.server.stop()

@@ -98,11 +98,16 @@ class TestUnknown:
     def test_genuine_unknown_reported(self, positive_encoding):
         """The encoded positive instance under a starvation budget: the
         implication holds, but one chase step cannot establish it and no
-        finite counterexample exists within the searcher's bounds."""
+        finite counterexample exists within the searcher's bounds.
+
+        Exactly one step: with two, a lucky trigger order (hash
+        randomization changes set iteration) occasionally completes the
+        proof and flips this test.
+        """
         report = infer(
             positive_encoding.dependencies,
             positive_encoding.d0,
-            budget=Budget(max_steps=2, max_rows=10, max_seconds=5),
+            budget=Budget(max_steps=1, max_rows=10, max_seconds=5),
             finite_search_seed=0,
             finite_search_restarts=2,
             finite_search_seconds=2.0,

@@ -15,6 +15,7 @@ from repro.service.cache import (
     JsonLinesStore,
     ResultCache,
     budget_covers,
+    budget_join,
 )
 
 
@@ -53,6 +54,64 @@ class TestBudgetCovers:
 
     def test_unlimited_cache_covers_everything(self):
         assert budget_covers(Budget.unlimited(), Budget())
+
+    def test_each_axis_vetoes_independently(self):
+        cached = Budget(max_steps=10, max_rows=10, max_seconds=10.0)
+        assert not budget_covers(cached, Budget(max_steps=5, max_rows=20, max_seconds=5.0))
+        assert not budget_covers(cached, Budget(max_steps=5, max_rows=5, max_seconds=20.0))
+        assert not budget_covers(cached, Budget(max_steps=20, max_rows=5, max_seconds=5.0))
+        assert budget_covers(cached, Budget(max_steps=10, max_rows=10, max_seconds=10.0))
+
+    def test_unlimited_request_axis_defeats_finite_cache_axis(self):
+        cached = Budget(max_steps=10, max_rows=None, max_seconds=None)
+        assert not budget_covers(cached, Budget(max_steps=None, max_rows=1, max_seconds=1.0))
+        # The cache's own unlimited axes cover any finite request.
+        assert budget_covers(cached, Budget(max_steps=10, max_rows=10**9, max_seconds=10**9))
+
+
+class TestBudgetJoin:
+    def test_join_takes_the_generous_axis_each_way(self):
+        first = Budget(max_steps=10, max_rows=500, max_seconds=1.0)
+        second = Budget(max_steps=100, max_rows=50, max_seconds=9.0)
+        joined = budget_join(first, second)
+        assert joined.max_steps == 100
+        assert joined.max_rows == 500
+        assert joined.max_seconds == 9.0
+
+    def test_none_is_unlimited_and_wins(self):
+        joined = budget_join(Budget(max_steps=None, max_rows=5, max_seconds=1.0),
+                             Budget(max_steps=10, max_rows=None, max_seconds=2.0))
+        assert joined.max_steps is None
+        assert joined.max_rows is None
+        assert joined.max_seconds == 2.0
+
+    def test_join_covers_both_inputs(self):
+        first = Budget(max_steps=3, max_rows=100, max_seconds=None)
+        second = Budget(max_steps=30, max_rows=10, max_seconds=5.0)
+        joined = budget_join(first, second)
+        assert budget_covers(joined, first)
+        assert budget_covers(joined, second)
+
+    def test_meet_is_covered_by_both_inputs(self):
+        from repro.service.cache import budget_meet
+
+        first = Budget(max_steps=3, max_rows=100, max_seconds=None)
+        second = Budget(max_steps=30, max_rows=10, max_seconds=5.0)
+        met = budget_meet(first, second)
+        assert budget_covers(first, met)
+        assert budget_covers(second, met)
+        assert (met.max_steps, met.max_rows, met.max_seconds) == (3, 10, 5.0)
+
+    def test_meet_clamps_unlimited_axes_to_the_ceiling(self):
+        from repro.service.cache import budget_meet
+
+        ceiling = Budget(max_steps=100, max_rows=1000, max_seconds=10.0)
+        met = budget_meet(Budget.unlimited(), ceiling)
+        assert (met.max_steps, met.max_rows, met.max_seconds) == (
+            100,
+            1000,
+            10.0,
+        )
 
 
 class TestRoundTrip:
@@ -185,6 +244,190 @@ class TestUnknownBudgetPolicy:
         second = racing.run_batch([diverging], [target], budget=budget)
         assert second.stats.cache_hits == 0 and second.stats.executed == 1
 
+    def test_broad_unknown_survives_narrower_budget_rerecord(self):
+        """Regression: a narrow re-record must not downgrade a broad UNKNOWN."""
+        broad, narrow = Budget(max_steps=100), Budget(max_steps=5)
+        cache = ResultCache()
+        cache.record("q", self._unknown_outcome(broad), broad)
+        cache.record("q", self._unknown_outcome(narrow), narrow)
+        # A request the broad entry covers still hits — before the fix the
+        # narrow re-record overwrote it and this was a stale miss forever.
+        entry = cache.lookup("q", Budget(max_steps=100))
+        assert entry is not None
+        assert entry.budget.max_steps == 100
+
+    def test_broad_variant_set_survives_narrower_rerecord(self):
+        budget = Budget(max_steps=5)
+        cache = ResultCache()
+        cache.record(
+            "q",
+            self._unknown_outcome(budget),
+            budget,
+            variants=("standard", "semi_naive"),
+        )
+        cache.record("q", self._unknown_outcome(budget), budget, variants=("standard",))
+        entry = cache.lookup("q", budget, variants=("standard", "semi_naive"))
+        assert entry is not None
+        assert set(entry.variants) == {"standard", "semi_naive"}
+
+    def test_merge_accumulates_per_variant_budgets(self):
+        cache = ResultCache()
+        cache.record(
+            "q",
+            self._unknown_outcome(Budget(max_steps=100)),
+            Budget(max_steps=100),
+            variants=("standard",),
+        )
+        cache.record(
+            "q",
+            self._unknown_outcome(Budget(max_steps=10)),
+            Budget(max_steps=10),
+            variants=("semi_naive",),
+        )
+        # Knowledge accumulated: both recordings survive, each variant
+        # remembering the budget its chase actually ran under.
+        entry = cache.lookup(
+            "q", Budget(max_steps=10), variants=("standard", "semi_naive")
+        )
+        assert entry is not None
+        assert set(entry.variants) == {"standard", "semi_naive"}
+        assert [b.max_steps for b in entry.tried()["standard"]] == [100]
+        assert [b.max_steps for b in entry.tried()["semi_naive"]] == [10]
+        # Serving stays per-variant honest: standard alone is known up
+        # to 100 steps, but both variants together only up to 10.
+        assert cache.lookup("q", Budget(max_steps=100), variants=("standard",))
+
+    def test_merge_never_claims_untried_budget_variant_combinations(self):
+        """The merge must not serve UNKNOWN for work nobody did.
+
+        After standard@100 and semi_naive@10, a request for both
+        variants at 50 steps must be a stale miss — a 50-step SEMI_NAIVE
+        chase never ran and might be decisive. Recording that retry then
+        converges instead of looping.
+        """
+        cache = ResultCache()
+        cache.record(
+            "q",
+            self._unknown_outcome(Budget(max_steps=100)),
+            Budget(max_steps=100),
+            variants=("standard",),
+        )
+        cache.record(
+            "q",
+            self._unknown_outcome(Budget(max_steps=10)),
+            Budget(max_steps=10),
+            variants=("semi_naive",),
+        )
+        request = Budget(max_steps=50)
+        assert cache.lookup("q", request, variants=("standard", "semi_naive")) is None
+        # The retry records both variants at 50; the standard variant
+        # keeps its broader 100-step knowledge through the merge...
+        cache.record(
+            "q",
+            self._unknown_outcome(request),
+            request,
+            variants=("standard", "semi_naive"),
+        )
+        entry = cache.lookup("q", request, variants=("standard", "semi_naive"))
+        assert entry is not None
+        assert [b.max_steps for b in entry.tried()["standard"]] == [100]
+        assert [b.max_steps for b in entry.tried()["semi_naive"]] == [50]
+        # ...and the identical request now hits instead of re-chasing.
+        assert cache.stats.stale == 1
+
+    def test_incomparable_budgets_accumulate_and_all_clients_hit(self):
+        """Regression: clients with incomparable budgets must not make
+        each other's recordings vanish and alternate re-chasing forever.
+
+        Client A uses (100 steps, 10 s); client B uses (5 steps, 50 s).
+        Neither covers the other, so the variant keeps *both* chased
+        budgets; after one chase each, both clients hit every time.
+        """
+        budget_a = Budget(max_steps=100, max_seconds=10.0)
+        budget_b = Budget(max_steps=5, max_seconds=50.0)
+        cache = ResultCache()
+        cache.record("q", self._unknown_outcome(budget_a), budget_a)
+        assert cache.lookup("q", budget_b, variants=("standard",)) is None
+        cache.record("q", self._unknown_outcome(budget_b), budget_b)
+        # Both recordings survive side by side...
+        entry = cache.lookup("q", budget_a, variants=("standard",))
+        assert entry is not None
+        assert len(entry.tried()["standard"]) == 2
+        # ...so both clients' identical re-requests are hits, not the
+        # alternating stale misses a keep-one policy would produce.
+        assert cache.lookup("q", budget_b, variants=("standard",)) is not None
+        assert cache.lookup("q", budget_a, variants=("standard",)) is not None
+        assert cache.stats.stale == 1  # only B's first-ever request
+
+    def test_covering_budget_prunes_dominated_antichain_entries(self):
+        narrow = Budget(max_steps=10, max_seconds=5.0)
+        wide = Budget(max_steps=100, max_seconds=50.0)
+        cache = ResultCache()
+        cache.record("q", self._unknown_outcome(narrow), narrow)
+        cache.record("q", self._unknown_outcome(wide), wide)
+        entry = cache.lookup("q", narrow, variants=("standard",))
+        # The covering recording subsumed the narrow one: no pile-up.
+        assert [b.max_steps for b in entry.tried()["standard"]] == [100]
+
+    def test_merged_unknown_survives_a_disk_round_trip(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        broad, narrow = Budget(max_steps=100), Budget(max_steps=5)
+        cache = ResultCache(store=JsonLinesStore(path))
+        cache.record("q", self._unknown_outcome(broad), broad, variants=("standard",))
+        cache.record(
+            "q", self._unknown_outcome(narrow), narrow, variants=("semi_naive",)
+        )
+        # A fresh process reloads the *merged* knowledge (later lines
+        # win, and the appended line carries the per-variant budgets,
+        # not just the narrow record).
+        reloaded = ResultCache(store=JsonLinesStore(path))
+        entry = reloaded.lookup("q", Budget(max_steps=100), variants=("standard",))
+        assert entry is not None
+        assert set(entry.variants) == {"standard", "semi_naive"}
+        assert [b.max_steps for b in entry.tried()["standard"]] == [100]
+        assert [b.max_steps for b in entry.tried()["semi_naive"]] == [5]
+        # Per-variant honesty survives the reload too.
+        assert (
+            reloaded.lookup(
+                "q", Budget(max_steps=100), variants=("standard", "semi_naive")
+            )
+            is None
+        )
+
+    def test_subsumed_rerecord_appends_nothing_to_disk(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        broad, narrow = Budget(max_steps=100), Budget(max_steps=5)
+        cache = ResultCache(store=JsonLinesStore(path))
+        cache.record("q", self._unknown_outcome(broad), broad)
+        lines_before = path.read_text().count("\n")
+        cache.record("q", self._unknown_outcome(narrow), narrow)
+        assert path.read_text().count("\n") == lines_before
+
+    def test_service_does_not_rechase_after_narrow_rerecord(self):
+        """End to end: identical queries keep hitting after a downgrade attempt."""
+        from repro.service import InferenceService
+
+        diverging = parse_td("R(x, y) -> R(y, z)")
+        target = parse_td("R(a, b) -> R(b, a)")
+        cache = ResultCache()
+        service = InferenceService(cache)
+        broad, narrow = Budget(max_steps=50), Budget(max_steps=5)
+        service.run_batch([diverging], [target], budget=broad)
+        # A narrower client re-records its own UNKNOWN... (the cache serves
+        # the covered request, so force the narrow recording directly)
+        from repro.chase.implication import implies
+
+        cache.record(
+            service.submit([diverging], target),
+            implies([diverging], target, budget=narrow),
+            narrow,
+        )
+        service._pending.clear()
+        # ...and the broad client's identical re-run still hits.
+        again = service.run_batch([diverging], [target], budget=broad)
+        assert again.stats.cache_hits == 1
+        assert again.stats.executed == 0
+
     def test_retry_overwrites_the_unknown(self, transitivity, provable_target):
         cache = ResultCache()
         tight = Budget(max_steps=1)
@@ -243,6 +486,25 @@ class TestLru:
         assert "b" not in cache
         assert "a" in cache and "c" in cache
         assert cache.stats.evictions == 1
+
+
+    def test_load_time_evictions_do_not_inflate_lifetime_stats(
+        self, tmp_path, transitivity, refutable_target
+    ):
+        path = tmp_path / "cache.jsonl"
+        outcome = implies([transitivity], refutable_target)
+        writer = ResultCache(store=JsonLinesStore(path))
+        for index in range(5):
+            writer.record(f"q{index}", outcome, Budget())
+        # Reload into a cache too small for the store: the overflow is
+        # load churn, not serving behaviour.
+        reloaded = ResultCache(maxsize=2, store=JsonLinesStore(path))
+        assert reloaded.stats.evictions == 0
+        assert reloaded.stats.load_evictions == 3
+        # Serving evictions still count from zero.
+        reloaded.record("fresh", outcome, Budget())
+        assert reloaded.stats.evictions == 1
+        assert reloaded.stats.load_evictions == 3
 
 
 class TestDiskStore:

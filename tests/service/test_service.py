@@ -8,10 +8,13 @@ from repro.chase.implication import InferenceStatus, implies_all
 from repro.service import (
     InferenceService,
     QueryTask,
+    RACING_VARIANTS,
     ResultCache,
+    WorkerPool,
     divide_budget,
     run_pool,
     run_serial,
+    serial_run,
 )
 from repro.dependencies.parser import parse_td
 from repro.workloads.generators import inference_workload
@@ -100,9 +103,8 @@ class TestWorkerPool:
         dependencies, targets = inference_workload(queries=10, seed=11)
         budget = Budget(max_steps=2_000)
         serial = InferenceService().run_batch(dependencies, targets, budget=budget)
-        pooled = InferenceService(workers=2).run_batch(
-            dependencies, targets, budget=budget
-        )
+        with InferenceService(workers=2) as service:
+            pooled = service.run_batch(dependencies, targets, budget=budget)
         assert [o.status for o in pooled.outcomes] == [
             o.status for o in serial.outcomes
         ]
@@ -111,9 +113,8 @@ class TestWorkerPool:
         dependencies, targets = inference_workload(queries=8, seed=5)
         budget = Budget(max_steps=2_000)
         serial = InferenceService().run_batch(dependencies, targets, budget=budget)
-        raced = InferenceService(workers=2, race_variants=True).run_batch(
-            dependencies, targets, budget=budget
-        )
+        with InferenceService(workers=2, race_variants=True) as service:
+            raced = service.run_batch(dependencies, targets, budget=budget)
         assert [o.status for o in raced.outcomes] == [
             o.status for o in serial.outcomes
         ]
@@ -124,12 +125,159 @@ class TestWorkerPool:
 
         transitivity = parse_td("R(x, y) & R(y, z) -> R(x, z)")
         target = parse_td("R(a, b) & R(b, c) & R(c, d) -> R(a, d)")
-        report = InferenceService(workers=1).run_batch([transitivity], [target])
+        with InferenceService(workers=1) as service:
+            report = service.run_batch([transitivity], [target])
         outcome = report.outcomes[0]
         assert outcome.status is InferenceStatus.PROVED
         start, frozen = outcome.target.freeze()
         final = replay(start, outcome.chase_result.steps, verify=True)
         assert conclusion_satisfied(final, outcome.target, frozen)
+
+
+class TestWorkerPoolLifecycle:
+    @pytest.fixture
+    def racing_tasks(self):
+        transitivity = parse_td("R(x, y) & R(y, z) -> R(x, z)")
+        targets = [
+            parse_td("R(a, b) & R(b, c) -> R(a, c)"),
+            parse_td("R(a, b) & R(b, c) & R(c, d) -> R(a, d)"),
+        ]
+        return [
+            QueryTask(slot=index, dependencies=(transitivity,), target=target)
+            for index, target in enumerate(targets)
+        ]
+
+    def test_pool_is_reused_across_batches(self, racing_tasks):
+        with WorkerPool(1) as pool:
+            first = pool.run(racing_tasks, Budget(max_steps=500), RACING_VARIANTS)
+            # The worker processes survive between run() calls.
+            second = pool.run(racing_tasks, Budget(max_steps=500), RACING_VARIANTS)
+        for run in (first, second):
+            assert all(
+                run.outcomes[slot].status is InferenceStatus.PROVED
+                for slot in (0, 1)
+            )
+
+    def test_raced_losers_for_decided_slots_are_skipped(self, racing_tasks):
+        # One worker, two raced variants, decisive queries: dispatch is
+        # variant-major, so by the time each SEMI_NAIVE payload comes up
+        # its slot is decided by the STANDARD chase — it must be skipped,
+        # not chased to budget exhaustion.
+        with WorkerPool(1) as pool:
+            run = pool.run(racing_tasks, Budget(max_steps=500), RACING_VARIANTS)
+        assert run.skipped == len(racing_tasks)
+
+    def test_undecided_slots_race_every_variant(self):
+        diverging = parse_td("R(x, y) -> R(y, z)")
+        task = QueryTask(
+            slot=0,
+            dependencies=(diverging,),
+            target=parse_td("R(a, b) -> R(b, a)"),
+        )
+        with WorkerPool(1) as pool:
+            run = pool.run([task], Budget(max_steps=3), RACING_VARIANTS)
+        # Nothing decisive, so nothing skippable: both variants ran.
+        assert run.outcomes[0].status is InferenceStatus.UNKNOWN
+        assert run.skipped == 0
+
+    def test_close_is_idempotent_and_pool_restartable(self, racing_tasks):
+        pool = WorkerPool(1)
+        first = pool.run(racing_tasks, Budget(max_steps=500), (ChaseVariant.STANDARD,))
+        pool.close()
+        pool.close()
+        # A fresh set of workers is forked transparently after close().
+        second = pool.run(racing_tasks, Budget(max_steps=500), (ChaseVariant.STANDARD,))
+        pool.close()
+        assert [o.status for o in first.outcomes.values()] == [
+            o.status for o in second.outcomes.values()
+        ]
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            WorkerPool(0)
+
+    def test_dead_worker_fails_the_batch_loudly_then_pool_recovers(
+        self, racing_tasks
+    ):
+        """A killed worker must raise, not wedge — and the next batch
+        must get fresh workers (a long-lived server depends on both)."""
+        import os
+
+        from concurrent.futures.process import BrokenProcessPool
+
+        pool = WorkerPool(1).start()
+        try:
+            # Kill the worker out from under the executor.
+            pool._pool.submit(os._exit, 13).exception(timeout=30)
+            with pytest.raises(BrokenProcessPool):
+                pool.run(
+                    racing_tasks, Budget(max_steps=500), (ChaseVariant.STANDARD,)
+                )
+            # The broken executor was discarded: this run re-forks and works.
+            recovered = pool.run(
+                racing_tasks, Budget(max_steps=500), (ChaseVariant.STANDARD,)
+            )
+            assert all(
+                outcome.status is InferenceStatus.PROVED
+                for outcome in recovered.outcomes.values()
+            )
+        finally:
+            pool.close()
+
+    def test_serial_run_counts_untried_variants_as_skipped(self):
+        transitivity = parse_td("R(x, y) & R(y, z) -> R(x, z)")
+        task = QueryTask(
+            slot=0,
+            dependencies=(transitivity,),
+            target=parse_td("R(a, b) & R(b, c) -> R(a, c)"),
+        )
+        run = serial_run([task], Budget(max_steps=500), RACING_VARIANTS)
+        assert run.outcomes[0].status is InferenceStatus.PROVED
+        assert run.skipped == 1  # SEMI_NAIVE never needed
+
+    def test_service_surfaces_skips_in_batch_stats(self):
+        transitivity = parse_td("R(x, y) & R(y, z) -> R(x, z)")
+        targets = [
+            parse_td("R(a, b) & R(b, c) -> R(a, c)"),
+            parse_td("R(a, b) & R(b, c) & R(c, d) -> R(a, d)"),
+        ]
+        with InferenceService(workers=1, race_variants=True) as service:
+            report = service.run_batch(
+                [transitivity], targets, budget=Budget(max_steps=500)
+            )
+        assert report.stats.executed == 2
+        assert report.stats.skipped == 2
+        assert "skipped" in report.stats.describe()
+
+    def test_service_reuses_one_pool_across_batches(self):
+        transitivity = parse_td("R(x, y) & R(y, z) -> R(x, z)")
+        with InferenceService(workers=1) as service:
+            service.run_batch([transitivity], [parse_td("R(a, b) & R(b, c) -> R(a, c)")])
+            pool = service.pool()
+            service.run_batch(
+                [transitivity], [parse_td("R(p, q) & R(q, r) -> R(p, r)")]
+            )
+            assert service.pool() is pool
+
+    def test_serial_service_has_no_pool(self):
+        assert InferenceService().pool() is None
+
+
+class TestPremiseMemo:
+    def test_memo_evicts_oldest_first_not_wholesale(self):
+        service = InferenceService()
+        target = parse_td("R(a, b) -> R(b, a)")
+        hot = (parse_td("R(x, y) & R(y, z) -> R(x, z)"),)
+        service.submit(hot, target)
+        # Flood the memo past its bound with distinct premise tuples,
+        # re-touching the hot tuple along the way so LRU keeps it.
+        for index in range(service.PREMISE_MEMO_SIZE + 10):
+            filler = (parse_td(f"R(x, y) & R(y, v{index}) -> R(x, v{index})"),)
+            service.submit(filler, target)
+            service.submit(hot, target)
+        assert len(service._premise_keys) <= service.PREMISE_MEMO_SIZE
+        assert hot in service._premise_keys
+        service._pending.clear()
 
 
 class TestScheduler:
