@@ -15,7 +15,8 @@ counterexample database for DISPROVED).
 """
 
 from repro.chase.budget import Budget, ChaseStats
-from repro.chase.engine import ChaseVariant, apply_step, chase
+from repro.chase.engine import DEFAULT_KERNEL, ChaseVariant, apply_step, chase
+from repro.chase.plan import JoinPlan, KernelState, compile_plan, compile_program
 from repro.chase.finite_models import (
     search_finite_counterexample,
     search_exhaustive,
@@ -46,6 +47,11 @@ __all__ = [
     "ChaseStats",
     "ChaseVariant",
     "chase",
+    "DEFAULT_KERNEL",
+    "JoinPlan",
+    "KernelState",
+    "compile_plan",
+    "compile_program",
     "apply_step",
     "ChaseResult",
     "ChaseStatus",

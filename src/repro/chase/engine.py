@@ -7,6 +7,22 @@ then a *universal model* of the input under the dependencies, which is what
 makes chase-based implication testing sound and complete on terminating
 runs.
 
+Two kernels execute the restricted chase:
+
+* the **compiled** kernel (:mod:`repro.chase.plan`, the default) runs
+  per-dependency join plans over interned integer rows with
+  delta-indexed trigger dispatch — ``STANDARD`` and ``SEMI_NAIVE`` both
+  fold onto it (round one's delta is the whole instance);
+* the **legacy** kernel is the original generic-homomorphism loop, kept
+  for the ``OBLIVIOUS`` variant, for differential testing, and as the
+  reference semantics (select it with ``kernel="legacy"`` or
+  ``REPRO_CHASE_KERNEL=legacy``).
+
+Both kernels produce the same statuses and replay-valid traces; firing
+order inside a round (and hence trace step order and null labels) may
+differ, exactly as it already does between hash-seed runs of the legacy
+kernel.
+
 The engine never raises on divergence: it stops when the
 :class:`~repro.chase.budget.Budget` is spent and says so in the result
 status.
@@ -15,6 +31,7 @@ status.
 from __future__ import annotations
 
 import enum
+import os
 from typing import Callable, Iterable, Optional, Sequence
 
 from repro.chase.budget import Budget
@@ -49,6 +66,15 @@ class ChaseVariant(enum.Enum):
 #: A predicate the caller wants to become true; the chase stops when it does.
 Goal = Callable[[Instance], bool]
 
+#: Which kernel ``chase`` uses when the caller does not say. The
+#: compiled kernel is the production default; set
+#: ``REPRO_CHASE_KERNEL=legacy`` to flip a whole process back to the
+#: generic-homomorphism engine (benchmark baselines, differential
+#: debugging).
+DEFAULT_KERNEL = os.environ.get("REPRO_CHASE_KERNEL", "compiled")
+
+_KERNELS = ("compiled", "legacy")
+
 
 def chase(
     instance: Instance,
@@ -60,6 +86,7 @@ def chase(
     inplace: bool = False,
     record_trace: bool = True,
     null_factory: Optional[NullFactory] = None,
+    kernel: Optional[str] = None,
 ) -> ChaseResult:
     """Chase ``instance`` with ``dependencies``.
 
@@ -70,7 +97,15 @@ def chase(
 
     ``record_trace`` keeps the full list of fired steps (the replayable
     certificate); disable it for large benchmark runs.
+
+    ``kernel`` selects ``"compiled"`` (default, see
+    :mod:`repro.chase.plan`) or ``"legacy"``; the ``OBLIVIOUS`` variant
+    always runs on the legacy kernel (its fire-once discipline keys on
+    :class:`Trigger` identity, not activity).
     """
+    kernel = kernel if kernel is not None else DEFAULT_KERNEL
+    if kernel not in _KERNELS:
+        raise ValueError(f"unknown chase kernel {kernel!r} (use one of {_KERNELS})")
     working = instance if inplace else instance.copy()
     budget = budget if budget is not None else Budget()
     stats = budget.start()
@@ -80,6 +115,23 @@ def chase(
 
     def finish(status: ChaseStatus) -> ChaseResult:
         return ChaseResult(status=status, instance=working, steps=trace, stats=stats)
+
+    if kernel == "compiled" and variant is not ChaseVariant.OBLIVIOUS:
+        from repro.chase.plan import run_compiled_chase
+
+        # The kernel performs the initial goal check itself (through the
+        # compiled goal plan when the goal exposes one), so the pre-check
+        # here would be redundant generic-homomorphism work.
+        return run_compiled_chase(
+            working,
+            dependencies,
+            stats=stats,
+            fresh=fresh,
+            trace=trace,
+            goal=goal,
+            record_trace=record_trace,
+            finish=finish,
+        )
 
     if goal is not None and goal(working):
         return finish(ChaseStatus.GOAL_REACHED)

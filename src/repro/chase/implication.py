@@ -110,6 +110,29 @@ def conclusion_satisfied(
     return witness is not None
 
 
+class ConclusionGoal:
+    """The implication goal as an object the compiled kernel can compile.
+
+    Calling it behaves exactly like ``conclusion_satisfied`` (the legacy
+    kernel and ad-hoc callers use that path); the ``goal_atoms`` /
+    ``goal_partial`` attributes let :mod:`repro.chase.plan` compile the
+    same check into an int-index probe it evaluates after every firing.
+    """
+
+    __slots__ = ("target", "goal_atoms", "goal_partial", "goal_plan_cache")
+
+    def __init__(self, target: Dependency, frozen: dict[Variable, Value]):
+        self.target = target
+        self.goal_atoms = target.conclusions
+        self.goal_partial = frozen
+        #: Slot for the kernel's compiled form of this goal (set on
+        #: first compiled chase; reused by later chases of this goal).
+        self.goal_plan_cache = None
+
+    def __call__(self, instance: Instance) -> bool:
+        return conclusion_satisfied(instance, self.target, self.goal_partial)
+
+
 def implies(
     dependencies: Sequence[Dependency],
     target: Dependency,
@@ -117,13 +140,18 @@ def implies(
     budget: Optional[Budget] = None,
     variant: ChaseVariant = ChaseVariant.STANDARD,
     record_trace: bool = True,
+    kernel: Optional[str] = None,
 ) -> InferenceOutcome:
-    """Test whether ``dependencies ⊨ target`` by chasing the frozen target."""
+    """Test whether ``dependencies ⊨ target`` by chasing the frozen target.
+
+    ``kernel`` selects the chase kernel (compiled by default; see
+    :func:`repro.chase.engine.chase`) — the benchmarks and differential
+    tests use it to pin a side of the comparison.
+    """
     start, frozen = _freeze_target(target)
-
-    def goal(current: Instance) -> bool:
-        return conclusion_satisfied(current, target, frozen)
-
+    goal = ConclusionGoal(target, frozen)
+    # ``start`` is built fresh for this call and never reused, so the
+    # chase may mutate it directly instead of paying a defensive copy.
     result = chase(
         start,
         list(dependencies),
@@ -131,6 +159,8 @@ def implies(
         variant=variant,
         goal=goal,
         record_trace=record_trace,
+        inplace=True,
+        kernel=kernel,
     )
     if result.status is ChaseStatus.GOAL_REACHED:
         return InferenceOutcome(

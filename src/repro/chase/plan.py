@@ -1,0 +1,779 @@
+"""Compiled join plans and the compiled chase kernel.
+
+The generic engine re-derives its join strategy on every backtracking
+node: :func:`repro.relational.homomorphism.iter_homomorphisms` recounts
+bound cells to pick the next atom, rebuilds column probe patterns per
+candidate, and keys assignments on :class:`Variable` objects through
+dict hashing. A dependency's antecedent structure never changes, so all
+of that can be decided **once**:
+
+* a :class:`JoinPlan` fixes, per dependency, an atom join order chosen
+  by static analysis (shared-variable connectivity), flat integer
+  *slots* for the variables, and per-atom precomputed probe/bind/check
+  column lists — plus one such order per *pivot* atom for semi-naive
+  delta seeding, and a precompiled extension plan for the conclusion
+  atoms (the trigger-activity check);
+* rows are *interned* through the instance's
+  :class:`~repro.relational.values.InternTable` to tuples of dense
+  ints, so row hashing, equality and index keys are integer operations
+  (:class:`KernelState` keeps the int-row inverted index in sync as the
+  chase fires);
+* a :class:`Dispatcher` routes each delta row straight to the
+  ``(dependency, pivot)`` pairs whose within-atom equality pattern the
+  row satisfies, instead of unifying every row against every atom of
+  every dependency, and a per-dependency *evaluated* memo never
+  re-checks a match across rounds (activity is monotone: a trigger once
+  fired or found inactive stays inactive forever);
+* the compiled chase loop is delta-driven for both ``STANDARD`` and
+  ``SEMI_NAIVE`` (round one's delta is the whole instance, which *is*
+  the standard restricted chase with semi-naive bookkeeping).
+
+The kernel is differentially equal to the generic engine: same
+:class:`~repro.chase.result.ChaseStatus`, replay-valid traces, and
+final instances that agree up to null renaming (exactly, for full
+dependency sets). Firing *order* inside a round may differ — as it
+already does between hash-seed runs of the generic engine — which is
+why the differential suite compares semantics, not step sequences.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.chase.result import ChaseResult, ChaseStatus, ChaseStep
+from repro.dependencies.classify import Dependency
+from repro.dependencies.template import Variable
+from repro.relational.instance import Instance, Row
+from repro.relational.values import NullFactory
+
+#: An interned row: one dense int per column.
+IntRow = tuple[int, ...]
+
+
+class AtomStep:
+    """One precompiled join step: match one atom against the index.
+
+    ``probes`` are ``(column, slot)`` pairs whose slots are bound before
+    this step — candidate rows come from the smallest matching index
+    bucket and are verified against the rest. ``binds`` are the first
+    occurrences of newly bound slots; ``checks`` are repeat occurrences
+    of slots bound earlier *within this same atom* (verified after
+    binding). When every column is a probe (``membership`` True) the
+    whole step degenerates to one O(1) set-membership test — the common
+    case for full-dependency activity checks and implication goals.
+    """
+
+    __slots__ = (
+        "probes",
+        "binds",
+        "checks",
+        "membership",
+        "probe_slots",
+        "verify_probes",
+    )
+
+    def __init__(
+        self,
+        probes: tuple[tuple[int, int], ...],
+        binds: tuple[tuple[int, int], ...],
+        checks: tuple[tuple[int, int], ...],
+    ):
+        self.probes = probes
+        self.binds = binds
+        self.checks = checks
+        self.membership = not binds and not checks
+        #: Slot per column, for the membership fast path (probes are in
+        #: column order by construction).
+        self.probe_slots = tuple(slot for __, slot in probes)
+        #: With a single probe the index bucket already guarantees the
+        #: match — candidate rows need no re-verification.
+        self.verify_probes = probes if len(probes) > 1 else ()
+
+
+class PivotPlan:
+    """A join order for the remaining atoms, seeded from one pivot atom.
+
+    ``pattern`` is the pivot atom's within-atom equality pattern: column
+    pairs a delta row must agree on to unify with the pivot at all —
+    this is the delta-dispatch filter. ``binds`` loads the pivot row
+    into the registers; ``steps`` joins the remaining antecedents.
+    """
+
+    __slots__ = ("pattern", "binds", "steps")
+
+    def __init__(
+        self,
+        pattern: tuple[tuple[int, int], ...],
+        binds: tuple[tuple[int, int], ...],
+        steps: tuple[AtomStep, ...],
+    ):
+        self.pattern = pattern
+        self.binds = binds
+        self.steps = steps
+
+
+class JoinPlan:
+    """Everything about a dependency the chase needs, compiled once."""
+
+    __slots__ = (
+        "dependency",
+        "n_slots",
+        "n_universal",
+        "binding_pairs",
+        "existential_slots",
+        "existential_variables",
+        "conclusion_atom_slots",
+        "activity_steps",
+        "pivots",
+    )
+
+    def __init__(self, dependency: Dependency):
+        self.dependency = dependency
+        universals = sorted(dependency.universal_variables(), key=lambda v: v.name)
+        existentials = sorted(
+            dependency.existential_variables(), key=lambda v: v.name
+        )
+        slot_of = {variable: slot for slot, variable in enumerate(universals)}
+        self.n_universal = len(universals)
+        for variable in existentials:
+            slot_of[variable] = len(slot_of)
+        self.n_slots = len(slot_of)
+        #: (name, universal slot) pairs in name order — the trace binding
+        #: layout, matching ``Trigger.make``'s sorted tuples.
+        self.binding_pairs = tuple(
+            (variable.name, slot_of[variable]) for variable in universals
+        )
+        self.existential_slots = tuple(
+            slot_of[variable] for variable in existentials
+        )
+        self.existential_variables = tuple(existentials)
+
+        antecedent_slots = [
+            tuple(slot_of[variable] for variable in atom)
+            for atom in dependency.antecedents
+        ]
+        self.conclusion_atom_slots = tuple(
+            tuple(slot_of[variable] for variable in atom)
+            for atom in dependency.conclusions
+        )
+
+        # One compiled order per pivot atom (semi-naive seeding). Round
+        # one seeds every pivot with the whole instance, so no separate
+        # "cold" order is needed.
+        self.pivots = tuple(
+            _compile_pivot(antecedent_slots, pivot)
+            for pivot in range(len(antecedent_slots))
+        )
+
+        # The trigger-activity extension: join the conclusion atoms with
+        # every universal slot already bound.
+        self.activity_steps = _compile_steps(
+            list(self.conclusion_atom_slots),
+            set(range(self.n_universal)),
+        )
+
+
+def atom_equality_pattern(atom: Sequence) -> tuple[tuple[int, int], ...]:
+    """Column pairs a row must agree on to unify with ``atom``.
+
+    Works over any hashable atom terms — the compiled kernel passes
+    integer slots, the legacy delta enumeration
+    (:func:`repro.chase.trigger.iter_triggers_touching`) passes
+    :class:`Variable` atoms. A repeated term is the only way an
+    all-variable atom can reject a row, so this pattern is the complete
+    row-level dispatch filter.
+    """
+    first: dict = {}
+    pattern = []
+    for column, term in enumerate(atom):
+        seen = first.get(term)
+        if seen is None:
+            first[term] = column
+        else:
+            pattern.append((seen, column))
+    return tuple(pattern)
+
+
+def _compile_atom(
+    slots: Sequence[int], bound: set[int]
+) -> tuple[AtomStep, set[int]]:
+    """Compile one atom given the already-bound slot set (updated)."""
+    probes = []
+    binds = []
+    checks = []
+    bound_here: set[int] = set()
+    for column, slot in enumerate(slots):
+        if slot in bound:
+            probes.append((column, slot))
+        elif slot in bound_here:
+            checks.append((column, slot))
+        else:
+            binds.append((column, slot))
+            bound_here.add(slot)
+    bound |= bound_here
+    return AtomStep(tuple(probes), tuple(binds), tuple(checks)), bound
+
+
+def _compile_steps(
+    atom_slots: list[tuple[int, ...]], bound: set[int]
+) -> tuple[AtomStep, ...]:
+    """Greedy most-constrained-first order over ``atom_slots``.
+
+    Mirrors the generic engine's heuristic, decided once: prefer the
+    atom with the most already-bound cells, tie-break on fewer new
+    slots, then on input order (deterministic).
+    """
+    remaining = list(range(len(atom_slots)))
+    steps = []
+    bound = set(bound)
+    while remaining:
+        best = max(
+            remaining,
+            key=lambda i: (
+                sum(1 for slot in atom_slots[i] if slot in bound),
+                -len({slot for slot in atom_slots[i] if slot not in bound}),
+                -i,
+            ),
+        )
+        remaining.remove(best)
+        step, bound = _compile_atom(atom_slots[best], bound)
+        steps.append(step)
+    return tuple(steps)
+
+
+def _compile_pivot(
+    antecedent_slots: list[tuple[int, ...]], pivot: int
+) -> PivotPlan:
+    slots = antecedent_slots[pivot]
+    binds = []
+    seen: set[int] = set()
+    for column, slot in enumerate(slots):
+        if slot not in seen:
+            binds.append((column, slot))
+            seen.add(slot)
+    rest = antecedent_slots[:pivot] + antecedent_slots[pivot + 1 :]
+    return PivotPlan(
+        pattern=atom_equality_pattern(slots),
+        binds=tuple(binds),
+        steps=_compile_steps(rest, seen),
+    )
+
+
+#: Compiled-plan memo. Keyed structurally (Dependency hashes by
+#: structure), so worker processes that decode the same premises for
+#: every payload of a batch still compile each dependency's plan once.
+_PLAN_CACHE: dict[Dependency, JoinPlan] = {}
+_PLAN_CACHE_MAX = 2048
+
+
+def compile_plan(dependency: Dependency) -> JoinPlan:
+    """The memoized :class:`JoinPlan` for ``dependency``."""
+    plan = _PLAN_CACHE.get(dependency)
+    if plan is None:
+        plan = JoinPlan(dependency)
+        while len(_PLAN_CACHE) >= _PLAN_CACHE_MAX:
+            del _PLAN_CACHE[next(iter(_PLAN_CACHE))]  # oldest-first
+        _PLAN_CACHE[dependency] = plan
+    return plan
+
+
+#: Per dependency *set*: the compiled plans plus their dispatcher.
+#: Batch services chase hundreds of targets against one premise tuple;
+#: this makes the per-``chase()`` setup a single dict hit.
+_PROGRAM_CACHE: dict[tuple[Dependency, ...], tuple[tuple[JoinPlan, ...], "Dispatcher"]] = {}
+_PROGRAM_CACHE_MAX = 512
+
+
+def compile_program(
+    dependencies: Sequence[Dependency],
+) -> tuple[tuple[JoinPlan, ...], "Dispatcher"]:
+    """Memoized ``(plans, dispatcher)`` for a dependency sequence."""
+    key = tuple(dependencies)
+    program = _PROGRAM_CACHE.get(key)
+    if program is None:
+        plans = tuple(compile_plan(dependency) for dependency in key)
+        program = (plans, Dispatcher(plans))
+        while len(_PROGRAM_CACHE) >= _PROGRAM_CACHE_MAX:
+            del _PROGRAM_CACHE[next(iter(_PROGRAM_CACHE))]  # oldest-first
+        _PROGRAM_CACHE[key] = program
+    return program
+
+
+class GoalPlan:
+    """A compiled existence check: do ``atoms`` embed, extending ``partial``?
+
+    Used for the implication goal ("has the frozen conclusion image
+    appeared?") which the engine evaluates after *every* firing — the
+    compiled kernel probes the int-row index instead of running the
+    generic homomorphism search each time. Built from any goal object
+    exposing ``goal_atoms`` and ``goal_partial`` (see
+    :class:`repro.chase.implication.ConclusionGoal`).
+    """
+
+    __slots__ = ("steps", "prebound", "n_slots")
+
+    def __init__(self, atoms: Sequence[tuple], partial: dict):
+        slot_of: dict = {}
+        prebound: list[tuple[int, object]] = []
+        for variable in sorted(partial, key=lambda v: v.name):
+            slot_of[variable] = len(slot_of)
+            prebound.append((slot_of[variable], partial[variable]))
+        bound = set(range(len(slot_of)))
+        for atom in atoms:
+            for variable in atom:
+                if variable not in slot_of:
+                    slot_of[variable] = len(slot_of)
+        self.n_slots = len(slot_of)
+        self.prebound = tuple(prebound)
+        self.steps = _compile_steps(
+            [tuple(slot_of[variable] for variable in atom) for atom in atoms],
+            bound,
+        )
+
+    def registers(self, state: KernelState) -> list[int]:
+        """Fresh registers with the partial assignment interned."""
+        regs = [0] * self.n_slots
+        intern = state._intern
+        for slot, value in self.prebound:
+            regs[slot] = intern(value)
+        return regs
+
+    def satisfied(self, state: KernelState, regs: list[int]) -> bool:
+        return _has_extension(state, self.steps, 0, regs)
+
+
+class KernelState:
+    """The interned view of a live :class:`Instance`, kept in sync.
+
+    Rows are tuples of dense ints (via ``instance.intern_table``); the
+    inverted index maps ``(column, value id)`` to a list of int rows.
+    The kernel is the only mutator during a compiled chase, so the view
+    updates incrementally in :meth:`add`.
+    """
+
+    __slots__ = ("instance", "values", "_intern", "index", "irows", "rows_list")
+
+    def __init__(self, instance: Instance):
+        self.instance = instance
+        table = instance.intern_table
+        self.values = table.values
+        self._intern = table.intern
+        self.index: dict[tuple[int, int], list[IntRow]] = {}
+        self.irows: set[IntRow] = set()
+        self.rows_list: list[IntRow] = []
+        for row in instance:
+            self._admit(tuple(map(self._intern, row)))
+
+    def _admit(self, irow: IntRow) -> None:
+        self.irows.add(irow)
+        self.rows_list.append(irow)
+        index = self.index
+        for column, vid in enumerate(irow):
+            key = (column, vid)
+            bucket = index.get(key)
+            if bucket is None:
+                index[key] = [irow]
+            else:
+                bucket.append(irow)
+
+    def intern_row(self, row: Row) -> IntRow:
+        return tuple(map(self._intern, row))
+
+    def add(self, row: Row) -> Optional[IntRow]:
+        """Insert ``row`` into instance and view; None when already present."""
+        irow = tuple(map(self._intern, row))
+        return irow if self.add_interned(irow) is not None else None
+
+    def add_interned(self, irow: IntRow) -> Optional[Row]:
+        """Insert a row already expressed as interned ids (the fire path).
+
+        The kernel holds conclusion rows as registers of interned ids,
+        so presence is one int-tuple set test and the Value row is only
+        materialized for genuinely new rows (returned; None when the
+        row was already present). Bypasses :meth:`Instance.add`'s arity
+        check (kernel rows come from compiled conclusion templates,
+        correct by construction) but keeps the instance's row set,
+        inverted index and snapshot invalidation exactly in sync — the
+        goal predicate and every post-chase consumer see a normal
+        instance. Relies on the class invariant that ``irows`` mirrors
+        the instance's row set exactly.
+        """
+        if irow in self.irows:
+            return None
+        values = self.values
+        row = tuple(values[vid] for vid in irow)
+        instance = self.instance
+        instance._rows.add(row)
+        instance._snapshot = None
+        index = instance._index
+        for column, value in enumerate(row):
+            key = (column, value)
+            bucket = index.get(key)
+            if bucket is None:
+                index[key] = {row}
+            else:
+                bucket.add(row)
+        self._admit(irow)
+        return row
+
+
+def _extend_matches(
+    state: KernelState,
+    steps: tuple[AtomStep, ...],
+    depth: int,
+    regs: list[int],
+    n_universal: int,
+    seen: set[tuple[int, ...]],
+    out: list[tuple[int, ...]],
+) -> None:
+    """Backtracking join over ``steps``; completed matches land in ``out``.
+
+    NOTE: the candidate loop (smallest-bucket probe selection,
+    single-probe no-verify and all-bound membership fast paths,
+    bind-then-check order) is deliberately inlined here AND in
+    :func:`_has_extension` — a shared per-candidate helper costs the
+    kernel its measured speedup. Any change to the step semantics must
+    be applied to both; the differential suite
+    (``tests/chase/test_kernel_differential.py``) exists to catch a
+    one-sided edit.
+    """
+    if depth == len(steps):
+        key = tuple(regs[:n_universal])
+        if key not in seen:
+            seen.add(key)
+            out.append(key)
+        return
+    step = steps[depth]
+    probes = step.probes
+    if step.membership:
+        if tuple(regs[slot] for slot in step.probe_slots) in state.irows:
+            _extend_matches(
+                state, steps, depth + 1, regs, n_universal, seen, out
+            )
+        return
+    if probes:
+        index = state.index
+        best = None
+        for column, slot in probes:
+            bucket = index.get((column, regs[slot]))
+            if not bucket:
+                return
+            if best is None or len(bucket) < len(best):
+                best = bucket
+    else:
+        best = state.rows_list
+    verify = step.verify_probes
+    binds = step.binds
+    checks = step.checks
+    next_depth = depth + 1
+    for irow in best:
+        ok = True
+        for column, slot in verify:
+            if irow[column] != regs[slot]:
+                ok = False
+                break
+        if not ok:
+            continue
+        for column, slot in binds:
+            regs[slot] = irow[column]
+        for column, slot in checks:
+            if irow[column] != regs[slot]:
+                ok = False
+                break
+        if ok:
+            _extend_matches(
+                state, steps, next_depth, regs, n_universal, seen, out
+            )
+
+
+def _has_extension(
+    state: KernelState,
+    steps: tuple[AtomStep, ...],
+    depth: int,
+    regs: list[int],
+) -> bool:
+    """Does some assignment of the remaining slots embed the atoms?
+
+    NOTE: keep the candidate loop in lockstep with
+    :func:`_extend_matches` (see the note there) — same step
+    semantics, early-exit instead of collection.
+    """
+    if depth == len(steps):
+        return True
+    step = steps[depth]
+    probes = step.probes
+    if step.membership:
+        if tuple(regs[slot] for slot in step.probe_slots) in state.irows:
+            return _has_extension(state, steps, depth + 1, regs)
+        return False
+    if probes:
+        index = state.index
+        best = None
+        for column, slot in probes:
+            bucket = index.get((column, regs[slot]))
+            if not bucket:
+                return False
+            if best is None or len(bucket) < len(best):
+                best = bucket
+    else:
+        best = state.rows_list
+    verify = step.verify_probes
+    binds = step.binds
+    checks = step.checks
+    next_depth = depth + 1
+    for irow in best:
+        ok = True
+        for column, slot in verify:
+            if irow[column] != regs[slot]:
+                ok = False
+                break
+        if not ok:
+            continue
+        for column, slot in binds:
+            regs[slot] = irow[column]
+        for column, slot in checks:
+            if irow[column] != regs[slot]:
+                ok = False
+                break
+        if ok and _has_extension(state, steps, next_depth, regs):
+            return True
+    return False
+
+
+class Dispatcher:
+    """Routes delta rows to the ``(plan, pivot)`` pairs they can wake.
+
+    With a single relation and all-variable atoms, the only row-level
+    discriminator is the pivot atom's within-atom equality ``pattern``
+    (e.g. ``R(x, x, y)`` only unifies with rows whose first two cells
+    agree). Distinct patterns are evaluated once per delta row and fan
+    out to every subscribed pivot, instead of unifying the row against
+    all dependencies x all pivot atoms.
+    """
+
+    __slots__ = ("patterns", "subscribers", "n_plans", "trivial")
+
+    def __init__(self, plans: Sequence[JoinPlan]):
+        pattern_ids: dict[tuple[tuple[int, int], ...], int] = {}
+        self.patterns: list[tuple[tuple[int, int], ...]] = []
+        #: pattern id -> [(plan index, pivot plan), ...]
+        self.subscribers: list[list[tuple[int, PivotPlan]]] = []
+        self.n_plans = len(plans)
+        for plan_index, plan in enumerate(plans):
+            for pivot_plan in plan.pivots:
+                pattern = pivot_plan.pattern
+                pattern_id = pattern_ids.get(pattern)
+                if pattern_id is None:
+                    pattern_id = len(self.patterns)
+                    pattern_ids[pattern] = pattern_id
+                    self.patterns.append(pattern)
+                    self.subscribers.append([])
+                self.subscribers[pattern_id].append((plan_index, pivot_plan))
+        #: With no discriminating pattern anywhere, dispatch is a no-op:
+        #: every delta row reaches every pivot, so the chase loop skips
+        #: the per-row routing entirely.
+        self.trivial = all(pattern == () for pattern in self.patterns)
+
+    def seeds(
+        self, delta: Sequence[IntRow]
+    ) -> list[list[tuple[PivotPlan, IntRow]]]:
+        """Per plan, the ``(pivot, delta row)`` seeds the round must join.
+
+        Each distinct equality pattern is evaluated once per delta row;
+        rows failing a pattern never reach its subscribed pivots.
+        """
+        per_plan: list[list[tuple[PivotPlan, IntRow]]] = [
+            [] for __ in range(self.n_plans)
+        ]
+        patterns = self.patterns
+        subscribers = self.subscribers
+        for irow in delta:
+            for pattern_id, pattern in enumerate(patterns):
+                ok = True
+                for left, right in pattern:
+                    if irow[left] != irow[right]:
+                        ok = False
+                        break
+                if not ok:
+                    continue
+                for plan_index, pivot_plan in subscribers[pattern_id]:
+                    per_plan[plan_index].append((pivot_plan, irow))
+        return per_plan
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Dispatcher patterns={len(self.patterns)} plans={self.n_plans}>"
+
+
+def _collect_matches(
+    state: KernelState,
+    plan: JoinPlan,
+    seeds: Sequence[tuple[PivotPlan, IntRow]],
+    evaluated: set[tuple[int, ...]],
+) -> list[tuple[int, ...]]:
+    """All new matches of ``plan`` over its dispatched seeds.
+
+    Enumerated against the live instance *before* any firing, like the
+    generic engine's trigger snapshot; deduplicated within the round
+    (several pivots can land on one match) and against the cross-round
+    ``evaluated`` memo (activity monotonicity makes old matches dead).
+    """
+    out: list[tuple[int, ...]] = []
+    seen: set[tuple[int, ...]] = set()
+    regs = [0] * plan.n_slots
+    n_universal = plan.n_universal
+    for pivot_plan, irow in seeds:
+        for column, slot in pivot_plan.binds:
+            regs[slot] = irow[column]
+        _extend_matches(state, pivot_plan.steps, 0, regs, n_universal, seen, out)
+    if evaluated:
+        return [key for key in out if key not in evaluated]
+    return out
+
+
+def _collect_matches_all(
+    state: KernelState,
+    plan: JoinPlan,
+    delta: Sequence[IntRow],
+    evaluated: set[tuple[int, ...]],
+) -> list[tuple[int, ...]]:
+    """:func:`_collect_matches` without the dispatch layer.
+
+    Used when the dispatcher is trivial (no pivot has a discriminating
+    equality pattern): every delta row reaches every pivot anyway, so
+    seed tuples are never materialized.
+    """
+    out: list[tuple[int, ...]] = []
+    seen: set[tuple[int, ...]] = set()
+    regs = [0] * plan.n_slots
+    n_universal = plan.n_universal
+    for pivot_plan in plan.pivots:
+        binds = pivot_plan.binds
+        steps = pivot_plan.steps
+        for irow in delta:
+            for column, slot in binds:
+                regs[slot] = irow[column]
+            _extend_matches(state, steps, 0, regs, n_universal, seen, out)
+    if evaluated:
+        return [key for key in out if key not in evaluated]
+    return out
+
+
+def run_compiled_chase(
+    working: Instance,
+    dependencies: Sequence[Dependency],
+    *,
+    stats,
+    fresh: NullFactory,
+    trace: list[ChaseStep],
+    goal: Optional[Callable[[Instance], bool]],
+    record_trace: bool,
+    finish: Callable[[ChaseStatus], ChaseResult],
+) -> ChaseResult:
+    """The compiled restricted chase (STANDARD and SEMI_NAIVE fold here).
+
+    Delta-driven rounds: round one's delta is the whole instance, later
+    rounds only the rows added in the previous round. Per dependency,
+    matches touching the delta are enumerated through the compiled
+    pivot plans, deduplicated against the cross-round ``evaluated``
+    memo, then fired in order with a live activity re-check — the same
+    discipline (snapshot, then re-check activity right before firing)
+    as the generic engine, so traces replay identically.
+    """
+    plans, dispatcher = compile_program(dependencies)
+    state = KernelState(working)
+    values = state.values
+    # The implication goal exposes its conclusion atoms; compile it so
+    # the after-every-firing check probes the int index instead of
+    # running the generic homomorphism search.
+    goal_atoms = getattr(goal, "goal_atoms", None)
+    goal_plan: Optional[GoalPlan] = None
+    goal_regs: list[int] = []
+    if goal is not None and goal_atoms is not None:
+        goal_plan = getattr(goal, "goal_plan_cache", None)
+        if goal_plan is None:
+            goal_plan = GoalPlan(goal_atoms, goal.goal_partial)
+            try:
+                goal.goal_plan_cache = goal_plan
+            except AttributeError:  # goal object without the cache slot
+                pass
+        goal_regs = goal_plan.registers(state)
+    # Initial goal check (the engine defers it to the kernel so it can
+    # run on the compiled plan instead of the generic search).
+    if goal_plan is not None:
+        if goal_plan.satisfied(state, goal_regs):
+            return finish(ChaseStatus.GOAL_REACHED)
+    elif goal is not None and goal(working):
+        return finish(ChaseStatus.GOAL_REACHED)
+    # Per-dependency memo of universal-slot keys already fired or
+    # rejected: activity is monotone, so neither can ever fire later.
+    evaluated: list[set[tuple[int, ...]]] = [set() for __ in plans]
+
+    trivial_dispatch = dispatcher.trivial
+    delta: list[IntRow] = list(state.rows_list)
+    while delta:
+        added_this_round: list[IntRow] = []
+        seeds_per_plan = (
+            None if trivial_dispatch else dispatcher.seeds(delta)
+        )
+        for plan_index, (dependency, plan, memo) in enumerate(
+            zip(dependencies, plans, evaluated)
+        ):
+            if seeds_per_plan is None:
+                matches = _collect_matches_all(state, plan, delta, memo)
+            else:
+                seeds = seeds_per_plan[plan_index]
+                if not seeds:
+                    continue
+                matches = _collect_matches(state, plan, seeds, memo)
+            if not matches:
+                continue
+            activity_steps = plan.activity_steps
+            n_slots = plan.n_slots
+            binding_pairs = plan.binding_pairs
+            existential_slots = plan.existential_slots
+            conclusion_atom_slots = plan.conclusion_atom_slots
+            regs = [0] * n_slots
+            for key in matches:
+                if key in memo:
+                    continue
+                memo.add(key)
+                regs[: len(key)] = key
+                # Live activity re-check: an earlier firing this round
+                # may have satisfied the conclusion already.
+                if _has_extension(state, activity_steps, 0, regs):
+                    continue
+                # Fire: one fresh null per existential variable, shared
+                # across all conclusion atoms.
+                for slot in existential_slots:
+                    null = fresh()
+                    regs[slot] = state._intern(null)
+                added_rows = []
+                for atom_slots in conclusion_atom_slots:
+                    irow = tuple(regs[slot] for slot in atom_slots)
+                    row = state.add_interned(irow)
+                    if row is not None:
+                        added_rows.append(row)
+                        added_this_round.append(irow)
+                stats.note_step()
+                for __ in added_rows:
+                    stats.note_row()
+                if record_trace:
+                    trace.append(
+                        ChaseStep(
+                            dependency=dependency,
+                            bindings=tuple(
+                                (name, values[regs[slot]])
+                                for name, slot in binding_pairs
+                            ),
+                            added_rows=tuple(added_rows),
+                        )
+                    )
+                if goal_plan is not None:
+                    if goal_plan.satisfied(state, goal_regs):
+                        return finish(ChaseStatus.GOAL_REACHED)
+                elif goal is not None and goal(working):
+                    return finish(ChaseStatus.GOAL_REACHED)
+                if stats.exhausted(len(working)):
+                    return finish(ChaseStatus.BUDGET_EXHAUSTED)
+        delta = added_this_round
+    return finish(ChaseStatus.TERMINATED)

@@ -117,6 +117,8 @@ def _unify_atom(atom: tuple, row: Row) -> Mapping[Variable, Value] | None:
     return assignment
 
 
+
+
 def iter_triggers_touching(
     instance: Instance,
     dependency: Dependency,
@@ -130,11 +132,18 @@ def iter_triggers_touching(
     the instance grows). Each trigger is yielded once even when several of
     its atoms land in the delta.
     """
+    from repro.chase.plan import atom_equality_pattern
+
     seen: set[tuple[tuple[str, Value], ...]] = set()
     atoms = list(dependency.antecedents)
     for pivot_index, pivot_atom in enumerate(atoms):
         rest = atoms[:pivot_index] + atoms[pivot_index + 1 :]
+        # Repeated-variable prefilter: skip rows that cannot unify with
+        # the pivot before building any assignment dict.
+        pattern = atom_equality_pattern(pivot_atom)
         for row in delta:
+            if any(row[left] != row[right] for left, right in pattern):
+                continue
             partial = _unify_atom(pivot_atom, row)
             if partial is None:
                 continue

@@ -13,14 +13,51 @@ tests and model search.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Iterator, Mapping
+from typing import AbstractSet, Callable, Iterable, Iterator, Mapping, Optional
 
 from repro.errors import TypingError
 from repro.relational.schema import Schema
-from repro.relational.values import Value
+from repro.relational.values import InternTable, Value
 
 #: A database row: one value per column.
 Row = tuple[Value, ...]
+
+#: Shared empty bucket served by ``rows_with`` misses (never mutated).
+_EMPTY_BUCKET: frozenset = frozenset()
+
+
+class _RowsView(AbstractSet):
+    """A zero-copy read-only view over a live index bucket.
+
+    Exposes set reads (membership, iteration, length, comparisons via
+    the ``Set`` mixins) without handing callers the mutable internal
+    set — mutating methods simply don't exist, so a stray
+    ``bucket.discard(...)`` fails loudly instead of silently
+    desynchronizing the index from the row set.
+    """
+
+    __slots__ = ("_bucket",)
+
+    def __init__(self, bucket: AbstractSet[Row]):
+        self._bucket = bucket
+
+    def __contains__(self, row: object) -> bool:
+        return row in self._bucket
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._bucket)
+
+    def __len__(self) -> int:
+        return len(self._bucket)
+
+    @classmethod
+    def _from_iterable(cls, iterable) -> frozenset:
+        # Set-algebra results (view & other, view | other, ...) are
+        # materialized, not views.
+        return frozenset(iterable)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<rows view of {len(self._bucket)} row(s)>"
 
 
 class Instance:
@@ -34,13 +71,20 @@ class Instance:
     1
     """
 
-    __slots__ = ("schema", "_rows", "_index")
+    __slots__ = ("schema", "_rows", "_index", "_intern", "_snapshot")
 
     def __init__(self, schema: Schema, rows: Iterable[Row] = ()):
         self.schema = schema
         self._rows: set[Row] = set()
         # (column, value) -> set of rows having that value in that column.
         self._index: dict[tuple[int, Value], set[Row]] = {}
+        # Lazily created Value <-> dense-int table for the compiled chase
+        # kernel; plain Instance users never pay for it.
+        self._intern: Optional[InternTable] = None
+        # Cached frozenset snapshot served by ``rows``; invalidated on
+        # mutation so repeated reads (semi-naive seeding, the service's
+        # replay checks) don't rebuild it per access.
+        self._snapshot: Optional[frozenset[Row]] = None
         for row in rows:
             self.add(row)
 
@@ -54,6 +98,7 @@ class Instance:
         if row in self._rows:
             return False
         self._rows.add(row)
+        self._snapshot = None
         for column, value in enumerate(row):
             self._index.setdefault((column, value), set()).add(row)
         return True
@@ -67,6 +112,7 @@ class Instance:
         if row not in self._rows:
             return False
         self._rows.discard(row)
+        self._snapshot = None
         for column, value in enumerate(row):
             bucket = self._index.get((column, value))
             if bucket is not None:
@@ -93,18 +139,47 @@ class Instance:
 
     @property
     def rows(self) -> frozenset[Row]:
-        """A frozen snapshot of the current row set."""
-        return frozenset(self._rows)
+        """A frozen snapshot of the current row set (cached until mutation)."""
+        snapshot = self._snapshot
+        if snapshot is None:
+            snapshot = self._snapshot = frozenset(self._rows)
+        return snapshot
 
-    def rows_with(self, column: int, value: Value) -> frozenset[Row]:
-        """All rows whose ``column`` component equals ``value``."""
-        return frozenset(self._index.get((column, value), ()))
+    @property
+    def intern_table(self) -> InternTable:
+        """The instance's Value <-> dense-int table (created on first use).
+
+        The compiled chase kernel keys its row representation on this
+        table; everything else (certificates, the canonical hasher, the
+        JSON codec) keeps seeing real :class:`Value` objects at the
+        boundary. The table only ever grows — ids stay valid across
+        ``add``/``discard``.
+        """
+        table = self._intern
+        if table is None:
+            table = self._intern = InternTable()
+        return table
+
+    def rows_with(self, column: int, value: Value) -> AbstractSet[Row]:
+        """All rows whose ``column`` component equals ``value``.
+
+        Returns a read-only *view* of the live index bucket (no copy;
+        it tracks later mutations of the instance). Callers that mutate
+        the instance while iterating must snapshot it first — the chase
+        engine and homomorphism search already enumerate before firing.
+        """
+        bucket = self._index.get((column, value))
+        if bucket is None:
+            return _EMPTY_BUCKET
+        return _RowsView(bucket)
 
     def matching_rows(self, pattern: Mapping[int, Value]) -> Iterator[Row]:
         """Yield rows agreeing with ``pattern`` (a column -> value map).
 
-        The scan is seeded from the most selective constrained column; with
-        an empty pattern every row matches.
+        The scan is seeded from the most selective constrained column
+        and iterates the live bucket without copying; with an empty
+        pattern every row matches. As with :meth:`rows_with`, callers
+        must not mutate the instance mid-iteration.
         """
         if not pattern:
             yield from self._rows
@@ -119,20 +194,28 @@ class Instance:
                 candidates = bucket
                 best_size = len(bucket)
         assert candidates is not None
-        for row in tuple(candidates):
-            if all(row[column] == value for column, value in pattern.items()):
+        items = pattern.items()
+        for row in candidates:
+            if all(row[column] == value for column, value in items):
                 yield row
 
     def column_values(self, column: int) -> set[Value]:
-        """The set of values occurring in ``column``."""
-        return {row[column] for row in self._rows}
+        """The set of values occurring in ``column``.
+
+        Derived from the inverted index keys — O(distinct cells), not a
+        full row scan.
+        """
+        return {
+            value for (key_column, value) in self._index if key_column == column
+        }
 
     def active_domain(self) -> set[Value]:
-        """All values occurring anywhere in the instance."""
-        domain: set[Value] = set()
-        for row in self._rows:
-            domain.update(row)
-        return domain
+        """All values occurring anywhere in the instance.
+
+        Derived from the inverted index keys — O(distinct cells), not a
+        full row scan.
+        """
+        return {value for (__, value) in self._index}
 
     def validate(self) -> None:
         """Enforce the typing restriction (disjoint attribute domains).
@@ -164,8 +247,21 @@ class Instance:
     # ------------------------------------------------------------------
 
     def copy(self) -> "Instance":
-        """An independent copy sharing the schema."""
-        return Instance(self.schema, self._rows)
+        """An independent copy sharing the schema.
+
+        Clones the row set and inverted index wholesale instead of
+        re-inserting row by row (rows in ``self`` already passed the
+        arity check).
+        """
+        clone = Instance.__new__(Instance)
+        clone.schema = self.schema
+        clone._rows = set(self._rows)
+        clone._index = {
+            key: set(bucket) for key, bucket in self._index.items()
+        }
+        clone._intern = None
+        clone._snapshot = self._snapshot
+        return clone
 
     def map_values(self, mapping: Callable[[Value], Value]) -> "Instance":
         """Apply ``mapping`` to every component, returning a new instance."""

@@ -19,7 +19,7 @@ property of values themselves but of where they occur; it is enforced by
 from __future__ import annotations
 
 import itertools
-from typing import Union
+from typing import Optional, Union
 
 
 class Const:
@@ -87,6 +87,43 @@ Value = Union[Const, LabeledNull]
 def is_null(value: object) -> bool:
     """Return True when ``value`` is a labelled null."""
     return isinstance(value, LabeledNull)
+
+
+class InternTable:
+    """Bijective interning of :class:`Value` objects to dense integers.
+
+    The compiled chase kernel (:mod:`repro.chase.plan`) works on rows of
+    small ints instead of ``Value`` tuples: hashing and equality become
+    integer operations instead of ``Const.__eq__`` name comparisons, and
+    index keys shrink. One table serves one
+    :class:`~repro.relational.instance.Instance` (see
+    ``Instance.intern_table``); ids are assigned in first-seen order and
+    never reclaimed, so ``values[intern(v)] is v``-style round trips stay
+    stable for the lifetime of the table.
+    """
+
+    __slots__ = ("_ids", "values")
+
+    def __init__(self):
+        self._ids: dict[Value, int] = {}
+        #: id -> Value, the inverse mapping (read-only for callers).
+        self.values: list[Value] = []
+
+    def intern(self, value: Value) -> int:
+        """The dense id for ``value`` (assigned on first sight)."""
+        idx = self._ids.get(value)
+        if idx is None:
+            idx = len(self.values)
+            self._ids[value] = idx
+            self.values.append(value)
+        return idx
+
+    def id_of(self, value: Value) -> Optional[int]:
+        """The id for ``value`` if already interned, else None."""
+        return self._ids.get(value)
+
+    def __len__(self) -> int:
+        return len(self.values)
 
 
 class NullFactory:

@@ -40,6 +40,8 @@ from repro.service.cache import (
     budget_covers,
     budget_join,
     budget_meet,
+    fold_entries,
+    merge_unknown_entries,
 )
 from repro.service.client import RemoteVerdict, ServiceClient, ServiceError
 from repro.service.scheduler import (
@@ -67,6 +69,8 @@ __all__ = [
     "budget_covers",
     "budget_join",
     "budget_meet",
+    "fold_entries",
+    "merge_unknown_entries",
     "QueryTask",
     "PoolRun",
     "WorkerPool",

@@ -186,10 +186,19 @@ class InferenceService:
         return self
 
     def close(self) -> None:
-        """Shut down the worker pool (no-op for serial services)."""
+        """Shut down the worker pool and close the cache.
+
+        ``ResultCache.close`` compacts an oversized disk tier (a no-op
+        for memory-only caches) and leaves the cache usable, so closing
+        a service that shares its cache *object* with others is safe.
+        Distinct processes sharing one cache *file* serialize their
+        writes through the store's advisory lock where the platform
+        provides one (see :class:`~repro.service.cache.JsonLinesStore`).
+        """
         if self._worker_pool is not None:
             self._worker_pool.close()
             self._worker_pool = None
+        self.cache.close()
 
     def __enter__(self) -> "InferenceService":
         return self

@@ -33,12 +33,18 @@ bigger budget simply appends the better entry.
 
 from __future__ import annotations
 
+import contextlib
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator, Optional, Union
 
 import json
+
+try:  # POSIX advisory locking; absent on some platforms (Windows).
+    import fcntl
+except ImportError:  # pragma: no cover - platform-dependent
+    fcntl = None  # type: ignore[assignment]
 
 from repro.chase.budget import Budget
 from repro.chase.implication import InferenceOutcome, InferenceStatus
@@ -233,11 +239,123 @@ class CacheStats:
         )
 
 
+def merge_unknown_entries(
+    existing: CacheEntry, entry: CacheEntry
+) -> Optional[CacheEntry]:
+    """Combine two UNKNOWN recordings for one fingerprint.
+
+    Returns None when ``entry`` adds nothing (every variant it tried
+    was already tried under a covering budget); otherwise an entry
+    whose per-variant budgets accumulate both recordings, so knowledge
+    is never overwritten by whichever caller recorded last. Each kept
+    (variant, budget) pair is one that really chased: a fresh budget
+    joins its variant's antichain (pruning budgets it covers) rather
+    than replacing it, so clients with mutually incomparable budgets
+    (more steps vs more seconds) all keep hitting — a synthesized join
+    of two recordings would be unsound, and picking just one would make
+    the others re-chase forever.
+
+    Shared by the live cache (:meth:`ResultCache._insert`) and disk
+    compaction (:func:`fold_entries`), so both agree on what a merged
+    line means.
+    """
+    merged = dict(existing.tried())
+    changed = False
+    for variant, fresh_budgets in entry.tried().items():
+        held = merged.get(variant, ())
+        for fresh in fresh_budgets:
+            if any(budget_covers(kept, fresh) for kept in held):
+                continue  # a prior chase subsumes this one
+            held = tuple(
+                kept for kept in held if not budget_covers(fresh, kept)
+            ) + (fresh,)
+            changed = True
+        merged[variant] = held
+    if not changed:
+        return None
+    budget = entry.budget
+    for chased in merged.values():
+        for each in chased:
+            budget = budget_join(budget, each)
+    return CacheEntry(
+        fingerprint=entry.fingerprint,
+        status=InferenceStatus.UNKNOWN,
+        # The entry-level budget is a summary (the join of what ran,
+        # for logs and humans); staleness reads variant_budgets.
+        budget=budget,
+        payload=entry.payload,
+        traced=entry.traced,
+        variants=existing.variants
+        + tuple(
+            variant
+            for variant in entry.variants
+            if variant not in existing.variants
+        ),
+        variant_budgets=merged,
+        decoded=entry.decoded,
+    )
+
+
+def fold_entries(entries: Iterator[CacheEntry]) -> "OrderedDict[str, CacheEntry]":
+    """Fold a file-ordered entry stream to its last-wins survivors.
+
+    Applies exactly the live cache's insert invariants: decisive
+    verdicts are final (an UNKNOWN never replaces one), later decisive
+    entries win, and UNKNOWN re-records *merge* per-variant knowledge.
+    The result is what a fresh unbounded :class:`ResultCache` would
+    hold after replaying the stream.
+    """
+    folded: "OrderedDict[str, CacheEntry]" = OrderedDict()
+    for entry in entries:
+        existing = folded.get(entry.fingerprint)
+        if existing is None:
+            folded[entry.fingerprint] = entry
+            continue
+        if entry.status is InferenceStatus.UNKNOWN:
+            if existing.status is InferenceStatus.UNKNOWN:
+                merged = merge_unknown_entries(existing, entry)
+                if merged is not None:
+                    folded[entry.fingerprint] = merged
+            # else: never downgrade a decisive verdict
+        else:
+            folded[entry.fingerprint] = entry
+        # Every touch refreshes recency, exactly as ``_insert`` does, so
+        # a bounded cache reloading the compacted file evicts the same
+        # fingerprints it would have evicted from the original.
+        folded.move_to_end(entry.fingerprint)
+    return folded
+
+
 class JsonLinesStore:
-    """Append-only on-disk tier: one JSON cache entry per line."""
+    """Append-only on-disk tier: one JSON cache entry per line.
+
+    Appends never rewrite history (a crash can at worst tear the final
+    line), so merged UNKNOWN re-records grow the file over time.
+    :meth:`compact` folds the file to its last-wins survivors — one
+    line per live fingerprint — via an atomic replace; callers trigger
+    it through :meth:`ResultCache.close`.
+
+    **Cross-process sharing**: compaction is the one operation that
+    rewrites history, so writers (``append``/``compact``) serialize
+    through an advisory ``flock`` on a sidecar ``.lock`` file where the
+    platform provides one — without it, an append racing another
+    process's compaction could vanish from the rewritten file. Readers
+    need no lock (the replace is atomic, so they see the old or the new
+    file, never a torn one). A second store object on the same path may
+    hold stale line counters after another process compacts; that only
+    skews *when* its own trigger fires, never what a compaction keeps.
+    On platforms without ``fcntl`` the store is single-writer only.
+    """
 
     def __init__(self, path: Union[str, Path]):
         self.path = Path(path)
+        #: Lines currently in the file and the distinct fingerprints
+        #: they mention (counted by ``load``, bumped per ``append``,
+        #: reset by ``compact``); None before the first load. Both
+        #: exist so the compaction trigger is an O(1) decision instead
+        #: of a shutdown-time full-file decode.
+        self._lines: Optional[int] = None
+        self._fingerprints: Optional[set[str]] = None
 
     def load(self) -> Iterator[CacheEntry]:
         """Yield stored entries in file order (later entries override).
@@ -246,6 +364,8 @@ class JsonLinesStore:
         are skipped rather than raised: losing one verdict is recompute
         work, but refusing to open the cache would defeat its purpose.
         """
+        self._lines = 0
+        self._fingerprints = set()
         if not self.path.exists():
             return
         with self.path.open("r", encoding="utf-8") as handle:
@@ -253,30 +373,112 @@ class JsonLinesStore:
                 line = line.strip()
                 if not line:
                     continue
+                self._lines += 1
                 try:
-                    yield CacheEntry.from_json(json.loads(line))
+                    entry = CacheEntry.from_json(json.loads(line))
                 except (json.JSONDecodeError, CodecError):
                     continue
+                self._fingerprints.add(entry.fingerprint)
+                yield entry
 
     def append(self, entry: CacheEntry) -> None:
         """Persist one entry (parent directory created on demand)."""
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        with self.path.open("a", encoding="utf-8") as handle:
-            handle.write(json.dumps(entry.to_json(), separators=(",", ":")))
-            handle.write("\n")
+        with self._write_lock():
+            with self.path.open("a", encoding="utf-8") as handle:
+                handle.write(json.dumps(entry.to_json(), separators=(",", ":")))
+                handle.write("\n")
+        if self._lines is not None:
+            self._lines += 1
+        if self._fingerprints is not None:
+            self._fingerprints.add(entry.fingerprint)
+
+    @contextlib.contextmanager
+    def _write_lock(self):
+        """Exclusive advisory lock for writers (no-op without fcntl)."""
+        if fcntl is None:  # pragma: no cover - platform-dependent
+            yield
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        lock_path = self.path.with_name(self.path.name + ".lock")
+        with lock_path.open("w") as handle:
+            fcntl.flock(handle, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle, fcntl.LOCK_UN)
+
+    def _ensure_scanned(self) -> None:
+        if self._lines is None:
+            for __ in self.load():
+                pass
+
+    def line_count(self) -> int:
+        """Entry lines in the file (scans once when not yet known)."""
+        self._ensure_scanned()
+        assert self._lines is not None
+        return self._lines
+
+    def distinct_count(self) -> int:
+        """Distinct fingerprints in the file (scans once when not known)."""
+        self._ensure_scanned()
+        assert self._fingerprints is not None
+        return len(self._fingerprints)
+
+    def compact(self) -> int:
+        """Rewrite the file keeping only last-wins lines; returns lines kept.
+
+        The fold applies the cache's own insert invariants (decisive
+        verdicts final, UNKNOWNs merged per-variant), so a reload of the
+        compacted file reconstructs the identical cache state. The
+        rewrite goes through a sibling temp file and an atomic
+        ``replace``, so a crash mid-compaction leaves the original
+        intact.
+        """
+        with self._write_lock():
+            folded = fold_entries(self.load())
+            tmp = self.path.with_name(self.path.name + ".compact")
+            tmp.parent.mkdir(parents=True, exist_ok=True)
+            with tmp.open("w", encoding="utf-8") as handle:
+                for entry in folded.values():
+                    handle.write(
+                        json.dumps(entry.to_json(), separators=(",", ":"))
+                    )
+                    handle.write("\n")
+            tmp.replace(self.path)
+        self._lines = len(folded)
+        self._fingerprints = set(folded)
+        return self._lines
 
 
 class ResultCache:
-    """Bounded LRU of verdicts, optionally backed by a :class:`JsonLinesStore`."""
+    """Bounded LRU of verdicts, optionally backed by a :class:`JsonLinesStore`.
+
+    ``compact_min_lines`` is the disk tier's size trigger: on
+    :meth:`close`, a file holding at least that many lines — and at
+    least twice as many lines as live fingerprints — is rewritten to
+    last-wins form. Both conditions keep routine closes from rewriting
+    a file that is already (near) minimal.
+    """
+
+    #: Default disk-tier compaction trigger (lines).
+    COMPACT_MIN_LINES = 256
 
     def __init__(
         self,
         maxsize: int = 4096,
         store: Optional[JsonLinesStore] = None,
+        *,
+        compact_min_lines: Optional[int] = None,
     ):
         if maxsize < 1:
             raise ValueError("cache maxsize must be positive")
         self.maxsize = maxsize
+        self.compact_min_lines = (
+            compact_min_lines
+            if compact_min_lines is not None
+            else self.COMPACT_MIN_LINES
+        )
         self.stats = CacheStats()
         self._store = store
         self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
@@ -294,6 +496,34 @@ class ResultCache:
 
     def __contains__(self, fingerprint: object) -> bool:
         return fingerprint in self._entries
+
+    def close(self, *, force_compact: bool = False) -> bool:
+        """Compact the disk tier if it has outgrown its live content.
+
+        The append-only tier grows on every merged UNKNOWN re-record;
+        compaction folds it back to one line per fingerprint (see
+        :meth:`JsonLinesStore.compact` — the reload after a fold is
+        state-identical). Triggered when the file holds at least
+        ``compact_min_lines`` lines *and* at least twice as many lines
+        as distinct fingerprints, or always with ``force_compact``.
+        Idempotent; the cache stays fully usable afterwards. Returns
+        True when a compaction ran.
+        """
+        store = self._store
+        if store is None:
+            return False
+        if force_compact:
+            store.compact()
+            return True
+        # O(1) trigger: the store tracks line and distinct-fingerprint
+        # counts incrementally, so a no-op close never re-reads the file.
+        lines = store.line_count()
+        if lines < self.compact_min_lines:
+            return False
+        if lines < 2 * max(store.distinct_count(), 1):
+            return False
+        store.compact()
+        return True
 
     def lookup(
         self,
@@ -390,55 +620,8 @@ class ResultCache:
     def _merge_unknown(
         self, existing: CacheEntry, entry: CacheEntry
     ) -> Optional[CacheEntry]:
-        """Combine two UNKNOWN recordings for one fingerprint.
-
-        Returns None when ``entry`` adds nothing (every variant it tried
-        was already tried under a covering budget); otherwise an entry
-        whose per-variant budgets accumulate both recordings, so
-        knowledge is never overwritten by whichever caller recorded
-        last. Each kept (variant, budget) pair is one that really
-        chased: a fresh budget joins its variant's antichain (pruning
-        budgets it covers) rather than replacing it, so clients with
-        mutually incomparable budgets (more steps vs more seconds) all
-        keep hitting — a synthesized join of two recordings would be
-        unsound, and picking just one would make the others re-chase
-        forever.
-        """
-        merged = dict(existing.tried())
-        changed = False
-        for variant, fresh_budgets in entry.tried().items():
-            held = merged.get(variant, ())
-            for fresh in fresh_budgets:
-                if any(budget_covers(kept, fresh) for kept in held):
-                    continue  # a prior chase subsumes this one
-                held = tuple(
-                    kept for kept in held if not budget_covers(fresh, kept)
-                ) + (fresh,)
-                changed = True
-            merged[variant] = held
-        if not changed:
-            return None
-        budget = entry.budget
-        for chased in merged.values():
-            for each in chased:
-                budget = budget_join(budget, each)
-        return CacheEntry(
-            fingerprint=entry.fingerprint,
-            status=InferenceStatus.UNKNOWN,
-            # The entry-level budget is a summary (the join of what ran,
-            # for logs and humans); staleness reads variant_budgets.
-            budget=budget,
-            payload=entry.payload,
-            traced=entry.traced,
-            variants=existing.variants
-            + tuple(
-                variant
-                for variant in entry.variants
-                if variant not in existing.variants
-            ),
-            variant_budgets=merged,
-            decoded=entry.decoded,
-        )
+        """See :func:`merge_unknown_entries` (shared with compaction)."""
+        return merge_unknown_entries(existing, entry)
 
     def _insert(self, entry: CacheEntry) -> Optional[CacheEntry]:
         """Insert ``entry``; returns what was stored, or None for a no-op.

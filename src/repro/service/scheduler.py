@@ -31,6 +31,7 @@ rather than a per-query one.
 
 from __future__ import annotations
 
+import json
 import multiprocessing
 from collections import deque
 from concurrent.futures import (
@@ -63,6 +64,24 @@ RACING_VARIANTS: tuple[ChaseVariant, ...] = (
     ChaseVariant.STANDARD,
     ChaseVariant.SEMI_NAIVE,
 )
+
+
+def _race_kernel(
+    variant: ChaseVariant, variants: Sequence[ChaseVariant]
+) -> Optional[str]:
+    """The chase kernel to pin for ``variant`` inside a race.
+
+    The compiled kernel folds STANDARD and SEMI_NAIVE onto one
+    delta-driven path, so racing both under the default kernel would
+    chase the byte-identical run twice for zero diversity. Inside a
+    race the SEMI_NAIVE arm is pinned to the legacy engine — a
+    genuinely different trigger order, which is the whole point of
+    racing an undecidable problem. Outside a race (one variant), None
+    keeps the process default (compiled).
+    """
+    if len(variants) > 1 and variant is ChaseVariant.SEMI_NAIVE:
+        return "legacy"
+    return None
 
 
 @dataclass(frozen=True)
@@ -138,6 +157,7 @@ def serial_run(
                 budget=budget,
                 variant=variant,
                 record_trace=record_trace,
+                kernel=_race_kernel(variant, variants),
             )
             best = _prefer(best, outcome)
             if _decisive(best):
@@ -158,8 +178,14 @@ def run_serial(
     return serial_run(tasks, budget, variants, record_trace).outcomes
 
 
-#: What crosses the process boundary, both directions JSON-codec encoded.
-_WirePayload = tuple[int, str, list, Json, Json, bool]
+#: What crosses the process boundary, both directions JSON-codec
+#: encoded: (slot, variant, pinned kernel or None, premises, target,
+#: budget, record_trace). Premises travel as a pre-serialized JSON
+#: *string*: encoded once per distinct premise tuple, pickled cheaply
+#: per payload, and — crucially — usable as a worker-side memo key so
+#: each worker decodes (and plan-compiles) a batch's shared premise set
+#: once, not once per payload.
+_WirePayload = tuple[int, str, Optional[str], str, Json, Json, bool]
 
 
 def _encode_payloads(
@@ -181,23 +207,29 @@ def _encode_payloads(
     the first variant, letting the pool skip it entirely.
     """
     budget_payload = budget_to_json(budget)
-    premise_payloads: dict[tuple[Dependency, ...], list] = {}
+    premise_payloads: dict[tuple[Dependency, ...], str] = {}
     encoded_tasks = []
     for task in tasks:
         premises = premise_payloads.get(task.dependencies)
         if premises is None:
-            premises = [
-                dependency_to_json(dependency) for dependency in task.dependencies
-            ]
+            premises = json.dumps(
+                [
+                    dependency_to_json(dependency)
+                    for dependency in task.dependencies
+                ],
+                separators=(",", ":"),
+            )
             premise_payloads[task.dependencies] = premises
         encoded_tasks.append((task.slot, premises, dependency_to_json(task.target)))
     payloads = []
     for variant in variants:
+        kernel = _race_kernel(variant, variants)
         for slot, premises, target_payload in encoded_tasks:
             payloads.append(
                 (
                     slot,
                     variant.value,
+                    kernel,
                     premises,
                     target_payload,
                     budget_payload,
@@ -212,16 +244,49 @@ def _warm_worker() -> None:
     the lazily-spawning executor to actually create its processes."""
 
 
+#: Worker-side memo of decoded premise tuples, keyed by their wire
+#: string. One batch ships the same premise JSON in every payload; each
+#: worker decodes it once, and the decoded Dependency objects then hit
+#: the compiled kernel's structural plan cache instead of forcing a
+#: recompile per payload. Bounded: a long-lived worker serving many
+#: distinct premise sets must not grow without limit.
+_PREMISE_MEMO: dict[str, list[Dependency]] = {}
+_PREMISE_MEMO_MAX = 64
+
+
+def _decode_premises(premises_wire: str) -> list[Dependency]:
+    premises = _PREMISE_MEMO.get(premises_wire)
+    if premises is None:
+        premises = [
+            dependency_from_json(entry) for entry in json.loads(premises_wire)
+        ]
+        while len(_PREMISE_MEMO) >= _PREMISE_MEMO_MAX:
+            # Oldest-first, never wholesale: a worker cycling through
+            # many premise sets must not periodically lose the hot ones.
+            del _PREMISE_MEMO[next(iter(_PREMISE_MEMO))]
+        _PREMISE_MEMO[premises_wire] = premises
+    return premises
+
+
 def _execute_payload(payload: _WirePayload) -> tuple[int, Json]:
     """Worker entry point: decode, chase, encode. Must stay module-level
     (and exception-free) so every start method can dispatch to it."""
-    slot, variant_value, deps_payload, target_payload, budget_payload, record = payload
+    (
+        slot,
+        variant_value,
+        kernel,
+        premises_wire,
+        target_payload,
+        budget_payload,
+        record,
+    ) = payload
     outcome = implies(
-        [dependency_from_json(entry) for entry in deps_payload],
+        _decode_premises(premises_wire),
         dependency_from_json(target_payload),
         budget=budget_from_json(budget_payload),
         variant=ChaseVariant(variant_value),
         record_trace=record,
+        kernel=kernel,
     )
     # UNKNOWN payloads cross the process boundary slim: the exhausted
     # chase result can dwarf the chase itself on the wire.

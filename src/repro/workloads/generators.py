@@ -9,6 +9,7 @@ from __future__ import annotations
 import random
 from typing import Optional
 
+from repro.dependencies.eid import EmbeddedImplicationalDependency
 from repro.dependencies.template import TemplateDependency, Variable
 from repro.relational.instance import Instance
 from repro.relational.schema import Schema
@@ -80,6 +81,103 @@ def random_full_td(
         existential_probability=0.0,
         seed=seed,
         schema=schema,
+    )
+
+
+def random_eid(
+    *,
+    arity: int = 3,
+    antecedents: int = 2,
+    conclusions: int = 2,
+    variables_per_column: int = 2,
+    existential_probability: float = 0.4,
+    seed: int = 0,
+    schema: Optional[Schema] = None,
+) -> EmbeddedImplicationalDependency:
+    """A random typed EID whose conclusion atoms share existentials.
+
+    Column pools enforce the typing restriction as in :func:`random_td`.
+    Each column owns one existential variable; a conclusion cell is,
+    with ``existential_probability``, that shared existential (the same
+    variable across all conclusion atoms — the witness-sharing that
+    makes an EID conjunction stronger than its TD split), else an
+    antecedent variable of the column.
+    """
+    rng = random.Random(seed)
+    schema = schema if schema is not None else _default_schema(arity)
+    pools = [
+        [Variable(f"c{column}v{index}") for index in range(variables_per_column)]
+        for column in range(schema.arity)
+    ]
+    antecedent_atoms = [
+        tuple(rng.choice(pools[column]) for column in range(schema.arity))
+        for __ in range(antecedents)
+    ]
+    used_per_column = [
+        sorted(
+            {atom[column] for atom in antecedent_atoms},
+            key=lambda variable: variable.name,
+        )
+        for column in range(schema.arity)
+    ]
+    existential_per_column = [
+        Variable(f"c{column}star") for column in range(schema.arity)
+    ]
+    conclusion_atoms = []
+    for __ in range(conclusions):
+        atom = []
+        for column in range(schema.arity):
+            if rng.random() < existential_probability or not used_per_column[column]:
+                atom.append(existential_per_column[column])
+            else:
+                atom.append(rng.choice(used_per_column[column]))
+        conclusion_atoms.append(tuple(atom))
+    return EmbeddedImplicationalDependency(
+        schema, antecedent_atoms, conclusion_atoms, name=f"random-eid-{seed}"
+    )
+
+
+def weakly_acyclic_dependencies(
+    *,
+    count: int = 2,
+    arity: int = 3,
+    include_eids: bool = False,
+    seed: int = 0,
+    schema: Optional[Schema] = None,
+    max_attempts: int = 200,
+) -> list:
+    """A random *weakly acyclic* dependency set (every chase terminates).
+
+    Draws candidate sets of embedded :func:`random_td` (plus one
+    :func:`random_eid` when ``include_eids``) and keeps the first that
+    passes :func:`repro.chase.termination.is_weakly_acyclic` — the
+    standard sufficient criterion under which **all** chase orders
+    terminate polynomially, which is what makes these sets safe ground
+    truth for kernel-differential testing. Deterministic in ``seed``.
+    """
+    from repro.chase.termination import is_weakly_acyclic
+
+    schema = schema if schema is not None else _default_schema(arity)
+    for attempt in range(max_attempts):
+        base = seed * 1_000_003 + attempt * 7_919
+        dependencies: list = [
+            random_td(
+                arity=schema.arity,
+                antecedents=2 + (base + index) % 2,
+                existential_probability=0.35,
+                seed=base + index,
+                schema=schema,
+            )
+            for index in range(count)
+        ]
+        if include_eids:
+            dependencies.append(
+                random_eid(arity=schema.arity, seed=base + count, schema=schema)
+            )
+        if is_weakly_acyclic(dependencies):
+            return dependencies
+    raise RuntimeError(
+        f"no weakly acyclic set found in {max_attempts} attempts (seed {seed})"
     )
 
 

@@ -1,0 +1,118 @@
+"""Unit tests for repro.chase.plan: compilation, dispatch, kernel state."""
+
+import pytest
+
+from repro.chase.plan import (
+    Dispatcher,
+    KernelState,
+    compile_plan,
+    compile_program,
+)
+from repro.dependencies.parser import parse_td
+from repro.relational.instance import Instance
+from repro.relational.schema import Schema
+from repro.relational.values import Const
+
+
+@pytest.fixture
+def schema():
+    return Schema(["A", "B"])
+
+
+@pytest.fixture
+def transitivity(schema):
+    return parse_td("R(x, y) & R(y, z) -> R(x, z)", schema)
+
+
+class TestJoinPlanCompilation:
+    def test_universal_slots_are_name_sorted(self, transitivity):
+        plan = compile_plan(transitivity)
+        assert plan.n_universal == 3
+        assert tuple(name for name, __ in plan.binding_pairs) == ("x", "y", "z")
+
+    def test_existential_slots_follow_universals(self, schema):
+        dependency = parse_td("R(x, y) -> R(x, z)", schema)
+        plan = compile_plan(dependency)
+        assert plan.n_universal == 2
+        assert plan.existential_slots == (2,)
+        assert [v.name for v in plan.existential_variables] == ["z"]
+
+    def test_one_pivot_per_antecedent(self, transitivity):
+        plan = compile_plan(transitivity)
+        assert len(plan.pivots) == 2
+        # Each pivot joins the one remaining atom in one step.
+        for pivot in plan.pivots:
+            assert len(pivot.steps) == 1
+
+    def test_repeated_variable_atom_gets_a_pattern(self, schema):
+        loop = parse_td("R(x, x) -> R(x, x)", schema)
+        plan = compile_plan(loop)
+        assert plan.pivots[0].pattern == ((0, 1),)
+
+    def test_plan_cache_is_structural(self, schema):
+        first = parse_td("R(x, y) & R(y, z) -> R(x, z)", schema)
+        second = parse_td("R(x, y) & R(y, z) -> R(x, z)", schema)
+        assert first is not second
+        assert compile_plan(first) is compile_plan(second)
+
+    def test_program_cache_reuses_dispatcher(self, transitivity):
+        plans_a, dispatcher_a = compile_program([transitivity])
+        plans_b, dispatcher_b = compile_program([transitivity])
+        assert plans_a is plans_b
+        assert dispatcher_a is dispatcher_b
+
+
+class TestDispatcher:
+    def test_trivial_when_no_atom_repeats_variables(self, transitivity):
+        __, dispatcher = compile_program([transitivity])
+        assert dispatcher.trivial
+
+    def test_pattern_filters_rows(self, schema):
+        loop = parse_td("R(x, x) -> R(x, x)", schema)
+        plans, dispatcher = compile_program([loop])
+        assert not dispatcher.trivial
+        instance = Instance(schema)
+        state = KernelState(instance)
+        a = state.intern_row((Const("a"), Const("a")))
+        ab = state.intern_row((Const("a"), Const("b")))
+        seeds = dispatcher.seeds([a, ab])
+        # Only the loop row reaches the pivot; (a, b) is filtered out.
+        assert [irow for __, irow in seeds[0]] == [a]
+
+    def test_shared_patterns_are_evaluated_once(self, schema):
+        loop_one = parse_td("R(x, x) -> R(x, x)", schema)
+        loop_two = parse_td("R(y, y) -> R(y, y)", schema)
+        __, dispatcher = compile_program([loop_one, loop_two])
+        # Both dependencies subscribe to the single distinct pattern.
+        assert len(dispatcher.patterns) == 1
+        assert len(dispatcher.subscribers[0]) == 2
+
+
+class TestKernelState:
+    def test_seed_rows_are_interned(self, schema):
+        instance = Instance(schema, [(Const("a"), Const("b"))])
+        state = KernelState(instance)
+        assert len(state.irows) == 1
+        assert state.rows_list[0] == state.intern_row((Const("a"), Const("b")))
+
+    def test_add_keeps_instance_and_view_in_sync(self, schema):
+        instance = Instance(schema, [(Const("a"), Const("b"))])
+        state = KernelState(instance)
+        row = (Const("b"), Const("c"))
+        irow = state.add(row)
+        assert irow is not None
+        assert row in instance
+        assert irow in state.irows
+        assert instance.rows_with(0, Const("b"))  # live index updated
+        assert state.add(row) is None  # duplicate
+
+    def test_add_interned_round_trips_values(self, schema):
+        instance = Instance(schema, [(Const("a"), Const("b"))])
+        state = KernelState(instance)
+        irow = state.intern_row((Const("x"), Const("y")))
+        row = state.add_interned(irow)
+        assert row == (Const("x"), Const("y"))
+        assert row in instance
+        assert state.add_interned(irow) is None
+        # The snapshot cache was invalidated by the kernel-side insert.
+        assert row in instance.rows

@@ -97,6 +97,59 @@ class TestQueries:
         assert not Instance(schema)
         assert Instance(schema, [row("a", "b")])
 
+    def test_rows_snapshot_is_cached_until_mutation(self, schema):
+        instance = Instance(schema, [row("a", "b")])
+        first = instance.rows
+        assert instance.rows is first  # cached, no rebuild per access
+        instance.add(row("c", "d"))
+        second = instance.rows
+        assert second is not first
+        assert second == frozenset({row("a", "b"), row("c", "d")})
+        instance.discard(row("c", "d"))
+        assert instance.rows == frozenset({row("a", "b")})
+
+    def test_column_values_after_discard(self, schema):
+        # Derived from the index keys: discard must not leave ghosts.
+        instance = Instance(schema, [row("a", "b"), row("c", "b")])
+        instance.discard(row("c", "b"))
+        assert instance.column_values(0) == {Const("a")}
+        assert instance.active_domain() == {Const("a"), Const("b")}
+
+    def test_rows_with_is_live_view(self, schema):
+        instance = Instance(schema, [row("a", "b")])
+        bucket = instance.rows_with(0, Const("a"))
+        instance.add(row("a", "c"))
+        assert len(bucket) == 2  # a view, not a copy
+
+    def test_rows_with_view_is_read_only(self, schema):
+        instance = Instance(schema, [row("a", "b")])
+        bucket = instance.rows_with(0, Const("a"))
+        with pytest.raises(AttributeError):
+            bucket.discard(row("a", "b"))  # no mutators on the view
+        assert row("a", "b") in instance.rows_with(0, Const("a"))
+
+
+class TestInternTable:
+    def test_round_trip(self, schema):
+        instance = Instance(schema, [row("a", "b")])
+        table = instance.intern_table
+        a = Const("a")
+        idx = table.intern(a)
+        assert table.values[idx] == a
+        assert table.id_of(a) == idx
+        assert table.id_of(Const("zzz")) is None
+
+    def test_ids_are_dense_and_stable(self, schema):
+        table = Instance(schema).intern_table
+        ids = [table.intern(Const(name)) for name in ("x", "y", "x", "z")]
+        assert ids == [0, 1, 0, 2]
+        assert len(table) == 3
+
+    def test_table_is_cached_per_instance(self, schema):
+        instance = Instance(schema)
+        assert instance.intern_table is instance.intern_table
+        assert instance.copy().intern_table is not instance.intern_table
+
 
 class TestTyping:
     def test_typed_instance_validates(self, schema):

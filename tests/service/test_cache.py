@@ -567,3 +567,136 @@ class TestDiskStore:
 
         reloaded = ResultCache(store=JsonLinesStore(path))
         assert reloaded.lookup("q", Budget()).status is InferenceStatus.PROVED
+
+
+class TestCompaction:
+    """The disk tier's last-wins compaction (ResultCache.close)."""
+
+    def _cache_state(self, cache):
+        """Everything staleness and serving read, per fingerprint."""
+        return {
+            fingerprint: (
+                entry.status,
+                entry.traced,
+                tuple(entry.variants),
+                entry.tried(),
+            )
+            for fingerprint, entry in cache._entries.items()
+        }
+
+    def _grow_file(self, path, transitivity, provable_target, refutable_target):
+        """A store with merged UNKNOWN re-records and decisive upgrades."""
+        store = JsonLinesStore(path)
+        cache = ResultCache(store=store)
+        # Incomparable UNKNOWN budgets accumulate (each appends a line).
+        for budget in (
+            Budget(max_steps=1, max_rows=None, max_seconds=None),
+            Budget(max_steps=None, max_rows=3, max_seconds=None),
+            Budget(max_steps=1, max_rows=None, max_seconds=0.0),
+        ):
+            unknown = implies([transitivity], provable_target, budget=Budget(max_steps=1))
+            cache.record("merged-unknown", unknown, budget)
+        # An UNKNOWN later upgraded to a decisive verdict.
+        tight = Budget(max_steps=1)
+        cache.record(
+            "upgraded",
+            implies([transitivity], provable_target, budget=tight),
+            tight,
+        )
+        cache.record("upgraded", implies([transitivity], provable_target), Budget())
+        # A plain decisive verdict, re-recorded (last wins, same content).
+        disproved = implies([transitivity], refutable_target)
+        cache.record("decisive", disproved, Budget())
+        cache.record("decisive", disproved, Budget())
+        return store, cache
+
+    def test_compacted_file_reloads_to_identical_state(
+        self, tmp_path, transitivity, provable_target, refutable_target
+    ):
+        path = tmp_path / "cache.jsonl"
+        store, cache = self._grow_file(
+            path, transitivity, provable_target, refutable_target
+        )
+        lines_before = store.line_count()
+        assert lines_before > 3  # the file really did grow past its content
+        before = self._cache_state(ResultCache(store=JsonLinesStore(path)))
+
+        assert cache.close(force_compact=True) is True
+        assert store.line_count() == 3  # one line per fingerprint
+        after_cache = ResultCache(store=JsonLinesStore(path))
+        assert self._cache_state(after_cache) == before
+
+        # The merged UNKNOWN antichain still serves incomparable budgets.
+        assert (
+            after_cache.lookup("merged-unknown", Budget(max_steps=1, max_rows=None, max_seconds=None))
+            is not None
+        )
+        assert (
+            after_cache.lookup("merged-unknown", Budget(max_steps=None, max_rows=2, max_seconds=None))
+            is not None
+        )
+        assert after_cache.lookup("upgraded", Budget()).status is InferenceStatus.PROVED
+        assert after_cache.lookup("decisive", Budget()).status is InferenceStatus.DISPROVED
+
+    def test_hostile_downgrade_line_is_dropped_by_compaction(
+        self, tmp_path, transitivity, provable_target
+    ):
+        path = tmp_path / "cache.jsonl"
+        store = JsonLinesStore(path)
+        cache = ResultCache(store=store)
+        cache.record("q", implies([transitivity], provable_target), Budget())
+        tight = Budget(max_steps=1)
+        unknown = implies([transitivity], provable_target, budget=tight)
+        # Hand-append what the live cache would have refused to write.
+        entry = ResultCache().record("q", unknown, tight)
+        store.append(entry)
+        cache.close(force_compact=True)
+        reloaded = ResultCache(store=JsonLinesStore(path))
+        assert reloaded.lookup("q", Budget()).status is InferenceStatus.PROVED
+
+    def test_close_size_trigger(self, tmp_path, transitivity, provable_target):
+        path = tmp_path / "cache.jsonl"
+        store = JsonLinesStore(path)
+        cache = ResultCache(store=store, compact_min_lines=4)
+        tight = Budget(max_steps=1)
+        # One fingerprint, four incomparable recordings: 4 lines, 1 live.
+        for limit in (1, 2, 3, 4):
+            unknown = implies([transitivity], provable_target, budget=tight)
+            cache.record(
+                "q", unknown, Budget(max_steps=limit, max_rows=10**limit)
+            )
+        assert store.line_count() == 4
+        assert cache.close() is True
+        assert store.line_count() == 1
+
+    def test_close_leaves_small_files_alone(
+        self, tmp_path, transitivity, refutable_target
+    ):
+        path = tmp_path / "cache.jsonl"
+        store = JsonLinesStore(path)
+        cache = ResultCache(store=store)  # default trigger: 256 lines
+        cache.record("q", implies([transitivity], refutable_target), Budget())
+        assert cache.close() is False
+        assert store.line_count() == 1
+
+    def test_close_without_store_is_a_noop(self):
+        assert ResultCache().close() is False
+
+    def test_fold_preserves_recency_order_for_bounded_reloads(
+        self, tmp_path, transitivity, provable_target, refutable_target
+    ):
+        """A re-record must move its fingerprint to MRU in the fold, as
+        `_insert` does live — otherwise compaction changes which entries
+        a bounded cache evicts at load time."""
+        from repro.service.cache import fold_entries
+
+        path = tmp_path / "cache.jsonl"
+        store = JsonLinesStore(path)
+        cache = ResultCache(store=store)
+        proved = implies([transitivity], provable_target)
+        disproved = implies([transitivity], refutable_target)
+        cache.record("a", proved, Budget())
+        cache.record("b", disproved, Budget())
+        cache.record("a", proved, Budget())  # touch: a is now MRU
+        folded = fold_entries(store.load())
+        assert list(folded) == ["b", "a"]

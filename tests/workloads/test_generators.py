@@ -82,3 +82,45 @@ class TestGeneratedChaseBehaviour:
         result = chase(instance, [dependency])
         assert result.status is ChaseStatus.TERMINATED
         assert dependency.holds_in(result.instance)
+
+
+class TestRandomEid:
+    def test_deterministic_and_typed(self):
+        from repro.workloads.generators import random_eid
+
+        eid = random_eid(seed=3)
+        assert eid == random_eid(seed=3)
+        assert eid.is_typed()
+        assert len(eid.conclusions) == 2
+
+    def test_conclusion_atoms_share_existential_witnesses(self):
+        from repro.workloads.generators import random_eid
+
+        # With certainty-probability existentials, every conclusion cell
+        # in a column uses the *same* existential variable.
+        eid = random_eid(seed=0, existential_probability=1.0, conclusions=3)
+        for column in range(eid.schema.arity):
+            cells = {atom[column] for atom in eid.conclusions}
+            assert len(cells) == 1
+        assert eid.existential_variables()
+
+
+class TestWeaklyAcyclicDependencies:
+    def test_deterministic_and_weakly_acyclic(self):
+        from repro.chase.termination import is_weakly_acyclic
+        from repro.workloads.generators import weakly_acyclic_dependencies
+
+        deps = weakly_acyclic_dependencies(seed=5)
+        assert deps == weakly_acyclic_dependencies(seed=5)
+        assert is_weakly_acyclic(deps)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_every_chase_order_terminates(self, seed):
+        from repro.chase.engine import ChaseVariant
+        from repro.workloads.generators import weakly_acyclic_dependencies
+
+        deps = weakly_acyclic_dependencies(seed=seed, include_eids=True)
+        instance = random_instance(seed=seed, rows=6)
+        for variant in (ChaseVariant.STANDARD, ChaseVariant.SEMI_NAIVE):
+            result = chase(instance, deps, variant=variant)
+            assert result.status is ChaseStatus.TERMINATED
