@@ -15,6 +15,7 @@ counterexample database for DISPROVED).
 """
 
 from repro.chase.budget import Budget, ChaseStats
+from repro.chase.checkplan import DEFAULT_CHECKER, CheckPlan, ModelChecker, compile_check
 from repro.chase.engine import DEFAULT_KERNEL, ChaseVariant, apply_step, chase
 from repro.chase.plan import JoinPlan, KernelState, compile_plan, compile_program
 from repro.chase.finite_models import (
@@ -48,10 +49,14 @@ __all__ = [
     "ChaseVariant",
     "chase",
     "DEFAULT_KERNEL",
+    "DEFAULT_CHECKER",
     "JoinPlan",
     "KernelState",
+    "CheckPlan",
+    "ModelChecker",
     "compile_plan",
     "compile_program",
+    "compile_check",
     "apply_step",
     "ChaseResult",
     "ChaseStatus",

@@ -138,9 +138,24 @@ def explain_outcome(outcome: InferenceOutcome) -> str:
     header = f"target: {outcome.target}"
     if outcome.status is InferenceStatus.PROVED:
         trace = minimize_proof(outcome)
-        assert trace is not None
+        full = list(outcome.chase_result.steps) if outcome.chase_result else []
+        if trace is None:
+            # The outcome carries no usable certificate: trace or frozen
+            # assignment missing, or the goal homomorphism is not
+            # re-findable in the recorded final instance. Degrade to the
+            # full trace (or an explanatory note) instead of crashing —
+            # rendering must never be the thing that fails.
+            note = (
+                "PROVED -- certificate could not be minimized (missing "
+                "trace or goal assignment); showing the full trace"
+            )
+            body = (
+                explain_trace(full)
+                if full
+                else "(no replayable chase trace was recorded for this outcome)"
+            )
+            return "\n".join([header, note, body])
         body = explain_trace(trace)
-        full = outcome.chase_result.steps if outcome.chase_result else []
         note = (
             f"PROVED -- {len(trace)} essential step(s) "
             f"(sliced from {len(full)} fired)"

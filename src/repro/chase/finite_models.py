@@ -26,7 +26,7 @@ import random
 import time
 from typing import Optional, Sequence
 
-from repro.chase.modelcheck import satisfies_all
+from repro.chase.checkplan import ModelChecker
 from repro.dependencies.classify import Dependency
 from repro.dependencies.template import Variable
 from repro.relational.instance import Instance
@@ -39,13 +39,16 @@ def search_exhaustive(
     *,
     domain_size: int = 2,
     max_candidates: int = 100_000,
+    checker: Optional[str] = None,
 ) -> Optional[Instance]:
     """Enumerate all instances over ``domain_size`` values per column.
 
     Candidate row spaces larger than ``max_candidates`` subsets are
     refused (returns None) rather than attempted. Instances are tried
     smallest-first, so the returned counterexample is minimum-size for the
-    given domains.
+    given domains. Each candidate is model-checked through one shared
+    :class:`~repro.chase.checkplan.ModelChecker` (the target filter and
+    the full dependency sweep reuse a single interned kernel state).
     """
     schema = target.schema
     row_space_size = domain_size ** schema.arity
@@ -69,9 +72,10 @@ def search_exhaustive(
     for size in range(1, len(row_space) + 1):
         for rows in itertools.combinations(row_space, size):
             candidate = Instance(schema, rows)
-            if target.find_violation(candidate) is None:
+            model = ModelChecker(candidate, checker=checker)
+            if model.find_violation(target) is None:
                 continue
-            if satisfies_all(candidate, dependencies):
+            if model.satisfies_all(dependencies):
                 return candidate
     return None
 
@@ -102,6 +106,7 @@ def search_random(
     max_rows: int = 60,
     max_fresh_per_column: int = 3,
     max_seconds: float = 10.0,
+    checker: Optional[str] = None,
 ) -> Optional[Instance]:
     """Randomized bounded-domain chase for a finite counterexample.
 
@@ -129,6 +134,7 @@ def search_random(
             max_rows=max_rows,
             max_fresh_per_column=max_fresh_per_column,
             deadline=deadline,
+            checker=checker,
         )
         if witness is not None:
             return witness
@@ -159,8 +165,13 @@ def _attempt(
     max_rows: int,
     max_fresh_per_column: int,
     deadline: float,
+    checker: Optional[str] = None,
 ) -> Optional[Instance]:
     fresh_budget: dict[int, int] = {}
+    # One checker for the whole attempt: conclusion rows are added
+    # through it, so the compiled kernel state stays synchronized
+    # incrementally instead of being rebuilt per find_violation call.
+    model = ModelChecker(instance, checker=checker)
     for __ in range(max_repairs):
         if time.monotonic() >= deadline:
             return None
@@ -171,12 +182,12 @@ def _attempt(
         dependency = None
         witness = None
         for candidate in order:
-            witness = candidate.find_violation(instance)
+            witness = model.find_violation(candidate)
             if witness is not None:
                 dependency = candidate
                 break
         if dependency is None:
-            if target.find_violation(instance) is not None:
+            if model.find_violation(target) is not None:
                 return instance  # model-checked: deps hold, target fails
             return None  # every repair path satisfied the target too
         assignment: dict[Variable, Value] = dict(witness)
@@ -195,7 +206,7 @@ def _attempt(
                     fresh_budget[column] = fresh_budget.get(column, 0) + 1
             assignment[variable] = choice
         for atom in dependency.conclusions:
-            instance.add(tuple(assignment[variable] for variable in atom))
+            model.add(tuple(assignment[variable] for variable in atom))
         if len(instance) > max_rows:
             return None
     return None
@@ -218,6 +229,7 @@ def search_finite_counterexample(
     exhaustive_domain_size: int = 2,
     restarts: int = 50,
     max_seconds: float = 10.0,
+    checker: Optional[str] = None,
 ) -> Optional[Instance]:
     """Try the exhaustive search on tiny domains, then the randomized one.
 
@@ -225,7 +237,7 @@ def search_finite_counterexample(
     model-checked against every dependency and the target).
     """
     witness = search_exhaustive(
-        dependencies, target, domain_size=exhaustive_domain_size
+        dependencies, target, domain_size=exhaustive_domain_size, checker=checker
     )
     if witness is not None:
         return witness
@@ -235,4 +247,5 @@ def search_finite_counterexample(
         seed=seed,
         restarts=restarts,
         max_seconds=max_seconds,
+        checker=checker,
     )

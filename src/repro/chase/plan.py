@@ -122,6 +122,7 @@ class JoinPlan:
         "binding_pairs",
         "existential_slots",
         "existential_variables",
+        "antecedent_atom_slots",
         "conclusion_atom_slots",
         "activity_steps",
         "pivots",
@@ -152,6 +153,11 @@ class JoinPlan:
             tuple(slot_of[variable] for variable in atom)
             for atom in dependency.antecedents
         ]
+        #: Slot view of the antecedents in declaration order — the
+        #: compiled model checker (:mod:`repro.chase.checkplan`) compiles
+        #: its cold full-join order from these, sharing this plan's slot
+        #: layout and conclusion-extension steps.
+        self.antecedent_atom_slots = tuple(antecedent_slots)
         self.conclusion_atom_slots = tuple(
             tuple(slot_of[variable] for variable in atom)
             for atom in dependency.conclusions
@@ -259,6 +265,23 @@ def _compile_pivot(
     )
 
 
+def memoized(cache: dict, key, build, max_size: int):
+    """Structural memo with oldest-first eviction.
+
+    One implementation for every compiled-artifact cache (the plan and
+    program caches here, the check cache in
+    :mod:`repro.chase.checkplan`), so the eviction policy cannot drift
+    between them. ``build`` receives ``key`` on a miss.
+    """
+    value = cache.get(key)
+    if value is None:
+        value = build(key)
+        while len(cache) >= max_size:
+            del cache[next(iter(cache))]  # oldest-first
+        cache[key] = value
+    return value
+
+
 #: Compiled-plan memo. Keyed structurally (Dependency hashes by
 #: structure), so worker processes that decode the same premises for
 #: every payload of a batch still compile each dependency's plan once.
@@ -268,13 +291,7 @@ _PLAN_CACHE_MAX = 2048
 
 def compile_plan(dependency: Dependency) -> JoinPlan:
     """The memoized :class:`JoinPlan` for ``dependency``."""
-    plan = _PLAN_CACHE.get(dependency)
-    if plan is None:
-        plan = JoinPlan(dependency)
-        while len(_PLAN_CACHE) >= _PLAN_CACHE_MAX:
-            del _PLAN_CACHE[next(iter(_PLAN_CACHE))]  # oldest-first
-        _PLAN_CACHE[dependency] = plan
-    return plan
+    return memoized(_PLAN_CACHE, dependency, JoinPlan, _PLAN_CACHE_MAX)
 
 
 #: Per dependency *set*: the compiled plans plus their dispatcher.
@@ -284,19 +301,20 @@ _PROGRAM_CACHE: dict[tuple[Dependency, ...], tuple[tuple[JoinPlan, ...], "Dispat
 _PROGRAM_CACHE_MAX = 512
 
 
+def _build_program(
+    key: tuple[Dependency, ...],
+) -> tuple[tuple[JoinPlan, ...], "Dispatcher"]:
+    plans = tuple(compile_plan(dependency) for dependency in key)
+    return (plans, Dispatcher(plans))
+
+
 def compile_program(
     dependencies: Sequence[Dependency],
 ) -> tuple[tuple[JoinPlan, ...], "Dispatcher"]:
     """Memoized ``(plans, dispatcher)`` for a dependency sequence."""
-    key = tuple(dependencies)
-    program = _PROGRAM_CACHE.get(key)
-    if program is None:
-        plans = tuple(compile_plan(dependency) for dependency in key)
-        program = (plans, Dispatcher(plans))
-        while len(_PROGRAM_CACHE) >= _PROGRAM_CACHE_MAX:
-            del _PROGRAM_CACHE[next(iter(_PROGRAM_CACHE))]  # oldest-first
-        _PROGRAM_CACHE[key] = program
-    return program
+    return memoized(
+        _PROGRAM_CACHE, tuple(dependencies), _build_program, _PROGRAM_CACHE_MAX
+    )
 
 
 class GoalPlan:
@@ -430,11 +448,13 @@ def _extend_matches(
 
     NOTE: the candidate loop (smallest-bucket probe selection,
     single-probe no-verify and all-bound membership fast paths,
-    bind-then-check order) is deliberately inlined here AND in
-    :func:`_has_extension` — a shared per-candidate helper costs the
-    kernel its measured speedup. Any change to the step semantics must
-    be applied to both; the differential suite
-    (``tests/chase/test_kernel_differential.py``) exists to catch a
+    bind-then-check order) is deliberately inlined here, in
+    :func:`_has_extension`, AND in
+    :func:`repro.chase.checkplan._violation_walk` — a shared
+    per-candidate helper costs the kernel its measured speedup. Any
+    change to the step semantics must be applied to all three; the
+    differential suites (``tests/chase/test_kernel_differential.py``,
+    ``tests/chase/test_checker_differential.py``) exist to catch a
     one-sided edit.
     """
     if depth == len(steps):
@@ -495,8 +515,10 @@ def _has_extension(
     """Does some assignment of the remaining slots embed the atoms?
 
     NOTE: keep the candidate loop in lockstep with
-    :func:`_extend_matches` (see the note there) — same step
-    semantics, early-exit instead of collection.
+    :func:`_extend_matches` and
+    :func:`repro.chase.checkplan._violation_walk` (see the note in
+    ``_extend_matches``) — same step semantics, early-exit instead of
+    collection.
     """
     if depth == len(steps):
         return True
@@ -734,8 +756,9 @@ def run_compiled_chase(
             conclusion_atom_slots = plan.conclusion_atom_slots
             regs = [0] * n_slots
             for key in matches:
-                if key in memo:
-                    continue
+                # ``matches`` is already deduplicated within the round
+                # and filtered against the memo by _collect_matches*, so
+                # every key here is genuinely new.
                 memo.add(key)
                 regs[: len(key)] = key
                 # Live activity re-check: an earlier firing this round

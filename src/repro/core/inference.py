@@ -26,9 +26,9 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.chase.budget import Budget
+from repro.chase.checkplan import ModelChecker
 from repro.chase.finite_models import search_finite_counterexample
 from repro.chase.implication import InferenceOutcome, InferenceStatus, implies
-from repro.chase.modelcheck import satisfies_all
 from repro.dependencies.classify import Dependency
 from repro.errors import VerificationError
 from repro.relational.instance import Instance
@@ -138,8 +138,14 @@ def infer(
 def _check_counterexample(
     dependencies: Sequence[Dependency], target: Dependency, witness: Instance
 ) -> None:
-    """Re-verify a counterexample before reporting it."""
-    if not satisfies_all(witness, dependencies):
+    """Re-verify a counterexample before reporting it.
+
+    One :class:`~repro.chase.checkplan.ModelChecker` serves the whole
+    verification — the dependency sweep and the target-violation check
+    share a single interned view of the witness.
+    """
+    model = ModelChecker(witness)
+    if not model.satisfies_all(dependencies):
         raise VerificationError("counterexample fails to satisfy the dependency set")
-    if target.find_violation(witness) is None:
+    if model.find_violation(target) is None:
         raise VerificationError("counterexample does not actually violate the target")

@@ -22,7 +22,6 @@ from __future__ import annotations
 from typing import Iterable, Iterator, Optional, Sequence
 
 from repro.errors import ArityError, DependencyError
-from repro.relational.homomorphism import extend_homomorphism, iter_homomorphisms
 from repro.relational.instance import Instance
 from repro.relational.schema import Schema
 from repro.dependencies.template import Atom, TemplateDependency, Variable, is_variable
@@ -134,21 +133,29 @@ class EmbeddedImplicationalDependency:
     # Semantics
     # ------------------------------------------------------------------
 
-    def holds_in(self, instance: Instance) -> bool:
-        """Model checking against a database instance."""
-        return self.find_violation(instance) is None
+    def holds_in(
+        self, instance: Instance, *, checker: Optional[str] = None
+    ) -> bool:
+        """Model checking against a database instance.
 
-    def find_violation(self, instance: Instance) -> Optional[dict]:
-        """Return a violating antecedent homomorphism, or None."""
-        for assignment in iter_homomorphisms(
-            self.antecedents, instance, flexible=is_variable
-        ):
-            extension = extend_homomorphism(
-                assignment, self.conclusions, instance, flexible=is_variable
-            )
-            if extension is None:
-                return dict(assignment)
-        return None
+        Compiled join-plan checker by default; ``checker="legacy"``
+        selects the generic search (see :mod:`repro.chase.checkplan`).
+        """
+        return self.find_violation(instance, checker=checker) is None
+
+    def find_violation(
+        self, instance: Instance, *, checker: Optional[str] = None
+    ) -> Optional[dict]:
+        """Return a violating antecedent homomorphism, or None.
+
+        Shares one implementation with
+        :class:`~repro.dependencies.template.TemplateDependency` (a TD is
+        this with a one-atom conclusion conjunction), dispatched in
+        :mod:`repro.chase.checkplan`.
+        """
+        from repro.chase.checkplan import find_violation
+
+        return find_violation(self, instance, checker=checker)
 
     # ------------------------------------------------------------------
     # Display

@@ -27,11 +27,7 @@ from __future__ import annotations
 from typing import Iterable, Iterator, Mapping, Optional, Sequence
 
 from repro.errors import ArityError, DependencyError, TypingError
-from repro.relational.homomorphism import (
-    extend_homomorphism,
-    find_homomorphism,
-    iter_homomorphisms,
-)
+from repro.relational.homomorphism import find_homomorphism
 from repro.relational.instance import Instance, Row
 from repro.relational.schema import Schema
 from repro.relational.values import Const, NullFactory, Value
@@ -234,44 +230,52 @@ class TemplateDependency:
     # Semantics
     # ------------------------------------------------------------------
 
-    def holds_in(self, instance: Instance) -> bool:
+    def holds_in(
+        self, instance: Instance, *, checker: Optional[str] = None
+    ) -> bool:
         """Model checking: does ``instance`` satisfy this dependency?
 
         True when every homomorphism of the antecedents into the instance
-        extends to one of the conclusion.
+        extends to one of the conclusion. Runs on the compiled join-plan
+        checker by default (``checker="legacy"`` selects the generic
+        search; see :mod:`repro.chase.checkplan`).
         """
-        return self.find_violation(instance) is None
+        return self.find_violation(instance, checker=checker) is None
 
-    def find_violation(self, instance: Instance) -> Optional[dict]:
+    def find_violation(
+        self, instance: Instance, *, checker: Optional[str] = None
+    ) -> Optional[dict]:
         """Return a violating antecedent homomorphism, or None.
 
         A violation is an assignment of the universal variables under which
-        every antecedent is present but no conclusion tuple exists.
+        every antecedent is present but no conclusion tuple exists. The
+        implementation is shared with EIDs (a TD is the one-conclusion-atom
+        special case) and dispatches between the compiled and legacy
+        checkers in :mod:`repro.chase.checkplan`.
         """
-        for assignment in iter_homomorphisms(
-            self.antecedents, instance, flexible=is_variable
-        ):
-            extension = extend_homomorphism(
-                assignment, [self.conclusion], instance, flexible=is_variable
-            )
-            if extension is None:
-                return dict(assignment)
-        return None
+        from repro.chase.checkplan import find_violation
+
+        return find_violation(self, instance, checker=checker)
 
     def freeze(
         self, fresh: Optional[NullFactory] = None
     ) -> tuple[Instance, dict[Variable, Value]]:
         """Freeze the antecedents into a canonical database.
 
-        Every universal variable becomes a distinct frozen constant; the
-        result is the instance the chase starts from when testing whether a
-        set of dependencies implies this one, together with the
-        variable-to-constant assignment.
+        Every universal variable becomes a distinct frozen constant — or,
+        when ``fresh`` (a :class:`~repro.relational.values.NullFactory`)
+        is given, a distinct labelled null from that factory. The frozen
+        instance is what the chase starts from when testing whether a set
+        of dependencies implies this one; the null-freezing variant makes
+        the start instance homomorphically extensible (nulls may be
+        remapped) where frozen constants are rigid. Returned alongside
+        the variable-to-value assignment.
         """
-        del fresh  # reserved for a variant freezing into nulls
         assignment: dict[Variable, Value] = {}
         for variable in sorted(self.universal_variables(), key=lambda v: v.name):
-            assignment[variable] = Const(("frozen", variable.name))
+            assignment[variable] = (
+                fresh() if fresh is not None else Const(("frozen", variable.name))
+            )
         instance = Instance(
             self.schema,
             (

@@ -32,7 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Union
 
-from repro.chase.modelcheck import all_violations
+from repro.chase.checkplan import ModelChecker
 from repro.dependencies.template import TemplateDependency
 from repro.errors import ReductionError, VerificationError
 from repro.reduction.encode import ReductionEncoding
@@ -246,8 +246,11 @@ def verify_counterexample(database: CounterexampleDatabase) -> CounterexampleRep
     """
     encoding = database.encoding
     check_class_facts(database)  # the proof's Facts 1 and 2
-    violations = all_violations(database.instance, encoding.dependencies)
-    d0_witness = encoding.d0.find_violation(database.instance)
+    # One interned view of the database serves the whole direction-(B)
+    # sweep: every Di(r) plus D0's violation probe.
+    model = ModelChecker(database.instance)
+    violations = model.all_violations(encoding.dependencies)
+    d0_witness = model.find_violation(encoding.d0)
     return CounterexampleReport(
         database=database,
         d_satisfied=not violations,

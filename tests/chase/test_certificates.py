@@ -150,3 +150,37 @@ class TestExplain:
         outcome = implies([successor], predecessor, budget=Budget.small())
         text = explain_outcome(outcome)
         assert "UNKNOWN" in text
+
+
+class TestExplainDegradesWithoutCertificate:
+    """Regression: a PROVED outcome `minimize_proof` cannot slice used to
+    hit `assert trace is not None` — a crash under `python` and silently
+    skipped under `python -O`. Rendering must degrade, not fail."""
+
+    def test_proved_without_chase_result(self, proved_outcome):
+        from repro.chase.implication import InferenceOutcome
+
+        bare = InferenceOutcome(
+            status=InferenceStatus.PROVED, target=proved_outcome.target
+        )
+        text = explain_outcome(bare)
+        assert "PROVED" in text
+        assert "could not be minimized" in text
+        assert "no replayable chase trace" in text
+
+    def test_proved_without_frozen_assignment_shows_full_trace(
+        self, proved_outcome
+    ):
+        from dataclasses import replace
+
+        stripped = replace(proved_outcome, frozen_assignment=None)
+        text = explain_outcome(stripped)
+        assert "PROVED" in text
+        assert "could not be minimized" in text
+        # Degrades to the unsliced derivation, still numbered.
+        assert "  1. by" in text
+
+    def test_intact_outcome_unaffected(self, proved_outcome):
+        text = explain_outcome(proved_outcome)
+        assert "essential step(s)" in text
+        assert "could not be minimized" not in text

@@ -172,6 +172,34 @@ class TestFreeze:
         __, assignment = td.freeze()
         assert len(set(assignment.values())) == len(assignment)
 
+    def test_freeze_with_fresh_uses_labelled_nulls(self, schema):
+        """Regression: ``freeze(fresh=...)`` used to silently discard the
+        factory and hand back frozen constants."""
+        from repro.relational.values import LabeledNull, NullFactory
+
+        td = make_fig1(schema)
+        frozen, assignment = td.freeze(fresh=NullFactory())
+        assert set(assignment) == td.universal_variables()
+        assert all(
+            isinstance(value, LabeledNull) for value in assignment.values()
+        )
+        assert len(set(assignment.values())) == len(assignment)  # distinct
+        for row in frozen:
+            assert all(isinstance(value, LabeledNull) for value in row)
+        # The nulls really come from the caller's factory (labels advance).
+        factory = NullFactory(start=100)
+        __, null_assignment = td.freeze(fresh=factory)
+        assert {value.label for value in null_assignment.values()} == set(
+            range(100, 100 + len(null_assignment))
+        )
+
+    def test_freeze_default_still_constants(self, schema):
+        from repro.relational.values import Const
+
+        td = make_fig1(schema)
+        __, assignment = td.freeze()
+        assert all(isinstance(value, Const) for value in assignment.values())
+
 
 class TestTransformations:
     def test_rename(self, schema):
