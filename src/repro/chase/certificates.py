@@ -17,7 +17,8 @@ from repro.chase.implication import InferenceOutcome, InferenceStatus
 from repro.chase.result import ChaseStep
 from repro.dependencies.classify import Dependency
 from repro.dependencies.template import Variable, is_variable
-from repro.relational.homomorphism import apply_assignment, find_homomorphism
+from repro.relational.homomorphism import apply_assignment
+from repro.relational.homplan import find_homomorphism
 from repro.relational.instance import Instance, Row
 from repro.relational.values import Value
 

@@ -49,13 +49,12 @@ from __future__ import annotations
 import os
 from typing import Iterable, Optional, Sequence
 
-from repro.chase.plan import (
+from repro.chase.plan import JoinPlan, compile_plan
+from repro.kernel.joins import (
     AtomStep,
-    JoinPlan,
     KernelState,
-    _compile_steps,
-    _has_extension,
-    compile_plan,
+    compile_steps,
+    has_extension,
     memoized,
 )
 from repro.dependencies.template import Variable, is_variable
@@ -98,7 +97,7 @@ class CheckPlan:
         self.plan: JoinPlan = plan
         #: Full join over the antecedents with nothing pre-bound — the
         #: model checker has no pivot row to seed from.
-        self.antecedent_steps: tuple[AtomStep, ...] = _compile_steps(
+        self.antecedent_steps: tuple[AtomStep, ...] = compile_steps(
             list(plan.antecedent_atom_slots), set()
         )
         #: Universal variables in slot order (0..n_universal-1): the
@@ -132,8 +131,8 @@ def _violation_walk(
     Returns True with the witness left in ``regs`` (universal slots), or
     False when every antecedent match extends — i.e. the dependency
     holds. The candidate loop is kept in lockstep with
-    :func:`repro.chase.plan._extend_matches` /
-    :func:`repro.chase.plan._has_extension` (see the NOTE there): same
+    :func:`repro.kernel.joins.extend_matches` /
+    :func:`repro.kernel.joins.has_extension` (see the NOTE there): same
     step semantics, early exit on the first violation. A True return
     unwinds without touching ``regs`` again, so the caller reads the
     witness straight out of the registers.
@@ -141,7 +140,7 @@ def _violation_walk(
     if depth == len(steps):
         # Complete antecedent match: violated iff the conclusion atoms
         # have no extension (the precompiled trigger-activity probe).
-        return not _has_extension(state, activity_steps, 0, regs)
+        return not has_extension(state, activity_steps, 0, regs)
     step = steps[depth]
     probes = step.probes
     if step.membership:

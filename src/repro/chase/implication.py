@@ -29,7 +29,7 @@ from repro.chase.engine import ChaseVariant, chase
 from repro.chase.result import ChaseResult, ChaseStatus
 from repro.dependencies.classify import Dependency
 from repro.dependencies.template import Variable, is_variable
-from repro.relational.homomorphism import find_homomorphism
+from repro.relational.homplan import find_homomorphism
 from repro.relational.instance import Instance
 from repro.relational.values import Value
 
@@ -99,13 +99,21 @@ def conclusion_satisfied(
     instance: Instance,
     target: Dependency,
     frozen: dict[Variable, Value],
+    *,
+    engine: Optional[str] = None,
 ) -> bool:
-    """Does ``instance`` contain the target's conclusion at the frozen match?"""
+    """Does ``instance`` contain the target's conclusion at the frozen match?
+
+    One-shot calls (verifying a finished chase, the differential
+    suites) run on the compiled homomorphism engine by default;
+    ``engine`` / ``REPRO_HOM_ENGINE`` select the generic search.
+    """
     witness = find_homomorphism(
         target.conclusions,
         instance,
         partial=frozen,
         flexible=is_variable,
+        engine=engine,
     )
     return witness is not None
 
@@ -130,7 +138,47 @@ class ConclusionGoal:
         self.goal_plan_cache = None
 
     def __call__(self, instance: Instance) -> bool:
-        return conclusion_satisfied(instance, self.target, self.goal_partial)
+        # Pinned to the legacy homomorphism engine: the legacy chase
+        # kernel evaluates the goal after *every* firing on a mutating
+        # instance, where a compiled one-shot would rebuild its interned
+        # view per call (the compiled kernel uses the incremental
+        # GoalPlan path instead, so it never comes through here).
+        return conclusion_satisfied(
+            instance, self.target, self.goal_partial, engine="legacy"
+        )
+
+
+class FrozenStart:
+    """A target's frozen start, shareable across repeated chases.
+
+    The variant-racing scheduler chases the *same* frozen antecedent
+    database once per race arm; without sharing, every arm re-freezes
+    the target, re-interns the start rows into a fresh
+    :class:`~repro.relational.values.InternTable`, and re-compiles the
+    goal plan. A ``FrozenStart`` freezes once and hands each arm a
+    fresh mutable copy that shares the original's intern table (ids
+    only ever grow, so ids minted by one arm stay valid for the next —
+    the kernel state built over the copy reuses them instead of
+    re-interning from scratch) and the :class:`ConclusionGoal` object,
+    whose ``goal_plan_cache`` then carries the compiled goal across
+    arms. ``reuses`` counts the arms that avoided a rebuild.
+    """
+
+    __slots__ = ("target", "instance", "frozen", "goal", "reuses", "_handed")
+
+    def __init__(self, target: Dependency):
+        self.target = target
+        self.instance, self.frozen = _freeze_target(target)
+        self.goal = ConclusionGoal(target, self.frozen)
+        self.reuses = 0
+        self._handed = False
+
+    def fresh_start(self) -> Instance:
+        """A mutable copy of the frozen start for one chase arm."""
+        if self._handed:
+            self.reuses += 1
+        self._handed = True
+        return self.instance.copy(share_intern=True)
 
 
 def implies(
@@ -141,19 +189,29 @@ def implies(
     variant: ChaseVariant = ChaseVariant.STANDARD,
     record_trace: bool = True,
     kernel: Optional[str] = None,
+    start: Optional[FrozenStart] = None,
 ) -> InferenceOutcome:
     """Test whether ``dependencies ⊨ target`` by chasing the frozen target.
 
     ``kernel`` selects the chase kernel (compiled by default; see
     :func:`repro.chase.engine.chase`) — the benchmarks and differential
-    tests use it to pin a side of the comparison.
+    tests use it to pin a side of the comparison. ``start`` passes a
+    :class:`FrozenStart` built from the *same* target, so callers that
+    chase one target repeatedly (the variant-racing scheduler) share
+    its intern table and compiled goal plan across arms.
     """
-    start, frozen = _freeze_target(target)
-    goal = ConclusionGoal(target, frozen)
-    # ``start`` is built fresh for this call and never reused, so the
-    # chase may mutate it directly instead of paying a defensive copy.
+    if start is not None:
+        if start.target != target:
+            raise ValueError("FrozenStart was built for a different target")
+        working, frozen, goal = start.fresh_start(), start.frozen, start.goal
+    else:
+        working, frozen = _freeze_target(target)
+        goal = ConclusionGoal(target, frozen)
+    # The start is a fresh (copy of the) frozen database never reused
+    # afterwards, so the chase may mutate it directly instead of paying
+    # a defensive copy.
     result = chase(
-        start,
+        working,
         list(dependencies),
         budget=budget,
         variant=variant,

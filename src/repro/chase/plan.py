@@ -16,8 +16,8 @@ of that can be decided **once**:
 * rows are *interned* through the instance's
   :class:`~repro.relational.values.InternTable` to tuples of dense
   ints, so row hashing, equality and index keys are integer operations
-  (:class:`KernelState` keeps the int-row inverted index in sync as the
-  chase fires);
+  (:class:`~repro.kernel.joins.KernelState` keeps the int-row inverted
+  index in sync as the chase fires);
 * a :class:`Dispatcher` routes each delta row straight to the
   ``(dependency, pivot)`` pairs whose within-atom equality pattern the
   row satisfies, instead of unifying every row against every atom of
@@ -27,6 +27,13 @@ of that can be decided **once**:
 * the compiled chase loop is delta-driven for both ``STANDARD`` and
   ``SEMI_NAIVE`` (round one's delta is the whole instance, which *is*
   the standard restricted chase with semi-naive bookkeeping).
+
+The row/step/walker primitives live in :mod:`repro.kernel.joins` — the
+engine layer this module shares with the compiled model checker
+(:mod:`repro.chase.checkplan`) and the compiled homomorphism engine
+(:mod:`repro.relational.homplan`). ``KernelState``,
+``atom_equality_pattern`` and ``memoized`` are re-exported here for
+their existing importers.
 
 The kernel is differentially equal to the generic engine: same
 :class:`~repro.chase.result.ChaseStatus`, replay-valid traces, and
@@ -43,52 +50,18 @@ from typing import Callable, Optional, Sequence
 from repro.chase.result import ChaseResult, ChaseStatus, ChaseStep
 from repro.dependencies.classify import Dependency
 from repro.dependencies.template import Variable
+from repro.kernel.joins import (
+    AtomStep,
+    IntRow,
+    KernelState,
+    atom_equality_pattern,
+    compile_steps,
+    extend_matches,
+    has_extension,
+    memoized,
+)
 from repro.relational.instance import Instance, Row
 from repro.relational.values import NullFactory
-
-#: An interned row: one dense int per column.
-IntRow = tuple[int, ...]
-
-
-class AtomStep:
-    """One precompiled join step: match one atom against the index.
-
-    ``probes`` are ``(column, slot)`` pairs whose slots are bound before
-    this step — candidate rows come from the smallest matching index
-    bucket and are verified against the rest. ``binds`` are the first
-    occurrences of newly bound slots; ``checks`` are repeat occurrences
-    of slots bound earlier *within this same atom* (verified after
-    binding). When every column is a probe (``membership`` True) the
-    whole step degenerates to one O(1) set-membership test — the common
-    case for full-dependency activity checks and implication goals.
-    """
-
-    __slots__ = (
-        "probes",
-        "binds",
-        "checks",
-        "membership",
-        "probe_slots",
-        "verify_probes",
-    )
-
-    def __init__(
-        self,
-        probes: tuple[tuple[int, int], ...],
-        binds: tuple[tuple[int, int], ...],
-        checks: tuple[tuple[int, int], ...],
-    ):
-        self.probes = probes
-        self.binds = binds
-        self.checks = checks
-        self.membership = not binds and not checks
-        #: Slot per column, for the membership fast path (probes are in
-        #: column order by construction).
-        self.probe_slots = tuple(slot for __, slot in probes)
-        #: With a single probe the index bucket already guarantees the
-        #: match — candidate rows need no re-verification.
-        self.verify_probes = probes if len(probes) > 1 else ()
-
 
 class PivotPlan:
     """A join order for the remaining atoms, seeded from one pivot atom.
@@ -173,78 +146,10 @@ class JoinPlan:
 
         # The trigger-activity extension: join the conclusion atoms with
         # every universal slot already bound.
-        self.activity_steps = _compile_steps(
+        self.activity_steps = compile_steps(
             list(self.conclusion_atom_slots),
             set(range(self.n_universal)),
         )
-
-
-def atom_equality_pattern(atom: Sequence) -> tuple[tuple[int, int], ...]:
-    """Column pairs a row must agree on to unify with ``atom``.
-
-    Works over any hashable atom terms — the compiled kernel passes
-    integer slots, the legacy delta enumeration
-    (:func:`repro.chase.trigger.iter_triggers_touching`) passes
-    :class:`Variable` atoms. A repeated term is the only way an
-    all-variable atom can reject a row, so this pattern is the complete
-    row-level dispatch filter.
-    """
-    first: dict = {}
-    pattern = []
-    for column, term in enumerate(atom):
-        seen = first.get(term)
-        if seen is None:
-            first[term] = column
-        else:
-            pattern.append((seen, column))
-    return tuple(pattern)
-
-
-def _compile_atom(
-    slots: Sequence[int], bound: set[int]
-) -> tuple[AtomStep, set[int]]:
-    """Compile one atom given the already-bound slot set (updated)."""
-    probes = []
-    binds = []
-    checks = []
-    bound_here: set[int] = set()
-    for column, slot in enumerate(slots):
-        if slot in bound:
-            probes.append((column, slot))
-        elif slot in bound_here:
-            checks.append((column, slot))
-        else:
-            binds.append((column, slot))
-            bound_here.add(slot)
-    bound |= bound_here
-    return AtomStep(tuple(probes), tuple(binds), tuple(checks)), bound
-
-
-def _compile_steps(
-    atom_slots: list[tuple[int, ...]], bound: set[int]
-) -> tuple[AtomStep, ...]:
-    """Greedy most-constrained-first order over ``atom_slots``.
-
-    Mirrors the generic engine's heuristic, decided once: prefer the
-    atom with the most already-bound cells, tie-break on fewer new
-    slots, then on input order (deterministic).
-    """
-    remaining = list(range(len(atom_slots)))
-    steps = []
-    bound = set(bound)
-    while remaining:
-        best = max(
-            remaining,
-            key=lambda i: (
-                sum(1 for slot in atom_slots[i] if slot in bound),
-                -len({slot for slot in atom_slots[i] if slot not in bound}),
-                -i,
-            ),
-        )
-        remaining.remove(best)
-        step, bound = _compile_atom(atom_slots[best], bound)
-        steps.append(step)
-    return tuple(steps)
 
 
 def _compile_pivot(
@@ -261,25 +166,8 @@ def _compile_pivot(
     return PivotPlan(
         pattern=atom_equality_pattern(slots),
         binds=tuple(binds),
-        steps=_compile_steps(rest, seen),
+        steps=compile_steps(rest, seen),
     )
-
-
-def memoized(cache: dict, key, build, max_size: int):
-    """Structural memo with oldest-first eviction.
-
-    One implementation for every compiled-artifact cache (the plan and
-    program caches here, the check cache in
-    :mod:`repro.chase.checkplan`), so the eviction policy cannot drift
-    between them. ``build`` receives ``key`` on a miss.
-    """
-    value = cache.get(key)
-    if value is None:
-        value = build(key)
-        while len(cache) >= max_size:
-            del cache[next(iter(cache))]  # oldest-first
-        cache[key] = value
-    return value
 
 
 #: Compiled-plan memo. Keyed structurally (Dependency hashes by
@@ -343,7 +231,7 @@ class GoalPlan:
                     slot_of[variable] = len(slot_of)
         self.n_slots = len(slot_of)
         self.prebound = tuple(prebound)
-        self.steps = _compile_steps(
+        self.steps = compile_steps(
             [tuple(slot_of[variable] for variable in atom) for atom in atoms],
             bound,
         )
@@ -357,209 +245,7 @@ class GoalPlan:
         return regs
 
     def satisfied(self, state: KernelState, regs: list[int]) -> bool:
-        return _has_extension(state, self.steps, 0, regs)
-
-
-class KernelState:
-    """The interned view of a live :class:`Instance`, kept in sync.
-
-    Rows are tuples of dense ints (via ``instance.intern_table``); the
-    inverted index maps ``(column, value id)`` to a list of int rows.
-    The kernel is the only mutator during a compiled chase, so the view
-    updates incrementally in :meth:`add`.
-    """
-
-    __slots__ = ("instance", "values", "_intern", "index", "irows", "rows_list")
-
-    def __init__(self, instance: Instance):
-        self.instance = instance
-        table = instance.intern_table
-        self.values = table.values
-        self._intern = table.intern
-        self.index: dict[tuple[int, int], list[IntRow]] = {}
-        self.irows: set[IntRow] = set()
-        self.rows_list: list[IntRow] = []
-        for row in instance:
-            self._admit(tuple(map(self._intern, row)))
-
-    def _admit(self, irow: IntRow) -> None:
-        self.irows.add(irow)
-        self.rows_list.append(irow)
-        index = self.index
-        for column, vid in enumerate(irow):
-            key = (column, vid)
-            bucket = index.get(key)
-            if bucket is None:
-                index[key] = [irow]
-            else:
-                bucket.append(irow)
-
-    def intern_row(self, row: Row) -> IntRow:
-        return tuple(map(self._intern, row))
-
-    def add(self, row: Row) -> Optional[IntRow]:
-        """Insert ``row`` into instance and view; None when already present."""
-        irow = tuple(map(self._intern, row))
-        return irow if self.add_interned(irow) is not None else None
-
-    def add_interned(self, irow: IntRow) -> Optional[Row]:
-        """Insert a row already expressed as interned ids (the fire path).
-
-        The kernel holds conclusion rows as registers of interned ids,
-        so presence is one int-tuple set test and the Value row is only
-        materialized for genuinely new rows (returned; None when the
-        row was already present). Bypasses :meth:`Instance.add`'s arity
-        check (kernel rows come from compiled conclusion templates,
-        correct by construction) but keeps the instance's row set,
-        inverted index and snapshot invalidation exactly in sync — the
-        goal predicate and every post-chase consumer see a normal
-        instance. Relies on the class invariant that ``irows`` mirrors
-        the instance's row set exactly.
-        """
-        if irow in self.irows:
-            return None
-        values = self.values
-        row = tuple(values[vid] for vid in irow)
-        instance = self.instance
-        instance._rows.add(row)
-        instance._snapshot = None
-        index = instance._index
-        for column, value in enumerate(row):
-            key = (column, value)
-            bucket = index.get(key)
-            if bucket is None:
-                index[key] = {row}
-            else:
-                bucket.add(row)
-        self._admit(irow)
-        return row
-
-
-def _extend_matches(
-    state: KernelState,
-    steps: tuple[AtomStep, ...],
-    depth: int,
-    regs: list[int],
-    n_universal: int,
-    seen: set[tuple[int, ...]],
-    out: list[tuple[int, ...]],
-) -> None:
-    """Backtracking join over ``steps``; completed matches land in ``out``.
-
-    NOTE: the candidate loop (smallest-bucket probe selection,
-    single-probe no-verify and all-bound membership fast paths,
-    bind-then-check order) is deliberately inlined here, in
-    :func:`_has_extension`, AND in
-    :func:`repro.chase.checkplan._violation_walk` — a shared
-    per-candidate helper costs the kernel its measured speedup. Any
-    change to the step semantics must be applied to all three; the
-    differential suites (``tests/chase/test_kernel_differential.py``,
-    ``tests/chase/test_checker_differential.py``) exist to catch a
-    one-sided edit.
-    """
-    if depth == len(steps):
-        key = tuple(regs[:n_universal])
-        if key not in seen:
-            seen.add(key)
-            out.append(key)
-        return
-    step = steps[depth]
-    probes = step.probes
-    if step.membership:
-        if tuple(regs[slot] for slot in step.probe_slots) in state.irows:
-            _extend_matches(
-                state, steps, depth + 1, regs, n_universal, seen, out
-            )
-        return
-    if probes:
-        index = state.index
-        best = None
-        for column, slot in probes:
-            bucket = index.get((column, regs[slot]))
-            if not bucket:
-                return
-            if best is None or len(bucket) < len(best):
-                best = bucket
-    else:
-        best = state.rows_list
-    verify = step.verify_probes
-    binds = step.binds
-    checks = step.checks
-    next_depth = depth + 1
-    for irow in best:
-        ok = True
-        for column, slot in verify:
-            if irow[column] != regs[slot]:
-                ok = False
-                break
-        if not ok:
-            continue
-        for column, slot in binds:
-            regs[slot] = irow[column]
-        for column, slot in checks:
-            if irow[column] != regs[slot]:
-                ok = False
-                break
-        if ok:
-            _extend_matches(
-                state, steps, next_depth, regs, n_universal, seen, out
-            )
-
-
-def _has_extension(
-    state: KernelState,
-    steps: tuple[AtomStep, ...],
-    depth: int,
-    regs: list[int],
-) -> bool:
-    """Does some assignment of the remaining slots embed the atoms?
-
-    NOTE: keep the candidate loop in lockstep with
-    :func:`_extend_matches` and
-    :func:`repro.chase.checkplan._violation_walk` (see the note in
-    ``_extend_matches``) — same step semantics, early-exit instead of
-    collection.
-    """
-    if depth == len(steps):
-        return True
-    step = steps[depth]
-    probes = step.probes
-    if step.membership:
-        if tuple(regs[slot] for slot in step.probe_slots) in state.irows:
-            return _has_extension(state, steps, depth + 1, regs)
-        return False
-    if probes:
-        index = state.index
-        best = None
-        for column, slot in probes:
-            bucket = index.get((column, regs[slot]))
-            if not bucket:
-                return False
-            if best is None or len(bucket) < len(best):
-                best = bucket
-    else:
-        best = state.rows_list
-    verify = step.verify_probes
-    binds = step.binds
-    checks = step.checks
-    next_depth = depth + 1
-    for irow in best:
-        ok = True
-        for column, slot in verify:
-            if irow[column] != regs[slot]:
-                ok = False
-                break
-        if not ok:
-            continue
-        for column, slot in binds:
-            regs[slot] = irow[column]
-        for column, slot in checks:
-            if irow[column] != regs[slot]:
-                ok = False
-                break
-        if ok and _has_extension(state, steps, next_depth, regs):
-            return True
-    return False
+        return has_extension(state, self.steps, 0, regs)
 
 
 class Dispatcher:
@@ -646,7 +332,7 @@ def _collect_matches(
     for pivot_plan, irow in seeds:
         for column, slot in pivot_plan.binds:
             regs[slot] = irow[column]
-        _extend_matches(state, pivot_plan.steps, 0, regs, n_universal, seen, out)
+        extend_matches(state, pivot_plan.steps, 0, regs, n_universal, seen, out)
     if evaluated:
         return [key for key in out if key not in evaluated]
     return out
@@ -674,7 +360,7 @@ def _collect_matches_all(
         for irow in delta:
             for column, slot in binds:
                 regs[slot] = irow[column]
-            _extend_matches(state, steps, 0, regs, n_universal, seen, out)
+            extend_matches(state, steps, 0, regs, n_universal, seen, out)
     if evaluated:
         return [key for key in out if key not in evaluated]
     return out
@@ -763,7 +449,7 @@ def run_compiled_chase(
                 regs[: len(key)] = key
                 # Live activity re-check: an earlier firing this round
                 # may have satisfied the conclusion already.
-                if _has_extension(state, activity_steps, 0, regs):
+                if has_extension(state, activity_steps, 0, regs):
                     continue
                 # Fire: one fresh null per existential variable, shared
                 # across all conclusion atoms.

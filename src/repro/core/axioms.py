@@ -35,11 +35,8 @@ from typing import Iterator, Optional, Sequence
 
 from repro.dependencies.template import Atom, TemplateDependency, Variable, is_variable
 from repro.errors import VerificationError
-from repro.relational.homomorphism import (
-    apply_assignment,
-    find_homomorphism,
-    iter_homomorphisms,
-)
+from repro.relational.homomorphism import apply_assignment
+from repro.relational.homplan import find_homomorphism, iter_homomorphisms
 from repro.relational.instance import Instance
 
 
@@ -311,7 +308,7 @@ def derive(
                 # Restricted discipline: skip matches whose conclusion is
                 # already witnessed in the tableau, else fresh existential
                 # renaming would re-add the same fact forever.
-                from repro.relational.homomorphism import extend_homomorphism
+                from repro.relational.homplan import extend_homomorphism
 
                 already = extend_homomorphism(
                     h, [hypothesis.conclusion], table, flexible=is_variable

@@ -27,7 +27,7 @@ from __future__ import annotations
 from typing import Iterable, Iterator, Mapping, Optional, Sequence
 
 from repro.errors import ArityError, DependencyError, TypingError
-from repro.relational.homomorphism import find_homomorphism
+from repro.relational.homplan import find_homomorphism
 from repro.relational.instance import Instance, Row
 from repro.relational.schema import Schema
 from repro.relational.values import Const, NullFactory, Value

@@ -1,0 +1,32 @@
+"""The shared join-kernel layer.
+
+One engine under every homomorphism-shaped problem in the library: the
+chase (:mod:`repro.chase.plan`), model checking
+(:mod:`repro.chase.checkplan`), and the compiled homomorphism /
+core / conjunctive-query engine (:mod:`repro.relational.homplan`) all
+build their compiled plans from these primitives.
+"""
+
+from repro.kernel.joins import (
+    AtomStep,
+    IntRow,
+    KernelState,
+    atom_equality_pattern,
+    compile_atom,
+    compile_steps,
+    extend_matches,
+    has_extension,
+    memoized,
+)
+
+__all__ = [
+    "AtomStep",
+    "IntRow",
+    "KernelState",
+    "atom_equality_pattern",
+    "compile_atom",
+    "compile_steps",
+    "extend_matches",
+    "has_extension",
+    "memoized",
+]

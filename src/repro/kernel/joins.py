@@ -1,0 +1,370 @@
+"""The shared join kernel: interned rows, compiled atom steps, walkers.
+
+Every decision procedure in this library bottoms out in *homomorphism
+search* — the chase fires triggers (antecedent homomorphisms without a
+conclusion extension), model checking looks for violations (the same
+match shape), core computation retracts an instance onto itself, and
+conjunctive-query containment folds one query body onto another. PR 3/4
+compiled two of those consumers (:mod:`repro.chase.plan`,
+:mod:`repro.chase.checkplan`) onto one set of primitives; this module is
+that machinery extracted into a dedicated engine layer so the remaining
+consumers (:mod:`repro.relational.homplan`: cores, homomorphic
+equivalence, CQ evaluation/containment/minimization) run on the same
+kernel instead of the generic backtracking search.
+
+The primitives:
+
+* :class:`AtomStep` — one precompiled join step over flat integer
+  *slots*: probe columns (already bound), bind columns (first
+  occurrences) and check columns (repeats within the atom), with
+  single-probe and all-bound-membership fast paths;
+* :func:`compile_steps` — the greedy most-constrained-first atom order,
+  decided once per structure instead of per backtracking node;
+* :class:`KernelState` — the interned int-row view of a live
+  :class:`~repro.relational.instance.Instance`, kept in sync as the
+  chase fires;
+* the walkers — :func:`extend_matches` (collect completed matches),
+  :func:`has_extension` (existence, early exit) — plus
+  :func:`memoized`, the one structural-cache implementation every
+  compiled-artifact cache shares.
+
+NOTE: the candidate loop (smallest-bucket probe selection, single-probe
+no-verify and all-bound-membership fast paths, bind-then-check order) is
+deliberately inlined in :func:`extend_matches`, :func:`has_extension`,
+:func:`repro.chase.checkplan._violation_walk`, and the walkers of
+:mod:`repro.relational.homplan` — a shared per-candidate helper costs
+the kernel its measured speedup. Any change to the step semantics must
+be applied to all of them; the differential suites
+(``tests/chase/test_kernel_differential.py``,
+``tests/chase/test_checker_differential.py``,
+``tests/relational/test_homplan.py``) exist to catch a one-sided edit.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.relational.instance import Instance, Row
+
+#: An interned row: one dense int per column.
+IntRow = tuple[int, ...]
+
+
+class AtomStep:
+    """One precompiled join step: match one atom against the index.
+
+    ``probes`` are ``(column, slot)`` pairs whose slots are bound before
+    this step — candidate rows come from the smallest matching index
+    bucket and are verified against the rest. ``binds`` are the first
+    occurrences of newly bound slots; ``checks`` are repeat occurrences
+    of slots bound earlier *within this same atom* (verified after
+    binding). When every column is a probe (``membership`` True) the
+    whole step degenerates to one O(1) set-membership test — the common
+    case for full-dependency activity checks and implication goals.
+    """
+
+    __slots__ = (
+        "probes",
+        "binds",
+        "checks",
+        "membership",
+        "probe_slots",
+        "verify_probes",
+    )
+
+    def __init__(
+        self,
+        probes: tuple[tuple[int, int], ...],
+        binds: tuple[tuple[int, int], ...],
+        checks: tuple[tuple[int, int], ...],
+    ):
+        self.probes = probes
+        self.binds = binds
+        self.checks = checks
+        self.membership = not binds and not checks
+        #: Slot per column, for the membership fast path (probes are in
+        #: column order by construction).
+        self.probe_slots = tuple(slot for __, slot in probes)
+        #: With a single probe the index bucket already guarantees the
+        #: match — candidate rows need no re-verification.
+        self.verify_probes = probes if len(probes) > 1 else ()
+
+
+def atom_equality_pattern(atom: Sequence) -> tuple[tuple[int, int], ...]:
+    """Column pairs a row must agree on to unify with ``atom``.
+
+    Works over any hashable atom terms — the compiled kernel passes
+    integer slots, the legacy delta enumeration
+    (:func:`repro.chase.trigger.iter_triggers_touching`) passes
+    :class:`~repro.dependencies.template.Variable` atoms. A repeated
+    term is the only way an all-variable atom can reject a row, so this
+    pattern is the complete row-level dispatch filter.
+    """
+    first: dict = {}
+    pattern = []
+    for column, term in enumerate(atom):
+        seen = first.get(term)
+        if seen is None:
+            first[term] = column
+        else:
+            pattern.append((seen, column))
+    return tuple(pattern)
+
+
+def compile_atom(
+    slots: Sequence[int], bound: set[int]
+) -> tuple[AtomStep, set[int]]:
+    """Compile one atom given the already-bound slot set (updated)."""
+    probes = []
+    binds = []
+    checks = []
+    bound_here: set[int] = set()
+    for column, slot in enumerate(slots):
+        if slot in bound:
+            probes.append((column, slot))
+        elif slot in bound_here:
+            checks.append((column, slot))
+        else:
+            binds.append((column, slot))
+            bound_here.add(slot)
+    bound |= bound_here
+    return AtomStep(tuple(probes), tuple(binds), tuple(checks)), bound
+
+
+def compile_steps(
+    atom_slots: list[tuple[int, ...]], bound: set[int]
+) -> tuple[AtomStep, ...]:
+    """Greedy most-constrained-first order over ``atom_slots``.
+
+    Mirrors the generic engine's heuristic, decided once: prefer the
+    atom with the most already-bound cells, tie-break on fewer new
+    slots, then on input order (deterministic).
+    """
+    remaining = list(range(len(atom_slots)))
+    steps = []
+    bound = set(bound)
+    while remaining:
+        best = max(
+            remaining,
+            key=lambda i: (
+                sum(1 for slot in atom_slots[i] if slot in bound),
+                -len({slot for slot in atom_slots[i] if slot not in bound}),
+                -i,
+            ),
+        )
+        remaining.remove(best)
+        step, bound = compile_atom(atom_slots[best], bound)
+        steps.append(step)
+    return tuple(steps)
+
+
+def memoized(cache: dict, key, build, max_size: int):
+    """Structural memo with oldest-first eviction.
+
+    One implementation for every compiled-artifact cache (the plan and
+    program caches in :mod:`repro.chase.plan`, the check cache in
+    :mod:`repro.chase.checkplan`, the homomorphism-plan cache in
+    :mod:`repro.relational.homplan`), so the eviction policy cannot
+    drift between them. ``build`` receives ``key`` on a miss.
+    """
+    value = cache.get(key)
+    if value is None:
+        value = build(key)
+        while len(cache) >= max_size:
+            del cache[next(iter(cache))]  # oldest-first
+        cache[key] = value
+    return value
+
+
+class KernelState:
+    """The interned view of a live :class:`Instance`, kept in sync.
+
+    Rows are tuples of dense ints (via ``instance.intern_table``); the
+    inverted index maps ``(column, value id)`` to a list of int rows.
+    The kernel is the only mutator during a compiled chase, so the view
+    updates incrementally in :meth:`add`.
+    """
+
+    __slots__ = ("instance", "values", "_intern", "index", "irows", "rows_list")
+
+    def __init__(self, instance: Instance):
+        self.instance = instance
+        table = instance.intern_table
+        self.values = table.values
+        self._intern = table.intern
+        self.index: dict[tuple[int, int], list[IntRow]] = {}
+        self.irows: set[IntRow] = set()
+        self.rows_list: list[IntRow] = []
+        for row in instance:
+            self._admit(tuple(map(self._intern, row)))
+
+    def _admit(self, irow: IntRow) -> None:
+        self.irows.add(irow)
+        self.rows_list.append(irow)
+        index = self.index
+        for column, vid in enumerate(irow):
+            key = (column, vid)
+            bucket = index.get(key)
+            if bucket is None:
+                index[key] = [irow]
+            else:
+                bucket.append(irow)
+
+    def intern_row(self, row: Row) -> IntRow:
+        return tuple(map(self._intern, row))
+
+    def add(self, row: Row) -> Optional[IntRow]:
+        """Insert ``row`` into instance and view; None when already present."""
+        irow = tuple(map(self._intern, row))
+        return irow if self.add_interned(irow) is not None else None
+
+    def add_interned(self, irow: IntRow) -> Optional[Row]:
+        """Insert a row already expressed as interned ids (the fire path).
+
+        The kernel holds conclusion rows as registers of interned ids,
+        so presence is one int-tuple set test and the Value row is only
+        materialized for genuinely new rows (returned; None when the
+        row was already present). Bypasses :meth:`Instance.add`'s arity
+        check (kernel rows come from compiled conclusion templates,
+        correct by construction) but keeps the instance's row set,
+        inverted index and snapshot invalidation exactly in sync — the
+        goal predicate and every post-chase consumer see a normal
+        instance. Relies on the class invariant that ``irows`` mirrors
+        the instance's row set exactly.
+        """
+        if irow in self.irows:
+            return None
+        values = self.values
+        row = tuple(values[vid] for vid in irow)
+        instance = self.instance
+        instance._rows.add(row)
+        instance._snapshot = None
+        index = instance._index
+        for column, value in enumerate(row):
+            key = (column, value)
+            bucket = index.get(key)
+            if bucket is None:
+                index[key] = {row}
+            else:
+                bucket.add(row)
+        self._admit(irow)
+        return row
+
+
+def extend_matches(
+    state: KernelState,
+    steps: tuple[AtomStep, ...],
+    depth: int,
+    regs: list[int],
+    n_universal: int,
+    seen: set[tuple[int, ...]],
+    out: list[tuple[int, ...]],
+) -> None:
+    """Backtracking join over ``steps``; completed matches land in ``out``.
+
+    Matches are deduplicated on their first ``n_universal`` registers
+    (the chase's trigger key). See the module NOTE about the
+    deliberately inlined candidate loop.
+    """
+    if depth == len(steps):
+        key = tuple(regs[:n_universal])
+        if key not in seen:
+            seen.add(key)
+            out.append(key)
+        return
+    step = steps[depth]
+    probes = step.probes
+    if step.membership:
+        if tuple(regs[slot] for slot in step.probe_slots) in state.irows:
+            extend_matches(
+                state, steps, depth + 1, regs, n_universal, seen, out
+            )
+        return
+    if probes:
+        index = state.index
+        best = None
+        for column, slot in probes:
+            bucket = index.get((column, regs[slot]))
+            if not bucket:
+                return
+            if best is None or len(bucket) < len(best):
+                best = bucket
+    else:
+        best = state.rows_list
+    verify = step.verify_probes
+    binds = step.binds
+    checks = step.checks
+    next_depth = depth + 1
+    for irow in best:
+        ok = True
+        for column, slot in verify:
+            if irow[column] != regs[slot]:
+                ok = False
+                break
+        if not ok:
+            continue
+        for column, slot in binds:
+            regs[slot] = irow[column]
+        for column, slot in checks:
+            if irow[column] != regs[slot]:
+                ok = False
+                break
+        if ok:
+            extend_matches(
+                state, steps, next_depth, regs, n_universal, seen, out
+            )
+
+
+def has_extension(
+    state: KernelState,
+    steps: tuple[AtomStep, ...],
+    depth: int,
+    regs: list[int],
+) -> bool:
+    """Does some assignment of the remaining slots embed the atoms?
+
+    Early-exits on the first complete match; a True return unwinds
+    without touching ``regs`` again, so the caller can read the
+    satisfying assignment straight out of the registers. See the module
+    NOTE about the deliberately inlined candidate loop.
+    """
+    if depth == len(steps):
+        return True
+    step = steps[depth]
+    probes = step.probes
+    if step.membership:
+        if tuple(regs[slot] for slot in step.probe_slots) in state.irows:
+            return has_extension(state, steps, depth + 1, regs)
+        return False
+    if probes:
+        index = state.index
+        best = None
+        for column, slot in probes:
+            bucket = index.get((column, regs[slot]))
+            if not bucket:
+                return False
+            if best is None or len(bucket) < len(best):
+                best = bucket
+    else:
+        best = state.rows_list
+    verify = step.verify_probes
+    binds = step.binds
+    checks = step.checks
+    next_depth = depth + 1
+    for irow in best:
+        ok = True
+        for column, slot in verify:
+            if irow[column] != regs[slot]:
+                ok = False
+                break
+        if not ok:
+            continue
+        for column, slot in binds:
+            regs[slot] = irow[column]
+        for column, slot in checks:
+            if irow[column] != regs[slot]:
+                ok = False
+                break
+        if ok and has_extension(state, steps, next_depth, regs):
+            return True
+    return False

@@ -10,18 +10,24 @@ pairwise disjoint (the *typing restriction*). It provides:
   (named constants and chase-invented labelled nulls);
 * :class:`~repro.relational.instance.Instance` — a finite set of typed
   tuples with per-column indexes for fast trigger enumeration;
-* homomorphism search (:mod:`repro.relational.homomorphism`),
-  direct products (:mod:`repro.relational.product`) and cores
+* homomorphism search — the generic reference engine
+  (:mod:`repro.relational.homomorphism`) and the compiled engine on the
+  shared join kernel (:mod:`repro.relational.homplan`, the default;
+  select per call with ``engine=`` or process-wide with
+  ``REPRO_HOM_ENGINE``) — plus direct products
+  (:mod:`repro.relational.product`) and cores
   (:mod:`repro.relational.core`).
 """
 
 from repro.relational.core import core_of, find_retraction, is_core
-from repro.relational.homomorphism import (
+from repro.relational.homomorphism import is_homomorphism
+from repro.relational.homplan import (
     count_homomorphisms,
     extend_homomorphism,
     find_homomorphism,
-    is_homomorphism,
+    find_retraction_assignment,
     iter_homomorphisms,
+    resolve_engine,
 )
 from repro.relational.instance import Instance
 from repro.relational.product import direct_product, power
@@ -48,5 +54,7 @@ __all__ = [
     "ConjunctiveQuery",
     "core_of",
     "find_retraction",
+    "find_retraction_assignment",
     "is_core",
+    "resolve_engine",
 ]

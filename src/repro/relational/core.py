@@ -9,43 +9,45 @@ and the benchmarks use them to measure redundancy introduced by the
 oblivious chase.
 
 Core computation is NP-hard in general; the implementation here is the
-standard iterated-retraction algorithm and is intended for the small-to-
-medium instances that arise in this library's experiments.
+standard iterated-retraction algorithm. Retraction search runs on the
+compiled homomorphism engine by default
+(:func:`repro.relational.homplan.find_retraction_assignment` — the
+image-shrinks early-exit walk over the shared join kernel); pass
+``engine="legacy"`` (or set ``REPRO_HOM_ENGINE=legacy``) for the generic
+backtracking search, the reference semantics the differential suite
+holds the engine to.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
-from repro.relational.homomorphism import (
-    Assignment,
-    apply_assignment,
-    iter_homomorphisms,
-)
+from repro.relational.homomorphism import Assignment, apply_assignment
 from repro.relational.instance import Instance
 from repro.relational.values import is_null
 
 
-def find_retraction(instance: Instance) -> Optional[Assignment]:
+def find_retraction(
+    instance: Instance, *, engine: Optional[str] = None
+) -> Optional[Assignment]:
     """Find a proper retraction of ``instance``, if one exists.
 
     A proper retraction is an endomorphism (constants fixed, nulls mapped
     anywhere) whose image omits at least one row. Returns the assignment or
     None when the instance is already a core.
     """
-    rows = list(instance.rows)
-    for candidate in iter_homomorphisms(rows, instance):
-        image = {apply_assignment(row, candidate) for row in rows}
-        if len(image) < len(rows):
-            return dict(candidate)
-    return None
+    from repro.relational.homplan import find_retraction_assignment
+
+    return find_retraction_assignment(
+        list(instance.rows), instance, engine=engine
+    )
 
 
-def core_of(instance: Instance) -> Instance:
+def core_of(instance: Instance, *, engine: Optional[str] = None) -> Instance:
     """Compute the core of ``instance`` by iterated proper retraction."""
     current = instance.copy()
     while True:
-        retraction = find_retraction(current)
+        retraction = find_retraction(current, engine=engine)
         if retraction is None:
             return current
         current = Instance(
@@ -54,26 +56,28 @@ def core_of(instance: Instance) -> Instance:
         )
 
 
-def is_core(instance: Instance) -> bool:
+def is_core(instance: Instance, *, engine: Optional[str] = None) -> bool:
     """Return True when ``instance`` admits no proper retraction."""
-    return find_retraction(instance) is None
+    return find_retraction(instance, engine=engine) is None
 
 
-def homomorphically_equivalent(left: Instance, right: Instance) -> bool:
+def homomorphically_equivalent(
+    left: Instance, right: Instance, *, engine: Optional[str] = None
+) -> bool:
     """True when homomorphisms exist in both directions (constants fixed).
 
     Nulls are the flexible terms; constants must be preserved. Two
     terminating chases of the same input are homomorphically equivalent,
     which is the correctness notion for universal models.
     """
-    from repro.relational.homomorphism import find_homomorphism
+    from repro.relational.homplan import find_homomorphism
 
     if left.schema != right.schema:
         return False
-    forward = find_homomorphism(left.rows, right)
+    forward = find_homomorphism(left.rows, right, engine=engine)
     if forward is None:
         return False
-    backward = find_homomorphism(right.rows, left)
+    backward = find_homomorphism(right.rows, left, engine=engine)
     return backward is not None
 
 

@@ -141,6 +141,10 @@ def count_homomorphisms(
     limit: Optional[int] = None,
 ) -> int:
     """Count homomorphisms, optionally stopping at ``limit``."""
+    if limit is not None and limit <= 0:
+        # A non-positive limit caps the count at nothing; the old
+        # post-increment check returned 1 for ``limit=0``.
+        return 0
     count = 0
     for __ in iter_homomorphisms(source_rows, target, partial=partial, flexible=flexible):
         count += 1

@@ -9,12 +9,26 @@ product. It is also a classic tool for building counterexamples.
 The product of rows ``r`` and ``s`` is the row of componentwise pairs; pair
 values are constants named by the pair of underlying values, so products of
 typed instances remain typed (pairs inherit their column).
+
+Rows are generated *lazily*: :func:`iter_product_rows` streams the
+pairings (deduplicating pair constants through a per-call intern memo,
+so a product with ``n x m`` rows allocates ``O(distinct cell pairs)``
+pair values, not ``n x m x arity``), and :func:`power` folds an
+``exponent``-fold product without ever materializing the intermediate
+instances. Because product sizes are multiplicative — the silent
+quadratic (or worse) blowup of counterexample search — both entry
+points accept ``max_rows`` and fail with a clear
+:class:`~repro.errors.BudgetExceededError` *before* generating anything
+when the result would exceed it.
 """
 
 from __future__ import annotations
 
-from repro.errors import TypingError
-from repro.relational.instance import Instance
+from itertools import product as _cartesian
+from typing import Iterator, Optional
+
+from repro.errors import BudgetExceededError, TypingError
+from repro.relational.instance import Instance, Row
 from repro.relational.values import Const, Value
 
 
@@ -23,29 +37,87 @@ def pair_value(left: Value, right: Value) -> Const:
     return Const((left, right))
 
 
-def direct_product(left: Instance, right: Instance) -> Instance:
-    """The direct product ``left × right`` over the common schema.
+def _check_size(rows: int, max_rows: Optional[int], what: str) -> None:
+    if max_rows is not None and rows > max_rows:
+        raise BudgetExceededError(
+            f"{what} would have {rows} rows, exceeding max_rows={max_rows}; "
+            "raise the bound or shrink the factors"
+        )
 
-    Its rows are all componentwise pairings of a row of ``left`` with a row
-    of ``right``; its size is ``len(left) * len(right)``.
+
+def _pair_interner():
+    """A memoizing :func:`pair_value`: one Const per distinct cell pair."""
+    pairs: dict[tuple[Value, Value], Const] = {}
+
+    def pair(a: Value, b: Value) -> Const:
+        key = (a, b)
+        value = pairs.get(key)
+        if value is None:
+            value = pairs[key] = pair_value(a, b)
+        return value
+
+    return pair
+
+
+def iter_product_rows(left: Instance, right: Instance) -> Iterator[Row]:
+    """Stream the rows of ``left x right`` without materializing them.
+
+    Pair constants are interned per call: every distinct ``(a, b)`` cell
+    pair becomes one shared :class:`Const` object instead of a fresh
+    allocation per occurrence.
     """
     if left.schema != right.schema:
         raise TypingError("direct product requires a common schema")
-    product = Instance(left.schema)
+    pair = _pair_interner()
     for row_l in left:
         for row_r in right:
-            product.add(tuple(pair_value(a, b) for a, b in zip(row_l, row_r)))
-    return product
+            yield tuple(pair(a, b) for a, b in zip(row_l, row_r))
 
 
-def power(instance: Instance, exponent: int) -> Instance:
+def direct_product(
+    left: Instance, right: Instance, *, max_rows: Optional[int] = None
+) -> Instance:
+    """The direct product ``left × right`` over the common schema.
+
+    Its rows are all componentwise pairings of a row of ``left`` with a row
+    of ``right``; its size is ``len(left) * len(right)`` (guarded by
+    ``max_rows`` when given).
+    """
+    if left.schema != right.schema:
+        raise TypingError("direct product requires a common schema")
+    _check_size(len(left) * len(right), max_rows, "direct product")
+    return Instance(left.schema, iter_product_rows(left, right))
+
+
+def power(
+    instance: Instance, exponent: int, *, max_rows: Optional[int] = None
+) -> Instance:
     """The ``exponent``-fold direct product of ``instance`` with itself.
 
     ``power(I, 1)`` is a copy of ``I``; ``exponent`` must be positive.
+    Equal to left-associated repeated :func:`direct_product` (pair
+    values nest identically), but streamed: the ``len(I)^k``
+    intermediate instances are never built — each result row is folded
+    directly from one ``exponent``-tuple of base rows, with pair
+    constants interned per call. ``max_rows`` bounds the *final* size
+    ``len(I) ** exponent`` up front.
     """
     if exponent < 1:
         raise ValueError("exponent must be >= 1")
-    result = instance.copy()
-    for __ in range(exponent - 1):
-        result = direct_product(result, instance)
-    return result
+    if exponent == 1:
+        return instance.copy()
+    _check_size(len(instance) ** exponent, max_rows, f"power(.., {exponent})")
+    pair = _pair_interner()
+
+    def rows() -> Iterator[Row]:
+        base = list(instance)
+        arity = instance.schema.arity
+        for combo in _cartesian(base, repeat=exponent):
+            row = combo[0]
+            for factor in combo[1:]:
+                row = tuple(
+                    pair(row[column], factor[column]) for column in range(arity)
+                )
+            yield row
+
+    return Instance(instance.schema, rows())

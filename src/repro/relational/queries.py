@@ -24,9 +24,10 @@ from typing import Iterable, Iterator, Optional, Sequence
 
 from repro.dependencies.template import Atom, Variable, is_variable
 from repro.errors import DependencyError
-from repro.relational.homomorphism import (
-    apply_assignment,
+from repro.relational.homomorphism import apply_assignment
+from repro.relational.homplan import (
     find_homomorphism,
+    find_retraction_assignment,
     iter_homomorphisms,
 )
 from repro.relational.instance import Instance
@@ -79,11 +80,18 @@ class ConjunctiveQuery:
     # Evaluation
     # ------------------------------------------------------------------
 
-    def answers(self, instance: Instance) -> set[tuple[Value, ...]]:
-        """All head tuples produced by body homomorphisms into ``instance``."""
+    def answers(
+        self, instance: Instance, *, engine: Optional[str] = None
+    ) -> set[tuple[Value, ...]]:
+        """All head tuples produced by body homomorphisms into ``instance``.
+
+        ``engine`` selects the homomorphism engine (compiled by default;
+        see :mod:`repro.relational.homplan`), as on every query method
+        below — the differential suite pins each side.
+        """
         results: set[tuple[Value, ...]] = set()
         for assignment in iter_homomorphisms(
-            self.body, instance, flexible=is_variable
+            self.body, instance, flexible=is_variable, engine=engine
         ):
             results.add(tuple(assignment[variable] for variable in self.head))
         return results
@@ -92,10 +100,14 @@ class ConjunctiveQuery:
         """True for a boolean (empty-head) query."""
         return not self.head
 
-    def holds_in(self, instance: Instance) -> bool:
+    def holds_in(
+        self, instance: Instance, *, engine: Optional[str] = None
+    ) -> bool:
         """Boolean evaluation: does the body match at all?"""
         return (
-            find_homomorphism(self.body, instance, flexible=is_variable)
+            find_homomorphism(
+                self.body, instance, flexible=is_variable, engine=engine
+            )
             is not None
         )
 
@@ -118,7 +130,9 @@ class ConjunctiveQuery:
         )
         return instance, assignment
 
-    def is_contained_in(self, other: "ConjunctiveQuery") -> bool:
+    def is_contained_in(
+        self, other: "ConjunctiveQuery", *, engine: Optional[str] = None
+    ) -> bool:
         """Chandra–Merlin: ``self ⊆ other`` iff ``other`` folds onto
         ``self``'s canonical database with heads aligned."""
         if self.schema != other.schema or len(self.head) != len(other.head):
@@ -132,44 +146,49 @@ class ConjunctiveQuery:
             if partial.setdefault(other_variable, value) != value:
                 return False
         witness = find_homomorphism(
-            other.body, canonical, partial=partial, flexible=is_variable
+            other.body, canonical, partial=partial, flexible=is_variable,
+            engine=engine,
         )
         return witness is not None
 
-    def is_equivalent_to(self, other: "ConjunctiveQuery") -> bool:
+    def is_equivalent_to(
+        self, other: "ConjunctiveQuery", *, engine: Optional[str] = None
+    ) -> bool:
         """Mutual containment."""
-        return self.is_contained_in(other) and other.is_contained_in(self)
+        return self.is_contained_in(other, engine=engine) and other.is_contained_in(
+            self, engine=engine
+        )
 
     # ------------------------------------------------------------------
     # Minimization (the CQ core)
     # ------------------------------------------------------------------
 
-    def minimized(self) -> "ConjunctiveQuery":
+    def minimized(self, *, engine: Optional[str] = None) -> "ConjunctiveQuery":
         """The minimal equivalent query: fold redundant body atoms away.
 
         Iterated proper retraction of the body fixing the head variables —
-        the query analogue of :func:`repro.relational.core.core_of`.
+        the query analogue of :func:`repro.relational.core.core_of`, run
+        through the same engine (the compiled retraction walk by
+        default).
         """
         body = list(self.body)
         head_identity = {variable: variable for variable in self.head}
-        changed = True
-        while changed:
-            changed = False
+        while True:
             body_instance = Instance(self.schema, (tuple(atom) for atom in body))
-            for assignment in iter_homomorphisms(
-                [tuple(atom) for atom in body],
+            assignment = find_retraction_assignment(
+                body,
                 body_instance,
                 partial=head_identity,
                 flexible=is_variable,
-            ):
-                image = {
-                    apply_assignment(tuple(atom), assignment, flexible=is_variable)
-                    for atom in body
-                }
-                if len(image) < len(body):
-                    body = [tuple(atom) for atom in sorted(image, key=repr)]
-                    changed = True
-                    break
+                engine=engine,
+            )
+            if assignment is None:
+                break
+            image = {
+                apply_assignment(tuple(atom), assignment, flexible=is_variable)
+                for atom in body
+            }
+            body = [tuple(atom) for atom in sorted(image, key=repr)]
         return ConjunctiveQuery(self.schema, self.head, body, name=self.name)
 
     # ------------------------------------------------------------------

@@ -67,6 +67,9 @@ class BatchStats:
     #: Raced-variant dispatches never run because their slot was already
     #: decided by another variant when their turn came.
     skipped: int = 0
+    #: Race arms that reused a shared frozen start (instance + intern
+    #: table + compiled goal plan) instead of rebuilding it per arm.
+    start_reuses: int = 0
     wall_seconds: float = 0.0
 
     def describe(self) -> str:
@@ -74,7 +77,8 @@ class BatchStats:
         return (
             f"{self.submitted} queries: {self.cache_hits} cache hit(s), "
             f"{self.deduplicated} deduplicated, {self.executed} executed, "
-            f"{self.skipped} raced dispatch(es) skipped "
+            f"{self.skipped} raced dispatch(es) skipped, "
+            f"{self.start_reuses} start rebuild(s) avoided "
             f"in {self.wall_seconds:.3f}s"
         )
 
@@ -311,6 +315,7 @@ class InferenceService:
         outcomes = run.outcomes
         stats.executed = len(tasks)
         stats.skipped = run.skipped
+        stats.start_reuses = run.start_reuses
 
         for slot, (fingerprint, members) in enumerate(representatives):
             outcome = outcomes[slot]

@@ -46,8 +46,14 @@ from typing import Optional, Sequence
 
 from repro.chase.budget import Budget
 from repro.chase.engine import ChaseVariant
-from repro.chase.implication import InferenceOutcome, InferenceStatus, implies
+from repro.chase.implication import (
+    FrozenStart,
+    InferenceOutcome,
+    InferenceStatus,
+    implies,
+)
 from repro.dependencies.classify import Dependency
+from repro.kernel.joins import memoized
 from repro.io.json_codec import (
     Json,
     budget_from_json,
@@ -99,11 +105,15 @@ class PoolRun:
 
     ``outcomes`` maps each task's slot to its best verdict; ``skipped``
     counts raced-variant dispatches that were never executed because
-    their slot was already decided when their turn came.
+    their slot was already decided when their turn came;
+    ``start_reuses`` counts race arms that reused a shared
+    :class:`~repro.chase.implication.FrozenStart` (frozen instance,
+    intern table, compiled goal plan) instead of rebuilding it.
     """
 
     outcomes: dict[int, InferenceOutcome] = field(default_factory=dict)
     skipped: int = 0
+    start_reuses: int = 0
 
 
 def divide_budget(budget: Budget, ways: int) -> Budget:
@@ -145,11 +155,17 @@ def serial_run(
     """Run every task in-process, trying variants until one is decisive.
 
     Variants a task never needed (it was decided earlier in the race
-    order) count as skipped, mirroring the pool's accounting.
+    order) count as skipped, mirroring the pool's accounting. Race arms
+    of one task chase the *same* frozen start: a shared
+    :class:`~repro.chase.implication.FrozenStart` freezes the target
+    once, and each arm copies it with the intern table and compiled
+    goal plan intact (``start_reuses`` counts the arms that skipped the
+    rebuild).
     """
     run = PoolRun()
     for task in tasks:
         best: Optional[InferenceOutcome] = None
+        start = FrozenStart(task.target)
         for position, variant in enumerate(variants):
             outcome = implies(
                 list(task.dependencies),
@@ -158,11 +174,13 @@ def serial_run(
                 variant=variant,
                 record_trace=record_trace,
                 kernel=_race_kernel(variant, variants),
+                start=start,
             )
             best = _prefer(best, outcome)
             if _decisive(best):
                 run.skipped += len(variants) - position - 1
                 break
+        run.start_reuses += start.reuses
         assert best is not None
         run.outcomes[task.slot] = best
     return run
@@ -178,14 +196,15 @@ def run_serial(
     return serial_run(tasks, budget, variants, record_trace).outcomes
 
 
-#: What crosses the process boundary, both directions JSON-codec
-#: encoded: (slot, variant, pinned kernel or None, premises, target,
-#: budget, record_trace). Premises travel as a pre-serialized JSON
-#: *string*: encoded once per distinct premise tuple, pickled cheaply
-#: per payload, and — crucially — usable as a worker-side memo key so
-#: each worker decodes (and plan-compiles) a batch's shared premise set
-#: once, not once per payload.
-_WirePayload = tuple[int, str, Optional[str], str, Json, Json, bool]
+#: What crosses the process boundary: (slot, variant, pinned kernel or
+#: None, premises, target, budget, record_trace) outbound and
+#: (slot, outcome JSON, start_reused) back. Premises — and, since the
+#: frozen-start sharing, the target too — travel as pre-serialized JSON
+#: *strings*: encoded once per distinct value, pickled cheaply per
+#: payload, and — crucially — usable as worker-side memo keys so each
+#: worker decodes a batch's shared premise set (and freezes each raced
+#: target's start instance) once, not once per payload.
+_WirePayload = tuple[int, str, Optional[str], str, str, Json, bool]
 
 
 def _encode_payloads(
@@ -220,7 +239,13 @@ def _encode_payloads(
                 separators=(",", ":"),
             )
             premise_payloads[task.dependencies] = premises
-        encoded_tasks.append((task.slot, premises, dependency_to_json(task.target)))
+        encoded_tasks.append(
+            (
+                task.slot,
+                premises,
+                json.dumps(dependency_to_json(task.target), separators=(",", ":")),
+            )
+        )
     payloads = []
     for variant in variants:
         kernel = _race_kernel(variant, variants)
@@ -255,20 +280,38 @@ _PREMISE_MEMO_MAX = 64
 
 
 def _decode_premises(premises_wire: str) -> list[Dependency]:
-    premises = _PREMISE_MEMO.get(premises_wire)
-    if premises is None:
-        premises = [
-            dependency_from_json(entry) for entry in json.loads(premises_wire)
-        ]
-        while len(_PREMISE_MEMO) >= _PREMISE_MEMO_MAX:
-            # Oldest-first, never wholesale: a worker cycling through
-            # many premise sets must not periodically lose the hot ones.
-            del _PREMISE_MEMO[next(iter(_PREMISE_MEMO))]
-        _PREMISE_MEMO[premises_wire] = premises
-    return premises
+    # memoized() evicts oldest-first, never wholesale: a worker cycling
+    # through many premise sets must not periodically lose the hot ones.
+    return memoized(
+        _PREMISE_MEMO,
+        premises_wire,
+        lambda wire: [
+            dependency_from_json(entry) for entry in json.loads(wire)
+        ],
+        _PREMISE_MEMO_MAX,
+    )
 
 
-def _execute_payload(payload: _WirePayload) -> tuple[int, Json]:
+#: Worker-side memo of frozen starts, keyed by the target's wire
+#: string. A raced query reaches a worker once per variant with an
+#: identical target payload; the memoized
+#: :class:`~repro.chase.implication.FrozenStart` lets the second arm
+#: reuse the first arm's frozen instance, intern table and compiled
+#: goal plan. Bounded like the premise memo.
+_START_MEMO: dict[str, FrozenStart] = {}
+_START_MEMO_MAX = 64
+
+
+def _frozen_start(target_wire: str) -> FrozenStart:
+    return memoized(
+        _START_MEMO,
+        target_wire,
+        lambda wire: FrozenStart(dependency_from_json(json.loads(wire))),
+        _START_MEMO_MAX,
+    )
+
+
+def _execute_payload(payload: _WirePayload) -> tuple[int, Json, bool]:
     """Worker entry point: decode, chase, encode. Must stay module-level
     (and exception-free) so every start method can dispatch to it."""
     (
@@ -276,21 +319,28 @@ def _execute_payload(payload: _WirePayload) -> tuple[int, Json]:
         variant_value,
         kernel,
         premises_wire,
-        target_payload,
+        target_wire,
         budget_payload,
         record,
     ) = payload
+    start = _frozen_start(target_wire)
+    reuses_before = start.reuses
     outcome = implies(
         _decode_premises(premises_wire),
-        dependency_from_json(target_payload),
+        start.target,
         budget=budget_from_json(budget_payload),
         variant=ChaseVariant(variant_value),
         record_trace=record,
         kernel=kernel,
+        start=start,
     )
     # UNKNOWN payloads cross the process boundary slim: the exhausted
     # chase result can dwarf the chase itself on the wire.
-    return slot, slim_unknown_outcome(outcome_to_json(outcome))
+    return (
+        slot,
+        slim_unknown_outcome(outcome_to_json(outcome)),
+        start.reuses > reuses_before,
+    )
 
 
 class WorkerPool:
@@ -414,7 +464,7 @@ class WorkerPool:
             # Peek decisiveness from the raw statuses and hand the
             # freed workers their next payloads *before* the (possibly
             # heavy) outcome decodes, so workers never idle behind them.
-            for slot, outcome_payload in arrivals:
+            for slot, outcome_payload, __ in arrivals:
                 if (
                     isinstance(outcome_payload, dict)
                     and outcome_payload.get("status")
@@ -422,7 +472,9 @@ class WorkerPool:
                 ):
                     decided.add(slot)
             refill()
-            for slot, outcome_payload in arrivals:
+            for slot, outcome_payload, start_reused in arrivals:
+                if start_reused:
+                    run.start_reuses += 1
                 current = run.outcomes.get(slot)
                 if current is not None and _decisive(current):
                     continue  # raced loser that was already in flight

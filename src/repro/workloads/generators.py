@@ -12,6 +12,7 @@ from typing import Optional
 from repro.dependencies.eid import EmbeddedImplicationalDependency
 from repro.dependencies.template import TemplateDependency, Variable
 from repro.relational.instance import Instance
+from repro.relational.queries import ConjunctiveQuery
 from repro.relational.schema import Schema
 from repro.relational.values import Const
 
@@ -205,6 +206,54 @@ def random_instance(
             )
         )
     return instance
+
+
+def random_cq(
+    *,
+    arity: int = 3,
+    body_atoms: int = 3,
+    variables_per_column: int = 2,
+    head_size: int = 2,
+    redundant_atoms: int = 0,
+    seed: int = 0,
+    schema: Optional[Schema] = None,
+) -> ConjunctiveQuery:
+    """A random typed conjunctive query, optionally with foldable padding.
+
+    The core body draws from per-column variable pools (typed by
+    construction); the head is a random sample of variables that occur
+    in the body (safety by construction). ``redundant_atoms`` appends
+    partially alpha-renamed copies of core atoms — each renamed cell
+    gets a fresh variable occurring nowhere else, so the copy folds
+    back onto its original and :meth:`ConjunctiveQuery.minimized` has
+    genuine work to do. Deterministic in ``seed``.
+    """
+    rng = random.Random(seed)
+    schema = schema if schema is not None else _default_schema(arity)
+    pools = [
+        [Variable(f"c{column}v{index}") for index in range(variables_per_column)]
+        for column in range(schema.arity)
+    ]
+    body = [
+        tuple(rng.choice(pools[column]) for column in range(schema.arity))
+        for __ in range(body_atoms)
+    ]
+    used = sorted(
+        {variable for atom in body for variable in atom},
+        key=lambda variable: variable.name,
+    )
+    head = tuple(rng.sample(used, min(head_size, len(used))))
+    head_set = set(head)
+    for number in range(redundant_atoms):
+        original = body[rng.randrange(body_atoms)]
+        copy = []
+        for column, variable in enumerate(original):
+            if variable not in head_set and rng.random() < 0.7:
+                copy.append(Variable(f"c{column}pad{number}"))
+            else:
+                copy.append(variable)
+        body.append(tuple(copy))
+    return ConjunctiveQuery(schema, head, body, name=f"random-cq-{seed}")
 
 
 def disguise(

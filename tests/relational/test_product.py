@@ -2,9 +2,14 @@
 
 import pytest
 
-from repro.errors import TypingError
+from repro.errors import BudgetExceededError, TypingError
 from repro.relational.instance import Instance
-from repro.relational.product import direct_product, pair_value, power
+from repro.relational.product import (
+    direct_product,
+    iter_product_rows,
+    pair_value,
+    power,
+)
 from repro.relational.schema import Schema
 from repro.relational.values import Const
 from repro.workloads.garment import figure1_dependency, garment_database
@@ -59,6 +64,45 @@ class TestPower:
     def test_power_zero_rejected(self, schema):
         with pytest.raises(ValueError):
             power(Instance(schema), 0)
+
+
+class TestStreamingAndGuards:
+    def test_power_matches_repeated_direct_product(self, schema):
+        # The streamed fold must nest pair values exactly like the
+        # left-associated repeated product it replaces.
+        instance = make(schema, ("a", "b"), ("c", "d"), ("e", "f"))
+        folded = direct_product(direct_product(instance, instance), instance)
+        assert power(instance, 3) == folded
+
+    def test_direct_product_size_guard(self, schema):
+        left = make(schema, ("a", "b"), ("c", "d"))
+        right = make(schema, ("x", "y"), ("u", "v"), ("p", "q"))
+        with pytest.raises(BudgetExceededError, match="max_rows"):
+            direct_product(left, right, max_rows=5)
+        assert len(direct_product(left, right, max_rows=6)) == 6
+
+    def test_power_size_guard_fires_before_generating(self, schema):
+        instance = make(schema, *[(f"a{i}", f"b{i}") for i in range(10)])
+        with pytest.raises(BudgetExceededError, match="max_rows"):
+            power(instance, 4, max_rows=9_999)  # 10^4 rows
+
+    def test_power_one_ignores_guard_and_copies(self, schema):
+        instance = make(schema, ("a", "b"))
+        copy = power(instance, 1, max_rows=1)
+        assert copy == instance
+        assert copy is not instance
+
+    def test_pair_values_are_interned_per_call(self, schema):
+        left = make(schema, ("a", "b"), ("a", "d"))
+        right = make(schema, ("x", "y"))
+        rows = list(iter_product_rows(left, right))
+        first_cells = {id(row[0]) for row in rows}
+        # Both rows pair ("a", "x") in column 0: one shared Const object.
+        assert len(first_cells) == 1
+
+    def test_iter_product_rows_schema_mismatch(self, schema):
+        with pytest.raises(TypingError):
+            list(iter_product_rows(Instance(schema), Instance(Schema(["X"]))))
 
 
 class TestHornPreservation:

@@ -249,6 +249,56 @@ class TestWorkerPoolLifecycle:
         assert report.stats.skipped == 2
         assert "skipped" in report.stats.describe()
 
+    def test_serial_race_arms_share_one_frozen_start(self):
+        # Nothing decisive within the budget, so both race arms chase —
+        # the second arm must reuse the first's FrozenStart (frozen
+        # instance + intern table + goal plan) instead of rebuilding it.
+        diverging = parse_td("R(x, y) -> R(y, z)")
+        task = QueryTask(
+            slot=0,
+            dependencies=(diverging,),
+            target=parse_td("R(a, b) -> R(b, a)"),
+        )
+        run = serial_run([task], Budget(max_steps=3), RACING_VARIANTS)
+        assert run.outcomes[0].status is InferenceStatus.UNKNOWN
+        assert run.start_reuses == 1
+
+    def test_serial_decided_first_arm_reuses_nothing(self):
+        transitivity = parse_td("R(x, y) & R(y, z) -> R(x, z)")
+        task = QueryTask(
+            slot=0,
+            dependencies=(transitivity,),
+            target=parse_td("R(a, b) & R(b, c) -> R(a, c)"),
+        )
+        run = serial_run([task], Budget(max_steps=500), RACING_VARIANTS)
+        assert run.start_reuses == 0
+
+    def test_pool_race_arms_share_frozen_starts(self):
+        # One worker, undecidable-in-budget query: both raced payloads
+        # land on the same worker, whose frozen-start memo serves the
+        # second arm.
+        diverging = parse_td("R(x, y) -> R(y, z)")
+        task = QueryTask(
+            slot=0,
+            dependencies=(diverging,),
+            target=parse_td("R(a, b) -> R(b, a)"),
+        )
+        with WorkerPool(1) as pool:
+            run = pool.run([task], Budget(max_steps=3), RACING_VARIANTS)
+        assert run.outcomes[0].status is InferenceStatus.UNKNOWN
+        assert run.start_reuses == 1
+
+    def test_service_surfaces_start_reuses_in_batch_stats(self):
+        diverging = parse_td("R(x, y) -> R(y, z)")
+        with InferenceService(race_variants=True) as service:
+            report = service.run_batch(
+                [diverging],
+                [parse_td("R(a, b) -> R(b, a)")],
+                budget=Budget(max_steps=3),
+            )
+        assert report.stats.start_reuses == 1
+        assert "start rebuild(s) avoided" in report.stats.describe()
+
     def test_service_reuses_one_pool_across_batches(self):
         transitivity = parse_td("R(x, y) & R(y, z) -> R(x, z)")
         with InferenceService(workers=1) as service:
