@@ -1,0 +1,152 @@
+#!/usr/bin/env python
+"""Benchmark trend guard: fresh quick runs vs the committed baselines.
+
+The quick benchmark steps (E13/E14/E15) each write a gitignored
+``BENCH_<name>.quick.json`` next to the committed full-size baseline
+``BENCH_<name>.json``. This script compares every headline speedup
+ratio (the ``speedup_*`` keys) between the two and exits non-zero when
+a fresh ratio regresses beyond tolerance — catching "the compiled path
+quietly got slower" before it lands, without re-running the multi-minute
+full benchmarks in CI.
+
+Quick runs use smaller workloads than the committed baselines and CI
+machines are noisy, so the guard is deliberately loose; what it must
+catch is a *collapse* (a compiled path falling back to legacy speed),
+not a few-percent wobble:
+
+* every fresh ratio must be at least ``--tolerance`` (default 0.5)
+  times its committed baseline, and
+* every fresh ratio must stay at or above ``--floor`` (default 1.0):
+  the compiled path must never be *slower* than what it is measured
+  against, whatever the baseline said.
+
+Exit codes: 0 all ratios healthy; 1 at least one regression; 2 no quick
+result files were found (almost always a CI wiring bug — the quick
+benchmark steps did not run or wrote somewhere else).
+
+Run from the repository root, after the quick benchmark steps::
+
+    python scripts/bench_trend.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: The benchmark families guarded, by baseline stem.
+BENCHMARKS = ("BENCH_chase_kernel", "BENCH_modelcheck", "BENCH_core")
+
+
+def headline_ratios(payload: dict) -> dict[str, float]:
+    """The ``speedup_*`` keys of one benchmark JSON, as floats."""
+    return {
+        key: float(value)
+        for key, value in payload.items()
+        if key.startswith("speedup_") and isinstance(value, (int, float))
+    }
+
+
+def compare(
+    name: str,
+    baseline: dict,
+    quick: dict,
+    tolerance: float,
+    floor: float,
+) -> list[str]:
+    """Regression messages for one benchmark pair (empty = healthy)."""
+    problems = []
+    base_ratios = headline_ratios(baseline)
+    quick_ratios = headline_ratios(quick)
+    for key, base_value in sorted(base_ratios.items()):
+        fresh = quick_ratios.get(key)
+        if fresh is None:
+            problems.append(
+                f"{name}: baseline headline {key!r} missing from quick run"
+            )
+            continue
+        minimum = max(base_value * tolerance, floor)
+        status = "ok" if fresh >= minimum else "REGRESSED"
+        print(
+            f"  {name}.{key}: quick {fresh:.3f}x vs baseline "
+            f"{base_value:.3f}x (min {minimum:.3f}x) {status}"
+        )
+        if fresh < minimum:
+            problems.append(
+                f"{name}: {key} regressed to {fresh:.3f}x "
+                f"(baseline {base_value:.3f}x, minimum {minimum:.3f}x)"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.5,
+        help="fresh ratio must be >= baseline * tolerance (default 0.5; "
+        "quick workloads are smaller and noisier than the baselines)",
+    )
+    parser.add_argument(
+        "--floor",
+        type=float,
+        default=1.0,
+        help="fresh ratio must also be >= this absolute floor "
+        "(default 1.0: compiled must never lose to legacy)",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=REPO_ROOT,
+        help="directory holding the BENCH_*.json files",
+    )
+    args = parser.parse_args(argv)
+
+    compared = 0
+    problems: list[str] = []
+    for stem in BENCHMARKS:
+        baseline_path = args.root / f"{stem}.json"
+        quick_path = args.root / f"{stem}.quick.json"
+        if not quick_path.exists():
+            print(f"  {stem}: no quick result at {quick_path.name}, skipping")
+            continue
+        if not baseline_path.exists():
+            problems.append(
+                f"{stem}: quick result present but committed baseline "
+                f"{baseline_path.name} is missing"
+            )
+            continue
+        try:
+            baseline = json.loads(baseline_path.read_text())
+            quick = json.loads(quick_path.read_text())
+        except (OSError, ValueError) as error:
+            problems.append(f"{stem}: unreadable benchmark JSON: {error}")
+            continue
+        compared += 1
+        problems.extend(
+            compare(stem, baseline, quick, args.tolerance, args.floor)
+        )
+
+    if compared == 0:
+        print(
+            "bench_trend: no BENCH_*.quick.json files found — did the quick "
+            "benchmark steps run?",
+            file=sys.stderr,
+        )
+        return 2
+    if problems:
+        print("bench_trend: REGRESSIONS DETECTED", file=sys.stderr)
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    print(f"bench_trend: {compared} benchmark(s) healthy")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,7 +2,8 @@
 """CI smoke test: boot ``repro serve`` on an ephemeral port, hit it, tear down.
 
 Exercises the full deployment path — console entry point, ephemeral-port
-binding, banner parsing, ``/healthz``, one ``/v1/batch`` over real HTTP —
+binding, banner parsing, ``/healthz``, one ``/v1/batch`` over real HTTP,
+the ``/metrics`` Prometheus exposition and a ``/v1/trace`` round trip —
 and exits non-zero on any failure. Run from the repository root::
 
     PYTHONPATH=src python scripts/server_smoke.py
@@ -50,8 +51,39 @@ def main() -> int:
 
         stats = client.stats()
         assert stats["server"]["queries"] == 2, stats
+        assert "metrics" in stats, "stats payload lost the registry snapshot"
         print(f"server stats: {stats['server']}")
-        print("OK: serve boots, answers, and reports stats")
+
+        # /v1/trace: the batch's trace must be retrievable and show the
+        # pipeline's stage timeline.
+        assert report.trace_id, "batch response carried no trace_id"
+        trace = client.trace(report.trace_id)
+        span_names = [span["name"] for span in trace["spans"]]
+        assert "cache_lookup" in span_names, span_names
+        assert len(trace["queries"]) == 2, trace["queries"]
+        print(f"trace {report.trace_id}: spans {span_names}")
+
+        # /metrics: valid, non-empty Prometheus text exposition.
+        text = client.metrics_text()
+        assert text.strip(), "/metrics served an empty exposition"
+        parsed = 0
+        for line in text.splitlines():
+            if not line or line.startswith("#"):
+                continue
+            series, _, value = line.rpartition(" ")
+            assert series, f"unparsable exposition line {line!r}"
+            float(value)  # every sample value must be a number
+            parsed += 1
+        assert parsed > 0, "exposition had no samples"
+        for required in (
+            "repro_stage_seconds_bucket",
+            "repro_queries_total",
+            "repro_http_requests_total",
+            "repro_cache_lookup_misses_total",
+        ):
+            assert required in text, f"/metrics lost {required}"
+        print(f"metrics: {parsed} samples parsed OK")
+        print("OK: serve boots, answers, reports stats, traces and metrics")
     return 0
 
 

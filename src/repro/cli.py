@@ -11,6 +11,9 @@ Commands:
 * ``serve`` — the long-lived asyncio HTTP server over the same service:
   concurrent clients are micro-batched into shared runs, so dedup and
   the result cache work across clients.
+* ``stats`` — poll a running server's ``/v1/stats`` and render the
+  counters and per-stage latency histograms as tables (``--watch`` for
+  a live view).
 * ``classify`` — run the Main-Theorem classifier on a presentation file
   (direction (A), then direction (B), else UNKNOWN).
 * ``encode`` — show the ``φ ↦ (D, D0)`` encoding for a presentation
@@ -156,6 +159,22 @@ def _build_parser() -> argparse.ArgumentParser:
         type=float,
         default=30.0,
         help="per-query budget ceiling (wall-clock seconds)",
+    )
+
+    stats_cmd = commands.add_parser(
+        "stats",
+        help="render a running server's /v1/stats as tables",
+    )
+    stats_cmd.add_argument(
+        "--url",
+        default="http://127.0.0.1:8765",
+        help="server base URL (default: http://127.0.0.1:8765)",
+    )
+    stats_cmd.add_argument(
+        "--watch",
+        type=float,
+        metavar="SECONDS",
+        help="re-poll and re-render every SECONDS until interrupted",
     )
 
     classify_cmd = commands.add_parser(
@@ -319,6 +338,135 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return EXIT_PROVED
 
 
+def _fmt_number(value: object) -> str:
+    """Counters print as ints, seconds-ish floats with fixed precision."""
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.6f}" if abs(value) < 1 else f"{value:.3f}"
+    if isinstance(value, (int, float)):
+        return str(int(value))
+    return str(value)
+
+
+def _histogram_quantile(
+    bounds: Sequence[float], counts: Sequence[int], q: float
+) -> str:
+    """Estimate the ``q``-quantile of a snapshot histogram sample.
+
+    ``counts`` is the non-cumulative per-bucket form with the +Inf slot
+    last (the snapshot JSON shape). The estimate is the upper bound of
+    the bucket the quantile falls in — the same resolution Prometheus'
+    ``histogram_quantile`` has, minus the interpolation.
+    """
+    total = sum(counts)
+    if total == 0:
+        return "-"
+    rank = q * total
+    cumulative = 0
+    for bound, count in zip(bounds, counts):
+        cumulative += count
+        if cumulative >= rank:
+            return f"{bound:g}"
+    return f">{bounds[-1]:g}" if bounds else "-"
+
+
+def _render_stats(payload: dict) -> str:
+    """The ``repro stats`` tables for one ``/v1/stats`` payload."""
+    lines: list[str] = []
+
+    def section(title: str, mapping: dict) -> None:
+        lines.append(f"{title}:")
+        for key, value in mapping.items():
+            if isinstance(value, dict):
+                rendered = ", ".join(
+                    f"{k}={_fmt_number(v)}" for k, v in value.items()
+                )
+                lines.append(f"  {key:<24} {rendered}")
+            else:
+                lines.append(f"  {key:<24} {_fmt_number(value)}")
+        lines.append("")
+
+    section("server", dict(payload.get("server", {})))
+    section("cache", dict(payload.get("cache", {})))
+    section("batching", dict(payload.get("batching", {})))
+
+    families = payload.get("metrics", {}).get("families", [])
+    scalars: list[tuple[str, str]] = []
+    histograms: list[tuple[str, int, str, str, str, str]] = []
+    for family in families:
+        label_names = family.get("labels", [])
+        for sample in family.get("samples", []):
+            labels = ",".join(
+                f'{name}="{value}"'
+                for name, value in zip(label_names, sample.get("labels", []))
+            )
+            series = family["name"] + (f"{{{labels}}}" if labels else "")
+            if family.get("kind") == "histogram":
+                count = int(sample.get("count", 0))
+                mean = (
+                    f"{sample.get('value', 0.0) / count:.6f}"
+                    if count
+                    else "-"
+                )
+                bounds = family.get("buckets", [])
+                counts = sample.get("bucket_counts", [])
+                histograms.append(
+                    (
+                        series,
+                        count,
+                        mean,
+                        _histogram_quantile(bounds, counts, 0.5),
+                        _histogram_quantile(bounds, counts, 0.9),
+                        _histogram_quantile(bounds, counts, 0.99),
+                    )
+                )
+            else:
+                scalars.append((series, _fmt_number(sample.get("value", 0))))
+    if scalars:
+        width = max(len(name) for name, _ in scalars)
+        lines.append("counters & gauges:")
+        for name, value in scalars:
+            lines.append(f"  {name:<{width}}  {value}")
+        lines.append("")
+    if histograms:
+        width = max(len(name) for name, *_ in histograms)
+        lines.append("histograms (bucket-resolution quantiles):")
+        header = (
+            f"  {'series':<{width}}  {'count':>7} {'mean':>10} "
+            f"{'p50':>8} {'p90':>8} {'p99':>8}"
+        )
+        lines.append(header)
+        for name, count, mean, p50, p90, p99 in histograms:
+            lines.append(
+                f"  {name:<{width}}  {count:>7} {mean:>10} "
+                f"{p50:>8} {p90:>8} {p99:>8}"
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(args.url)
+    if args.watch:
+        if args.watch <= 0:
+            print("error: --watch must be positive", file=sys.stderr)
+            return EXIT_USAGE
+        try:
+            while True:
+                rendered = _render_stats(client.stats())
+                # Clear screen + home, like watch(1).
+                print("\033[2J\033[H" + rendered, end="", flush=True)
+                time.sleep(args.watch)
+        except KeyboardInterrupt:
+            print()
+        return EXIT_PROVED
+    print(_render_stats(client.stats()), end="")
+    return EXIT_PROVED
+
+
 def _cmd_classify(args: argparse.Namespace) -> int:
     presentation = parse_presentation_text(Path(args.presentation).read_text())
     outcome = classify_instance(
@@ -385,6 +533,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "infer": _cmd_infer,
         "batch": _cmd_batch,
         "serve": _cmd_serve,
+        "stats": _cmd_stats,
         "classify": _cmd_classify,
         "encode": _cmd_encode,
         "diagram": _cmd_diagram,

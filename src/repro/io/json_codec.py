@@ -23,6 +23,7 @@ from repro.errors import ReproError
 from repro.chase.budget import Budget, ChaseStats
 from repro.chase.implication import InferenceOutcome, InferenceStatus
 from repro.chase.result import ChaseResult, ChaseStatus, ChaseStep
+from repro.obs.metrics import MetricsSnapshot
 from repro.relational.instance import Instance
 from repro.relational.schema import Schema
 from repro.relational.values import Const, LabeledNull, Value
@@ -425,3 +426,27 @@ def outcome_from_json(payload: Json) -> InferenceOutcome:
             else None
         ),
     )
+
+
+# ---------------------------------------------------------------------------
+# Metrics snapshots
+# ---------------------------------------------------------------------------
+
+
+def metrics_snapshot_to_json(snapshot: MetricsSnapshot) -> Json:
+    """Encode a frozen metrics-registry snapshot.
+
+    The shape is :meth:`~repro.obs.metrics.MetricsSnapshot.to_json`'s;
+    this wrapper exists so service payloads carrying metrics go through
+    the same codec (and the same :class:`CodecError` discipline) as
+    every other wire object.
+    """
+    return snapshot.to_json()
+
+
+def metrics_snapshot_from_json(payload: Json) -> MetricsSnapshot:
+    """Decode a metrics snapshot; :class:`CodecError` on junk."""
+    try:
+        return MetricsSnapshot.from_json(payload)
+    except (ValueError, TypeError, KeyError) as error:
+        raise CodecError(f"bad metrics snapshot payload: {error}") from error

@@ -1,0 +1,52 @@
+"""Telemetry spine: metrics registry, stage timing and run tracing.
+
+A dependency-free observability layer threaded through the serving
+pipeline (system S8):
+
+* :mod:`repro.obs.metrics` — thread-safe :class:`MetricsRegistry` of
+  counters, gauges and fixed-bucket histograms; immutable, mergeable
+  :class:`MetricsSnapshot`; Prometheus text exposition; the
+  :class:`Stopwatch` / :class:`stage_timer` timing helpers;
+* :mod:`repro.obs.trace` — per-request trace IDs, stage-level
+  :class:`Span` records and the bounded :class:`TraceBuffer` behind
+  ``GET /v1/trace/<id>``.
+
+Everything here is stdlib-only and imports nothing from the rest of the
+package, so every layer — the cache, the worker-pool scheduler, the
+HTTP server — can use it without import cycles.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    FamilySnapshot,
+    Gauge,
+    Histogram,
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+    MetricsSnapshot,
+    SampleSnapshot,
+    SIZE_BUCKETS,
+    Stopwatch,
+    log_buckets,
+    stage_timer,
+)
+from repro.obs.trace import RunTrace, Span, TraceBuffer, new_trace_id
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "FamilySnapshot",
+    "SampleSnapshot",
+    "LATENCY_BUCKETS",
+    "SIZE_BUCKETS",
+    "log_buckets",
+    "Stopwatch",
+    "stage_timer",
+    "RunTrace",
+    "Span",
+    "TraceBuffer",
+    "new_trace_id",
+]

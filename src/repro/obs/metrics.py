@@ -1,0 +1,797 @@
+"""In-process metrics: counters, gauges and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` is a cheap, dependency-free, thread-safe
+registry of named metric *families* in the Prometheus data model:
+
+* :class:`Counter` — monotonically increasing totals;
+* :class:`Gauge` — point-in-time values (optionally *function-backed*:
+  the value is read from a callback at snapshot time, so cheap derived
+  quantities — cache size, uptime — cost nothing between scrapes);
+* :class:`Histogram` — fixed cumulative buckets (log-spaced latency
+  buckets by default), tracking per-bucket counts plus sum and count.
+
+Families may carry **labels** (``histogram.labels(stage="chase")``);
+each distinct label-value combination is an independently updated child.
+
+Snapshots (:meth:`MetricsRegistry.snapshot`) are immutable, JSON-able
+and **mergeable**: counters and histogram buckets add, gauges are
+right-biased, and the merge is associative — so per-worker or per-batch
+snapshots fold into server lifetime totals in any grouping. The
+Prometheus text exposition format
+(:meth:`MetricsSnapshot.render_prometheus`) is what ``GET /metrics``
+serves.
+
+This module must stay dependency-free (stdlib only) and must not import
+from the rest of the package: every layer of the serving pipeline uses
+it, including the worker-pool scheduler.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Sequence, Union
+
+
+def log_buckets(
+    low: float, high: float, mantissas: Sequence[float] = (1.0, 2.5, 5.0)
+) -> tuple[float, ...]:
+    """Log-spaced bucket bounds covering ``[low, high]``.
+
+    Walks decades from ``low``'s up to ``high``'s, emitting
+    ``mantissa * 10^decade`` for each mantissa — the classic
+    1 / 2.5 / 5 per-decade ladder by default.
+    """
+    if low <= 0 or high <= low:
+        raise ValueError("need 0 < low < high")
+    bounds: list[float] = []
+    decade = 1.0
+    while decade > low:
+        decade /= 10.0
+    value = decade
+    while True:
+        for mantissa in mantissas:
+            bound = value * mantissa
+            if bound < low * (1 - 1e-12):
+                continue
+            if bound > high * (1 + 1e-12):
+                return tuple(bounds)
+            bounds.append(bound)
+        value *= 10.0
+
+
+#: Default latency buckets: 100 µs up to 100 s, 1/2.5/5 per decade.
+LATENCY_BUCKETS = log_buckets(0.0001, 100.0)
+
+#: Default size buckets (batch sizes, dedup group sizes): powers of two.
+SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
+
+
+def _validate_name(name: str) -> str:
+    if not name or not all(c.isalnum() or c in "_:" for c in name):
+        raise ValueError(f"bad metric name {name!r}")
+    if name[0].isdigit():
+        raise ValueError(f"bad metric name {name!r}")
+    return name
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    """Prometheus-friendly number rendering (ints without the ``.0``)."""
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _label_suffix(
+    label_names: Sequence[str],
+    label_values: Sequence[str],
+    extra: Sequence[tuple[str, str]] = (),
+) -> str:
+    pairs = [
+        f'{name}="{_escape_label(value)}"'
+        for name, value in zip(label_names, label_values)
+    ]
+    pairs.extend(f'{name}="{_escape_label(value)}"' for name, value in extra)
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+# ---------------------------------------------------------------------------
+# Live metric families and children
+# ---------------------------------------------------------------------------
+
+
+class _Child:
+    """One label-combination's live value(s); updates are lock-guarded."""
+
+    __slots__ = ("_lock",)
+
+    def __init__(self, lock: threading.Lock):
+        self._lock = lock
+
+
+class CounterChild(_Child):
+    __slots__ = ("value",)
+
+    def __init__(self, lock: threading.Lock):
+        super().__init__(lock)
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self.value += amount
+
+
+class GaugeChild(_Child):
+    __slots__ = ("value",)
+
+    def __init__(self, lock: threading.Lock):
+        super().__init__(lock)
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+
+class HistogramChild(_Child):
+    __slots__ = ("bucket_counts", "total", "count", "_bounds")
+
+    def __init__(self, lock: threading.Lock, bounds: tuple[float, ...]):
+        super().__init__(lock)
+        self._bounds = bounds
+        #: One slot per bound plus the +Inf overflow slot. *Non*-cumulative
+        #: here; the exposition renders the Prometheus cumulative form.
+        self.bucket_counts = [0] * (len(bounds) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        # bisect_left: a value equal to a bound lands in that bound's
+        # bucket (Prometheus ``le`` is inclusive).
+        index = bisect_left(self._bounds, value)
+        with self._lock:
+            self.bucket_counts[index] += 1
+            self.total += value
+            self.count += 1
+
+
+class MetricFamily:
+    """One named metric with optional labels; children per label combo."""
+
+    kind = "untyped"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        label_names: tuple[str, ...],
+        lock: threading.Lock,
+    ):
+        self.name = _validate_name(name)
+        self.help = help_text
+        self.label_names = label_names
+        self._lock = lock
+        self._children: dict[tuple[str, ...], _Child] = {}
+        self._fn: Optional[Callable[[], float]] = None
+
+    def _new_child(self) -> _Child:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def labels(self, **labels: str) -> _Child:
+        """The child for this label combination (created on first use)."""
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"{self.name} takes labels {self.label_names}, "
+                f"got {tuple(labels)}"
+            )
+        key = tuple(str(labels[name]) for name in self.label_names)
+        child = self._children.get(key)
+        if child is None:
+            with self._lock:
+                child = self._children.setdefault(key, self._new_child())
+        return child
+
+    def _solo(self) -> _Child:
+        if self.label_names:
+            raise ValueError(f"{self.name} is labelled; use .labels(...)")
+        return self.labels()
+
+
+class Counter(MetricFamily):
+    """A monotonically increasing total (optionally function-backed)."""
+
+    kind = "counter"
+
+    def _new_child(self) -> CounterChild:
+        return CounterChild(self._lock)
+
+    def labels(self, **labels: str) -> CounterChild:
+        return super().labels(**labels)  # type: ignore[return-value]
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._solo().inc(amount)  # type: ignore[union-attr]
+
+    @property
+    def value(self) -> float:
+        if self._fn is not None:
+            return float(self._fn())
+        return self._solo().value  # type: ignore[union-attr]
+
+
+class Gauge(MetricFamily):
+    """A point-in-time value (optionally function-backed)."""
+
+    kind = "gauge"
+
+    def _new_child(self) -> GaugeChild:
+        return GaugeChild(self._lock)
+
+    def labels(self, **labels: str) -> GaugeChild:
+        return super().labels(**labels)  # type: ignore[return-value]
+
+    def set(self, value: float) -> None:
+        self._solo().set(value)  # type: ignore[union-attr]
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._solo().inc(amount)  # type: ignore[union-attr]
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._solo().dec(amount)  # type: ignore[union-attr]
+
+    @property
+    def value(self) -> float:
+        if self._fn is not None:
+            return float(self._fn())
+        return self._solo().value  # type: ignore[union-attr]
+
+
+class Histogram(MetricFamily):
+    """Fixed cumulative buckets plus running sum and count."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        label_names: tuple[str, ...],
+        lock: threading.Lock,
+        buckets: tuple[float, ...],
+    ):
+        if not buckets or list(buckets) != sorted(set(buckets)):
+            raise ValueError("histogram buckets must be sorted and distinct")
+        super().__init__(name, help_text, label_names, lock)
+        self.buckets = tuple(float(bound) for bound in buckets)
+
+    def _new_child(self) -> HistogramChild:
+        return HistogramChild(self._lock, self.buckets)
+
+    def labels(self, **labels: str) -> HistogramChild:
+        return super().labels(**labels)  # type: ignore[return-value]
+
+    def observe(self, value: float) -> None:
+        self._solo().observe(value)  # type: ignore[union-attr]
+
+
+# ---------------------------------------------------------------------------
+# Snapshots: immutable, JSON-able, mergeable
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SampleSnapshot:
+    """One child's frozen value(s)."""
+
+    label_values: tuple[str, ...]
+    value: float = 0.0
+    #: Histogram-only: non-cumulative per-bucket counts, +Inf slot last.
+    bucket_counts: Optional[tuple[int, ...]] = None
+    count: int = 0
+
+
+@dataclass(frozen=True)
+class FamilySnapshot:
+    """One metric family's frozen children."""
+
+    name: str
+    kind: str
+    help: str
+    label_names: tuple[str, ...]
+    samples: tuple[SampleSnapshot, ...]
+    buckets: Optional[tuple[float, ...]] = None
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """A registry frozen at one instant.
+
+    ``merge`` is associative and never mutates: counters and histogram
+    buckets add, gauges are right-biased (the merged-in snapshot wins) —
+    so folding per-batch or per-worker snapshots into lifetime totals
+    gives the same answer in any grouping.
+    """
+
+    families: tuple[FamilySnapshot, ...] = ()
+
+    def family(self, name: str) -> Optional[FamilySnapshot]:
+        for family in self.families:
+            if family.name == name:
+                return family
+        return None
+
+    def sample(
+        self, name: str, **labels: str
+    ) -> Optional[SampleSnapshot]:
+        """Convenience lookup of one child's frozen sample."""
+        family = self.family(name)
+        if family is None:
+            return None
+        wanted = tuple(str(labels.get(key, "")) for key in family.label_names)
+        for sample in family.samples:
+            if sample.label_values == wanted:
+                return sample
+        return None
+
+    def merge(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
+        """Fold ``other`` into this snapshot (see class docstring)."""
+        merged: dict[str, FamilySnapshot] = {
+            family.name: family for family in self.families
+        }
+        for family in other.families:
+            existing = merged.get(family.name)
+            if existing is None:
+                merged[family.name] = family
+                continue
+            if (
+                existing.kind != family.kind
+                or existing.label_names != family.label_names
+                or existing.buckets != family.buckets
+            ):
+                raise ValueError(
+                    f"cannot merge mismatched metric family {family.name!r}"
+                )
+            samples = {
+                sample.label_values: sample for sample in existing.samples
+            }
+            for sample in family.samples:
+                held = samples.get(sample.label_values)
+                if held is None:
+                    samples[sample.label_values] = sample
+                elif family.kind == "gauge":
+                    samples[sample.label_values] = sample  # right-biased
+                elif family.kind == "histogram":
+                    samples[sample.label_values] = SampleSnapshot(
+                        label_values=sample.label_values,
+                        value=held.value + sample.value,
+                        bucket_counts=tuple(
+                            a + b
+                            for a, b in zip(
+                                held.bucket_counts or (),
+                                sample.bucket_counts or (),
+                            )
+                        ),
+                        count=held.count + sample.count,
+                    )
+                else:
+                    samples[sample.label_values] = SampleSnapshot(
+                        label_values=sample.label_values,
+                        value=held.value + sample.value,
+                    )
+            merged[family.name] = FamilySnapshot(
+                name=existing.name,
+                kind=existing.kind,
+                help=existing.help,
+                label_names=existing.label_names,
+                samples=tuple(samples.values()),
+                buckets=existing.buckets,
+            )
+        return MetricsSnapshot(families=tuple(merged.values()))
+
+    # -- JSON ----------------------------------------------------------
+
+    def to_json(self) -> dict:
+        """Plain-JSON encoding (the codec wrapper lives in json_codec)."""
+        return {
+            "families": [
+                {
+                    "name": family.name,
+                    "kind": family.kind,
+                    "help": family.help,
+                    "labels": list(family.label_names),
+                    **(
+                        {"buckets": list(family.buckets)}
+                        if family.buckets is not None
+                        else {}
+                    ),
+                    "samples": [
+                        {
+                            "labels": list(sample.label_values),
+                            "value": sample.value,
+                            **(
+                                {
+                                    "bucket_counts": list(
+                                        sample.bucket_counts
+                                    ),
+                                    "count": sample.count,
+                                }
+                                if sample.bucket_counts is not None
+                                else {}
+                            ),
+                        }
+                        for sample in family.samples
+                    ],
+                }
+                for family in self.families
+            ]
+        }
+
+    @staticmethod
+    def from_json(payload: object) -> "MetricsSnapshot":
+        """Decode :meth:`to_json`'s output; ``ValueError`` on junk."""
+        if not isinstance(payload, dict) or "families" not in payload:
+            raise ValueError(f"bad metrics snapshot payload {payload!r}")
+        families = []
+        for entry in payload["families"]:
+            if not isinstance(entry, dict) or "name" not in entry:
+                raise ValueError(f"bad metric family payload {entry!r}")
+            buckets = entry.get("buckets")
+            families.append(
+                FamilySnapshot(
+                    name=str(entry["name"]),
+                    kind=str(entry.get("kind", "untyped")),
+                    help=str(entry.get("help", "")),
+                    label_names=tuple(entry.get("labels", ())),
+                    buckets=(
+                        tuple(float(b) for b in buckets)
+                        if buckets is not None
+                        else None
+                    ),
+                    samples=tuple(
+                        SampleSnapshot(
+                            label_values=tuple(
+                                str(v) for v in sample.get("labels", ())
+                            ),
+                            value=float(sample.get("value", 0.0)),
+                            bucket_counts=(
+                                tuple(
+                                    int(c)
+                                    for c in sample["bucket_counts"]
+                                )
+                                if "bucket_counts" in sample
+                                else None
+                            ),
+                            count=int(sample.get("count", 0)),
+                        )
+                        for sample in entry.get("samples", ())
+                    ),
+                )
+            )
+        return MetricsSnapshot(families=tuple(families))
+
+    # -- Prometheus text exposition ------------------------------------
+
+    def render_prometheus(self) -> str:
+        """The text exposition format (version 0.0.4) of this snapshot."""
+        lines: list[str] = []
+        for family in self.families:
+            lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for sample in family.samples:
+                suffix = _label_suffix(family.label_names, sample.label_values)
+                if family.kind == "histogram":
+                    cumulative = 0
+                    bounds = list(family.buckets or ())
+                    counts = list(sample.bucket_counts or ())
+                    for bound, bucket in zip(bounds, counts):
+                        cumulative += bucket
+                        le = _label_suffix(
+                            family.label_names,
+                            sample.label_values,
+                            extra=(("le", "%g" % bound),),
+                        )
+                        lines.append(
+                            f"{family.name}_bucket{le} {cumulative}"
+                        )
+                    cumulative += counts[-1] if counts else 0
+                    inf = _label_suffix(
+                        family.label_names,
+                        sample.label_values,
+                        extra=(("le", "+Inf"),),
+                    )
+                    lines.append(f"{family.name}_bucket{inf} {cumulative}")
+                    lines.append(
+                        f"{family.name}_sum{suffix} "
+                        f"{_format_value(sample.value)}"
+                    )
+                    lines.append(f"{family.name}_count{suffix} {sample.count}")
+                else:
+                    lines.append(
+                        f"{family.name}{suffix} {_format_value(sample.value)}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+
+class MetricsRegistry:
+    """A thread-safe, ordered registry of metric families.
+
+    Registration is idempotent: asking for an existing name with the
+    same kind and labels returns the existing family (so every pipeline
+    layer can ``registry.counter(...)`` without coordination); asking
+    with a *different* shape raises.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._families: dict[str, MetricFamily] = {}
+
+    def __len__(self) -> int:
+        return len(self._families)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._families
+
+    def get(self, name: str) -> Optional[MetricFamily]:
+        return self._families.get(name)
+
+    def _register(
+        self, family_type: type, name: str, help_text: str, labels, **kwargs
+    ) -> MetricFamily:
+        label_names = tuple(labels)
+        with self._lock:
+            existing = self._families.get(name)
+            if existing is not None:
+                if (
+                    type(existing) is not family_type
+                    or existing.label_names != label_names
+                    or (
+                        isinstance(existing, Histogram)
+                        and "buckets" in kwargs
+                        and existing.buckets
+                        != tuple(float(b) for b in kwargs["buckets"])
+                    )
+                ):
+                    raise ValueError(
+                        f"metric {name!r} already registered with a "
+                        "different shape"
+                    )
+                return existing
+            family = (
+                family_type(
+                    name, help_text, label_names, threading.Lock(), **kwargs
+                )
+                if kwargs
+                else family_type(name, help_text, label_names, threading.Lock())
+            )
+            self._families[name] = family
+            return family
+
+    def counter(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Iterable[str] = (),
+        *,
+        fn: Optional[Callable[[], float]] = None,
+    ) -> Counter:
+        """Register (or fetch) a counter; ``fn`` makes it function-backed."""
+        counter = self._register(Counter, name, help_text, labels)
+        if fn is not None:
+            if counter.label_names:
+                raise ValueError("function-backed metrics cannot be labelled")
+            counter._fn = fn
+        return counter  # type: ignore[return-value]
+
+    def gauge(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Iterable[str] = (),
+        *,
+        fn: Optional[Callable[[], float]] = None,
+    ) -> Gauge:
+        """Register (or fetch) a gauge; ``fn`` makes it function-backed."""
+        gauge = self._register(Gauge, name, help_text, labels)
+        if fn is not None:
+            if gauge.label_names:
+                raise ValueError("function-backed metrics cannot be labelled")
+            gauge._fn = fn
+        return gauge  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Iterable[str] = (),
+        *,
+        buckets: Sequence[float] = LATENCY_BUCKETS,
+    ) -> Histogram:
+        """Register (or fetch) a histogram with fixed bucket bounds."""
+        return self._register(  # type: ignore[return-value]
+            Histogram, name, help_text, labels, buckets=tuple(buckets)
+        )
+
+    def snapshot(self) -> MetricsSnapshot:
+        """Freeze every family (function-backed values are read now)."""
+        families = []
+        with self._lock:
+            live = list(self._families.values())
+        for family in live:
+            samples = []
+            if family._fn is not None:
+                samples.append(
+                    SampleSnapshot(label_values=(), value=float(family._fn()))
+                )
+            else:
+                with family._lock:
+                    children = list(family._children.items())
+                for label_values, child in children:
+                    if isinstance(child, HistogramChild):
+                        with child._lock:
+                            samples.append(
+                                SampleSnapshot(
+                                    label_values=label_values,
+                                    value=child.total,
+                                    bucket_counts=tuple(child.bucket_counts),
+                                    count=child.count,
+                                )
+                            )
+                    else:
+                        samples.append(
+                            SampleSnapshot(
+                                label_values=label_values,
+                                value=child.value,  # type: ignore[union-attr]
+                            )
+                        )
+            families.append(
+                FamilySnapshot(
+                    name=family.name,
+                    kind=family.kind,
+                    help=family.help,
+                    label_names=family.label_names,
+                    samples=tuple(samples),
+                    buckets=(
+                        family.buckets
+                        if isinstance(family, Histogram)
+                        else None
+                    ),
+                )
+            )
+        return MetricsSnapshot(families=tuple(families))
+
+    def render_prometheus(self) -> str:
+        """Snapshot and render in one call (what ``GET /metrics`` serves)."""
+        return self.snapshot().render_prometheus()
+
+    def merge_snapshot(self, snapshot: MetricsSnapshot) -> None:
+        """Fold an external snapshot's counters/histograms into this registry.
+
+        The inverse direction of :meth:`snapshot`: a per-shard or
+        per-worker snapshot folds into a long-lived aggregate registry.
+        Function-backed families are skipped (their truth lives in the
+        callback); unknown families are created with the snapshot's shape.
+        """
+        for family in snapshot.families:
+            if family.kind == "counter":
+                live = self.counter(family.name, family.help, family.label_names)
+            elif family.kind == "gauge":
+                live = self.gauge(family.name, family.help, family.label_names)
+            elif family.kind == "histogram":
+                live = self.histogram(
+                    family.name,
+                    family.help,
+                    family.label_names,
+                    buckets=family.buckets or LATENCY_BUCKETS,
+                )
+            else:
+                continue
+            if live._fn is not None:
+                continue
+            for sample in family.samples:
+                labels = dict(zip(family.label_names, sample.label_values))
+                child = live.labels(**labels)
+                if isinstance(child, HistogramChild):
+                    with child._lock:
+                        for index, bucket in enumerate(
+                            sample.bucket_counts or ()
+                        ):
+                            child.bucket_counts[index] += bucket
+                        child.total += sample.value
+                        child.count += sample.count
+                elif isinstance(child, GaugeChild):
+                    child.set(sample.value)
+                else:
+                    child.inc(sample.value)
+
+
+# ---------------------------------------------------------------------------
+# Timing helpers
+# ---------------------------------------------------------------------------
+
+
+class Stopwatch:
+    """Wall-clock stage splitter for pipeline instrumentation.
+
+    ``split()`` returns the seconds since the previous split (or since
+    construction) and restarts the lap — the natural fit for sequential
+    pipeline stages. ``elapsed()`` reads total time without restarting.
+    """
+
+    __slots__ = ("_clock", "_started", "_lap")
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        self._clock = clock
+        self._started = clock()
+        self._lap = self._started
+
+    def split(self) -> float:
+        now = self._clock()
+        lap = now - self._lap
+        self._lap = now
+        return lap
+
+    def elapsed(self) -> float:
+        return self._clock() - self._started
+
+    def reset(self) -> None:
+        self._started = self._clock()
+        self._lap = self._started
+
+
+class stage_timer:
+    """Context manager observing a block's wall time into a histogram.
+
+    ``with stage_timer(stage_seconds, stage="chase"): ...`` observes the
+    elapsed seconds into the labelled child on exit (exceptions
+    included — a failing stage is still a timed stage). The elapsed
+    duration is kept on the ``seconds`` attribute for callers that also
+    record a trace span.
+    """
+
+    __slots__ = ("_child", "_started", "seconds")
+
+    def __init__(
+        self,
+        histogram: Union[Histogram, HistogramChild],
+        **labels: str,
+    ):
+        self._child = (
+            histogram.labels(**labels)
+            if isinstance(histogram, Histogram) and labels
+            else histogram
+        )
+        self._started = 0.0
+        self.seconds = 0.0
+
+    def __enter__(self) -> "stage_timer":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.seconds = time.perf_counter() - self._started
+        self._child.observe(self.seconds)

@@ -19,7 +19,10 @@ must fan out across cores. This package layers exactly that on top of
   front-end that micro-batches concurrent clients into shared
   :meth:`InferenceService.run` calls;
 * :mod:`repro.service.client` — the synchronous :class:`ServiceClient`
-  speaking the server's ``repro.io.json_codec`` wire format.
+  speaking the server's ``repro.io.json_codec`` wire format;
+* :mod:`repro.service.instruments` — every pipeline layer's metric
+  families (:mod:`repro.obs`) registered in one place, behind the
+  server's ``GET /metrics`` and ``repro stats``.
 
 The CLI's ``batch`` command (``python -m repro batch``) is a thin wrapper
 over :class:`InferenceService`; ``python -m repro serve`` boots the HTTP
@@ -31,7 +34,9 @@ from repro.service.api import (
     BatchReport,
     BatchStats,
     InferenceService,
+    ProofVerificationError,
 )
+from repro.service.instruments import STAGES, ServiceInstruments
 from repro.service.cache import (
     CacheEntry,
     CacheStats,
@@ -43,7 +48,12 @@ from repro.service.cache import (
     fold_entries,
     merge_unknown_entries,
 )
-from repro.service.client import RemoteVerdict, ServiceClient, ServiceError
+from repro.service.client import (
+    RemoteBatch,
+    RemoteVerdict,
+    ServiceClient,
+    ServiceError,
+)
 from repro.service.scheduler import (
     PoolRun,
     QueryTask,
@@ -86,4 +96,8 @@ __all__ = [
     "ServiceClient",
     "ServiceError",
     "RemoteVerdict",
+    "RemoteBatch",
+    "ProofVerificationError",
+    "ServiceInstruments",
+    "STAGES",
 ]

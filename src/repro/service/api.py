@@ -23,17 +23,22 @@ those of the executed representative.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.chase.budget import Budget
-from repro.chase.engine import ChaseVariant
-from repro.chase.implication import InferenceOutcome
+from repro.chase.engine import ChaseVariant, replay
+from repro.chase.implication import InferenceOutcome, conclusion_satisfied
 from repro.dependencies.canonical import premise_key, query_fingerprint
 from repro.dependencies.classify import Dependency
+from repro.errors import ReproError
+from repro.obs.metrics import MetricsRegistry, Stopwatch
+from repro.obs.trace import RunTrace, Span, TraceBuffer, new_trace_id
 from repro.service.cache import ResultCache
+from repro.service.instruments import ServiceInstruments
 from repro.service.scheduler import (
     RACING_VARIANTS,
     PoolRun,
@@ -42,6 +47,10 @@ from repro.service.scheduler import (
     divide_budget,
     serial_run,
 )
+
+
+class ProofVerificationError(ReproError):
+    """A chase-produced PROVED trace failed its replay verification."""
 
 
 @dataclass
@@ -71,6 +80,11 @@ class BatchStats:
     #: table + compiled goal plan) instead of rebuilding it per arm.
     start_reuses: int = 0
     wall_seconds: float = 0.0
+    #: Wall seconds spent inside chase dispatches (summed per dispatch,
+    #: so racing and parallelism can push this above ``wall_seconds``).
+    #: Distinct from ``wall_seconds``, which also covers hashing, cache
+    #: traffic and scheduling.
+    chase_seconds: float = 0.0
 
     def describe(self) -> str:
         """One-line summary for logs and the CLI."""
@@ -79,7 +93,8 @@ class BatchStats:
             f"{self.deduplicated} deduplicated, {self.executed} executed, "
             f"{self.skipped} raced dispatch(es) skipped, "
             f"{self.start_reuses} start rebuild(s) avoided "
-            f"in {self.wall_seconds:.3f}s"
+            f"in {self.wall_seconds:.3f}s "
+            f"({self.chase_seconds:.3f}s chasing)"
         )
 
 
@@ -89,6 +104,11 @@ class BatchReport:
 
     items: list[BatchItem]
     stats: BatchStats
+    #: The run-level trace ID: queries submitted without an explicit
+    #: ``trace_id`` are recorded under this one (see
+    #: :attr:`InferenceService.traces`). Empty for a report that
+    #: answered nothing.
+    trace_id: str = ""
 
     @property
     def outcomes(self) -> list[InferenceOutcome]:
@@ -102,6 +122,9 @@ class _Pending:
     dependencies: tuple[Dependency, ...]
     target: Dependency
     fingerprint: str
+    trace_id: Optional[str] = None
+    #: Seconds spent canonical-hashing this query at submit time.
+    canon_seconds: float = 0.0
 
 
 class InferenceService:
@@ -122,6 +145,18 @@ class InferenceService:
       *whole-batch* bound, divided evenly across every chase dispatched
       (cache misses times raced variants; cache hits are free), instead
       of the default per-query bound.
+    * ``metrics`` — the :class:`~repro.obs.metrics.MetricsRegistry`
+      every pipeline stage reports into; a private one is created when
+      omitted. Pass a shared registry to aggregate several services
+      onto one ``/metrics`` surface.
+    * ``verify_proofs`` — replay-verify the trace of every freshly
+      chased PROVED outcome (step-by-step validity plus conclusion
+      derivation) before recording or serving it; a failure raises
+      :class:`ProofVerificationError`. Off by default — it re-does a
+      bounded version of the chase's work — but it is what gives the
+      ``verify`` stage of ``repro_stage_seconds`` real semantics.
+    * ``trace_capacity`` — how many recent run traces :attr:`traces`
+      retains for ``GET /v1/trace/<id>``.
     """
 
     def __init__(
@@ -133,6 +168,9 @@ class InferenceService:
         race_variants: bool = False,
         record_trace: bool = True,
         share_budget: bool = False,
+        metrics: Optional[MetricsRegistry] = None,
+        verify_proofs: bool = False,
+        trace_capacity: int = 256,
     ):
         if workers < 0:
             raise ValueError("workers must be >= 0")
@@ -143,6 +181,11 @@ class InferenceService:
         )
         self.record_trace = record_trace
         self.share_budget = share_budget
+        self.verify_proofs = verify_proofs
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.traces = TraceBuffer(trace_capacity)
+        self._instruments = ServiceInstruments(self.metrics)
+        self.cache.bind_metrics(self.metrics)
         self._pending: list[_Pending] = []
         self._worker_pool: Optional[WorkerPool] = None
         # Premise sets repeat across a batch (run_batch shares one for
@@ -174,7 +217,7 @@ class InferenceService:
         if self.workers == 0:
             return None
         if self._worker_pool is None:
-            self._worker_pool = WorkerPool(self.workers)
+            self._worker_pool = WorkerPool(self.workers, metrics=self.metrics)
         return self._worker_pool
 
     def warm_up(self) -> "InferenceService":
@@ -222,12 +265,26 @@ class InferenceService:
         return dropped
 
     def submit(
-        self, dependencies: Sequence[Dependency], target: Dependency
+        self,
+        dependencies: Sequence[Dependency],
+        target: Dependency,
+        *,
+        trace_id: Optional[str] = None,
     ) -> str:
-        """Enqueue one query; returns its canonical fingerprint."""
+        """Enqueue one query; returns its canonical fingerprint.
+
+        ``trace_id`` tags the query for run tracing: after the batch
+        runs, ``self.traces.get(trace_id)`` returns this query's view of
+        the run. Untagged queries land under the report's run-level ID.
+        """
         shared = tuple(dependencies)
+        canon_started = time.perf_counter()
         fingerprint = query_fingerprint(
             shared, target, premises=self._premise_key(shared)
+        )
+        canon_seconds = time.perf_counter() - canon_started
+        self._instruments.stage_seconds.labels(stage="canonicalize").observe(
+            canon_seconds
         )
         self._pending.append(
             _Pending(
@@ -235,18 +292,74 @@ class InferenceService:
                 dependencies=shared,
                 target=target,
                 fingerprint=fingerprint,
+                trace_id=trace_id,
+                canon_seconds=canon_seconds,
             )
         )
         return fingerprint
 
+    def _verify_proof(self, outcome: InferenceOutcome) -> bool:
+        """Replay-verify one PROVED outcome's trace; False when N/A.
+
+        Freezes the target independently (freezing is deterministic),
+        replays the recorded trace with per-step verification, and
+        checks the final instance derives the frozen conclusion —
+        exactly what an untrusting client would do with the
+        certificate. Raises :class:`ProofVerificationError` (or the
+        replay's own ``VerificationError``) on a bad trace.
+        """
+        if not outcome.proved or outcome.chase_result is None:
+            return False
+        verify_started = time.perf_counter()
+        start, frozen = outcome.target.freeze()
+        final = replay(start, outcome.chase_result.steps, verify=True)
+        satisfied = conclusion_satisfied(final, outcome.target, frozen)
+        self._instruments.stage_seconds.labels(stage="verify").observe(
+            time.perf_counter() - verify_started
+        )
+        self._instruments.proof_verifications.inc()
+        if not satisfied:
+            raise ProofVerificationError(
+                "replayed trace does not derive the conclusion of "
+                f"{outcome.target!r}"
+            )
+        return True
+
     def run(self, budget: Optional[Budget] = None) -> BatchReport:
-        """Answer every pending query; clears the queue."""
+        """Answer every pending query; clears the queue.
+
+        Every stage lands in :attr:`metrics`
+        (``repro_stage_seconds{stage=...}`` and friends), and one
+        :class:`~repro.obs.trace.RunTrace` per distinct trace ID is
+        stored in :attr:`traces` — under the report's run-level
+        :attr:`~BatchReport.trace_id` for untagged queries.
+        """
         budget = budget if budget is not None else Budget()
+        instruments = self._instruments
         started = time.perf_counter()
+        started_at = time.time()
         pending, self._pending = self._pending, []
         stats = BatchStats(submitted=len(pending))
         items: list[Optional[BatchItem]] = [None] * len(pending)
         variant_values = tuple(variant.value for variant in self.variants)
+        run_trace_id = new_trace_id()
+        spans: list[Span] = []
+        #: Per-query trace rows, indexed by submission order.
+        query_rows: list[dict] = [{} for _ in pending]
+
+        instruments.batches.inc()
+        instruments.queries.inc(len(pending))
+        instruments.batch_size.observe(len(pending))
+        if pending:
+            # Canonicalization happened at submit time; surface its total
+            # here so the trace timeline covers the whole pipeline.
+            spans.append(
+                Span(
+                    "canonicalize",
+                    sum(query.canon_seconds for query in pending),
+                    {"queries": len(pending)},
+                )
+            )
 
         # Cache pass: serve what is already known, group the rest by
         # fingerprint so structurally identical queries chase once. In
@@ -254,30 +367,50 @@ class InferenceService:
         # pessimistic division (as if every pending query missed): a
         # cached run was given at least that much work, so identical
         # re-runs hit instead of eternally re-chasing their UNKNOWNs.
+        watch = Stopwatch()
         lookup_budget = (
             divide_budget(budget, len(pending) * len(self.variants))
             if self.share_budget and pending
             else budget
         )
+        lookup_stage = instruments.stage_seconds.labels(stage="cache_lookup")
         groups: dict[str, list[_Pending]] = {}
         for query in pending:
+            lookup_started = time.perf_counter()
             entry = self.cache.lookup(
                 query.fingerprint,
                 lookup_budget,
                 require_trace=self.record_trace,
                 variants=variant_values,
             )
+            lookup_stage.observe(time.perf_counter() - lookup_started)
             if entry is not None:
                 stats.cache_hits += 1
+                outcome = entry.outcome()
                 items[query.index] = BatchItem(
                     index=query.index,
                     target=query.target,
                     fingerprint=query.fingerprint,
-                    outcome=entry.outcome(),
+                    outcome=outcome,
                     from_cache=True,
                 )
+                query_rows[query.index] = {
+                    "index": query.index,
+                    "fingerprint": query.fingerprint,
+                    "status": outcome.status.value,
+                    "source": "cache",
+                }
                 continue
             groups.setdefault(query.fingerprint, []).append(query)
+        instruments.cache_hits.inc(stats.cache_hits)
+        if pending:
+            spans.append(
+                Span(
+                    "cache_lookup",
+                    watch.split(),
+                    {"lookups": len(pending), "hits": stats.cache_hits},
+                )
+            )
 
         # Execute one representative per group, serially or on the pool.
         tasks = []
@@ -292,6 +425,20 @@ class InferenceService:
                 )
             )
             representatives.append((fingerprint, members))
+            instruments.dedup_group_size.observe(len(members))
+        dedup_seconds = watch.split()
+        instruments.stage_seconds.labels(stage="dedup").observe(dedup_seconds)
+        if groups:
+            spans.append(
+                Span(
+                    "dedup",
+                    dedup_seconds,
+                    {
+                        "groups": len(tasks),
+                        "folded": len(pending) - stats.cache_hits - len(tasks),
+                    },
+                )
+            )
         # With share_budget the batch budget is split across every chase
         # actually dispatched — misses times variants, so racing cannot
         # overspend the whole-batch bound. The divided budget is also what
@@ -305,7 +452,13 @@ class InferenceService:
         if not tasks:
             run = PoolRun()
         elif self.workers == 0:
-            run = serial_run(tasks, per_query, self.variants, self.record_trace)
+            run = serial_run(
+                tasks,
+                per_query,
+                self.variants,
+                self.record_trace,
+                metrics=self.metrics,
+            )
         else:
             # The pool persists across run() calls: batch N+1 reuses the
             # worker processes batch N forked.
@@ -316,9 +469,37 @@ class InferenceService:
         stats.executed = len(tasks)
         stats.skipped = run.skipped
         stats.start_reuses = run.start_reuses
+        stats.chase_seconds = run.chase_seconds
+        instruments.executed.inc(len(tasks))
+        instruments.race_skipped.inc(run.skipped)
+        instruments.start_reuses.inc(run.start_reuses)
+        if tasks:
+            spans.append(
+                Span(
+                    "dispatch",
+                    watch.split(),
+                    {
+                        "executed": len(tasks),
+                        "skipped": run.skipped,
+                        "chase_seconds": round(run.chase_seconds, 6),
+                        "workers": self.workers,
+                    },
+                )
+            )
 
+        if self.verify_proofs and tasks:
+            verified = sum(
+                self._verify_proof(outcomes[slot]) for slot in range(len(tasks))
+            )
+            spans.append(
+                Span("verify", watch.split(), {"proofs_verified": verified})
+            )
+
+        record_stage = instruments.stage_seconds.labels(stage="record")
+        record_seconds = 0.0
         for slot, (fingerprint, members) in enumerate(representatives):
             outcome = outcomes[slot]
+            record_started = time.perf_counter()
             self.cache.record(
                 fingerprint,
                 outcome,
@@ -326,6 +507,20 @@ class InferenceService:
                 traced=self.record_trace,
                 variants=variant_values,
             )
+            elapsed = time.perf_counter() - record_started
+            record_seconds += elapsed
+            record_stage.observe(elapsed)
+            # Snapshot the chase stats once per group: ``elapsed_seconds``
+            # is live wall-clock for in-process runs, and every member of
+            # the group must report the identical chase.
+            chase_row = None
+            if outcome.chase_result is not None:
+                chase_stats = outcome.chase_result.stats
+                chase_row = {
+                    "steps": chase_stats.steps,
+                    "rows_added": chase_stats.rows_added,
+                    "seconds": round(chase_stats.elapsed_seconds, 6),
+                }
             for position, query in enumerate(members):
                 if position > 0:
                     stats.deduplicated += 1
@@ -336,6 +531,20 @@ class InferenceService:
                     outcome=outcome,
                     deduplicated=position > 0,
                 )
+                row = {
+                    "index": query.index,
+                    "fingerprint": fingerprint,
+                    "status": outcome.status.value,
+                    "source": "dedup" if position > 0 else "chase",
+                }
+                if chase_row is not None:
+                    row["chase"] = dict(chase_row)
+                query_rows[query.index] = row
+        instruments.deduplicated.inc(stats.deduplicated)
+        if representatives:
+            spans.append(
+                Span("record", record_seconds, {"recorded": len(representatives)})
+            )
 
         stats.wall_seconds = time.perf_counter() - started
         answered: list[BatchItem] = []
@@ -343,7 +552,33 @@ class InferenceService:
             if item is None:  # every slot is a cache hit or a group member
                 raise RuntimeError("batch bookkeeping left a query unanswered")
             answered.append(item)
-        return BatchReport(items=answered, stats=stats)
+
+        if pending:
+            # One stored trace per distinct trace ID: shared batch-level
+            # spans, but only that ID's per-query rows.
+            batch_summary = dataclasses.asdict(stats)
+            by_trace: "OrderedDict[str, list[dict]]" = OrderedDict()
+            for query in pending:
+                trace_id = query.trace_id or run_trace_id
+                by_trace.setdefault(trace_id, []).append(
+                    query_rows[query.index]
+                )
+            for trace_id, rows in by_trace.items():
+                self.traces.put(
+                    RunTrace(
+                        trace_id=trace_id,
+                        started_at=started_at,
+                        wall_seconds=stats.wall_seconds,
+                        spans=list(spans),
+                        queries=rows,
+                        batch=batch_summary,
+                    )
+                )
+        return BatchReport(
+            items=answered,
+            stats=stats,
+            trace_id=run_trace_id if pending else "",
+        )
 
     def run_batch(
         self,

@@ -34,6 +34,7 @@ bigger budget simply appends the better entry.
 from __future__ import annotations
 
 import contextlib
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -48,6 +49,8 @@ except ImportError:  # pragma: no cover - platform-dependent
 
 from repro.chase.budget import Budget
 from repro.chase.implication import InferenceOutcome, InferenceStatus
+from repro.obs.metrics import MetricsRegistry
+from repro.service.instruments import ServiceInstruments
 from repro.io.json_codec import (
     CodecError,
     Json,
@@ -481,6 +484,7 @@ class ResultCache:
         )
         self.stats = CacheStats()
         self._store = store
+        self._instruments = None
         self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
         if store is not None:
             for entry in store.load():
@@ -496,6 +500,47 @@ class ResultCache:
 
     def __contains__(self, fingerprint: object) -> bool:
         return fingerprint in self._entries
+
+    def bind_metrics(self, registry: MetricsRegistry) -> "ResultCache":
+        """Expose this cache through ``registry`` (idempotent).
+
+        The hit/miss/stale/eviction counters are *function-backed*: the
+        registry reads :attr:`stats` at scrape time, so the hot lookup
+        path pays nothing for telemetry. Compaction work (the one
+        genuinely slow cache operation) is timed live on :meth:`close`.
+        """
+        self._instruments = ServiceInstruments(registry)
+        registry.gauge(
+            "repro_cache_entries",
+            "Verdicts currently held in the in-memory tier",
+            fn=lambda: float(len(self._entries)),
+        )
+        registry.gauge(
+            "repro_cache_max_entries",
+            "In-memory tier capacity (LRU bound)",
+            fn=lambda: float(self.maxsize),
+        )
+        registry.counter(
+            "repro_cache_lookup_hits_total",
+            "Cache lookups served from a usable entry",
+            fn=lambda: float(self.stats.hits),
+        )
+        registry.counter(
+            "repro_cache_lookup_misses_total",
+            "Cache lookups that found no entry",
+            fn=lambda: float(self.stats.misses),
+        )
+        registry.counter(
+            "repro_cache_stale_unknown_total",
+            "Cache lookups that found only a stale entry",
+            fn=lambda: float(self.stats.stale),
+        )
+        registry.counter(
+            "repro_cache_evictions_total",
+            "LRU evictions while serving (load churn excluded)",
+            fn=lambda: float(self.stats.evictions),
+        )
+        return self
 
     def close(self, *, force_compact: bool = False) -> bool:
         """Compact the disk tier if it has outgrown its live content.
@@ -513,7 +558,7 @@ class ResultCache:
         if store is None:
             return False
         if force_compact:
-            store.compact()
+            self._timed_compact(store)
             return True
         # O(1) trigger: the store tracks line and distinct-fingerprint
         # counts incrementally, so a no-op close never re-reads the file.
@@ -522,8 +567,17 @@ class ResultCache:
             return False
         if lines < 2 * max(store.distinct_count(), 1):
             return False
-        store.compact()
+        self._timed_compact(store)
         return True
+
+    def _timed_compact(self, store: JsonLinesStore) -> None:
+        started = time.perf_counter()
+        store.compact()
+        if self._instruments is not None:
+            self._instruments.cache_compactions.inc()
+            self._instruments.cache_compaction_seconds.observe(
+                time.perf_counter() - started
+            )
 
     def lookup(
         self,

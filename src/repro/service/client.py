@@ -51,6 +51,11 @@ class RemoteVerdict:
     from_cache: bool
     deduplicated: bool
     outcome: InferenceOutcome
+    #: The trace ID this query ran under; feed it to
+    #: :meth:`ServiceClient.trace` while the server still buffers it.
+    trace_id: str = ""
+    #: The inline run trace (``debug=True`` requests only).
+    trace: Optional[dict] = None
 
     @staticmethod
     def from_payload(payload: Json) -> "RemoteVerdict":
@@ -63,6 +68,8 @@ class RemoteVerdict:
                 from_cache=bool(payload.get("from_cache", False)),
                 deduplicated=bool(payload.get("deduplicated", False)),
                 outcome=outcome_from_json(payload["outcome"]),
+                trace_id=str(payload.get("trace_id", "")),
+                trace=payload.get("trace"),
             )
         except (KeyError, ValueError, TypeError, CodecError) as error:
             raise ServiceError(
@@ -77,6 +84,9 @@ class RemoteBatch:
 
     items: list[RemoteVerdict]
     stats: dict
+    trace_id: str = ""
+    #: The inline run trace (``debug=True`` requests only).
+    trace: Optional[dict] = None
 
     @property
     def statuses(self) -> list[InferenceStatus]:
@@ -141,6 +151,27 @@ class ServiceClient:
         """``GET /v1/stats``."""
         return self.request("GET", "/v1/stats")
 
+    def trace(self, trace_id: str) -> dict:
+        """``GET /v1/trace/<id>``: one request's stage-level run trace.
+
+        :class:`ServiceError` (HTTP 404) once the server's bounded
+        trace buffer has dropped it.
+        """
+        return self.request("GET", f"/v1/trace/{trace_id}")
+
+    def metrics_text(self) -> str:
+        """``GET /metrics``: the Prometheus text exposition, verbatim."""
+        url = self.base_url + "/metrics"
+        try:
+            with urllib.request.urlopen(url, timeout=self.timeout) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as error:
+            raise ServiceError(
+                f"GET /metrics -> HTTP {error.code}: {error.reason}"
+            ) from error
+        except urllib.error.URLError as error:
+            raise ServiceError(f"GET /metrics failed: {error.reason}") from error
+
     def implies(
         self,
         dependencies: Sequence[Dependency],
@@ -148,8 +179,15 @@ class ServiceClient:
         budget: Optional[Budget] = None,
         *,
         certificates: bool = True,
+        trace_id: Optional[str] = None,
+        debug: bool = False,
     ) -> RemoteVerdict:
-        """``POST /v1/implies``: one ``D ⊨ d`` question."""
+        """``POST /v1/implies``: one ``D ⊨ d`` question.
+
+        ``trace_id`` tags the query for later ``/v1/trace`` retrieval
+        (the server generates one otherwise — see the verdict's
+        ``trace_id``); ``debug`` asks for the run trace inline.
+        """
         payload: dict = {
             "dependencies": [dependency_to_json(d) for d in dependencies],
             "target": dependency_to_json(target),
@@ -158,9 +196,10 @@ class ServiceClient:
             payload["budget"] = budget_to_json(budget)
         if not certificates:
             payload["certificates"] = False
-        return RemoteVerdict.from_payload(
-            self.request("POST", "/v1/implies", payload)
-        )
+        if trace_id is not None:
+            payload["trace_id"] = trace_id
+        path = "/v1/implies" + ("?debug=1" if debug else "")
+        return RemoteVerdict.from_payload(self.request("POST", path, payload))
 
     def batch(
         self,
@@ -169,6 +208,8 @@ class ServiceClient:
         budget: Optional[Budget] = None,
         *,
         certificates: bool = True,
+        trace_id: Optional[str] = None,
+        debug: bool = False,
     ) -> RemoteBatch:
         """``POST /v1/batch``: many targets against one premise set."""
         payload: dict = {
@@ -179,10 +220,15 @@ class ServiceClient:
             payload["budget"] = budget_to_json(budget)
         if not certificates:
             payload["certificates"] = False
-        answer = self.request("POST", "/v1/batch", payload)
+        if trace_id is not None:
+            payload["trace_id"] = trace_id
+        path = "/v1/batch" + ("?debug=1" if debug else "")
+        answer = self.request("POST", path, payload)
         if not isinstance(answer, dict) or "items" not in answer:
             raise ServiceError(f"malformed batch payload {answer!r}")
         return RemoteBatch(
             items=[RemoteVerdict.from_payload(item) for item in answer["items"]],
             stats=answer.get("stats", {}),
+            trace_id=str(answer.get("trace_id", "")),
+            trace=answer.get("trace"),
         )

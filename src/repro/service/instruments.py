@@ -1,0 +1,123 @@
+"""The service's metric families, registered in one place.
+
+Every layer of the serving pipeline (facade, scheduler, cache, HTTP
+server) instruments itself through a :class:`ServiceInstruments` built
+over one shared :class:`~repro.obs.metrics.MetricsRegistry` —
+registration is idempotent, so each layer constructs its own view
+without coordination and they all land on the same families. Keeping
+the names, help strings and bucket choices here is what makes the
+README's metric table and ``GET /metrics`` agree by construction.
+
+Stage naming: ``repro_stage_seconds{stage=...}`` is the one histogram
+family every pipeline stage reports into — ``canonicalize`` (hashing a
+query), ``cache_lookup`` (verdict-cache probe), ``dedup`` (fingerprint
+grouping), ``queue_wait`` (a payload waiting for a free worker),
+``chase`` (one chase dispatch, wire round-trip included for pooled
+runs), ``record`` (writing verdicts back to the cache) and ``verify``
+(optional replay-verification of PROVED traces).
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import (
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+    SIZE_BUCKETS,
+)
+
+#: Every stage reported into ``repro_stage_seconds``; children are
+#: pre-created so a scrape lists the full pipeline even before traffic.
+STAGES = (
+    "canonicalize",
+    "cache_lookup",
+    "dedup",
+    "queue_wait",
+    "chase",
+    "record",
+    "verify",
+)
+
+
+class ServiceInstruments:
+    """All serving-pipeline metric families on one registry."""
+
+    def __init__(self, registry: MetricsRegistry):
+        self.registry = registry
+        self.stage_seconds = registry.histogram(
+            "repro_stage_seconds",
+            "Per-stage pipeline latency in seconds",
+            labels=("stage",),
+            buckets=LATENCY_BUCKETS,
+        )
+        for stage in STAGES:
+            self.stage_seconds.labels(stage=stage)
+        self.queries = registry.counter(
+            "repro_queries_total", "Queries submitted to the service"
+        )
+        self.batches = registry.counter(
+            "repro_batches_total", "InferenceService.run calls"
+        )
+        self.cache_hits = registry.counter(
+            "repro_cache_hits_total", "Queries answered from the verdict cache"
+        )
+        self.deduplicated = registry.counter(
+            "repro_dedup_total",
+            "Queries answered by another query's chase in the same batch",
+        )
+        self.executed = registry.counter(
+            "repro_executed_total", "Deduplicated query groups actually chased"
+        )
+        self.batch_size = registry.histogram(
+            "repro_batch_queries",
+            "Queries per InferenceService.run call",
+            buckets=SIZE_BUCKETS,
+        )
+        self.dedup_group_size = registry.histogram(
+            "repro_dedup_group_size",
+            "Structurally identical queries folded into one chase",
+            buckets=SIZE_BUCKETS,
+        )
+        self.chase_run_seconds = registry.histogram(
+            "repro_chase_run_seconds",
+            "Wall seconds of one chase dispatch, by variant and verdict",
+            labels=("variant", "verdict"),
+            buckets=LATENCY_BUCKETS,
+        )
+        self.chase_steps = registry.counter(
+            "repro_chase_steps_total",
+            "Trigger firings reported by finished chases",
+        )
+        self.chase_rows = registry.counter(
+            "repro_chase_rows_total",
+            "Rows inserted by finished chases",
+        )
+        self.race_wins = registry.counter(
+            "repro_race_wins_total",
+            "Raced slots decided, by winning chase variant",
+            labels=("variant",),
+        )
+        self.race_skipped = registry.counter(
+            "repro_race_skipped_total",
+            "Raced dispatches skipped because their slot was already decided",
+        )
+        self.start_reuses = registry.counter(
+            "repro_start_reuses_total",
+            "Race arms that reused a shared frozen start",
+        )
+        self.pool_restarts = registry.counter(
+            "repro_pool_restarts_total",
+            "Worker pools discarded after a BrokenProcessPool",
+        )
+        self.proof_verifications = registry.counter(
+            "repro_proof_verifications_total",
+            "PROVED traces replay-verified before being served",
+        )
+        self.cache_compactions = registry.counter(
+            "repro_cache_compactions_total",
+            "Disk-tier compactions run by ResultCache.close",
+        )
+        self.cache_compaction_seconds = registry.histogram(
+            "repro_cache_compaction_seconds",
+            "Wall seconds per disk-tier compaction",
+            buckets=LATENCY_BUCKETS,
+        )

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import json
 import multiprocessing
+import time
 from collections import deque
 from concurrent.futures import (
     FIRST_COMPLETED,
@@ -45,6 +46,8 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.chase.budget import Budget
+from repro.obs.metrics import MetricsRegistry
+from repro.service.instruments import ServiceInstruments
 from repro.chase.engine import ChaseVariant
 from repro.chase.implication import (
     FrozenStart,
@@ -114,6 +117,12 @@ class PoolRun:
     outcomes: dict[int, InferenceOutcome] = field(default_factory=dict)
     skipped: int = 0
     start_reuses: int = 0
+    #: Wall seconds of the chase dispatches actually executed (summed
+    #: per dispatch; racing and parallelism can make this exceed the
+    #: batch's own wall time). For pooled runs each dispatch is timed
+    #: parent-side, submit to completion, so the wire round-trip is
+    #: included — the time a query really spent being chased for.
+    chase_seconds: float = 0.0
 
 
 def divide_budget(budget: Budget, ways: int) -> Budget:
@@ -146,11 +155,39 @@ def _prefer(
     return candidate
 
 
+def _observe_dispatch(
+    instruments: Optional[ServiceInstruments],
+    variant_value: str,
+    verdict_value: str,
+    seconds: float,
+    outcome: Optional[InferenceOutcome] = None,
+) -> None:
+    """Record one executed chase dispatch into the metric families.
+
+    The chase kernel's own work counters (trigger firings, rows
+    inserted) are surfaced from the outcome's :class:`ChaseResult`
+    stats rather than re-measured — UNKNOWN outcomes that crossed the
+    wire travel slim and simply contribute nothing here.
+    """
+    if instruments is None:
+        return
+    instruments.stage_seconds.labels(stage="chase").observe(seconds)
+    instruments.chase_run_seconds.labels(
+        variant=variant_value, verdict=verdict_value
+    ).observe(seconds)
+    if outcome is not None and outcome.chase_result is not None:
+        stats = outcome.chase_result.stats
+        if stats is not None:
+            instruments.chase_steps.inc(stats.steps)
+            instruments.chase_rows.inc(stats.rows_added)
+
+
 def serial_run(
     tasks: Sequence[QueryTask],
     budget: Budget,
     variants: Sequence[ChaseVariant],
     record_trace: bool = True,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> PoolRun:
     """Run every task in-process, trying variants until one is decisive.
 
@@ -160,13 +197,16 @@ def serial_run(
     :class:`~repro.chase.implication.FrozenStart` freezes the target
     once, and each arm copies it with the intern table and compiled
     goal plan intact (``start_reuses`` counts the arms that skipped the
-    rebuild).
+    rebuild). With ``metrics`` given, each dispatch lands in the
+    registry's chase histograms exactly like a pooled one.
     """
+    instruments = ServiceInstruments(metrics) if metrics is not None else None
     run = PoolRun()
     for task in tasks:
         best: Optional[InferenceOutcome] = None
         start = FrozenStart(task.target)
         for position, variant in enumerate(variants):
+            dispatched = time.perf_counter()
             outcome = implies(
                 list(task.dependencies),
                 task.target,
@@ -176,9 +216,20 @@ def serial_run(
                 kernel=_race_kernel(variant, variants),
                 start=start,
             )
+            elapsed = time.perf_counter() - dispatched
+            run.chase_seconds += elapsed
+            _observe_dispatch(
+                instruments,
+                variant.value,
+                outcome.status.value,
+                elapsed,
+                outcome,
+            )
             best = _prefer(best, outcome)
             if _decisive(best):
                 run.skipped += len(variants) - position - 1
+                if instruments is not None and len(variants) > 1:
+                    instruments.race_wins.labels(variant=variant.value).inc()
                 break
         run.start_reuses += start.reuses
         assert best is not None
@@ -365,11 +416,14 @@ class WorkerPool:
     exhaustion.
     """
 
-    def __init__(self, workers: int):
+    def __init__(self, workers: int, metrics: Optional[MetricsRegistry] = None):
         if workers < 1:
             raise ValueError("WorkerPool needs at least one worker")
         self.workers = workers
         self._pool: Optional[ProcessPoolExecutor] = None
+        self._instruments = (
+            ServiceInstruments(metrics) if metrics is not None else None
+        )
 
     def start(self) -> "WorkerPool":
         """Create the worker processes now (idempotent).
@@ -426,12 +480,16 @@ class WorkerPool:
         run = PoolRun()
         if not tasks:
             return run
+        instruments = self._instruments
         pool = self.start()._pool
         assert pool is not None
         pending = deque(_encode_payloads(tasks, variants, budget, record_trace))
         decided: set[int] = set()
         failure: Optional[BaseException] = None
-        in_flight: set[Future] = set()
+        # future -> (variant value, submit time); payloads queue from the
+        # run's start, so submit-minus-start is the queue wait.
+        in_flight: dict[Future, tuple[str, float]] = {}
+        started = time.perf_counter()
 
         # In-flight is capped at exactly `workers` — a deliberate trade:
         # a prefetch margin (workers*2) would hide the ~sub-ms dispatch
@@ -447,43 +505,83 @@ class WorkerPool:
                     run.skipped += 1
                     continue
                 try:
-                    in_flight.add(pool.submit(_execute_payload, payload))
+                    future = pool.submit(_execute_payload, payload)
                 except BaseException as error:  # broken/closing pool
                     failure = error
                     return
+                now = time.perf_counter()
+                in_flight[future] = (payload[1], now)
+                if instruments is not None:
+                    instruments.stage_seconds.labels(
+                        stage="queue_wait"
+                    ).observe(now - started)
 
         refill()
         while in_flight:
-            done, in_flight = wait(in_flight, return_when=FIRST_COMPLETED)
+            done, __ = wait(in_flight, return_when=FIRST_COMPLETED)
+            drained = time.perf_counter()
             arrivals = []
             for future in done:
+                variant_value, submitted = in_flight.pop(future)
                 try:
-                    arrivals.append(future.result())
+                    arrivals.append(
+                        future.result() + (variant_value, drained - submitted)
+                    )
                 except BaseException as error:
                     failure = failure if failure is not None else error
             # Peek decisiveness from the raw statuses and hand the
             # freed workers their next payloads *before* the (possibly
             # heavy) outcome decodes, so workers never idle behind them.
-            for slot, outcome_payload, __ in arrivals:
+            for slot, outcome_payload, __, variant_value, __seconds in arrivals:
                 if (
                     isinstance(outcome_payload, dict)
                     and outcome_payload.get("status")
                     != InferenceStatus.UNKNOWN.value
                 ):
+                    if (
+                        instruments is not None
+                        and len(variants) > 1
+                        and slot not in decided
+                    ):
+                        instruments.race_wins.labels(
+                            variant=variant_value
+                        ).inc()
                     decided.add(slot)
             refill()
-            for slot, outcome_payload, start_reused in arrivals:
+            for slot, outcome_payload, start_reused, variant_value, seconds in arrivals:
                 if start_reused:
                     run.start_reuses += 1
+                run.chase_seconds += seconds
                 current = run.outcomes.get(slot)
                 if current is not None and _decisive(current):
-                    continue  # raced loser that was already in flight
+                    # Raced loser that was already in flight: timed, but
+                    # its verdict is discarded.
+                    _observe_dispatch(
+                        instruments,
+                        variant_value,
+                        (
+                            outcome_payload.get("status", "unknown")
+                            if isinstance(outcome_payload, dict)
+                            else "unknown"
+                        ),
+                        seconds,
+                    )
+                    continue
                 outcome = _prefer(current, outcome_from_json(outcome_payload))
+                _observe_dispatch(
+                    instruments,
+                    variant_value,
+                    outcome.status.value,
+                    seconds,
+                    outcome,
+                )
                 run.outcomes[slot] = outcome
         if failure is not None:
             if isinstance(failure, BrokenProcessPool):
                 # Fresh workers on the next run instead of a dead pool.
                 self._pool = None
+                if instruments is not None:
+                    instruments.pool_restarts.inc()
             raise failure
         return run
 

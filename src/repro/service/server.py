@@ -18,7 +18,15 @@ payloads):
   payload (certificates included unless ``"certificates": false``).
 * ``POST /v1/batch`` — many targets against one premise set; answers
   with per-item verdicts plus this request's slice of the batch stats.
-* ``GET /v1/stats`` — lifetime server, cache and batching counters.
+* ``GET /v1/stats`` — lifetime server, cache and batching counters,
+  plus the full metrics-registry snapshot (JSON form).
+* ``GET /metrics`` — the same registry in Prometheus text exposition
+  format (the one non-JSON endpoint; scrape it).
+* ``GET /v1/trace/<id>`` — one request's stage-level run trace, while
+  it is still in the service's bounded trace buffer. Every verdict
+  response carries its ``trace_id`` (client-suppliable via the request
+  payload); ``POST /v1/implies?debug=1`` / ``/v1/batch?debug=1``
+  attach the trace to the response inline.
 * ``GET /healthz`` — liveness.
 
 The event loop only parses HTTP and queues queries; chases run on an
@@ -44,6 +52,7 @@ import http.client
 import json
 import threading
 import time
+import urllib.parse
 import warnings
 from dataclasses import dataclass, field
 from typing import Optional, Sequence, Union
@@ -61,6 +70,7 @@ from repro.io.json_codec import (
     dependency_from_json,
     outcome_to_json,
 )
+from repro.obs.trace import new_trace_id
 from repro.service.api import BatchItem, InferenceService
 from repro.service.cache import budget_meet
 
@@ -87,6 +97,12 @@ class ServerStats:
     deduplicated: int = 0
     executed: int = 0
     skipped: int = 0
+    #: Wall seconds of whole InferenceService runs (hashing, cache
+    #: traffic and scheduling included).
+    batch_seconds: float = 0.0
+    #: Wall seconds actually spent inside chase dispatches. Historically
+    #: this field held what ``batch_seconds`` now holds; the two are
+    #: split so "time serving batches" and "time chasing" read apart.
     chase_seconds: float = 0.0
 
 
@@ -102,6 +118,15 @@ class _QueuedQuery:
     target: Dependency
     budget: Budget
     future: "asyncio.Future[BatchItem]" = field(repr=False)
+    trace_id: Optional[str] = None
+
+
+@dataclass
+class _TextResponse:
+    """A non-JSON response body (``GET /metrics``)."""
+
+    body: str
+    content_type: str = "text/plain; version=0.0.4; charset=utf-8"
 
 
 def _item_payload(item: BatchItem, include_certificates: bool) -> Json:
@@ -188,6 +213,25 @@ class InferenceServer:
         self.read_timeout = read_timeout
         self.stats = ServerStats()
         self.started_at = time.monotonic()
+        # HTTP-layer families on the service's registry, so one
+        # ``GET /metrics`` scrape covers the whole stack. Route labels
+        # are bounded by _route_label (client paths never become label
+        # values).
+        registry = self.service.metrics
+        self._http_requests = registry.counter(
+            "repro_http_requests_total",
+            "HTTP requests received, by (bounded) route",
+            labels=("route",),
+        )
+        self._http_errors_metric = registry.counter(
+            "repro_http_errors_total",
+            "HTTP responses with a status of 400 or above",
+        )
+        registry.gauge(
+            "repro_uptime_seconds",
+            "Seconds since the server started",
+            fn=lambda: time.monotonic() - self.started_at,
+        )
         self._queue: Optional["asyncio.Queue[_QueuedQuery]"] = None
         self._server: Optional[asyncio.base_events.Server] = None
         self._batcher: Optional["asyncio.Task"] = None
@@ -317,7 +361,8 @@ class InferenceServer:
             self.stats.deduplicated += report.stats.deduplicated
             self.stats.executed += report.stats.executed
             self.stats.skipped += report.stats.skipped
-            self.stats.chase_seconds += report.stats.wall_seconds
+            self.stats.batch_seconds += report.stats.wall_seconds
+            self.stats.chase_seconds += report.stats.chase_seconds
             for member, item in zip(live, report.items):
                 if not member.future.done():
                     member.future.set_result(item)
@@ -332,7 +377,9 @@ class InferenceServer:
         """
         try:
             for member in members:
-                self.service.submit(member.dependencies, member.target)
+                self.service.submit(
+                    member.dependencies, member.target, trace_id=member.trace_id
+                )
         except Exception:
             self.service.discard_pending()
             raise
@@ -343,6 +390,7 @@ class InferenceServer:
         dependencies: tuple[Dependency, ...],
         targets: Sequence[Dependency],
         budget: Optional[Budget],
+        trace_id: Optional[str] = None,
     ) -> list[BatchItem]:
         """Queue queries for the batching loop and await their items.
 
@@ -359,7 +407,7 @@ class InferenceServer:
             future: "asyncio.Future[BatchItem]" = loop.create_future()
             futures.append(future)
             await self._queue.put(
-                _QueuedQuery(dependencies, target, budget, future)
+                _QueuedQuery(dependencies, target, budget, future, trace_id)
             )
         self.stats.queries += len(futures)
         return list(await asyncio.gather(*futures))
@@ -384,13 +432,18 @@ class InferenceServer:
             status, payload = 500, {"error": f"internal error: {error}"}
         if status >= 400:
             self.stats.http_errors += 1
-        if isinstance(payload, dict) and (
+            self._http_errors_metric.inc()
+        if isinstance(payload, _TextResponse):
+            content_type = payload.content_type
+            body = payload.body.encode("utf-8")
+        elif isinstance(payload, dict) and (
             "outcome" in payload or "items" in payload
         ):
             # Verdict bodies can carry multi-megabyte certificates:
             # serialize those off the loop. Small payloads (healthz,
             # stats, errors) dump inline — the executor hop would cost
             # more than the dumps call.
+            content_type = "application/json"
             body = await asyncio.get_running_loop().run_in_executor(
                 None,
                 lambda: json.dumps(payload, separators=(",", ":")).encode(
@@ -398,10 +451,11 @@ class InferenceServer:
                 ),
             )
         else:
+            content_type = "application/json"
             body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
         head = (
             f"HTTP/1.1 {status} {http.client.responses.get(status, 'OK')}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: close\r\n"
             f"\r\n"
@@ -478,7 +532,7 @@ class InferenceServer:
 
     async def _respond(
         self, reader: asyncio.StreamReader
-    ) -> tuple[int, Json]:
+    ) -> tuple[int, Union[Json, _TextResponse]]:
         # Counted before any parsing, so error responses can never
         # outnumber requests in /v1/stats.
         self.stats.requests += 1
@@ -498,7 +552,27 @@ class InferenceServer:
         except (CodecError, json.JSONDecodeError) as error:
             return 400, {"error": f"bad payload: {error}"}
 
-    async def _route(self, method: str, path: str, body: bytes) -> tuple[int, Json]:
+    @staticmethod
+    def _route_label(path: str) -> str:
+        """A bounded route label for the requests counter.
+
+        Client-chosen strings (trace IDs, arbitrary paths) must never
+        become label values — unbounded label cardinality is a metrics
+        memory leak.
+        """
+        if path.startswith("/v1/trace/"):
+            return "/v1/trace"
+        if path in ("/healthz", "/v1/stats", "/v1/implies", "/v1/batch", "/metrics"):
+            return path
+        return "other"
+
+    async def _route(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, Union[Json, _TextResponse]]:
+        path, _, query_string = path.partition("?")
+        params = urllib.parse.parse_qs(query_string)
+        debug = params.get("debug", ["0"])[-1] not in ("", "0", "false")
+        self._http_requests.labels(route=self._route_label(path)).inc()
         if path == "/healthz":
             if method != "GET":
                 return 405, {"error": "use GET"}
@@ -510,14 +584,28 @@ class InferenceServer:
             if method != "GET":
                 return 405, {"error": "use GET"}
             return 200, self._stats_payload()
+        if path == "/metrics":
+            if method != "GET":
+                return 405, {"error": "use GET"}
+            return 200, _TextResponse(self.service.metrics.render_prometheus())
+        if path.startswith("/v1/trace/"):
+            if method != "GET":
+                return 405, {"error": "use GET"}
+            trace_id = path[len("/v1/trace/") :]
+            trace = self.service.traces.get(trace_id)
+            if trace is None:
+                return 404, {
+                    "error": f"no trace {trace_id!r} (expired or never ran?)"
+                }
+            return 200, trace.to_json()
         if path == "/v1/implies":
             if method != "POST":
                 return 405, {"error": "use POST"}
-            return await self._implies(body)
+            return await self._implies(body, debug=debug)
         if path == "/v1/batch":
             if method != "POST":
                 return 405, {"error": "use POST"}
-            return await self._batch(body)
+            return await self._batch(body, debug=debug)
         return 404, {"error": f"no route for {method} {path}"}
 
     def _stats_payload(self) -> Json:
@@ -542,6 +630,10 @@ class InferenceServer:
                 "workers": self.service.workers,
                 "default_budget": budget_to_json(self.default_budget),
             },
+            # The full registry snapshot, JSON-shaped: everything
+            # ``GET /metrics`` exposes, for clients that already speak
+            # this wire format (``repro stats`` renders it).
+            "metrics": self.service.metrics.snapshot().to_json(),
         }
 
     def _effective_budget(self, requested: Optional[Budget]) -> Budget:
@@ -553,7 +645,7 @@ class InferenceServer:
     @staticmethod
     def _decode_common(
         body: bytes,
-    ) -> tuple[dict, tuple[Dependency, ...], Optional[Budget], bool]:
+    ) -> tuple[dict, tuple[Dependency, ...], Optional[Budget], bool, str]:
         try:
             payload = json.loads(body.decode("utf-8"))
         except UnicodeDecodeError as error:
@@ -570,7 +662,18 @@ class InferenceServer:
             budget_from_json(payload["budget"]) if "budget" in payload else None
         )
         include_certificates = bool(payload.get("certificates", True))
-        return payload, dependencies, budget, include_certificates
+        trace_id = payload.get("trace_id")
+        if trace_id is None:
+            trace_id = new_trace_id()
+        elif (
+            not isinstance(trace_id, str)
+            or not trace_id
+            or len(trace_id) > 64
+        ):
+            raise _BadRequest(
+                "'trace_id' must be a non-empty string of at most 64 chars"
+            )
+        return payload, dependencies, budget, include_certificates, trace_id
 
     async def _decode_request(self, body: bytes, parser):
         """Run a body parser inline, or on the executor for big bodies.
@@ -585,7 +688,9 @@ class InferenceServer:
         )
 
     def _parse_implies(self, body: bytes):
-        payload, dependencies, budget, certificates = self._decode_common(body)
+        payload, dependencies, budget, certificates, trace_id = (
+            self._decode_common(body)
+        )
         if "target" not in payload:
             raise _BadRequest("'target' is required")
         return (
@@ -593,44 +698,68 @@ class InferenceServer:
             dependency_from_json(payload["target"]),
             budget,
             certificates,
+            trace_id,
         )
 
     def _parse_batch(self, body: bytes):
-        payload, dependencies, budget, certificates = self._decode_common(body)
+        payload, dependencies, budget, certificates, trace_id = (
+            self._decode_common(body)
+        )
         raw_targets = payload.get("targets")
         if not isinstance(raw_targets, list) or not raw_targets:
             raise _BadRequest("'targets' must be a non-empty list")
         targets = [dependency_from_json(entry) for entry in raw_targets]
-        return dependencies, targets, budget, certificates
+        return dependencies, targets, budget, certificates, trace_id
 
-    async def _implies(self, body: bytes) -> tuple[int, Json]:
-        dependencies, target, budget, certificates = await self._decode_request(
-            body, self._parse_implies
+    def _trace_payload(self, trace_id: str) -> Optional[Json]:
+        """The stored trace for ``trace_id``, JSON-shaped (None if gone).
+
+        A request larger than ``max_batch`` can span several service
+        runs; the buffer keeps the newest run's view under this ID.
+        """
+        trace = self.service.traces.get(trace_id)
+        return trace.to_json() if trace is not None else None
+
+    async def _implies(
+        self, body: bytes, *, debug: bool = False
+    ) -> tuple[int, Json]:
+        dependencies, target, budget, certificates, trace_id = (
+            await self._decode_request(body, self._parse_implies)
         )
-        items = await self._submit(dependencies, [target], budget)
+        items = await self._submit(dependencies, [target], budget, trace_id)
         # Certificate payloads can dwarf the verdict: encode off the
         # event loop so other connections keep being served meanwhile.
-        return 200, await asyncio.get_running_loop().run_in_executor(
+        payload = await asyncio.get_running_loop().run_in_executor(
             None, _item_payload, items[0], certificates
         )
+        payload["trace_id"] = trace_id
+        if debug:
+            payload["trace"] = self._trace_payload(trace_id)
+        return 200, payload
 
-    async def _batch(self, body: bytes) -> tuple[int, Json]:
-        dependencies, targets, budget, certificates = await self._decode_request(
-            body, self._parse_batch
+    async def _batch(
+        self, body: bytes, *, debug: bool = False
+    ) -> tuple[int, Json]:
+        dependencies, targets, budget, certificates, trace_id = (
+            await self._decode_request(body, self._parse_batch)
         )
-        items = await self._submit(dependencies, targets, budget)
+        items = await self._submit(dependencies, targets, budget, trace_id)
         encoded = await asyncio.get_running_loop().run_in_executor(
             None,
             lambda: [_item_payload(item, certificates) for item in items],
         )
-        return 200, {
+        payload: Json = {
             "items": encoded,
+            "trace_id": trace_id,
             "stats": {
                 "submitted": len(items),
                 "from_cache": sum(1 for item in items if item.from_cache),
                 "deduplicated": sum(1 for item in items if item.deduplicated),
             },
         }
+        if debug:
+            payload["trace"] = self._trace_payload(trace_id)
+        return 200, payload
 
 
 class ServerThread:

@@ -1,0 +1,333 @@
+"""Tests for the metrics registry: families, snapshots, exposition."""
+
+import json
+import threading
+
+import pytest
+
+from repro.io.json_codec import (
+    CodecError,
+    metrics_snapshot_from_json,
+    metrics_snapshot_to_json,
+)
+from repro.obs.metrics import (
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+    MetricsSnapshot,
+    SIZE_BUCKETS,
+    Stopwatch,
+    log_buckets,
+    stage_timer,
+)
+
+
+class TestBuckets:
+    def test_log_buckets_ladder(self):
+        assert log_buckets(0.001, 1.0) == (
+            0.001,
+            0.0025,
+            0.005,
+            0.01,
+            0.025,
+            0.05,
+            0.1,
+            0.25,
+            0.5,
+            1.0,
+        )
+
+    def test_default_latency_buckets_span_100us_to_100s(self):
+        assert LATENCY_BUCKETS[0] == pytest.approx(0.0001)
+        assert LATENCY_BUCKETS[-1] == pytest.approx(100.0)
+
+    def test_log_buckets_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            log_buckets(0.0, 1.0)
+        with pytest.raises(ValueError):
+            log_buckets(1.0, 1.0)
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("events_total")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == pytest.approx(3.5)
+
+    def test_negative_inc_rejected(self):
+        counter = MetricsRegistry().counter("events_total")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_labelled_children_are_independent(self):
+        counter = MetricsRegistry().counter("hits_total", labels=("kind",))
+        counter.labels(kind="a").inc(3)
+        counter.labels(kind="b").inc(5)
+        assert counter.labels(kind="a").value == 3
+        assert counter.labels(kind="b").value == 5
+
+    def test_wrong_label_names_rejected(self):
+        counter = MetricsRegistry().counter("hits_total", labels=("kind",))
+        with pytest.raises(ValueError):
+            counter.labels(flavour="a")
+
+    def test_function_backed_counter_reads_at_snapshot(self):
+        registry = MetricsRegistry()
+        box = {"n": 7}
+        registry.counter("box_total", fn=lambda: box["n"])
+        assert registry.snapshot().sample("box_total").value == 7
+        box["n"] = 11
+        assert registry.snapshot().sample("box_total").value == 11
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value == 12
+
+
+class TestRegistry:
+    def test_registration_is_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("a_total", "help")
+        again = registry.counter("a_total", "help")
+        assert first is again
+
+    def test_shape_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total")
+        with pytest.raises(ValueError):
+            registry.gauge("a_total")
+        registry.histogram("h", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            registry.histogram("h", buckets=(1.0, 3.0))
+
+    def test_bad_metric_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("1bad")
+        with pytest.raises(ValueError):
+            registry.counter("no spaces")
+
+
+class TestHistogramBuckets:
+    """Bucket boundary placement: Prometheus ``le`` is inclusive."""
+
+    def test_value_equal_to_bound_lands_in_that_bucket(self):
+        histogram = MetricsRegistry().histogram("h", buckets=(1.0, 2.0, 5.0))
+        histogram.observe(1.0)  # == first bound -> first bucket
+        histogram.observe(1.5)  # -> second bucket
+        histogram.observe(2.0)  # == second bound -> second bucket
+        histogram.observe(9.0)  # above all bounds -> +Inf slot
+        child = histogram.labels()
+        assert child.bucket_counts == [1, 2, 0, 1]
+        assert child.count == 4
+        assert child.total == pytest.approx(13.5)
+
+    def test_exposition_renders_cumulative_buckets(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", "help", buckets=(1.0, 2.0))
+        for value in (0.5, 1.5, 99.0):
+            histogram.observe(value)
+        text = registry.render_prometheus()
+        assert 'h_bucket{le="1"} 1' in text
+        assert 'h_bucket{le="2"} 2' in text
+        assert 'h_bucket{le="+Inf"} 3' in text
+        assert "h_count 3" in text
+        assert "h_sum 101" in text
+
+    def test_size_buckets_are_powers_of_two(self):
+        assert SIZE_BUCKETS == (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+
+class TestSnapshotMerge:
+    def _snap(self, counter_value, observations):
+        registry = MetricsRegistry()
+        registry.counter("c_total").inc(counter_value)
+        histogram = registry.histogram("h", buckets=(1.0, 10.0))
+        for value in observations:
+            histogram.observe(value)
+        return registry.snapshot()
+
+    def test_counters_and_histograms_add(self):
+        merged = self._snap(3, [0.5]).merge(self._snap(4, [5.0, 50.0]))
+        assert merged.sample("c_total").value == 7
+        sample = merged.sample("h")
+        assert sample.count == 3
+        assert sample.bucket_counts == (1, 1, 1)
+        assert sample.value == pytest.approx(55.5)
+
+    def test_merge_is_associative(self):
+        a = self._snap(1, [0.5])
+        b = self._snap(2, [5.0])
+        c = self._snap(4, [50.0])
+        left = a.merge(b).merge(c)
+        right = a.merge(b.merge(c))
+        assert left.sample("c_total").value == right.sample("c_total").value == 7
+        assert (
+            left.sample("h").bucket_counts
+            == right.sample("h").bucket_counts
+            == (1, 1, 1)
+        )
+
+    def test_gauges_are_right_biased(self):
+        first = MetricsRegistry()
+        first.gauge("g").set(1)
+        second = MetricsRegistry()
+        second.gauge("g").set(9)
+        assert first.snapshot().merge(second.snapshot()).sample("g").value == 9
+
+    def test_mismatched_shapes_refuse_to_merge(self):
+        first = MetricsRegistry()
+        first.counter("x")
+        second = MetricsRegistry()
+        second.gauge("x")
+        with pytest.raises(ValueError):
+            first.snapshot().merge(second.snapshot())
+
+    def test_merge_snapshot_folds_into_registry(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total").inc(1)
+        registry.merge_snapshot(self._snap(5, [0.5]))
+        assert registry.counter("c_total").value == 6
+
+
+class TestThreadSafety:
+    def test_hammered_counter_and_histogram_lose_nothing(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("n_total")
+        histogram = registry.histogram("h", buckets=(0.5,))
+        rounds, workers = 2_000, 8
+
+        def hammer():
+            for _ in range(rounds):
+                counter.inc()
+                histogram.observe(0.25)
+
+        threads = [threading.Thread(target=hammer) for _ in range(workers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == rounds * workers
+        child = histogram.labels()
+        assert child.count == rounds * workers
+        assert child.bucket_counts[0] == rounds * workers
+
+    def test_concurrent_label_creation_is_single_instanced(self):
+        counter = MetricsRegistry().counter("n_total", labels=("k",))
+        seen = []
+
+        def create(tag):
+            seen.append(counter.labels(k="shared"))
+
+        threads = [threading.Thread(target=create, args=(i,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert all(child is seen[0] for child in seen)
+
+
+class TestSnapshotCodec:
+    def _registry(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "a counter").inc(3)
+        registry.gauge("g", "a gauge").set(2.5)
+        histogram = registry.histogram(
+            "h", "a histogram", labels=("stage",), buckets=(1.0, 10.0)
+        )
+        histogram.labels(stage="x").observe(0.5)
+        histogram.labels(stage="x").observe(99.0)
+        return registry
+
+    def test_round_trip_through_json_codec(self):
+        snapshot = self._registry().snapshot()
+        wire = json.dumps(metrics_snapshot_to_json(snapshot))
+        decoded = metrics_snapshot_from_json(json.loads(wire))
+        assert decoded == snapshot
+
+    def test_junk_raises_codec_error(self):
+        with pytest.raises(CodecError):
+            metrics_snapshot_from_json({"nope": 1})
+        with pytest.raises(CodecError):
+            metrics_snapshot_from_json([1, 2, 3])
+        with pytest.raises(CodecError):
+            metrics_snapshot_from_json(
+                {"families": [{"name": "x", "samples": [{"value": "junk"}]}]}
+            )
+
+
+class TestPrometheusExposition:
+    def test_golden_exposition(self):
+        """The full text format, pinned: HELP/TYPE lines, label escaping,
+        cumulative buckets, sum/count, gauges and counters."""
+        registry = MetricsRegistry()
+        registry.counter("repro_queries_total", "Queries submitted").inc(5)
+        registry.gauge("repro_cache_entries", "Entries held").set(2)
+        labelled = registry.counter(
+            "repro_wins_total", "Race wins", labels=("variant",)
+        )
+        labelled.labels(variant="standard").inc(2)
+        histogram = registry.histogram(
+            "repro_seconds", "Latency", labels=("stage",), buckets=(0.1, 1.0)
+        )
+        histogram.labels(stage="chase").observe(0.05)
+        histogram.labels(stage="chase").observe(0.5)
+        histogram.labels(stage="chase").observe(30.0)
+        assert registry.render_prometheus() == (
+            "# HELP repro_queries_total Queries submitted\n"
+            "# TYPE repro_queries_total counter\n"
+            "repro_queries_total 5\n"
+            "# HELP repro_cache_entries Entries held\n"
+            "# TYPE repro_cache_entries gauge\n"
+            "repro_cache_entries 2\n"
+            "# HELP repro_wins_total Race wins\n"
+            "# TYPE repro_wins_total counter\n"
+            'repro_wins_total{variant="standard"} 2\n'
+            "# HELP repro_seconds Latency\n"
+            "# TYPE repro_seconds histogram\n"
+            'repro_seconds_bucket{stage="chase",le="0.1"} 1\n'
+            'repro_seconds_bucket{stage="chase",le="1"} 2\n'
+            'repro_seconds_bucket{stage="chase",le="+Inf"} 3\n'
+            'repro_seconds_sum{stage="chase"} 30.55\n'
+            'repro_seconds_count{stage="chase"} 3\n'
+        )
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total", labels=("k",))
+        counter.labels(k='quo"te\nline\\slash').inc()
+        text = registry.render_prometheus()
+        assert r'c_total{k="quo\"te\nline\\slash"} 1' in text
+
+
+class TestTimingHelpers:
+    def test_stopwatch_splits_are_laps(self):
+        clock = iter([0.0, 1.0, 4.0, 4.5]).__next__
+        watch = Stopwatch(clock=clock)
+        assert watch.split() == pytest.approx(1.0)
+        assert watch.split() == pytest.approx(3.0)
+        assert watch.elapsed() == pytest.approx(4.5)
+
+    def test_stage_timer_observes_on_exit(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "h", labels=("stage",), buckets=LATENCY_BUCKETS
+        )
+        with stage_timer(histogram, stage="x") as timer:
+            pass
+        assert timer.seconds >= 0.0
+        assert registry.snapshot().sample("h", stage="x").count == 1
+
+    def test_stage_timer_observes_even_on_exception(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", buckets=LATENCY_BUCKETS)
+        with pytest.raises(RuntimeError):
+            with stage_timer(histogram):
+                raise RuntimeError("boom")
+        assert registry.snapshot().sample("h").count == 1

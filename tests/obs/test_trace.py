@@ -1,0 +1,104 @@
+"""Tests for run tracing: spans, trace records, the bounded buffer."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.trace import RunTrace, Span, TraceBuffer, new_trace_id
+
+
+class TestTraceIds:
+    def test_ids_are_16_hex_and_distinct(self):
+        ids = {new_trace_id() for _ in range(64)}
+        assert len(ids) == 64
+        for trace_id in ids:
+            assert len(trace_id) == 16
+            int(trace_id, 16)
+
+
+class TestSpan:
+    def test_round_trip(self):
+        span = Span(name="chase", seconds=0.25, attrs={"variant": "standard"})
+        wire = json.dumps(span.to_json())
+        assert Span.from_json(json.loads(wire)) == span
+
+    def test_attrs_omitted_when_empty(self):
+        assert Span(name="record", seconds=0.0).to_json() == {
+            "name": "record",
+            "seconds": 0.0,
+        }
+
+    def test_junk_raises(self):
+        with pytest.raises(ValueError):
+            Span.from_json("not a span")
+        with pytest.raises(ValueError):
+            Span.from_json({"seconds": 1.0})
+
+
+class TestRunTrace:
+    def _trace(self):
+        return RunTrace(
+            trace_id="abc123abc123abc1",
+            started_at=1000.0,
+            wall_seconds=0.5,
+            spans=[Span("cache_lookup", 0.01), Span("dispatch", 0.4)],
+            queries=[{"index": 0, "status": "proved", "source": "chase"}],
+            batch={"queries": 1, "cache_hits": 0},
+        )
+
+    def test_round_trip(self):
+        trace = self._trace()
+        wire = json.dumps(trace.to_json())
+        assert RunTrace.from_json(json.loads(wire)) == trace
+
+    def test_span_lookup_by_name(self):
+        trace = self._trace()
+        assert trace.span("dispatch").seconds == pytest.approx(0.4)
+        assert trace.span("missing") is None
+
+    def test_junk_raises(self):
+        with pytest.raises(ValueError):
+            RunTrace.from_json([])
+        with pytest.raises(ValueError):
+            RunTrace.from_json({"spans": []})
+
+
+class TestTraceBuffer:
+    def test_capacity_evicts_oldest(self):
+        buffer = TraceBuffer(capacity=2)
+        for tag in ("a", "b", "c"):
+            buffer.put(RunTrace(trace_id=tag))
+        assert len(buffer) == 2
+        assert buffer.get("a") is None
+        assert "a" not in buffer
+        assert buffer.ids() == ["b", "c"]
+
+    def test_reput_refreshes_recency(self):
+        buffer = TraceBuffer(capacity=2)
+        buffer.put(RunTrace(trace_id="a", wall_seconds=1.0))
+        buffer.put(RunTrace(trace_id="b"))
+        buffer.put(RunTrace(trace_id="a", wall_seconds=2.0))  # refresh "a"
+        buffer.put(RunTrace(trace_id="c"))  # evicts "b", not "a"
+        assert buffer.get("b") is None
+        assert buffer.get("a").wall_seconds == pytest.approx(2.0)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            TraceBuffer(capacity=0)
+
+    def test_concurrent_puts_respect_capacity(self):
+        buffer = TraceBuffer(capacity=16)
+
+        def fill(worker):
+            for i in range(200):
+                buffer.put(RunTrace(trace_id=f"{worker}-{i}"))
+
+        threads = [threading.Thread(target=fill, args=(w,)) for w in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(buffer) == 16
+        for trace_id in buffer.ids():
+            assert buffer.get(trace_id) is not None
