@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Benchmark trend guard: fresh quick runs vs the committed baselines.
 
-The quick benchmark steps (E13/E14/E15) each write a gitignored
+The quick benchmark steps (E13/E14/E15/E16) each write a gitignored
 ``BENCH_<name>.quick.json`` next to the committed full-size baseline
 ``BENCH_<name>.json``. This script compares every headline speedup
 ratio (the ``speedup_*`` keys) between the two and exits non-zero when
@@ -39,7 +39,12 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
 #: The benchmark families guarded, by baseline stem.
-BENCHMARKS = ("BENCH_chase_kernel", "BENCH_modelcheck", "BENCH_core")
+BENCHMARKS = (
+    "BENCH_chase_kernel",
+    "BENCH_modelcheck",
+    "BENCH_core",
+    "BENCH_maintain",
+)
 
 
 def headline_ratios(payload: dict) -> dict[str, float]:

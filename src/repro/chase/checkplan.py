@@ -224,13 +224,15 @@ def find_violation(
 ) -> Optional[dict]:
     """One-shot ``find_violation`` dispatch (compiled by default).
 
-    Builds a fresh :class:`KernelState` for the compiled path; callers
-    checking several dependencies against one instance should use a
-    :class:`ModelChecker` to pay the interning pass once.
+    The compiled path runs on the instance's cached kernel view
+    (:meth:`~repro.relational.instance.Instance.kernel_view`), so
+    repeated one-shot calls on one database pay the interning pass
+    once; :class:`ModelChecker` remains the batch-of-dependencies
+    convenience wrapper.
     """
     if resolve_checker(checker) == "legacy":
         return find_violation_legacy(dependency, instance)
-    return _find_violation_in_state(dependency, KernelState(instance))
+    return _find_violation_in_state(dependency, instance.kernel_view())
 
 
 def holds_in(
@@ -250,42 +252,34 @@ class ModelChecker:
     verification, direction (B)'s database-vs-every-``Di(r)`` sweep, and
     the finite-model search's repair loop.
 
-    Mutating the instance between queries is supported through
-    :meth:`add`, which keeps the kernel view synchronized incrementally
-    (the finite-model search grows its candidate this way). Out-of-band
-    ``instance.add`` calls are tolerated — they are detected by row
-    count and trigger a rebuild on the next query — but out-of-band
-    ``discard`` is not: removals cannot be detected when paired with an
-    equal number of additions, so callers that shrink the instance must
-    create a fresh checker.
+    Mutating the instance between queries — through :meth:`add` or any
+    out-of-band ``instance.add``/``instance.discard`` — is fully
+    supported: the compiled path runs on the instance's *subscribed*
+    kernel view (:meth:`~repro.relational.instance.Instance.kernel_view`),
+    which the instance's own mutation hooks keep synchronized, so
+    staleness is structurally impossible. (The previous design cached a
+    detached :class:`KernelState` and detected out-of-band mutation by
+    row *count*, which an equal-count discard+add defeats — the
+    mutation epoch, ``instance.epoch``, now changes on every mutation
+    and the differential suite pins the discard+add case.)
     """
 
-    __slots__ = ("instance", "checker", "_state")
+    __slots__ = ("instance", "checker")
 
     def __init__(self, instance: Instance, *, checker: Optional[str] = None):
         self.instance = instance
         self.checker = resolve_checker(checker)
-        self._state: Optional[KernelState] = None
 
     def _kernel_state(self) -> KernelState:
-        state = self._state
-        if state is None or len(state.irows) != len(self.instance):
-            state = self._state = KernelState(self.instance)
-        return state
+        return self.instance.kernel_view()
 
     def add(self, row: Row) -> bool:
-        """Insert ``row``; return True when it was genuinely new."""
-        state = self._state
-        if state is not None and len(state.irows) == len(self.instance):
-            # KernelState.add bypasses Instance.add's arity check (the
-            # chase kernel's rows are correct by construction) — rows
-            # arriving through this public method are not, so check
-            # here: a malformed row must raise exactly as it would on
-            # the legacy/unsynced path below.
-            self.instance.schema.check_arity(row)
-            return state.add(row) is not None
-        # No synchronized view yet (or it went stale through an
-        # out-of-band mutation): plain insert, rebuild on next query.
+        """Insert ``row``; return True when it was genuinely new.
+
+        Plain :meth:`Instance.add` — the arity check runs on every
+        path, and the instance's mutation hook keeps the kernel view
+        (if one exists yet) synchronized.
+        """
         return self.instance.add(row)
 
     def find_violation(self, dependency) -> Optional[dict]:

@@ -366,6 +366,195 @@ def _collect_matches_all(
     return out
 
 
+class ChaseSession:
+    """A suspendable compiled chase over one live instance.
+
+    Owns the compiled program, the instance's cached kernel view and
+    the per-dependency ``evaluated`` memos, so the chase can *resume*:
+    :meth:`run` takes an explicit delta frontier instead of assuming
+    "the whole instance is new". After a run terminates, seeding a
+    later run with just-inserted rows continues the same semi-naive
+    computation — the memos make every previously evaluated trigger a
+    set hit, and surviving derived rows keep their triggers inactive.
+
+    The memos encode activity monotonicity, which holds only under
+    insertion. A deletion can re-activate triggers (their conclusion
+    witness may be gone), so deleting callers must call
+    :meth:`clear_memos` before re-running — see
+    :class:`repro.chase.maintain.MaintainedModel` for the DRed-style
+    delete protocol built on top.
+
+    With ``record_derivations`` the session logs, per firing,
+    ``(plan index, universal-slot key, added int rows)``. Antecedent
+    atoms bind only universal slots, so each record's *support* rows
+    are recoverable from the key alone via the plan's
+    ``antecedent_atom_slots`` — enough to trace the derivation cone of
+    any deleted row without storing it eagerly.
+    """
+
+    __slots__ = (
+        "instance",
+        "dependencies",
+        "plans",
+        "dispatcher",
+        "state",
+        "fresh",
+        "evaluated",
+        "record_derivations",
+        "derivations",
+    )
+
+    def __init__(
+        self,
+        working: Instance,
+        dependencies: Sequence[Dependency],
+        *,
+        fresh: NullFactory,
+        record_derivations: bool = False,
+    ):
+        self.instance = working
+        self.dependencies = tuple(dependencies)
+        self.plans, self.dispatcher = compile_program(self.dependencies)
+        self.state = working.kernel_view()
+        self.fresh = fresh
+        # Per-dependency memo of universal-slot keys already fired or
+        # rejected: activity is monotone under insertion, so neither
+        # can ever fire again while only inserts happen.
+        self.evaluated: list[set[tuple[int, ...]]] = [
+            set() for __ in self.plans
+        ]
+        self.record_derivations = record_derivations
+        #: ``(plan index, universal-slot key) -> added int rows`` in
+        #: firing order (dict order); keyed so a trigger re-fired after
+        #: a deletion replaces its old record instead of duplicating it.
+        self.derivations: dict[
+            tuple[int, tuple[int, ...]], tuple[IntRow, ...]
+        ] = {}
+
+    def clear_memos(self) -> None:
+        """Forget trigger evaluations (required after any deletion)."""
+        for memo in self.evaluated:
+            memo.clear()
+
+    def run(
+        self,
+        delta: Sequence[IntRow],
+        *,
+        stats,
+        trace: list[ChaseStep],
+        goal: Optional[Callable[[Instance], bool]],
+        record_trace: bool,
+        finish: Callable[[ChaseStatus], ChaseResult],
+    ) -> ChaseResult:
+        """Chase to a fixpoint from the given delta frontier."""
+        state = self.state
+        working = self.instance
+        values = state.values
+        fresh = self.fresh
+        dependencies = self.dependencies
+        plans = self.plans
+        # The implication goal exposes its conclusion atoms; compile it
+        # so the after-every-firing check probes the int index instead
+        # of running the generic homomorphism search.
+        goal_atoms = getattr(goal, "goal_atoms", None)
+        goal_plan: Optional[GoalPlan] = None
+        goal_regs: list[int] = []
+        if goal is not None and goal_atoms is not None:
+            goal_plan = getattr(goal, "goal_plan_cache", None)
+            if goal_plan is None:
+                goal_plan = GoalPlan(goal_atoms, goal.goal_partial)
+                try:
+                    goal.goal_plan_cache = goal_plan
+                except AttributeError:  # goal object without the cache slot
+                    pass
+            goal_regs = goal_plan.registers(state)
+        # Initial goal check (the engine defers it to the kernel so it
+        # can run on the compiled plan instead of the generic search).
+        if goal_plan is not None:
+            if goal_plan.satisfied(state, goal_regs):
+                return finish(ChaseStatus.GOAL_REACHED)
+        elif goal is not None and goal(working):
+            return finish(ChaseStatus.GOAL_REACHED)
+        evaluated = self.evaluated
+        record_derivations = self.record_derivations
+        derivations = self.derivations
+
+        trivial_dispatch = self.dispatcher.trivial
+        delta = list(delta)
+        while delta:
+            added_this_round: list[IntRow] = []
+            seeds_per_plan = (
+                None if trivial_dispatch else self.dispatcher.seeds(delta)
+            )
+            for plan_index, (dependency, plan, memo) in enumerate(
+                zip(dependencies, plans, evaluated)
+            ):
+                if seeds_per_plan is None:
+                    matches = _collect_matches_all(state, plan, delta, memo)
+                else:
+                    seeds = seeds_per_plan[plan_index]
+                    if not seeds:
+                        continue
+                    matches = _collect_matches(state, plan, seeds, memo)
+                if not matches:
+                    continue
+                activity_steps = plan.activity_steps
+                n_slots = plan.n_slots
+                binding_pairs = plan.binding_pairs
+                existential_slots = plan.existential_slots
+                conclusion_atom_slots = plan.conclusion_atom_slots
+                regs = [0] * n_slots
+                for key in matches:
+                    # ``matches`` is already deduplicated within the
+                    # round and filtered against the memo by
+                    # _collect_matches*, so every key here is new.
+                    memo.add(key)
+                    regs[: len(key)] = key
+                    # Live activity re-check: an earlier firing this
+                    # round may have satisfied the conclusion already.
+                    if has_extension(state, activity_steps, 0, regs):
+                        continue
+                    # Fire: one fresh null per existential variable,
+                    # shared across all conclusion atoms.
+                    for slot in existential_slots:
+                        null = fresh()
+                        regs[slot] = state._intern(null)
+                    added_rows = []
+                    fired_irows: list[IntRow] = []
+                    for atom_slots in conclusion_atom_slots:
+                        irow = tuple(regs[slot] for slot in atom_slots)
+                        row = state.add_interned(irow)
+                        if row is not None:
+                            added_rows.append(row)
+                            added_this_round.append(irow)
+                            fired_irows.append(irow)
+                    if record_derivations and fired_irows:
+                        derivations[(plan_index, key)] = tuple(fired_irows)
+                    stats.note_step()
+                    for __ in added_rows:
+                        stats.note_row()
+                    if record_trace:
+                        trace.append(
+                            ChaseStep(
+                                dependency=dependency,
+                                bindings=tuple(
+                                    (name, values[regs[slot]])
+                                    for name, slot in binding_pairs
+                                ),
+                                added_rows=tuple(added_rows),
+                            )
+                        )
+                    if goal_plan is not None:
+                        if goal_plan.satisfied(state, goal_regs):
+                            return finish(ChaseStatus.GOAL_REACHED)
+                    elif goal is not None and goal(working):
+                        return finish(ChaseStatus.GOAL_REACHED)
+                    if stats.exhausted(len(working)):
+                        return finish(ChaseStatus.BUDGET_EXHAUSTED)
+            delta = added_this_round
+        return finish(ChaseStatus.TERMINATED)
+
+
 def run_compiled_chase(
     working: Instance,
     dependencies: Sequence[Dependency],
@@ -386,103 +575,17 @@ def run_compiled_chase(
     memo, then fired in order with a live activity re-check — the same
     discipline (snapshot, then re-check activity right before firing)
     as the generic engine, so traces replay identically.
-    """
-    plans, dispatcher = compile_program(dependencies)
-    state = KernelState(working)
-    values = state.values
-    # The implication goal exposes its conclusion atoms; compile it so
-    # the after-every-firing check probes the int index instead of
-    # running the generic homomorphism search.
-    goal_atoms = getattr(goal, "goal_atoms", None)
-    goal_plan: Optional[GoalPlan] = None
-    goal_regs: list[int] = []
-    if goal is not None and goal_atoms is not None:
-        goal_plan = getattr(goal, "goal_plan_cache", None)
-        if goal_plan is None:
-            goal_plan = GoalPlan(goal_atoms, goal.goal_partial)
-            try:
-                goal.goal_plan_cache = goal_plan
-            except AttributeError:  # goal object without the cache slot
-                pass
-        goal_regs = goal_plan.registers(state)
-    # Initial goal check (the engine defers it to the kernel so it can
-    # run on the compiled plan instead of the generic search).
-    if goal_plan is not None:
-        if goal_plan.satisfied(state, goal_regs):
-            return finish(ChaseStatus.GOAL_REACHED)
-    elif goal is not None and goal(working):
-        return finish(ChaseStatus.GOAL_REACHED)
-    # Per-dependency memo of universal-slot keys already fired or
-    # rejected: activity is monotone, so neither can ever fire later.
-    evaluated: list[set[tuple[int, ...]]] = [set() for __ in plans]
 
-    trivial_dispatch = dispatcher.trivial
-    delta: list[IntRow] = list(state.rows_list)
-    while delta:
-        added_this_round: list[IntRow] = []
-        seeds_per_plan = (
-            None if trivial_dispatch else dispatcher.seeds(delta)
-        )
-        for plan_index, (dependency, plan, memo) in enumerate(
-            zip(dependencies, plans, evaluated)
-        ):
-            if seeds_per_plan is None:
-                matches = _collect_matches_all(state, plan, delta, memo)
-            else:
-                seeds = seeds_per_plan[plan_index]
-                if not seeds:
-                    continue
-                matches = _collect_matches(state, plan, seeds, memo)
-            if not matches:
-                continue
-            activity_steps = plan.activity_steps
-            n_slots = plan.n_slots
-            binding_pairs = plan.binding_pairs
-            existential_slots = plan.existential_slots
-            conclusion_atom_slots = plan.conclusion_atom_slots
-            regs = [0] * n_slots
-            for key in matches:
-                # ``matches`` is already deduplicated within the round
-                # and filtered against the memo by _collect_matches*, so
-                # every key here is genuinely new.
-                memo.add(key)
-                regs[: len(key)] = key
-                # Live activity re-check: an earlier firing this round
-                # may have satisfied the conclusion already.
-                if has_extension(state, activity_steps, 0, regs):
-                    continue
-                # Fire: one fresh null per existential variable, shared
-                # across all conclusion atoms.
-                for slot in existential_slots:
-                    null = fresh()
-                    regs[slot] = state._intern(null)
-                added_rows = []
-                for atom_slots in conclusion_atom_slots:
-                    irow = tuple(regs[slot] for slot in atom_slots)
-                    row = state.add_interned(irow)
-                    if row is not None:
-                        added_rows.append(row)
-                        added_this_round.append(irow)
-                stats.note_step()
-                for __ in added_rows:
-                    stats.note_row()
-                if record_trace:
-                    trace.append(
-                        ChaseStep(
-                            dependency=dependency,
-                            bindings=tuple(
-                                (name, values[regs[slot]])
-                                for name, slot in binding_pairs
-                            ),
-                            added_rows=tuple(added_rows),
-                        )
-                    )
-                if goal_plan is not None:
-                    if goal_plan.satisfied(state, goal_regs):
-                        return finish(ChaseStatus.GOAL_REACHED)
-                elif goal is not None and goal(working):
-                    return finish(ChaseStatus.GOAL_REACHED)
-                if stats.exhausted(len(working)):
-                    return finish(ChaseStatus.BUDGET_EXHAUSTED)
-        delta = added_this_round
-    return finish(ChaseStatus.TERMINATED)
+    One-shot wrapper over :class:`ChaseSession`: seeds the delta with
+    the whole instance and discards the session afterwards. Long-lived
+    callers (:mod:`repro.chase.maintain`) hold the session instead.
+    """
+    session = ChaseSession(working, dependencies, fresh=fresh)
+    return session.run(
+        session.state.rows_list,
+        stats=stats,
+        trace=trace,
+        goal=goal,
+        record_trace=record_trace,
+        finish=finish,
+    )

@@ -14,6 +14,10 @@ Commands:
 * ``stats`` — poll a running server's ``/v1/stats`` and render the
   counters and per-stage latency histograms as tables (``--watch`` for
   a live view).
+* ``models`` — drive a running server's maintained universal models:
+  register a dependency program with base facts, stream inserts and
+  deletes (incremental re-chase server-side), check implications
+  against the maintained fixpoint, list/inspect/drop.
 * ``classify`` — run the Main-Theorem classifier on a presentation file
   (direction (A), then direction (B), else UNKNOWN).
 * ``encode`` — show the ``φ ↦ (D, D0)`` encoding for a presentation
@@ -160,6 +164,12 @@ def _build_parser() -> argparse.ArgumentParser:
         default=30.0,
         help="per-query budget ceiling (wall-clock seconds)",
     )
+    serve_cmd.add_argument(
+        "--max-models",
+        type=int,
+        default=32,
+        help="maintained universal models held before LRU eviction",
+    )
 
     stats_cmd = commands.add_parser(
         "stats",
@@ -175,6 +185,59 @@ def _build_parser() -> argparse.ArgumentParser:
         type=float,
         metavar="SECONDS",
         help="re-poll and re-render every SECONDS until interrupted",
+    )
+
+    models_cmd = commands.add_parser(
+        "models",
+        help="maintained universal models on a running server (/v1/models)",
+    )
+    url_parent = argparse.ArgumentParser(add_help=False)
+    url_parent.add_argument(
+        "--url",
+        default="http://127.0.0.1:8765",
+        help="server base URL (default: http://127.0.0.1:8765)",
+    )
+    models_actions = models_cmd.add_subparsers(dest="action", required=True)
+    models_actions.add_parser(
+        "list", parents=[url_parent], help="summaries of registered models"
+    )
+    register_cmd = models_actions.add_parser(
+        "register",
+        parents=[url_parent],
+        help="register a dependency program + base facts as a model",
+    )
+    register_cmd.add_argument(
+        "--deps", required=True, help="dependency file (one per line)"
+    )
+    register_cmd.add_argument(
+        "--facts",
+        help="base-fact file: one row per line, space- or comma-separated "
+        "constant names (# comments ignored)",
+    )
+    info_cmd = models_actions.add_parser(
+        "info", parents=[url_parent], help="one model's summary"
+    )
+    info_cmd.add_argument("model_id")
+    drop_cmd = models_actions.add_parser(
+        "drop", parents=[url_parent], help="forget a model"
+    )
+    drop_cmd.add_argument("model_id")
+    facts_cmd = models_actions.add_parser(
+        "facts",
+        parents=[url_parent],
+        help="insert/delete base facts (incremental re-chase server-side)",
+    )
+    facts_cmd.add_argument("model_id")
+    facts_cmd.add_argument("--insert", help="fact file of rows to insert")
+    facts_cmd.add_argument("--delete", help="fact file of rows to delete")
+    implies_cmd = models_actions.add_parser(
+        "implies",
+        parents=[url_parent],
+        help="does a dependency hold in the maintained model's core?",
+    )
+    implies_cmd.add_argument("model_id")
+    implies_cmd.add_argument(
+        "target", help="target dependency, e.g. 'R(x,y)->R(y,x)'"
     )
 
     classify_cmd = commands.add_parser(
@@ -299,6 +362,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return EXIT_USAGE
+    if args.max_models < 1:
+        print("error: --max-models must be >= 1", file=sys.stderr)
+        return EXIT_USAGE
     store = JsonLinesStore(Path(args.cache_path)) if args.cache_path else None
     service = InferenceService(
         cache=ResultCache(store=store),
@@ -316,6 +382,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_rows=args.max_rows,
             max_seconds=args.max_seconds,
         ),
+        max_models=args.max_models,
     )
 
     async def _serve() -> None:
@@ -467,6 +534,105 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return EXIT_PROVED
 
 
+def _parse_fact_rows(text: str) -> list[tuple]:
+    """Parse a fact file: one row per line, constant names separated by
+    spaces or commas; blank lines and ``#`` comments ignored."""
+    from repro.relational.values import Const
+
+    rows: list[tuple] = []
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        rows.append(tuple(Const(token) for token in line.replace(",", " ").split()))
+    return rows
+
+
+def _print_model_summary(info: dict) -> None:
+    print(
+        f"{info.get('model_id', '?'):<12} rows={info.get('rows', 0):<6} "
+        f"base={info.get('base_rows', 0):<6} "
+        f"deps={info.get('dependencies', 0):<4} "
+        f"status={info.get('status', '?')}"
+    )
+
+
+def _cmd_models(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(args.url)
+    if args.action == "list":
+        answer = client.models()
+        models = answer.get("models", [])
+        if not models:
+            print("no models registered")
+        for info in models:
+            _print_model_summary(info)
+        print(
+            f"({len(models)}/{answer.get('max_models', '?')} slots, "
+            f"{answer.get('evictions', 0)} evictions)"
+        )
+        return EXIT_PROVED
+    if args.action == "register":
+        dependencies = parse_dependency_file(Path(args.deps).read_text())
+        if not dependencies:
+            print(f"error: no dependencies in {args.deps}", file=sys.stderr)
+            return EXIT_USAGE
+        rows = (
+            _parse_fact_rows(Path(args.facts).read_text())
+            if args.facts
+            else []
+        )
+        answer = client.register_model(
+            dependencies[0].schema, dependencies, rows
+        )
+        report = answer.get("report", {})
+        print(
+            f"registered {answer.get('model_id')}: "
+            f"{report.get('applied', 0)} base facts, "
+            f"{report.get('derived', 0)} derived rows, "
+            f"status {report.get('status', '?')}"
+        )
+        return EXIT_PROVED
+    if args.action == "info":
+        _print_model_summary(client.model_info(args.model_id))
+        return EXIT_PROVED
+    if args.action == "drop":
+        client.drop_model(args.model_id)
+        print(f"dropped {args.model_id}")
+        return EXIT_PROVED
+    if args.action == "facts":
+        insert = (
+            _parse_fact_rows(Path(args.insert).read_text())
+            if args.insert
+            else []
+        )
+        delete = (
+            _parse_fact_rows(Path(args.delete).read_text())
+            if args.delete
+            else []
+        )
+        if not insert and not delete:
+            print("error: give --insert and/or --delete", file=sys.stderr)
+            return EXIT_USAGE
+        answer = client.model_facts(args.model_id, insert=insert, delete=delete)
+        for report in answer.get("reports", []):
+            print(
+                f"{report.get('op')}: applied={report.get('applied', 0)} "
+                f"derived={report.get('derived', 0)} "
+                f"overdeleted={report.get('overdeleted', 0)} "
+                f"status={report.get('status', '?')}"
+            )
+        _print_model_summary(answer.get("model", {}))
+        return EXIT_PROVED
+    # implies: three-valued exit code discipline like `infer` (the
+    # maintained-model check is two-valued — the model is materialized).
+    target = parse_dependency(args.target)
+    implied = client.model_implies(args.model_id, target)
+    print(f"{'implied' if implied else 'not implied'}: {target}")
+    return EXIT_PROVED if implied else EXIT_DISPROVED
+
+
 def _cmd_classify(args: argparse.Namespace) -> int:
     presentation = parse_presentation_text(Path(args.presentation).read_text())
     outcome = classify_instance(
@@ -534,6 +700,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "batch": _cmd_batch,
         "serve": _cmd_serve,
         "stats": _cmd_stats,
+        "models": _cmd_models,
         "classify": _cmd_classify,
         "encode": _cmd_encode,
         "diagram": _cmd_diagram,

@@ -25,6 +25,7 @@ from repro.chase.implication import InferenceOutcome, InferenceStatus
 from repro.chase.result import ChaseResult, ChaseStatus, ChaseStep
 from repro.obs.metrics import MetricsSnapshot
 from repro.relational.instance import Instance
+from repro.relational.queries import ConjunctiveQuery
 from repro.relational.schema import Schema
 from repro.relational.values import Const, LabeledNull, Value
 from repro.semigroups.finite import FiniteSemigroup
@@ -164,6 +165,50 @@ def dependency_from_json(
             schema, antecedents, conclusions, name=name
         )
     raise CodecError(f"unknown dependency kind {payload['kind']!r}")
+
+
+# ---------------------------------------------------------------------------
+# Rows and conjunctive queries (the maintained-model wire format)
+# ---------------------------------------------------------------------------
+
+def rows_to_json(rows) -> Json:
+    """Encode a collection of rows (sorted for a canonical payload)."""
+    return [
+        [value_to_json(value) for value in row]
+        for row in sorted(rows, key=repr)
+    ]
+
+
+def rows_from_json(payload: Json) -> list[tuple]:
+    """Decode a list of rows (arity is checked downstream, on insert)."""
+    if not isinstance(payload, list):
+        raise CodecError("rows payload must be a list of rows")
+    return [
+        tuple(value_from_json(value) for value in row) for row in payload
+    ]
+
+
+def cq_to_json(query: ConjunctiveQuery) -> Json:
+    """Encode a conjunctive query (schema, head variables, body atoms)."""
+    return {
+        "schema": schema_to_json(query.schema),
+        "head": [variable.name for variable in query.head],
+        "body": [_atom_to_json(atom) for atom in query.body],
+        "name": query.name,
+    }
+
+
+def cq_from_json(payload: Json) -> ConjunctiveQuery:
+    """Decode a conjunctive query (well-formedness re-checked)."""
+    if not isinstance(payload, dict) or "body" not in payload:
+        raise CodecError("query payload needs 'schema', 'head' and 'body'")
+    schema = schema_from_json(payload.get("schema", []))
+    head = tuple(Variable(name) for name in payload.get("head", []))
+    body = [_atom_from_json(atom) for atom in payload["body"]]
+    try:
+        return ConjunctiveQuery(schema, head, body, name=payload.get("name"))
+    except ReproError as error:
+        raise CodecError(f"bad query payload: {error}") from error
 
 
 # ---------------------------------------------------------------------------

@@ -181,11 +181,27 @@ class KernelState:
 
     Rows are tuples of dense ints (via ``instance.intern_table``); the
     inverted index maps ``(column, value id)`` to a list of int rows.
-    The kernel is the only mutator during a compiled chase, so the view
-    updates incrementally in :meth:`add`.
+
+    Historically each compiled consumer built a fresh ``KernelState``
+    per call and was then the only mutator; the canonical way to obtain
+    one now is :meth:`Instance.kernel_view`, which caches the view on
+    the instance and keeps it in sync through the instance's own
+    ``add``/``discard`` hooks — so the view survives out-of-band
+    mutation and repeated calls stop paying O(instance) construction.
+    Constructing ``KernelState(instance)`` directly still works (tests
+    and one-shot callers do) but such a detached view is *not*
+    subscribed to the instance and goes stale on mutation.
     """
 
-    __slots__ = ("instance", "values", "_intern", "index", "irows", "rows_list")
+    __slots__ = (
+        "instance",
+        "values",
+        "_intern",
+        "index",
+        "irows",
+        "rows_list",
+        "_pos",
+    )
 
     def __init__(self, instance: Instance):
         self.instance = instance
@@ -195,11 +211,15 @@ class KernelState:
         self.index: dict[tuple[int, int], list[IntRow]] = {}
         self.irows: set[IntRow] = set()
         self.rows_list: list[IntRow] = []
+        #: Position of each int row in ``rows_list`` (swap-remove on
+        #: retraction keeps the scan list dense without an O(n) shift).
+        self._pos: dict[IntRow, int] = {}
         for row in instance:
             self._admit(tuple(map(self._intern, row)))
 
     def _admit(self, irow: IntRow) -> None:
         self.irows.add(irow)
+        self._pos[irow] = len(self.rows_list)
         self.rows_list.append(irow)
         index = self.index
         for column, vid in enumerate(irow):
@@ -209,6 +229,31 @@ class KernelState:
                 index[key] = [irow]
             else:
                 bucket.append(irow)
+
+    def _retract(self, irow: IntRow) -> None:
+        """Drop ``irow`` from the view (no-op when absent).
+
+        Called by :meth:`Instance.discard` on the subscribed view; the
+        index buckets pay an O(bucket) list removal, which is fine on
+        the (cold) deletion path.
+        """
+        pos = self._pos.pop(irow, None)
+        if pos is None:
+            return
+        self.irows.discard(irow)
+        rows_list = self.rows_list
+        last = rows_list.pop()
+        if pos < len(rows_list):
+            rows_list[pos] = last
+            self._pos[last] = pos
+        index = self.index
+        for column, vid in enumerate(irow):
+            key = (column, vid)
+            bucket = index.get(key)
+            if bucket is not None:
+                bucket.remove(irow)
+                if not bucket:
+                    del index[key]
 
     def intern_row(self, row: Row) -> IntRow:
         return tuple(map(self._intern, row))
@@ -239,6 +284,7 @@ class KernelState:
         instance = self.instance
         instance._rows.add(row)
         instance._snapshot = None
+        instance._epoch += 1
         index = instance._index
         for column, value in enumerate(row):
             key = (column, value)
@@ -248,6 +294,12 @@ class KernelState:
             else:
                 bucket.add(row)
         self._admit(irow)
+        view = instance._view
+        if view is not None and view is not self:
+            # A detached state is mutating an instance that also has a
+            # subscribed view — keep the subscribed view honest too
+            # (interned ids are shared through the instance's table).
+            view._admit(irow)
         return row
 
 

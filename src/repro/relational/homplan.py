@@ -31,7 +31,11 @@ What compiles, per call shape:
 Plans are cached structurally (two row sets with the same
 variable/constant shape and the same prebound positions share one
 plan), through the same :func:`~repro.kernel.joins.memoized` policy as
-every other compiled-artifact cache.
+every other compiled-artifact cache. All compiled paths run on the
+target's *cached* kernel view
+(:meth:`~repro.relational.instance.Instance.kernel_view`), kept in sync
+by the instance's mutation hooks — repeated small queries against one
+database no longer pay an O(instance) interning pass per call.
 
 Engine selection mirrors the chase kernel and the model checker: every
 entry point takes ``engine="compiled" | "legacy"`` (None means the
@@ -348,7 +352,7 @@ def iter_homomorphisms(
     rows = [tuple(row) for row in source_rows]
     base: dict = dict(partial) if partial else {}
     plan, prebound, out_pairs = _prepare(rows, flexible, base)
-    state = KernelState(target)
+    state = target.kernel_view()
     regs = _load_registers(plan, prebound, state)
     for __ in _iter_walk(state, plan.steps, 0, regs):
         yield _decode(base, out_pairs, regs, state)
@@ -370,7 +374,7 @@ def find_homomorphism(
     rows = [tuple(row) for row in source_rows]
     base: dict = dict(partial) if partial else {}
     plan, prebound, out_pairs = _prepare(rows, flexible, base)
-    state = KernelState(target)
+    state = target.kernel_view()
     regs = _load_registers(plan, prebound, state)
     if has_extension(state, plan.steps, 0, regs):
         return _decode(base, out_pairs, regs, state)
@@ -396,7 +400,7 @@ def count_homomorphisms(
     rows = [tuple(row) for row in source_rows]
     base: dict = dict(partial) if partial else {}
     plan, prebound, out_pairs = _prepare(rows, flexible, base)
-    state = KernelState(target)
+    state = target.kernel_view()
     regs = _load_registers(plan, prebound, state)
     count = 0
     for __ in _iter_walk(state, plan.steps, 0, regs):
@@ -451,7 +455,7 @@ def find_retraction_assignment(
                 return dict(candidate)
         return None
     plan, prebound, out_pairs = _prepare(rows, flexible, base)
-    state = KernelState(target)
+    state = target.kernel_view()
     regs = _load_registers(plan, prebound, state)
     used: set[IntRow] = set()
     if _retraction_walk(state, plan.steps, 0, regs, used):

@@ -71,7 +71,15 @@ class Instance:
     1
     """
 
-    __slots__ = ("schema", "_rows", "_index", "_intern", "_snapshot")
+    __slots__ = (
+        "schema",
+        "_rows",
+        "_index",
+        "_intern",
+        "_snapshot",
+        "_view",
+        "_epoch",
+    )
 
     def __init__(self, schema: Schema, rows: Iterable[Row] = ()):
         self.schema = schema
@@ -85,6 +93,14 @@ class Instance:
         # mutation so repeated reads (semi-naive seeding, the service's
         # replay checks) don't rebuild it per access.
         self._snapshot: Optional[frozenset[Row]] = None
+        # The cached interned kernel view (see ``kernel_view``), kept in
+        # sync by the mutation hooks below; None until first requested.
+        self._view = None
+        # Mutation epoch: bumped on every successful add/discard through
+        # any path (including the kernel's direct fire path), so callers
+        # holding derived artifacts can detect *any* out-of-band change —
+        # unlike a row count, which an equal-count discard+add preserves.
+        self._epoch: int = 0
         for row in rows:
             self.add(row)
 
@@ -99,8 +115,12 @@ class Instance:
             return False
         self._rows.add(row)
         self._snapshot = None
+        self._epoch += 1
         for column, value in enumerate(row):
             self._index.setdefault((column, value), set()).add(row)
+        view = self._view
+        if view is not None:
+            view._admit(view.intern_row(row))
         return True
 
     def add_all(self, rows: Iterable[Row]) -> int:
@@ -113,12 +133,16 @@ class Instance:
             return False
         self._rows.discard(row)
         self._snapshot = None
+        self._epoch += 1
         for column, value in enumerate(row):
             bucket = self._index.get((column, value))
             if bucket is not None:
                 bucket.discard(row)
                 if not bucket:
                     del self._index[(column, value)]
+        view = self._view
+        if view is not None:
+            view._retract(view.intern_row(row))
         return True
 
     # ------------------------------------------------------------------
@@ -144,6 +168,34 @@ class Instance:
         if snapshot is None:
             snapshot = self._snapshot = frozenset(self._rows)
         return snapshot
+
+    @property
+    def epoch(self) -> int:
+        """Mutation counter: bumped on every successful add or discard.
+
+        Derived artifacts (interned kernel views, model-checker sync
+        state) compare epochs instead of row counts — a discard followed
+        by an add leaves ``len`` unchanged but never the epoch.
+        """
+        return self._epoch
+
+    def kernel_view(self):
+        """The cached interned kernel view of this instance.
+
+        Created on first use and then kept in sync by the mutation
+        hooks in :meth:`add` / :meth:`discard` (and by the kernel's own
+        fire path), so repeated compiled-engine calls on one database
+        stop paying O(instance) view construction per call. Returns a
+        :class:`repro.kernel.joins.KernelState`; imported lazily to
+        keep the relational layer free of a kernel dependency at import
+        time.
+        """
+        view = self._view
+        if view is None:
+            from repro.kernel.joins import KernelState
+
+            view = self._view = KernelState(self)
+        return view
 
     @property
     def intern_table(self) -> InternTable:
@@ -269,6 +321,8 @@ class Instance:
         }
         clone._intern = self.intern_table if share_intern else None
         clone._snapshot = self._snapshot
+        clone._view = None  # views subscribe to one instance only
+        clone._epoch = 0
         return clone
 
     def map_values(self, mapping: Callable[[Value], Value]) -> "Instance":

@@ -24,6 +24,8 @@ those of the executed representative.
 from __future__ import annotations
 
 import dataclasses
+import itertools
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -32,12 +34,17 @@ from typing import Optional, Sequence
 from repro.chase.budget import Budget
 from repro.chase.engine import ChaseVariant, replay
 from repro.chase.implication import InferenceOutcome, conclusion_satisfied
+from repro.chase.maintain import (
+    MaintainedModel,
+    MaintainInstruments,
+    MaintenanceReport,
+)
 from repro.dependencies.canonical import premise_key, query_fingerprint
 from repro.dependencies.classify import Dependency
 from repro.errors import ReproError
 from repro.obs.metrics import MetricsRegistry, Stopwatch
 from repro.obs.trace import RunTrace, Span, TraceBuffer, new_trace_id
-from repro.service.cache import ResultCache
+from repro.service.cache import ResultCache, budget_meet
 from repro.service.instruments import ServiceInstruments
 from repro.service.scheduler import (
     RACING_VARIANTS,
@@ -596,3 +603,177 @@ class InferenceService:
         for target in targets:
             self.submit(shared, target)
         return self.run(budget)
+
+
+class ModelStore:
+    """Registered :class:`~repro.chase.maintain.MaintainedModel`\\ s.
+
+    The service-layer home of maintained universal models: clients
+    register a dependency program plus base facts once, then stream
+    inserts/deletes and ask conjunctive-query / implication questions
+    against the *maintained* chase fixpoint instead of re-chasing per
+    request (``POST /v1/models`` and friends on the HTTP server).
+
+    * Capacity is bounded (``max_models``) with LRU eviction — any
+      touch (facts, query, info) refreshes a model; registration past
+      capacity evicts the least recently used one. Evicted IDs answer
+      404, and clients re-register (the base facts are theirs).
+    * Every operation holds one lock: maintained models are stateful
+      (kernel view, trigger memos, derivation records), and the HTTP
+      server runs model operations on executor threads, so two requests
+      against one model must serialize. Coarse by design — maintenance
+      runs are budget-bounded, and one store serves one process.
+    * ``metrics`` wires the :class:`~repro.chase.maintain.MaintainInstruments`
+      families (operation latency, row counters, the
+      ``repro_models_active`` gauge) into the same registry the rest of
+      the service reports to.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_models: int = 32,
+        default_budget: Optional[Budget] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        if max_models < 1:
+            raise ValueError("max_models must be positive")
+        self.max_models = max_models
+        self.default_budget = (
+            default_budget if default_budget is not None else Budget()
+        )
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.instruments = MaintainInstruments(self.metrics)
+        self._models: "OrderedDict[str, MaintainedModel]" = OrderedDict()
+        self._lock = threading.RLock()
+        self._next_id = itertools.count(1)
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._models)
+
+    def ids(self) -> list[str]:
+        with self._lock:
+            return list(self._models)
+
+    def register(
+        self,
+        schema,
+        dependencies: Sequence[Dependency],
+        rows: Sequence = (),
+        *,
+        budget: Optional[Budget] = None,
+    ) -> tuple[str, "MaintenanceReport"]:
+        """Create a model, chase its base facts, return (id, report).
+
+        The requested budget is clamped into the store's default — the
+        same requests-can-only-narrow policy the verdict endpoints
+        apply — and becomes the model's per-maintenance-run budget.
+        """
+        budget = (
+            budget_meet(budget, self.default_budget)
+            if budget is not None
+            else self.default_budget
+        )
+        watch = Stopwatch()
+        model = MaintainedModel(
+            schema,
+            dependencies,
+            budget=budget,
+            instruments=self.instruments,
+        )
+        report = model.insert(rows)
+        report = dataclasses.replace(
+            report, op="register", elapsed_seconds=watch.elapsed()
+        )
+        with self._lock:
+            model_id = f"m-{next(self._next_id):06d}"
+            self._models[model_id] = model
+            while len(self._models) > self.max_models:
+                __, evicted = self._models.popitem(last=False)
+                self.instruments.rows_base.dec(len(evicted.base))
+                self.evictions += 1
+            self.instruments.active_models.set(len(self._models))
+        self.instruments.maintain_seconds.labels(op="register").observe(
+            report.elapsed_seconds
+        )
+        return model_id, report
+
+    def get(self, model_id: str) -> "MaintainedModel":
+        """The model under ``model_id`` (LRU-touched); KeyError if gone."""
+        with self._lock:
+            model = self._models[model_id]
+            self._models.move_to_end(model_id)
+            return model
+
+    def drop(self, model_id: str) -> bool:
+        """Forget a model; True when it existed."""
+        with self._lock:
+            model = self._models.pop(model_id, None)
+            if model is not None:
+                # The gauge tracks live base facts: release this model's.
+                self.instruments.rows_base.dec(len(model.base))
+            self.instruments.active_models.set(len(self._models))
+            return model is not None
+
+    def apply(
+        self,
+        model_id: str,
+        *,
+        insert: Sequence = (),
+        delete: Sequence = (),
+    ) -> list["MaintenanceReport"]:
+        """Deletes then inserts, serialized under the store lock.
+
+        Delete-before-insert gives one ``apply`` upsert semantics: a row
+        in both lists ends up present.
+        """
+        with self._lock:
+            model = self.get(model_id)
+            reports = []
+            if delete:
+                reports.append(model.delete(delete))
+            if insert:
+                reports.append(model.insert(insert))
+            return reports
+
+    def answer(self, model_id: str, query) -> set:
+        """Certain answers of ``query`` on the maintained model."""
+        with self._lock:
+            return self.get(model_id).answer(query)
+
+    def implies(self, model_id: str, dependency: Dependency) -> bool:
+        """Does ``dependency`` hold in the maintained model's core?"""
+        with self._lock:
+            return self.get(model_id).implies(dependency)
+
+    def info(self, model_id: str) -> dict:
+        """A JSON-shaped summary of one model (LRU-touched)."""
+        with self._lock:
+            model = self.get(model_id)
+            return {
+                "model_id": model_id,
+                "schema": list(model.schema.attributes),
+                "dependencies": len(model.dependencies),
+                "base_rows": len(model.base),
+                "rows": len(model.instance),
+                "status": model.status.value,
+                "saturated": model.saturated,
+            }
+
+    def list_models(self) -> list[dict]:
+        """Summaries of every registered model, oldest-touched first."""
+        with self._lock:
+            return [
+                {
+                    "model_id": model_id,
+                    "schema": list(model.schema.attributes),
+                    "dependencies": len(model.dependencies),
+                    "base_rows": len(model.base),
+                    "rows": len(model.instance),
+                    "status": model.status.value,
+                    "saturated": model.saturated,
+                }
+                for model_id, model in self._models.items()
+            ]

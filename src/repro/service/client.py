@@ -33,8 +33,12 @@ from repro.io.json_codec import (
     CodecError,
     Json,
     budget_to_json,
+    cq_to_json,
     dependency_to_json,
     outcome_from_json,
+    rows_from_json,
+    rows_to_json,
+    schema_to_json,
 )
 
 
@@ -232,3 +236,86 @@ class ServiceClient:
             trace_id=str(answer.get("trace_id", "")),
             trace=answer.get("trace"),
         )
+
+    # ------------------------------------------------------------------
+    # Maintained models (/v1/models)
+    # ------------------------------------------------------------------
+
+    def register_model(
+        self,
+        schema,
+        dependencies: Sequence[Dependency],
+        rows: Sequence = (),
+        budget: Optional[Budget] = None,
+    ) -> dict:
+        """``POST /v1/models``: register a maintained universal model.
+
+        Returns the server payload; ``payload["model_id"]`` addresses
+        the model in every later call.
+        """
+        payload: dict = {
+            "schema": schema_to_json(schema),
+            "dependencies": [dependency_to_json(d) for d in dependencies],
+            "rows": rows_to_json(rows),
+        }
+        if budget is not None:
+            payload["budget"] = budget_to_json(budget)
+        return self.request("POST", "/v1/models", payload)
+
+    def models(self) -> dict:
+        """``GET /v1/models``: summaries of every registered model."""
+        return self.request("GET", "/v1/models")
+
+    def model_info(self, model_id: str) -> dict:
+        """``GET /v1/models/<id>`` (:class:`ServiceError` 404 if gone)."""
+        return self.request("GET", f"/v1/models/{model_id}")
+
+    def drop_model(self, model_id: str) -> dict:
+        """``DELETE /v1/models/<id>``."""
+        return self.request("DELETE", f"/v1/models/{model_id}")
+
+    def model_facts(
+        self, model_id: str, *, insert: Sequence = (), delete: Sequence = ()
+    ) -> dict:
+        """``POST /v1/models/<id>/facts``: stream base-fact changes.
+
+        Deletes apply before inserts (upsert semantics); the answer
+        carries one maintenance report per applied direction.
+        """
+        payload: dict = {}
+        if insert:
+            payload["insert"] = rows_to_json(insert)
+        if delete:
+            payload["delete"] = rows_to_json(delete)
+        return self.request("POST", f"/v1/models/{model_id}/facts", payload)
+
+    def model_query(self, model_id: str, query) -> set:
+        """``POST /v1/models/<id>/query``: certain answers of a CQ.
+
+        Decodes the answer rows back to value tuples, matching
+        :meth:`~repro.chase.maintain.MaintainedModel.answer` locally.
+        """
+        answer = self.request(
+            "POST",
+            f"/v1/models/{model_id}/query",
+            {"query": cq_to_json(query)},
+        )
+        if not isinstance(answer, dict) or "answers" not in answer:
+            raise ServiceError(f"malformed query payload {answer!r}")
+        try:
+            return {tuple(row) for row in rows_from_json(answer["answers"])}
+        except CodecError as error:
+            raise ServiceError(
+                f"malformed query payload: {error}"
+            ) from error
+
+    def model_implies(self, model_id: str, target: Dependency) -> bool:
+        """``POST /v1/models/<id>/query`` with a dependency target."""
+        answer = self.request(
+            "POST",
+            f"/v1/models/{model_id}/query",
+            {"target": dependency_to_json(target)},
+        )
+        if not isinstance(answer, dict) or "implied" not in answer:
+            raise ServiceError(f"malformed query payload {answer!r}")
+        return bool(answer["implied"])

@@ -27,6 +27,13 @@ payloads):
   response carries its ``trace_id`` (client-suppliable via the request
   payload); ``POST /v1/implies?debug=1`` / ``/v1/batch?debug=1``
   attach the trace to the response inline.
+* ``POST /v1/models`` — register a maintained universal model (schema +
+  dependency program + base facts; chased once, then kept up to date).
+  ``POST /v1/models/<id>/facts`` streams inserts/deletes into it (an
+  incremental re-chase, not a from-scratch one) and
+  ``POST /v1/models/<id>/query`` answers conjunctive queries (certain
+  answers) and implication checks against the maintained fixpoint.
+  ``GET``/``DELETE`` on ``/v1/models[/<id>]`` list, inspect and drop.
 * ``GET /healthz`` — liveness.
 
 The event loop only parses HTTP and queues queries; chases run on an
@@ -62,16 +69,21 @@ import dataclasses
 from repro.chase.budget import Budget
 from repro.chase.implication import InferenceStatus
 from repro.dependencies.classify import Dependency
+from repro.errors import ReproError
 from repro.io.json_codec import (
     CodecError,
     Json,
     budget_from_json,
     budget_to_json,
+    cq_from_json,
     dependency_from_json,
     outcome_to_json,
+    rows_from_json,
+    rows_to_json,
+    schema_from_json,
 )
 from repro.obs.trace import new_trace_id
-from repro.service.api import BatchItem, InferenceService
+from repro.service.api import BatchItem, InferenceService, ModelStore
 from repro.service.cache import budget_meet
 
 #: Largest accepted request body; bigger requests get 413 instead of
@@ -183,6 +195,8 @@ class InferenceServer:
       unlimited — can wedge the serialized run pipeline).
     * ``read_timeout`` — seconds an idle or trickling connection may
       take to deliver its request before being answered 400 and closed.
+    * ``max_models`` — capacity of the maintained-model store backing
+      the ``/v1/models`` endpoints (LRU-evicted past that).
     """
 
     def __init__(
@@ -195,6 +209,7 @@ class InferenceServer:
         max_batch: int = 64,
         default_budget: Optional[Budget] = None,
         read_timeout: float = 30.0,
+        max_models: int = 32,
     ):
         if batch_window < 0:
             raise ValueError("batch_window must be >= 0")
@@ -211,6 +226,15 @@ class InferenceServer:
             default_budget if default_budget is not None else Budget()
         )
         self.read_timeout = read_timeout
+        # Maintained universal models (POST /v1/models and friends):
+        # registered once, incrementally re-chased per facts request,
+        # queried at interactive latency. Shares the service's metrics
+        # registry so the maintain-stage instruments land on /metrics.
+        self.models = ModelStore(
+            max_models=max_models,
+            default_budget=self.default_budget,
+            metrics=self.service.metrics,
+        )
         self.stats = ServerStats()
         self.started_at = time.monotonic()
         # HTTP-layer families on the service's registry, so one
@@ -562,7 +586,22 @@ class InferenceServer:
         """
         if path.startswith("/v1/trace/"):
             return "/v1/trace"
-        if path in ("/healthz", "/v1/stats", "/v1/implies", "/v1/batch", "/metrics"):
+        if path.startswith("/v1/models/"):
+            # Model IDs are client-visible strings: collapse them, but
+            # keep the action suffix (facts/query) distinguishable.
+            if path.endswith("/facts"):
+                return "/v1/models/facts"
+            if path.endswith("/query"):
+                return "/v1/models/query"
+            return "/v1/models/id"
+        if path in (
+            "/healthz",
+            "/v1/stats",
+            "/v1/implies",
+            "/v1/batch",
+            "/v1/models",
+            "/metrics",
+        ):
             return path
         return "other"
 
@@ -606,6 +645,21 @@ class InferenceServer:
             if method != "POST":
                 return 405, {"error": "use POST"}
             return await self._batch(body, debug=debug)
+        if path == "/v1/models":
+            if method == "GET":
+                return 200, {
+                    "models": self.models.list_models(),
+                    "max_models": self.models.max_models,
+                    "evictions": self.models.evictions,
+                }
+            if method == "POST":
+                return await self._models_register(body)
+            return 405, {"error": "use GET or POST"}
+        if path.startswith("/v1/models/"):
+            model_id, _, action = path[len("/v1/models/") :].partition("/")
+            if not model_id:
+                return 404, {"error": "missing model id"}
+            return await self._models_dispatch(method, model_id, action, body)
         return 404, {"error": f"no route for {method} {path}"}
 
     def _stats_payload(self) -> Json:
@@ -629,6 +683,11 @@ class InferenceServer:
                 "max_batch": self.max_batch,
                 "workers": self.service.workers,
                 "default_budget": budget_to_json(self.default_budget),
+            },
+            "models": {
+                "active": len(self.models),
+                "max_models": self.models.max_models,
+                "evictions": self.models.evictions,
             },
             # The full registry snapshot, JSON-shaped: everything
             # ``GET /metrics`` exposes, for clients that already speak
@@ -760,6 +819,163 @@ class InferenceServer:
         if debug:
             payload["trace"] = self._trace_payload(trace_id)
         return 200, payload
+
+    # ------------------------------------------------------------------
+    # Maintained models (/v1/models)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _json_object(body: bytes) -> dict:
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except UnicodeDecodeError as error:
+            raise _BadRequest(f"body is not UTF-8: {error}") from error
+        if not isinstance(payload, dict):
+            raise _BadRequest("request body must be a JSON object")
+        return payload
+
+    @staticmethod
+    def _model_404(model_id: str) -> tuple[int, Json]:
+        return 404, {
+            "error": f"no model {model_id!r} (dropped, evicted or never "
+            "registered?)"
+        }
+
+    async def _model_call(self, fn):
+        """Run one model-store operation on the executor.
+
+        Maintenance chases and core computations are real work — they
+        must not run on the event loop. Library errors (arity
+        mismatches, malformed programs) are the client's fault, so they
+        surface as 400s; a missing model's KeyError propagates for the
+        caller's 404.
+        """
+        try:
+            return await asyncio.get_running_loop().run_in_executor(None, fn)
+        except ReproError as error:
+            raise _BadRequest(str(error)) from error
+
+    def _parse_model_register(self, body: bytes):
+        payload = self._json_object(body)
+        if "schema" not in payload:
+            raise _BadRequest("'schema' is required")
+        schema = schema_from_json(payload["schema"])
+        raw_dependencies = payload.get("dependencies", [])
+        if not isinstance(raw_dependencies, list):
+            raise _BadRequest("'dependencies' must be a list")
+        dependencies = tuple(
+            dependency_from_json(entry) for entry in raw_dependencies
+        )
+        rows = rows_from_json(payload.get("rows", []))
+        budget = (
+            budget_from_json(payload["budget"]) if "budget" in payload else None
+        )
+        return schema, dependencies, rows, budget
+
+    async def _models_register(self, body: bytes) -> tuple[int, Json]:
+        schema, dependencies, rows, budget = await self._decode_request(
+            body, self._parse_model_register
+        )
+        model_id, report = await self._model_call(
+            lambda: self.models.register(
+                schema, dependencies, rows, budget=budget
+            )
+        )
+        return 200, {
+            "model_id": model_id,
+            "report": report.to_json(),
+            "model": self.models.info(model_id),
+        }
+
+    async def _models_dispatch(
+        self, method: str, model_id: str, action: str, body: bytes
+    ) -> tuple[int, Json]:
+        if action == "":
+            if method == "GET":
+                try:
+                    return 200, self.models.info(model_id)
+                except KeyError:
+                    return self._model_404(model_id)
+            if method == "DELETE":
+                if not self.models.drop(model_id):
+                    return self._model_404(model_id)
+                return 200, {"model_id": model_id, "deleted": True}
+            return 405, {"error": "use GET or DELETE"}
+        if action == "facts":
+            if method != "POST":
+                return 405, {"error": "use POST"}
+            return await self._models_facts(model_id, body)
+        if action == "query":
+            if method != "POST":
+                return 405, {"error": "use POST"}
+            return await self._models_query(model_id, body)
+        return 404, {
+            "error": f"no route for {method} /v1/models/<id>/{action}"
+        }
+
+    def _parse_model_facts(self, body: bytes):
+        payload = self._json_object(body)
+        insert = rows_from_json(payload.get("insert", []))
+        delete = rows_from_json(payload.get("delete", []))
+        if not insert and not delete:
+            raise _BadRequest("'insert' and/or 'delete' rows are required")
+        return insert, delete
+
+    async def _models_facts(
+        self, model_id: str, body: bytes
+    ) -> tuple[int, Json]:
+        insert, delete = await self._decode_request(
+            body, self._parse_model_facts
+        )
+        try:
+            reports = await self._model_call(
+                lambda: self.models.apply(
+                    model_id, insert=insert, delete=delete
+                )
+            )
+        except KeyError:
+            return self._model_404(model_id)
+        return 200, {
+            "model_id": model_id,
+            "reports": [report.to_json() for report in reports],
+            "model": self.models.info(model_id),
+        }
+
+    def _parse_model_query(self, body: bytes):
+        payload = self._json_object(body)
+        has_query = "query" in payload
+        has_target = "target" in payload
+        if has_query == has_target:
+            raise _BadRequest(
+                "send exactly one of 'query' (a conjunctive query) or "
+                "'target' (a dependency)"
+            )
+        if has_query:
+            return cq_from_json(payload["query"]), None
+        return None, dependency_from_json(payload["target"])
+
+    async def _models_query(
+        self, model_id: str, body: bytes
+    ) -> tuple[int, Json]:
+        query, target = await self._decode_request(
+            body, self._parse_model_query
+        )
+        try:
+            if query is not None:
+                answers = await self._model_call(
+                    lambda: self.models.answer(model_id, query)
+                )
+                return 200, {
+                    "model_id": model_id,
+                    "answers": rows_to_json(answers),
+                    "count": len(answers),
+                }
+            implied = await self._model_call(
+                lambda: self.models.implies(model_id, target)
+            )
+        except KeyError:
+            return self._model_404(model_id)
+        return 200, {"model_id": model_id, "implied": implied}
 
 
 class ServerThread:

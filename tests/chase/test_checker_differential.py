@@ -216,7 +216,7 @@ class TestModelCheckerState:
         dependency = random_td(seed=1)
         model = ModelChecker(instance, checker="legacy")
         model.find_violation(dependency)
-        assert model._state is None
+        assert instance._view is None  # no interned view was ever built
         # And the result matches the module-level legacy entry point.
         assert model.find_violation(dependency) == find_violation_legacy(
             dependency, instance

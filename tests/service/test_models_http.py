@@ -1,0 +1,194 @@
+"""Integration tests for the ``/v1/models`` endpoints.
+
+One real server per test class (:class:`ServerThread`), driven through
+:class:`ServiceClient` — the same wire path production traffic takes:
+register, incremental facts, certain-answer queries, implication checks,
+lifecycle (list/info/drop/evict) and the error contract.
+"""
+
+import pytest
+
+from repro.chase.budget import Budget
+from repro.dependencies.parser import parse_td
+from repro.dependencies.template import Variable
+from repro.relational.queries import ConjunctiveQuery
+from repro.relational.schema import Schema
+from repro.relational.values import Const
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.server import ServerThread
+
+SCHEMA = Schema(["FROM", "TO"])
+TRANSITIVITY = parse_td("R(x, y) & R(y, z) -> R(x, z)", SCHEMA)
+SYMMETRY = parse_td("R(x, y) -> R(y, x)", SCHEMA)
+A, B, C, D = Const("a"), Const("b"), Const("c"), Const("d")
+
+ALL_EDGES = ConjunctiveQuery(
+    SCHEMA,
+    (Variable("x"), Variable("y")),
+    [(Variable("x"), Variable("y"))],
+)
+
+
+@pytest.fixture(scope="module")
+def server():
+    with ServerThread(max_models=2) as handle:
+        yield handle
+
+
+@pytest.fixture()
+def client(server):
+    return ServiceClient(server.base_url)
+
+
+def _register_chain(client, *rows):
+    answer = client.register_model(SCHEMA, [TRANSITIVITY], list(rows))
+    assert answer["report"]["status"] == "terminated"
+    return answer["model_id"]
+
+
+class TestModelLifecycle:
+    def test_register_reports_and_lists(self, client):
+        answer = client.register_model(
+            SCHEMA, [TRANSITIVITY], [(A, B), (B, C)]
+        )
+        model_id = answer["model_id"]
+        assert answer["report"]["op"] == "register"
+        assert answer["report"]["applied"] == 2
+        assert answer["report"]["derived"] == 1  # (a,c)
+        assert answer["model"]["rows"] == 3
+        assert answer["model"]["saturated"] is True
+        listing = client.models()
+        assert model_id in [m["model_id"] for m in listing["models"]]
+        info = client.model_info(model_id)
+        assert info["base_rows"] == 2
+        assert info["schema"] == ["FROM", "TO"]
+        client.drop_model(model_id)
+
+    def test_drop_then_404(self, client):
+        model_id = _register_chain(client, (A, B))
+        assert client.drop_model(model_id)["deleted"] is True
+        for call in (
+            lambda: client.model_info(model_id),
+            lambda: client.model_facts(model_id, insert=[(A, B)]),
+            lambda: client.model_query(model_id, ALL_EDGES),
+            lambda: client.model_implies(model_id, SYMMETRY),
+            lambda: client.drop_model(model_id),
+        ):
+            with pytest.raises(ServiceError, match="404"):
+                call()
+
+    def test_lru_eviction_at_capacity(self, client):
+        first = _register_chain(client, (A, B))
+        second = _register_chain(client, (B, C))
+        client.model_info(first)  # touch: first is now most recent
+        third = _register_chain(client, (C, D))  # evicts second
+        ids = [m["model_id"] for m in client.models()["models"]]
+        assert second not in ids
+        assert first in ids and third in ids
+        assert client.models()["evictions"] >= 1
+        for model_id in (first, third):
+            client.drop_model(model_id)
+
+
+class TestFactsAndQueries:
+    def test_incremental_insert_and_query(self, client):
+        model_id = _register_chain(client, (A, B), (B, C))
+        answer = client.model_facts(model_id, insert=[(C, D)])
+        (report,) = answer["reports"]
+        assert report["op"] == "insert"
+        assert report["applied"] == 1
+        assert report["derived"] == 2  # (b,d), (a,d)
+        assert answer["model"]["rows"] == 6
+        assert client.model_query(model_id, ALL_EDGES) == {
+            (A, B), (B, C), (C, D), (A, C), (B, D), (A, D),
+        }
+        client.drop_model(model_id)
+
+    def test_delete_then_verdicts_flip(self, client):
+        model_id = _register_chain(client, (A, B), (B, C), (C, A))
+        assert client.model_implies(model_id, SYMMETRY) is True  # 3-cycle
+        answer = client.model_facts(model_id, delete=[(C, A)])
+        (report,) = answer["reports"]
+        assert report["op"] == "delete"
+        assert report["overdeleted"] > 0
+        assert client.model_implies(model_id, SYMMETRY) is False
+        assert client.model_implies(model_id, TRANSITIVITY) is True
+        client.drop_model(model_id)
+
+    def test_upsert_applies_delete_before_insert(self, client):
+        model_id = _register_chain(client, (A, B))
+        answer = client.model_facts(
+            model_id, insert=[(A, B), (B, C)], delete=[(A, B)]
+        )
+        assert [r["op"] for r in answer["reports"]] == ["delete", "insert"]
+        assert client.model_query(model_id, ALL_EDGES) == {
+            (A, B), (B, C), (A, C),
+        }
+        client.drop_model(model_id)
+
+    def test_budget_clamped_and_reported(self, client):
+        successor = parse_td("R(x, y) -> R(y, s)", SCHEMA)
+        answer = client.register_model(
+            SCHEMA,
+            [successor],
+            [(A, B)],
+            budget=Budget(max_steps=5, max_seconds=None),
+        )
+        assert answer["report"]["status"] == "budget_exhausted"
+        assert answer["model"]["saturated"] is False
+        client.drop_model(answer["model_id"])
+
+
+class TestErrorContract:
+    def test_register_requires_schema(self, client):
+        with pytest.raises(ServiceError, match="'schema' is required"):
+            client.request("POST", "/v1/models", {"dependencies": []})
+
+    def test_facts_requires_rows(self, client):
+        model_id = _register_chain(client, (A, B))
+        with pytest.raises(ServiceError, match="400"):
+            client.request("POST", f"/v1/models/{model_id}/facts", {})
+        client.drop_model(model_id)
+
+    def test_arity_mismatch_is_a_400(self, client):
+        model_id = _register_chain(client, (A, B))
+        with pytest.raises(ServiceError, match="400"):
+            client.model_facts(model_id, insert=[(A, B, C)])
+        client.drop_model(model_id)
+
+    def test_query_requires_exactly_one_kind(self, client):
+        model_id = _register_chain(client, (A, B))
+        for payload in ({}, {"query": None, "target": None}):
+            with pytest.raises(ServiceError, match="exactly one"):
+                client.request(
+                    "POST", f"/v1/models/{model_id}/query", payload
+                )
+        client.drop_model(model_id)
+
+    def test_method_discipline(self, client):
+        with pytest.raises(ServiceError, match="405"):
+            client.request("DELETE", "/v1/models")
+        model_id = _register_chain(client, (A, B))
+        with pytest.raises(ServiceError, match="405"):
+            client.request("GET", f"/v1/models/{model_id}/facts")
+        with pytest.raises(ServiceError, match="404"):
+            client.request("POST", f"/v1/models/{model_id}/bogus", {})
+        client.drop_model(model_id)
+
+
+class TestObservability:
+    def test_stats_and_metrics_cover_models(self, client):
+        model_id = _register_chain(client, (A, B))
+        client.model_facts(model_id, insert=[(B, C)])
+        client.model_query(model_id, ALL_EDGES)
+        client.model_implies(model_id, SYMMETRY)
+        stats = client.stats()
+        assert stats["models"]["active"] >= 1
+        assert stats["models"]["max_models"] == 2
+        text = client.metrics_text()
+        assert 'repro_model_maintain_seconds_count{op="insert"}' in text
+        assert 'repro_model_queries_total{kind="cq"}' in text
+        assert 'repro_model_queries_total{kind="implies"}' in text
+        assert "repro_models_active" in text
+        assert "repro_model_base_rows" in text
+        client.drop_model(model_id)
