@@ -1,0 +1,232 @@
+"""Checkpoint and resume for budget-exhausted compiled chases.
+
+A budget-exhausted chase used to throw away all its work: a retry under
+a bigger budget re-chased from row zero, and the UNKNOWN cache entry's
+budget antichain existed precisely to track that waste. This module
+captures the suspended :class:`~repro.chase.plan.ChaseSession` state —
+interned rows, the unprocessed delta frontier, the per-dependency
+``evaluated`` memos, the null counter and the cumulative stats — into a
+plain :class:`ChaseCheckpoint` value, and rebuilds an equivalent
+session later so the retry *resumes*.
+
+Soundness of the capture point (the BUDGET_EXHAUSTED return inside
+:meth:`ChaseSession.run`): the memos contain exactly the universal-slot
+keys already processed (``memo.add`` happens per key, before firing),
+so re-collecting matches over the interrupted round's delta re-finds
+precisely the matches the run never reached; rows added during the
+interrupted round are appended to the frontier and seed the next round
+as usual. Earlier rounds are fully memoized. Intern ids survive
+serialization because :class:`~repro.relational.values.InternTable`
+assigns ids in first-seen order and never reclaims them — re-interning
+the captured value list in order reproduces identical ids, so the
+captured int rows, frontier and memo keys stay valid verbatim.
+
+Resume equivalence: the resumed run seeds *cumulative* stats (prior
+steps, prior rows, prior elapsed), so resuming under budget ``B``
+decides and exhausts exactly where one uninterrupted run under ``B``
+would on the step and row axes (the wall-clock axis is inherently
+non-deterministic either way). The differential tests in
+``tests/chaos/test_checkpoint_resume.py`` assert resumed verdict ≡
+from-scratch verdict.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.chase.budget import Budget, ChaseStats
+from repro.chase.implication import (
+    ConclusionGoal,
+    InferenceOutcome,
+    InferenceStatus,
+    _freeze_target,
+)
+from repro.chase.plan import ChaseSession
+from repro.chase.result import ChaseResult, ChaseStatus, ChaseStep
+from repro.dependencies.classify import Dependency
+from repro.kernel.joins import IntRow
+from repro.relational.instance import Instance
+from repro.relational.values import NullFactory, Value
+
+#: Bump when the captured shape changes; decoders reject other versions.
+CHECKPOINT_VERSION = 1
+
+
+@dataclass
+class ChaseCheckpoint:
+    """A suspended compiled chase, self-contained enough to resume.
+
+    ``values`` is the intern table in id order; ``rows``, ``frontier``
+    and the ``evaluated`` memo keys are expressed in those ids.
+    ``target`` is the implication target whose frozen antecedents the
+    captured instance embeds (None for plain goal-less chases, which
+    currently have no resume caller).
+    """
+
+    dependencies: tuple[Dependency, ...]
+    target: Optional[Dependency]
+    values: tuple[Value, ...]
+    rows: tuple[IntRow, ...]
+    frontier: tuple[IntRow, ...]
+    #: Per dependency (in ``dependencies`` order): the universal-slot
+    #: keys already fired or rejected.
+    evaluated: tuple[tuple[tuple[int, ...], ...], ...]
+    next_null: int
+    steps: int
+    rows_added: int
+    elapsed: float
+    #: The prior run's trace steps when it recorded them (so a resumed
+    #: PROVED outcome still carries a full replayable certificate);
+    #: None when tracing was off — resuming then keeps tracing off, a
+    #: partial trace would not replay.
+    trace: Optional[tuple[ChaseStep, ...]] = None
+
+    @property
+    def row_count(self) -> int:
+        """Captured instance size (serialization guards key on this)."""
+        return len(self.rows)
+
+    def describe(self) -> str:
+        """One-line summary for logs."""
+        return (
+            f"checkpoint: {len(self.rows)} rows, "
+            f"{len(self.frontier)} frontier, {self.steps} steps, "
+            f"{self.elapsed:.3f}s spent"
+        )
+
+
+def capture_checkpoint(
+    session: ChaseSession,
+    *,
+    stats: ChaseStats,
+    trace: Optional[Sequence[ChaseStep]] = None,
+    target: Optional[Dependency] = None,
+) -> ChaseCheckpoint:
+    """Snapshot a session that just stopped on BUDGET_EXHAUSTED."""
+    state = session.state
+    frontier = session.pending_delta
+    if frontier is None:
+        # Defensive: without a captured frontier, resuming must re-seed
+        # from every row (correct, just slower — the memos still skip
+        # all processed matches).
+        frontier = list(state.rows_list)
+    return ChaseCheckpoint(
+        dependencies=session.dependencies,
+        target=target,
+        values=tuple(state.values),
+        rows=tuple(state.rows_list),
+        frontier=tuple(frontier),
+        evaluated=tuple(
+            tuple(sorted(memo)) for memo in session.evaluated
+        ),
+        next_null=session.fresh.next_label,
+        steps=stats.steps,
+        rows_added=stats.rows_added,
+        elapsed=stats.elapsed_seconds,
+        trace=tuple(trace) if trace is not None else None,
+    )
+
+
+def rebuild_session(
+    checkpoint: ChaseCheckpoint, schema
+) -> tuple[Instance, ChaseSession]:
+    """Reconstruct the working instance and session from a checkpoint.
+
+    Values are re-interned in captured id order, so every captured int
+    row and memo key refers to the same value it did at capture time.
+    """
+    working = Instance(schema)
+    table = working.intern_table
+    for value in checkpoint.values:
+        table.intern(value)
+    state = working.kernel_view()
+    for irow in checkpoint.rows:
+        state.add_interned(irow)
+    session = ChaseSession(
+        working,
+        checkpoint.dependencies,
+        fresh=NullFactory(checkpoint.next_null),
+    )
+    if len(checkpoint.evaluated) != len(session.plans):
+        raise ValueError(
+            "checkpoint memo count does not match its dependency count"
+        )
+    session.evaluated = [set(keys) for keys in checkpoint.evaluated]
+    return working, session
+
+
+def resume_implies(
+    checkpoint: ChaseCheckpoint,
+    *,
+    budget: Optional[Budget] = None,
+    record_trace: bool = True,
+    recheckpoint: bool = True,
+) -> InferenceOutcome:
+    """Continue a suspended implication test under a (bigger) budget.
+
+    The resumed run charges the checkpoint's spent steps, rows and
+    elapsed time against the new budget, so its verdict matches one
+    uninterrupted run under that budget. If the new budget also runs
+    out, the UNKNOWN outcome carries a fresh checkpoint
+    (``recheckpoint``), so retries chain.
+    """
+    target = checkpoint.target
+    if target is None:
+        raise ValueError("checkpoint carries no implication target")
+    __, frozen = _freeze_target(target)
+    goal = ConclusionGoal(target, frozen)
+    working, session = rebuild_session(checkpoint, target.schema)
+    budget = budget if budget is not None else Budget()
+    stats = ChaseStats(
+        budget=budget,
+        steps=checkpoint.steps,
+        rows_added=checkpoint.rows_added,
+        started_at=time.monotonic() - checkpoint.elapsed,
+    )
+    tracing = record_trace and checkpoint.trace is not None
+    trace: list[ChaseStep] = list(checkpoint.trace) if tracing else []
+
+    def finish(status: ChaseStatus) -> ChaseResult:
+        result = ChaseResult(
+            status=status, instance=working, steps=trace, stats=stats
+        )
+        if recheckpoint and status is ChaseStatus.BUDGET_EXHAUSTED:
+            result.checkpoint = capture_checkpoint(
+                session,
+                stats=stats,
+                trace=trace if tracing else None,
+                target=target,
+            )
+        return result
+
+    result = session.run(
+        list(checkpoint.frontier),
+        stats=stats,
+        trace=trace,
+        goal=goal,
+        record_trace=tracing,
+        finish=finish,
+    )
+    if result.status is ChaseStatus.GOAL_REACHED:
+        return InferenceOutcome(
+            status=InferenceStatus.PROVED,
+            target=target,
+            chase_result=result,
+            frozen_assignment=frozen,
+        )
+    if result.status is ChaseStatus.TERMINATED:
+        return InferenceOutcome(
+            status=InferenceStatus.DISPROVED,
+            target=target,
+            chase_result=result,
+            counterexample=result.instance,
+            frozen_assignment=frozen,
+        )
+    return InferenceOutcome(
+        status=InferenceStatus.UNKNOWN,
+        target=target,
+        chase_result=result,
+        frozen_assignment=frozen,
+    )

@@ -87,6 +87,7 @@ def chase(
     record_trace: bool = True,
     null_factory: Optional[NullFactory] = None,
     kernel: Optional[str] = None,
+    checkpoint: bool = False,
 ) -> ChaseResult:
     """Chase ``instance`` with ``dependencies``.
 
@@ -102,6 +103,13 @@ def chase(
     :mod:`repro.chase.plan`) or ``"legacy"``; the ``OBLIVIOUS`` variant
     always runs on the legacy kernel (its fire-once discipline keys on
     :class:`Trigger` identity, not activity).
+
+    ``checkpoint`` asks the compiled kernel to attach a
+    :class:`repro.chase.checkpoint.ChaseCheckpoint` of the suspended
+    run to a BUDGET_EXHAUSTED result, so a covering-budget retry can
+    resume instead of restarting. Ignored on the legacy kernel (its
+    loop keeps no resumable frontier) — callers must treat a missing
+    ``result.checkpoint`` as "restart from scratch".
     """
     kernel = kernel if kernel is not None else DEFAULT_KERNEL
     if kernel not in _KERNELS:
@@ -131,6 +139,7 @@ def chase(
             goal=goal,
             record_trace=record_trace,
             finish=finish,
+            checkpoint=checkpoint,
         )
 
     if goal is not None and goal(working):

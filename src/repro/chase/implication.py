@@ -35,11 +35,19 @@ from repro.relational.values import Value
 
 
 class InferenceStatus(enum.Enum):
-    """Three-valued outcome of an implication test."""
+    """Three-valued outcome of an implication test.
+
+    ``FAILED`` is an *operational* fourth value, never produced by the
+    chase itself: the serving layer reports it for a query whose
+    execution was quarantined after repeatedly crashing worker
+    processes (see :mod:`repro.service.scheduler`). It asserts nothing
+    about ``D |= d`` and is never cached.
+    """
 
     PROVED = "proved"
     DISPROVED = "disproved"
     UNKNOWN = "unknown"
+    FAILED = "failed"
 
 
 @dataclass
@@ -59,6 +67,8 @@ class InferenceOutcome:
     chase_result: Optional[ChaseResult] = None
     counterexample: Optional[Instance] = None
     frozen_assignment: Optional[dict[Variable, Value]] = None
+    #: For FAILED outcomes only: what went wrong, operator-readable.
+    error: Optional[str] = None
 
     @property
     def proved(self) -> bool:
@@ -190,6 +200,7 @@ def implies(
     record_trace: bool = True,
     kernel: Optional[str] = None,
     start: Optional[FrozenStart] = None,
+    checkpoint: bool = False,
 ) -> InferenceOutcome:
     """Test whether ``dependencies ⊨ target`` by chasing the frozen target.
 
@@ -199,6 +210,11 @@ def implies(
     :class:`FrozenStart` built from the *same* target, so callers that
     chase one target repeatedly (the variant-racing scheduler) share
     its intern table and compiled goal plan across arms.
+
+    ``checkpoint`` asks the compiled kernel to attach the suspended
+    chase state to an UNKNOWN outcome's ``chase_result.checkpoint``; a
+    covering-budget retry can then resume via
+    :func:`repro.chase.checkpoint.resume_implies`.
     """
     if start is not None:
         if start.target != target:
@@ -219,6 +235,7 @@ def implies(
         record_trace=record_trace,
         inplace=True,
         kernel=kernel,
+        checkpoint=checkpoint,
     )
     if result.status is ChaseStatus.GOAL_REACHED:
         return InferenceOutcome(

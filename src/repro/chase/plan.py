@@ -402,6 +402,7 @@ class ChaseSession:
         "evaluated",
         "record_derivations",
         "derivations",
+        "pending_delta",
     )
 
     def __init__(
@@ -430,6 +431,13 @@ class ChaseSession:
         self.derivations: dict[
             tuple[int, tuple[int, ...]], tuple[IntRow, ...]
         ] = {}
+        #: The unprocessed delta frontier at the moment the last run
+        #: stopped on BUDGET_EXHAUSTED (None otherwise). Re-seeding a
+        #: later run with exactly these rows continues the computation:
+        #: the ``evaluated`` memos hold exactly the matches already
+        #: processed, so re-collecting over this frontier re-finds the
+        #: matches the interrupted round never reached and nothing else.
+        self.pending_delta: Optional[list[IntRow]] = None
 
     def clear_memos(self) -> None:
         """Forget trigger evaluations (required after any deletion)."""
@@ -480,6 +488,7 @@ class ChaseSession:
         derivations = self.derivations
 
         trivial_dispatch = self.dispatcher.trivial
+        self.pending_delta = None
         delta = list(delta)
         while delta:
             added_this_round: list[IntRow] = []
@@ -550,6 +559,12 @@ class ChaseSession:
                     elif goal is not None and goal(working):
                         return finish(ChaseStatus.GOAL_REACHED)
                     if stats.exhausted(len(working)):
+                        # Capture the frontier a resumed run must
+                        # re-seed from: the current round's delta (its
+                        # unprocessed matches are exactly those not yet
+                        # in the memos) plus everything added this
+                        # round (the next round's delta).
+                        self.pending_delta = list(delta) + added_this_round
                         return finish(ChaseStatus.BUDGET_EXHAUSTED)
             delta = added_this_round
         return finish(ChaseStatus.TERMINATED)
@@ -565,6 +580,7 @@ def run_compiled_chase(
     goal: Optional[Callable[[Instance], bool]],
     record_trace: bool,
     finish: Callable[[ChaseStatus], ChaseResult],
+    checkpoint: bool = False,
 ) -> ChaseResult:
     """The compiled restricted chase (STANDARD and SEMI_NAIVE fold here).
 
@@ -579,13 +595,34 @@ def run_compiled_chase(
     One-shot wrapper over :class:`ChaseSession`: seeds the delta with
     the whole instance and discards the session afterwards. Long-lived
     callers (:mod:`repro.chase.maintain`) hold the session instead.
+
+    With ``checkpoint`` a BUDGET_EXHAUSTED result carries a
+    :class:`repro.chase.checkpoint.ChaseCheckpoint` of the suspended
+    session, so a covering-budget retry can resume instead of
+    re-chasing from row zero.
     """
     session = ChaseSession(working, dependencies, fresh=fresh)
+    run_finish = finish
+    if checkpoint:
+
+        def run_finish(status: ChaseStatus) -> ChaseResult:
+            result = finish(status)
+            if status is ChaseStatus.BUDGET_EXHAUSTED:
+                from repro.chase.checkpoint import capture_checkpoint
+
+                result.checkpoint = capture_checkpoint(
+                    session,
+                    stats=stats,
+                    trace=trace if record_trace else None,
+                    target=getattr(goal, "target", None),
+                )
+            return result
+
     return session.run(
         session.state.rows_list,
         stats=stats,
         trace=trace,
         goal=goal,
         record_trace=record_trace,
-        finish=finish,
+        finish=run_finish,
     )

@@ -11,7 +11,10 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:
+    from repro.chase.checkpoint import ChaseCheckpoint
 
 from repro.chase.budget import ChaseStats
 from repro.dependencies.classify import Dependency
@@ -61,6 +64,11 @@ class ChaseResult:
     instance: Instance
     steps: list[ChaseStep] = field(default_factory=list)
     stats: Optional[ChaseStats] = None
+    #: Suspended kernel state, captured only when the run ended
+    #: BUDGET_EXHAUSTED *and* the caller asked for it (``checkpoint=True``
+    #: on :func:`repro.chase.engine.chase`). A covering-budget retry can
+    #: resume from here instead of re-chasing from row zero.
+    checkpoint: Optional["ChaseCheckpoint"] = None
 
     @property
     def terminated(self) -> bool:

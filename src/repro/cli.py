@@ -170,6 +170,27 @@ def _build_parser() -> argparse.ArgumentParser:
         default=32,
         help="maintained universal models held before LRU eviction",
     )
+    serve_cmd.add_argument(
+        "--max-queue",
+        type=int,
+        default=256,
+        help="admission-queue depth; requests past it are shed with "
+        "429 + Retry-After",
+    )
+    serve_cmd.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=5.0,
+        help="seconds to finish in-flight queries on shutdown "
+        "(/readyz answers 503 while draining)",
+    )
+    serve_cmd.add_argument(
+        "--max-restarts",
+        type=int,
+        default=3,
+        help="worker-pool rebuilds one batch may consume after worker "
+        "crashes before undecided queries are answered FAILED",
+    )
 
     stats_cmd = commands.add_parser(
         "stats",
@@ -365,11 +386,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.max_models < 1:
         print("error: --max-models must be >= 1", file=sys.stderr)
         return EXIT_USAGE
+    if args.max_queue < 1 or args.drain_timeout < 0 or args.max_restarts < 0:
+        print(
+            "error: need --max-queue >= 1, --drain-timeout >= 0 and "
+            "--max-restarts >= 0",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
     store = JsonLinesStore(Path(args.cache_path)) if args.cache_path else None
     service = InferenceService(
         cache=ResultCache(store=store),
         workers=args.workers,
         race_variants=args.race,
+        max_restarts=args.max_restarts,
     )
     server = InferenceServer(
         service,
@@ -383,6 +412,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_seconds=args.max_seconds,
         ),
         max_models=args.max_models,
+        max_queue=args.max_queue,
+        drain_timeout=args.drain_timeout,
     )
 
     async def _serve() -> None:

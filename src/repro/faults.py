@@ -1,0 +1,86 @@
+"""Deterministic fault injection for the resilience suite.
+
+Production code calls :func:`fire` at a handful of named *fault points*
+(worker dispatch, the disk-cache append path, server admission, the
+response writer). In normal operation every call is one dict lookup
+against ``os.environ`` and returns False. Tests arm a point by setting
+
+    REPRO_FAULT_<POINT> = "<selector>[@<latch-path>]"
+
+where ``<POINT>`` is the upper-cased point name and
+
+* ``selector`` — ``*`` matches every key the call site passes;
+  anything else must equal ``str(key)`` exactly (the scheduler passes
+  the query slot, the server passes the request path, ...);
+* ``@<latch-path>`` — optional fire-*once* semantics across processes:
+  the first matching call atomically creates the latch file and
+  triggers; later calls (in any process) see the file and stay quiet.
+  Without a latch the point triggers on every selector match.
+
+The env-var transport is deliberate: forkserver workers inherit the
+armed environment, so a test can reach inside a worker process it never
+talks to directly. The call sites currently wired (see the chaos suite
+under ``tests/chaos/``):
+
+========================  ====================================================
+point                     effect when triggered
+========================  ====================================================
+``worker_kill``           ``os._exit(1)`` inside a pool worker mid-dispatch
+                          (key: query slot)
+``cache_tear``            the JSON-lines store appends a torn, truncated
+                          line for this entry (key: fingerprint)
+``shed``                  the server treats the admission queue as full and
+                          sheds the request (key: request path)
+``drop_conn``             the server closes the connection without writing a
+                          response (key: request path)
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+#: Env-var prefix for all fault points.
+PREFIX = "REPRO_FAULT_"
+
+
+def _parse(spec: str) -> tuple[str, Optional[str]]:
+    """Split ``selector[@latch]``; the latch may contain later ``@``s."""
+    if "@" in spec:
+        selector, latch = spec.split("@", 1)
+        return selector, latch or None
+    return spec, None
+
+
+def armed(point: str) -> bool:
+    """True when ``point`` has an injection spec in the environment."""
+    return bool(os.environ.get(PREFIX + point.upper()))
+
+
+def fire(point: str, key: object = None) -> bool:
+    """Should the fault at ``point`` trigger for ``key`` right now?
+
+    False unless the point is armed, the selector matches ``key`` and
+    (when a latch path is given) this is the first matching call across
+    all processes sharing the latch. Never raises: a malformed spec or
+    an unwritable latch path disarms the point rather than taking down
+    the caller — fault injection must not become a fault of its own.
+    """
+    spec = os.environ.get(PREFIX + point.upper())
+    if not spec:
+        return False
+    selector, latch = _parse(spec)
+    if selector != "*" and selector != str(key):
+        return False
+    if latch is None:
+        return True
+    try:
+        fd = os.open(latch, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    except OSError:
+        return False
+    os.write(fd, f"{point}:{key}\n".encode())
+    os.close(fd)
+    return True

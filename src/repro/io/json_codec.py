@@ -15,12 +15,14 @@ encoded recursively with one-letter tags: ``{"s": ...}`` scalar,
 
 from __future__ import annotations
 
+import os
 from typing import Union
 
 from repro.dependencies.eid import EmbeddedImplicationalDependency
 from repro.dependencies.template import TemplateDependency, Variable
 from repro.errors import ReproError
 from repro.chase.budget import Budget, ChaseStats
+from repro.chase.checkpoint import CHECKPOINT_VERSION, ChaseCheckpoint
 from repro.chase.implication import InferenceOutcome, InferenceStatus
 from repro.chase.result import ChaseResult, ChaseStatus, ChaseStep
 from repro.obs.metrics import MetricsSnapshot
@@ -419,6 +421,8 @@ def outcome_to_json(outcome: InferenceOutcome) -> Json:
                 outcome.frozen_assignment.items(), key=lambda item: item[0].name
             )
         ]
+    if outcome.error is not None:
+        payload["error"] = outcome.error
     return payload
 
 
@@ -470,7 +474,122 @@ def outcome_from_json(payload: Json) -> InferenceOutcome:
             if frozen is not None
             else None
         ),
+        error=payload.get("error"),
     )
+
+
+# ---------------------------------------------------------------------------
+# Chase checkpoints (suspended budget-exhausted runs)
+# ---------------------------------------------------------------------------
+
+def checkpoint_to_json(checkpoint: ChaseCheckpoint) -> Json:
+    """Encode a suspended chase for the result cache.
+
+    Int rows, the frontier and the memo keys are stored verbatim: the
+    intern table assigns ids in first-seen order and never reclaims
+    them, so re-interning the encoded ``values`` list in order on
+    decode reproduces identical ids.
+    """
+    payload: dict = {
+        "version": CHECKPOINT_VERSION,
+        "dependencies": [
+            dependency_to_json(dependency)
+            for dependency in checkpoint.dependencies
+        ],
+        "values": [value_to_json(value) for value in checkpoint.values],
+        "rows": [list(irow) for irow in checkpoint.rows],
+        "frontier": [list(irow) for irow in checkpoint.frontier],
+        "evaluated": [
+            [list(key) for key in keys] for keys in checkpoint.evaluated
+        ],
+        "next_null": checkpoint.next_null,
+        "steps": checkpoint.steps,
+        "rows_added": checkpoint.rows_added,
+        "elapsed": checkpoint.elapsed,
+    }
+    if checkpoint.target is not None:
+        payload["target"] = dependency_to_json(checkpoint.target)
+    if checkpoint.trace is not None:
+        payload["trace"] = trace_to_json(list(checkpoint.trace))
+    return payload
+
+
+#: Env override for the checkpoint serialization row cap.
+CHECKPOINT_MAX_ROWS_ENV = "REPRO_CHECKPOINT_MAX_ROWS"
+#: Default cap: checkpoints of instances beyond this many rows are not
+#: serialized (a resume saves recomputation only while the state is
+#: cheaper to ship than to rebuild).
+DEFAULT_CHECKPOINT_MAX_ROWS = 10_000
+
+
+def encode_checkpoint(outcome: InferenceOutcome) -> Union[Json, None]:
+    """The encoded checkpoint riding an UNKNOWN outcome, or None.
+
+    None when the outcome carries no suspended chase (decided, legacy
+    kernel, capture off) or when the captured instance exceeds the
+    ``REPRO_CHECKPOINT_MAX_ROWS`` cap — an oversized checkpoint costs
+    more to store and ship than the resume would save.
+    """
+    result = outcome.chase_result
+    checkpoint = getattr(result, "checkpoint", None)
+    if checkpoint is None:
+        return None
+    cap = DEFAULT_CHECKPOINT_MAX_ROWS
+    raw = os.environ.get(CHECKPOINT_MAX_ROWS_ENV)
+    if raw:
+        try:
+            cap = int(raw)
+        except ValueError:
+            pass
+    if checkpoint.row_count > cap:
+        return None
+    return checkpoint_to_json(checkpoint)
+
+
+def checkpoint_from_json(payload: Json) -> ChaseCheckpoint:
+    """Decode a suspended chase; :class:`CodecError` on junk."""
+    if not isinstance(payload, dict) or "rows" not in payload:
+        raise CodecError("checkpoint payload needs 'rows'")
+    if payload.get("version") != CHECKPOINT_VERSION:
+        raise CodecError(
+            f"unsupported checkpoint version {payload.get('version')!r}"
+        )
+    try:
+        target_payload = payload.get("target")
+        trace_payload = payload.get("trace")
+        return ChaseCheckpoint(
+            dependencies=tuple(
+                dependency_from_json(entry)
+                for entry in payload.get("dependencies", [])
+            ),
+            target=(
+                dependency_from_json(target_payload)
+                if target_payload is not None
+                else None
+            ),
+            values=tuple(
+                value_from_json(entry) for entry in payload.get("values", [])
+            ),
+            rows=tuple(tuple(map(int, irow)) for irow in payload["rows"]),
+            frontier=tuple(
+                tuple(map(int, irow)) for irow in payload.get("frontier", [])
+            ),
+            evaluated=tuple(
+                tuple(tuple(map(int, key)) for key in keys)
+                for keys in payload.get("evaluated", [])
+            ),
+            next_null=int(payload.get("next_null", 0)),
+            steps=int(payload.get("steps", 0)),
+            rows_added=int(payload.get("rows_added", 0)),
+            elapsed=float(payload.get("elapsed", 0.0)),
+            trace=(
+                tuple(trace_from_json(trace_payload))
+                if trace_payload is not None
+                else None
+            ),
+        )
+    except (TypeError, ValueError, KeyError) as error:
+        raise CodecError(f"bad checkpoint payload: {error}") from error
 
 
 # ---------------------------------------------------------------------------

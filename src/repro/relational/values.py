@@ -18,7 +18,6 @@ property of values themselves but of where they occur; it is enforced by
 
 from __future__ import annotations
 
-import itertools
 from typing import Optional, Union
 
 
@@ -137,13 +136,25 @@ class NullFactory:
     False
     """
 
-    __slots__ = ("_counter",)
+    __slots__ = ("_next",)
 
     def __init__(self, start: int = 0):
-        self._counter = itertools.count(start)
+        self._next = start
 
     def __call__(self) -> LabeledNull:
-        return LabeledNull(next(self._counter))
+        label = self._next
+        self._next += 1
+        return LabeledNull(label)
+
+    @property
+    def next_label(self) -> int:
+        """The label the next invented null will carry.
+
+        Exposed so a suspended chase can checkpoint its null counter and a
+        resumed run can continue inventing *distinct* labels
+        (:mod:`repro.chase.checkpoint`).
+        """
+        return self._next
 
     def take(self, count: int) -> list[LabeledNull]:
         """Return ``count`` fresh nulls."""

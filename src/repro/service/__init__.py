@@ -51,8 +51,13 @@ from repro.service.cache import (
 from repro.service.client import (
     RemoteBatch,
     RemoteVerdict,
+    RetryPolicy,
     ServiceClient,
+    ServiceConnectionError,
     ServiceError,
+    ServiceHTTPError,
+    ServiceOverloadedError,
+    ServiceUnavailableError,
 )
 from repro.service.scheduler import (
     PoolRun,
@@ -95,6 +100,11 @@ __all__ = [
     "ServerThread",
     "ServiceClient",
     "ServiceError",
+    "ServiceConnectionError",
+    "ServiceHTTPError",
+    "ServiceOverloadedError",
+    "ServiceUnavailableError",
+    "RetryPolicy",
     "RemoteVerdict",
     "RemoteBatch",
     "ProofVerificationError",

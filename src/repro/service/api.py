@@ -32,8 +32,13 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.chase.budget import Budget
+from repro.chase.checkpoint import resume_implies
 from repro.chase.engine import ChaseVariant, replay
-from repro.chase.implication import InferenceOutcome, conclusion_satisfied
+from repro.chase.implication import (
+    InferenceOutcome,
+    InferenceStatus,
+    conclusion_satisfied,
+)
 from repro.chase.maintain import (
     MaintainedModel,
     MaintainInstruments,
@@ -42,6 +47,11 @@ from repro.chase.maintain import (
 from repro.dependencies.canonical import premise_key, query_fingerprint
 from repro.dependencies.classify import Dependency
 from repro.errors import ReproError
+from repro.io.json_codec import (
+    CodecError,
+    checkpoint_from_json,
+    encode_checkpoint,
+)
 from repro.obs.metrics import MetricsRegistry, Stopwatch
 from repro.obs.trace import RunTrace, Span, TraceBuffer, new_trace_id
 from repro.service.cache import ResultCache, budget_meet
@@ -86,6 +96,12 @@ class BatchStats:
     #: Race arms that reused a shared frozen start (instance + intern
     #: table + compiled goal plan) instead of rebuilding it per arm.
     start_reuses: int = 0
+    #: Stale-UNKNOWN retries answered by resuming a cached chase
+    #: checkpoint instead of re-chasing from row zero.
+    resumed: int = 0
+    #: Queries answered FAILED (quarantined payloads, exhausted restart
+    #: budget) — operational failures, never cached, never verdicts.
+    failed: int = 0
     wall_seconds: float = 0.0
     #: Wall seconds spent inside chase dispatches (summed per dispatch,
     #: so racing and parallelism can push this above ``wall_seconds``).
@@ -95,11 +111,17 @@ class BatchStats:
 
     def describe(self) -> str:
         """One-line summary for logs and the CLI."""
+        extras = ""
+        if self.resumed:
+            extras += f", {self.resumed} resumed from checkpoint"
+        if self.failed:
+            extras += f", {self.failed} failed"
         return (
             f"{self.submitted} queries: {self.cache_hits} cache hit(s), "
             f"{self.deduplicated} deduplicated, {self.executed} executed, "
             f"{self.skipped} raced dispatch(es) skipped, "
-            f"{self.start_reuses} start rebuild(s) avoided "
+            f"{self.start_reuses} start rebuild(s) avoided"
+            f"{extras} "
             f"in {self.wall_seconds:.3f}s "
             f"({self.chase_seconds:.3f}s chasing)"
         )
@@ -162,8 +184,19 @@ class InferenceService:
       :class:`ProofVerificationError`. Off by default — it re-does a
       bounded version of the chase's work — but it is what gives the
       ``verify`` stage of ``repro_stage_seconds`` real semantics.
+    * ``checkpoints`` — store suspended-chase checkpoints next to
+      UNKNOWN cache entries and *resume* them when a retry arrives with
+      a budget the entry does not cover, instead of re-chasing from row
+      zero (on by default; capture and resume are limited to
+      single-variant runs — a resumed chase only replays the variant it
+      suspended, so claiming it for a race would be unsound).
     * ``trace_capacity`` — how many recent run traces :attr:`traces`
       retains for ``GET /v1/trace/<id>``.
+    * ``max_restarts`` — how many in-place worker-pool rebuilds one
+      batch may consume after worker crashes before its remaining
+      undecided queries are answered FAILED (crash containment lives in
+      :meth:`~repro.service.scheduler.WorkerPool.run`; this is its
+      retry budget).
     """
 
     def __init__(
@@ -177,18 +210,24 @@ class InferenceService:
         share_budget: bool = False,
         metrics: Optional[MetricsRegistry] = None,
         verify_proofs: bool = False,
+        checkpoints: bool = True,
         trace_capacity: int = 256,
+        max_restarts: int = 3,
     ):
         if workers < 0:
             raise ValueError("workers must be >= 0")
+        if max_restarts < 0:
+            raise ValueError("max_restarts must be >= 0")
         self.cache = cache if cache is not None else ResultCache()
         self.workers = workers
+        self.max_restarts = max_restarts
         self.variants: tuple[ChaseVariant, ...] = (
             RACING_VARIANTS if race_variants else (variant,)
         )
         self.record_trace = record_trace
         self.share_budget = share_budget
         self.verify_proofs = verify_proofs
+        self.checkpoints = checkpoints
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.traces = TraceBuffer(trace_capacity)
         self._instruments = ServiceInstruments(self.metrics)
@@ -224,7 +263,11 @@ class InferenceService:
         if self.workers == 0:
             return None
         if self._worker_pool is None:
-            self._worker_pool = WorkerPool(self.workers, metrics=self.metrics)
+            self._worker_pool = WorkerPool(
+                self.workers,
+                metrics=self.metrics,
+                max_restarts=self.max_restarts,
+            )
         return self._worker_pool
 
     def warm_up(self) -> "InferenceService":
@@ -332,6 +375,59 @@ class InferenceService:
             )
         return True
 
+    @property
+    def _capture_checkpoints(self) -> bool:
+        """Capture/resume only for single-variant runs (see ctor doc)."""
+        return self.checkpoints and len(self.variants) == 1
+
+    def _resume_from_checkpoint(
+        self, fingerprint: str, budget: Budget
+    ) -> Optional[tuple[InferenceOutcome, float]]:
+        """Resume a stale UNKNOWN's suspended chase under ``budget``.
+
+        Returns ``(outcome, seconds)`` when the cache held a usable
+        checkpoint, None otherwise (no checkpoint, undecodable payload,
+        or a checkpoint that cannot rebuild — all of which simply fall
+        back to a from-scratch chase). The resumed run charges the
+        checkpoint's prior steps/rows/time against ``budget``, so its
+        verdict matches an uninterrupted run under the same budget.
+        """
+        if not self._capture_checkpoints:
+            return None
+        payload = self.cache.checkpoint_for(fingerprint)
+        if payload is None:
+            return None
+        try:
+            checkpoint = checkpoint_from_json(payload)
+        except CodecError:
+            return None
+        resume_started = time.perf_counter()
+        try:
+            outcome = resume_implies(
+                checkpoint, budget=budget, record_trace=self.record_trace
+            )
+        except (ValueError, ReproError):
+            return None
+        seconds = time.perf_counter() - resume_started
+        instruments = self._instruments
+        instruments.checkpoint_resumes.inc()
+        instruments.stage_seconds.labels(stage="chase").observe(seconds)
+        instruments.chase_run_seconds.labels(
+            variant=self.variants[0].value, verdict=outcome.status.value
+        ).observe(seconds)
+        if outcome.chase_result is not None:
+            chase_stats = outcome.chase_result.stats
+            if chase_stats is not None:
+                # The outcome's stats are cumulative (prior + resumed);
+                # the work counters want only what this run added.
+                instruments.chase_steps.inc(
+                    max(0, chase_stats.steps - checkpoint.steps)
+                )
+                instruments.chase_rows.inc(
+                    max(0, chase_stats.rows_added - checkpoint.rows_added)
+                )
+        return outcome, seconds
+
     def run(self, budget: Optional[Budget] = None) -> BatchReport:
         """Answer every pending query; clears the queue.
 
@@ -419,6 +515,69 @@ class InferenceService:
                 )
             )
 
+        # Resume pass: a stale UNKNOWN whose entry carries a suspended
+        # chase is continued under the requested budget instead of
+        # re-chased from row zero. Judged against the same pessimistic
+        # lookup budget as the cache pass, and recorded back exactly as
+        # a from-scratch chase under that budget would be (with a fresh
+        # chained checkpoint if the new budget also ran out).
+        resume_seconds = 0.0
+        for fingerprint in list(groups):
+            hit = self._resume_from_checkpoint(fingerprint, lookup_budget)
+            if hit is None:
+                continue
+            outcome, seconds = hit
+            members = groups.pop(fingerprint)
+            stats.resumed += 1
+            stats.chase_seconds += seconds
+            resume_seconds += seconds
+            steps = (
+                outcome.chase_result.steps
+                if outcome.chase_result is not None
+                else []
+            )
+            if self.verify_proofs and outcome.proved and steps:
+                self._verify_proof(outcome)
+            next_checkpoint = encode_checkpoint(outcome)
+            self.cache.record(
+                fingerprint,
+                outcome,
+                lookup_budget,
+                # A resumed run records a replayable trace only when the
+                # checkpoint carried the prior steps; don't claim one
+                # for a PROVED outcome that cannot replay.
+                traced=self.record_trace
+                and (not outcome.proved or bool(steps)),
+                variants=variant_values,
+                checkpoint=next_checkpoint,
+            )
+            if next_checkpoint is not None:
+                instruments.checkpoints_stored.inc()
+            for position, query in enumerate(members):
+                if position > 0:
+                    stats.deduplicated += 1
+                items[query.index] = BatchItem(
+                    index=query.index,
+                    target=query.target,
+                    fingerprint=fingerprint,
+                    outcome=outcome,
+                    deduplicated=position > 0,
+                )
+                query_rows[query.index] = {
+                    "index": query.index,
+                    "fingerprint": fingerprint,
+                    "status": outcome.status.value,
+                    "source": "dedup" if position > 0 else "resume",
+                }
+        if stats.resumed:
+            spans.append(
+                Span(
+                    "resume",
+                    resume_seconds,
+                    {"resumed": stats.resumed},
+                )
+            )
+
         # Execute one representative per group, serially or on the pool.
         tasks = []
         representatives: list[tuple[str, list[_Pending]]] = []
@@ -465,12 +624,17 @@ class InferenceService:
                 self.variants,
                 self.record_trace,
                 metrics=self.metrics,
+                capture_checkpoints=self._capture_checkpoints,
             )
         else:
             # The pool persists across run() calls: batch N+1 reuses the
             # worker processes batch N forked.
             run = self.pool().run(
-                tasks, per_query, self.variants, self.record_trace
+                tasks,
+                per_query,
+                self.variants,
+                self.record_trace,
+                capture_checkpoints=self._capture_checkpoints,
             )
         outcomes = run.outcomes
         stats.executed = len(tasks)
@@ -507,13 +671,23 @@ class InferenceService:
         for slot, (fingerprint, members) in enumerate(representatives):
             outcome = outcomes[slot]
             record_started = time.perf_counter()
-            self.cache.record(
-                fingerprint,
-                outcome,
-                per_query,
-                traced=self.record_trace,
-                variants=variant_values,
-            )
+            if outcome.status is InferenceStatus.FAILED:
+                # An operational accident, not a verdict: caching it
+                # would keep serving the accident after the fault is
+                # gone. The client sees it once, structured, and retries.
+                stats.failed += len(members)
+            else:
+                checkpoint_payload = run.checkpoints.get(slot)
+                self.cache.record(
+                    fingerprint,
+                    outcome,
+                    per_query,
+                    traced=self.record_trace,
+                    variants=variant_values,
+                    checkpoint=checkpoint_payload,
+                )
+                if checkpoint_payload is not None:
+                    instruments.checkpoints_stored.inc()
             elapsed = time.perf_counter() - record_started
             record_seconds += elapsed
             record_stage.observe(elapsed)

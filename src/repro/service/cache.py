@@ -34,6 +34,7 @@ bigger budget simply appends the better entry.
 from __future__ import annotations
 
 import contextlib
+import logging
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -47,6 +48,9 @@ try:  # POSIX advisory locking; absent on some platforms (Windows).
 except ImportError:  # pragma: no cover - platform-dependent
     fcntl = None  # type: ignore[assignment]
 
+logger = logging.getLogger(__name__)
+
+from repro import faults
 from repro.chase.budget import Budget
 from repro.chase.implication import InferenceOutcome, InferenceStatus
 from repro.obs.metrics import MetricsRegistry
@@ -154,6 +158,13 @@ class CacheEntry:
     variant_budgets: Optional[dict[str, tuple[Budget, ...]]] = field(
         default=None, repr=False
     )
+    #: Suspended-chase checkpoint (encoded,
+    #: :func:`repro.io.json_codec.checkpoint_to_json`) for UNKNOWN
+    #: entries only. Lives *outside* ``payload`` so it survives
+    #: :func:`~repro.io.json_codec.slim_unknown_outcome`; a later
+    #: covering-budget retry resumes from it instead of re-chasing
+    #: from row zero.
+    checkpoint: Optional[Json] = field(default=None, repr=False)
     #: Decoded-outcome memo (seeded with the live object on ``record``),
     #: so repeated hits don't re-decode. Treat the outcome as read-only.
     decoded: Optional[InferenceOutcome] = field(
@@ -189,6 +200,8 @@ class CacheEntry:
                 variant: [budget_to_json(budget) for budget in budgets]
                 for variant, budgets in self.tried().items()
             }
+            if self.checkpoint is not None:
+                record["checkpoint"] = self.checkpoint
         return record
 
     @staticmethod
@@ -215,6 +228,7 @@ class CacheEntry:
                     if isinstance(tried_payload, dict)
                     else None
                 ),
+                checkpoint=payload.get("checkpoint"),
             )
         except (KeyError, ValueError, TypeError, AttributeError) as error:
             raise CodecError(f"bad cache entry payload: {error}") from error
@@ -240,6 +254,14 @@ class CacheStats:
             f"stale_unknown={self.stale} evictions={self.evictions} "
             f"load_evictions={self.load_evictions}"
         )
+
+
+def _checkpoint_steps(checkpoint: Optional[Json]) -> int:
+    """Chase steps a stored checkpoint has behind it (0 when absent)."""
+    if not isinstance(checkpoint, dict):
+        return -1
+    steps = checkpoint.get("steps", 0)
+    return int(steps) if isinstance(steps, (int, float)) else 0
 
 
 def merge_unknown_entries(
@@ -280,6 +302,11 @@ def merge_unknown_entries(
     for chased in merged.values():
         for each in chased:
             budget = budget_join(budget, each)
+    # Keep whichever suspended chase got further: resuming from the
+    # deeper checkpoint skips more recomputation, and both are sound.
+    checkpoint = existing.checkpoint
+    if _checkpoint_steps(entry.checkpoint) > _checkpoint_steps(checkpoint):
+        checkpoint = entry.checkpoint
     return CacheEntry(
         fingerprint=entry.fingerprint,
         status=InferenceStatus.UNKNOWN,
@@ -295,6 +322,7 @@ def merge_unknown_entries(
             if variant not in existing.variants
         ),
         variant_budgets=merged,
+        checkpoint=checkpoint,
         decoded=entry.decoded,
     )
 
@@ -359,6 +387,11 @@ class JsonLinesStore:
         #: of a shutdown-time full-file decode.
         self._lines: Optional[int] = None
         self._fingerprints: Optional[set[str]] = None
+        #: Cumulative undecodable lines skipped across every load — a
+        #: torn append after a crash, or hand edits. Surfaced as the
+        #: ``repro_cache_torn_lines_total`` metric via
+        #: :meth:`ResultCache.bind_metrics`.
+        self.torn_lines = 0
 
     def load(self) -> Iterator[CacheEntry]:
         """Yield stored entries in file order (later entries override).
@@ -371,6 +404,7 @@ class JsonLinesStore:
         self._fingerprints = set()
         if not self.path.exists():
             return
+        torn = 0
         with self.path.open("r", encoding="utf-8") as handle:
             for line in handle:
                 line = line.strip()
@@ -380,16 +414,32 @@ class JsonLinesStore:
                 try:
                     entry = CacheEntry.from_json(json.loads(line))
                 except (json.JSONDecodeError, CodecError):
+                    torn += 1
                     continue
                 self._fingerprints.add(entry.fingerprint)
                 yield entry
+        if torn:
+            self.torn_lines += torn
+            # One line per load, however many lines tore: enough to
+            # notice a crashed writer without flooding the log.
+            logger.warning(
+                "skipped %d torn cache line%s loading %s",
+                torn,
+                "" if torn == 1 else "s",
+                self.path,
+            )
 
     def append(self, entry: CacheEntry) -> None:
         """Persist one entry (parent directory created on demand)."""
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(entry.to_json(), separators=(",", ":"))
+        if faults.fire("cache_tear", entry.fingerprint):
+            # Chaos hook: simulate a writer crashing mid-append by
+            # persisting only a prefix of the record.
+            line = line[: max(1, len(line) // 2)]
         with self._write_lock():
             with self.path.open("a", encoding="utf-8") as handle:
-                handle.write(json.dumps(entry.to_json(), separators=(",", ":")))
+                handle.write(line)
                 handle.write("\n")
         if self._lines is not None:
             self._lines += 1
@@ -540,6 +590,14 @@ class ResultCache:
             "LRU evictions while serving (load churn excluded)",
             fn=lambda: float(self.stats.evictions),
         )
+        if self._store is not None:
+            store = self._store
+            registry.counter(
+                "repro_cache_torn_lines_total",
+                "Torn or malformed JSON lines skipped while loading "
+                "the disk cache",
+                fn=lambda: float(store.torn_lines),
+            )
         return self
 
     def close(self, *, force_compact: bool = False) -> bool:
@@ -633,6 +691,20 @@ class ResultCache:
         self.stats.hits += 1
         return entry
 
+    def checkpoint_for(self, fingerprint: str) -> Optional[Json]:
+        """The stored suspended-chase checkpoint for a stale UNKNOWN.
+
+        Called after :meth:`lookup` returned None for an UNKNOWN whose
+        budgets the request is not covered by: instead of re-chasing
+        from row zero, the caller can resume the suspended chase under
+        its own budget. Returns the encoded checkpoint, or None when
+        the entry is missing, decisive, or was recorded without one.
+        """
+        entry = self._entries.get(fingerprint)
+        if entry is None or entry.status is not InferenceStatus.UNKNOWN:
+            return None
+        return entry.checkpoint
+
     def record(
         self,
         fingerprint: str,
@@ -641,6 +713,7 @@ class ResultCache:
         *,
         traced: bool = True,
         variants: tuple[str, ...] = ("standard",),
+        checkpoint: Optional[Json] = None,
     ) -> CacheEntry:
         """Store ``outcome`` under ``fingerprint`` (and on disk, if tiered).
 
@@ -648,7 +721,16 @@ class ResultCache:
         budget and variants matter for later lookups — so its payload is
         stripped of the (potentially huge, budget-exhausted) chase result
         before encoding. The in-process memo still holds the full outcome.
+        An encoded ``checkpoint`` rides along with UNKNOWN entries so a
+        later covering-budget retry resumes rather than restarts.
+
+        FAILED outcomes are operational accidents (a quarantined
+        payload, a crashed worker), not verdicts about ``D |= d`` —
+        caching one would keep serving the accident after the fault is
+        gone, so recording them is a programming error here.
         """
+        if outcome.status is InferenceStatus.FAILED:
+            raise ValueError("FAILED outcomes must not be cached")
         payload = slim_unknown_outcome(outcome_to_json(outcome))
         entry = CacheEntry(
             fingerprint=fingerprint,
@@ -658,6 +740,11 @@ class ResultCache:
             traced=traced,
             variants=tuple(variants),
             variant_budgets={variant: (budget,) for variant in variants},
+            checkpoint=(
+                checkpoint
+                if outcome.status is InferenceStatus.UNKNOWN
+                else None
+            ),
             decoded=outcome,
         )
         stored = self._insert(entry)

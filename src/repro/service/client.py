@@ -19,11 +19,14 @@ Usage::
 
 from __future__ import annotations
 
+import http.client
 import json
+import random
+import time
 import urllib.error
 import urllib.request
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from repro.chase.budget import Budget
 from repro.chase.implication import InferenceOutcome, InferenceStatus
@@ -43,7 +46,126 @@ from repro.io.json_codec import (
 
 
 class ServiceError(ReproError):
-    """The server was unreachable or answered with an HTTP error."""
+    """The server was unreachable or answered with an HTTP error.
+
+    Base of the client's typed error hierarchy; callers that do not
+    care why a call failed keep catching this one class.
+    """
+
+
+class ServiceConnectionError(ServiceError):
+    """No HTTP response at all: refused, reset, dropped mid-response,
+    DNS failure or timeout. Always safe to retry — either the request
+    never reached the server or the response never made it back (and
+    the inference API is idempotent either way)."""
+
+
+class ServiceHTTPError(ServiceError):
+    """The server answered with a >= 400 status.
+
+    Carries the status code, the server's JSON ``error`` detail (when
+    the body had one) and any ``Retry-After`` hint, so callers can
+    branch on *what* failed instead of parsing the message string.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        status: int,
+        detail: str = "",
+        retry_after: Optional[int] = None,
+    ):
+        super().__init__(message)
+        self.status = status
+        self.detail = detail
+        self.retry_after = retry_after
+
+
+class ServiceOverloadedError(ServiceHTTPError):
+    """HTTP 429: the admission queue was full and the request was shed.
+    Retryable — back off (honoring :attr:`retry_after`) and resubmit."""
+
+
+class ServiceUnavailableError(ServiceHTTPError):
+    """HTTP 503: the server is starting or draining. Retryable against
+    the same instance (it may finish starting) or a peer."""
+
+
+#: Errors a retry can plausibly fix: the connection never carried a
+#: verdict, or the server explicitly said "later". Anything else (400s,
+#: 404s, 500s) would fail identically on resend.
+RETRYABLE_ERRORS = (
+    ServiceConnectionError,
+    ServiceOverloadedError,
+    ServiceUnavailableError,
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with jitter for :class:`ServiceClient`.
+
+    Opt-in: clients retry nothing unless constructed with a policy.
+    Attempt ``n`` (0-based) failing retryably sleeps
+    ``min(max_delay, base_delay * multiplier**n)``, stretched to any
+    server ``Retry-After`` hint (still capped by ``max_delay``), then
+    scaled by a uniform jitter in ``[1 - jitter, 1]`` so a herd of
+    shed clients does not resynchronize on the retry.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < self.base_delay:
+            raise ValueError("need 0 <= base_delay <= max_delay")
+        if not 0 <= self.jitter <= 1:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def delay(
+        self,
+        attempt: int,
+        retry_after: Optional[int] = None,
+        rng: Callable[[], float] = random.random,
+    ) -> float:
+        """Seconds to sleep after failed attempt ``attempt`` (0-based)."""
+        delay = min(self.max_delay, self.base_delay * self.multiplier**attempt)
+        if retry_after is not None:
+            delay = min(max(delay, float(retry_after)), self.max_delay)
+        return delay * (1 - self.jitter * rng())
+
+
+def _typed_http_error(
+    method: str, path: str, error: urllib.error.HTTPError
+) -> ServiceHTTPError:
+    """Wrap an HTTPError in the matching typed class, body included."""
+    detail = ""
+    try:
+        detail = json.loads(error.read().decode("utf-8")).get("error", "")
+    except (ValueError, AttributeError, OSError):
+        pass
+    retry_after: Optional[int] = None
+    raw = error.headers.get("Retry-After") if error.headers else None
+    if raw is not None:
+        try:
+            retry_after = int(raw)
+        except ValueError:
+            pass
+    cls = {429: ServiceOverloadedError, 503: ServiceUnavailableError}.get(
+        error.code, ServiceHTTPError
+    )
+    return cls(
+        f"{method} {path} -> HTTP {error.code}: {detail or error.reason}",
+        status=error.code,
+        detail=detail,
+        retry_after=retry_after,
+    )
 
 
 @dataclass
@@ -103,18 +225,68 @@ class ServiceClient:
     Each call is one HTTP request on a fresh connection (the server
     answers ``Connection: close``), so instances are safe to share
     across threads — the benchmark's concurrent clients do.
+
+    Failures raise the typed hierarchy under :class:`ServiceError`:
+    :class:`ServiceConnectionError` when no response arrived,
+    :class:`ServiceHTTPError` (or its 429/503 subclasses
+    :class:`ServiceOverloadedError` / :class:`ServiceUnavailableError`)
+    when one did. Pass ``retry=RetryPolicy()`` to transparently retry
+    exactly the retryable ones with exponential backoff; ``sleep`` and
+    ``rng`` exist so tests can retry without wall-clock waits.
     """
 
-    def __init__(self, base_url: str, timeout: float = 120.0):
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 120.0,
+        *,
+        retry: Optional[RetryPolicy] = None,
+        sleep: Callable[[float], None] = time.sleep,
+        rng: Callable[[], float] = random.random,
+    ):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retry = retry
+        self._sleep = sleep
+        self._rng = rng
+        #: Lifetime count of retry sleeps taken (observability/tests).
+        self.retries = 0
 
     # ------------------------------------------------------------------
     # Raw HTTP
     # ------------------------------------------------------------------
 
     def request(self, method: str, path: str, payload: Optional[Json] = None) -> Json:
-        """One JSON-in/JSON-out request; :class:`ServiceError` on failure."""
+        """One JSON-in/JSON-out request; :class:`ServiceError` on failure.
+
+        With a :class:`RetryPolicy`, retryable failures (connect
+        errors, 429, 503) are retried under its backoff schedule before
+        the last attempt's error propagates.
+        """
+        return self._with_retries(
+            lambda: self._request_once(method, path, payload)
+        )
+
+    def _with_retries(self, call):
+        if self.retry is None:
+            return call()
+        attempt = 0
+        while True:
+            try:
+                return call()
+            except RETRYABLE_ERRORS as error:
+                if attempt + 1 >= self.retry.max_attempts:
+                    raise
+                retry_after = getattr(error, "retry_after", None)
+                self.retries += 1
+                self._sleep(
+                    self.retry.delay(attempt, retry_after, rng=self._rng)
+                )
+                attempt += 1
+
+    def _request_once(
+        self, method: str, path: str, payload: Optional[Json]
+    ) -> Json:
         data = (
             json.dumps(payload, separators=(",", ":")).encode("utf-8")
             if payload is not None
@@ -132,16 +304,19 @@ class ServiceClient:
             ) as response:
                 return json.loads(response.read().decode("utf-8"))
         except urllib.error.HTTPError as error:
-            detail = ""
-            try:
-                detail = json.loads(error.read().decode("utf-8")).get("error", "")
-            except (ValueError, AttributeError):
-                pass
-            raise ServiceError(
-                f"{method} {path} -> HTTP {error.code}: {detail or error.reason}"
-            ) from error
+            raise _typed_http_error(method, path, error) from error
         except urllib.error.URLError as error:
-            raise ServiceError(f"{method} {path} failed: {error.reason}") from error
+            raise ServiceConnectionError(
+                f"{method} {path} failed: {error.reason}"
+            ) from error
+        except (http.client.HTTPException, TimeoutError, OSError) as error:
+            # A connection torn down mid-response surfaces as a bare
+            # HTTPException/OSError, not a URLError: same typed class,
+            # so retry policies treat "dropped before" and "dropped
+            # during" the response identically.
+            raise ServiceConnectionError(
+                f"{method} {path} failed: {error}"
+            ) from error
 
     # ------------------------------------------------------------------
     # Endpoints
@@ -150,6 +325,11 @@ class ServiceClient:
     def health(self) -> dict:
         """``GET /healthz``."""
         return self.request("GET", "/healthz")
+
+    def ready(self) -> dict:
+        """``GET /readyz``: :class:`ServiceUnavailableError` while the
+        server is starting or draining."""
+        return self.request("GET", "/readyz")
 
     def stats(self) -> dict:
         """``GET /v1/stats``."""
@@ -165,16 +345,19 @@ class ServiceClient:
 
     def metrics_text(self) -> str:
         """``GET /metrics``: the Prometheus text exposition, verbatim."""
+        return self._with_retries(self._metrics_once)
+
+    def _metrics_once(self) -> str:
         url = self.base_url + "/metrics"
         try:
             with urllib.request.urlopen(url, timeout=self.timeout) as response:
                 return response.read().decode("utf-8")
         except urllib.error.HTTPError as error:
-            raise ServiceError(
-                f"GET /metrics -> HTTP {error.code}: {error.reason}"
-            ) from error
+            raise _typed_http_error("GET", "/metrics", error) from error
         except urllib.error.URLError as error:
-            raise ServiceError(f"GET /metrics failed: {error.reason}") from error
+            raise ServiceConnectionError(
+                f"GET /metrics failed: {error.reason}"
+            ) from error
 
     def implies(
         self,

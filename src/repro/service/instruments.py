@@ -108,6 +108,34 @@ class ServiceInstruments:
             "repro_pool_restarts_total",
             "Worker pools discarded after a BrokenProcessPool",
         )
+        self.fault_pool_restarts = registry.counter(
+            "repro_fault_pool_restarts_total",
+            "Worker pools rebuilt in place after a crash, batch kept alive",
+        )
+        self.fault_redispatched = registry.counter(
+            "repro_fault_redispatched_total",
+            "Undecided payloads re-dispatched after a worker crash",
+        )
+        self.fault_quarantined = registry.counter(
+            "repro_fault_quarantined_total",
+            "Payloads quarantined (FAILED) after repeatedly crashing workers",
+        )
+        self.fault_shed = registry.counter(
+            "repro_fault_shed_total",
+            "Requests shed with 429 because the admission queue was full",
+        )
+        self.cache_torn_lines = registry.counter(
+            "repro_cache_torn_lines_total",
+            "Torn or malformed JSON lines skipped while loading the disk cache",
+        )
+        self.checkpoint_resumes = registry.counter(
+            "repro_checkpoint_resumes_total",
+            "UNKNOWN retries resumed from a cached chase checkpoint",
+        )
+        self.checkpoints_stored = registry.counter(
+            "repro_checkpoints_stored_total",
+            "Chase checkpoints written next to UNKNOWN cache entries",
+        )
         self.proof_verifications = registry.counter(
             "repro_proof_verifications_total",
             "PROVED traces replay-verified before being served",

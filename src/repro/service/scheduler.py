@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import json
 import multiprocessing
+import os
 import time
 from collections import deque
 from concurrent.futures import (
@@ -45,6 +46,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from repro import faults
 from repro.chase.budget import Budget
 from repro.obs.metrics import MetricsRegistry
 from repro.service.instruments import ServiceInstruments
@@ -63,6 +65,7 @@ from repro.io.json_codec import (
     budget_to_json,
     dependency_from_json,
     dependency_to_json,
+    encode_checkpoint,
     outcome_from_json,
     outcome_to_json,
     slim_unknown_outcome,
@@ -123,6 +126,18 @@ class PoolRun:
     #: parent-side, submit to completion, so the wire round-trip is
     #: included — the time a query really spent being chased for.
     chase_seconds: float = 0.0
+    #: Encoded suspended-chase checkpoints for slots whose best outcome
+    #: is UNKNOWN, captured only when the caller asked for them. The
+    #: facade stores these next to the UNKNOWN cache entries so retries
+    #: resume instead of re-chasing.
+    checkpoints: dict[int, Json] = field(default_factory=dict)
+    #: Worker pools rebuilt in place during this run (crash containment).
+    pool_restarts: int = 0
+    #: Undecided payloads re-dispatched after a worker crash.
+    redispatched: int = 0
+    #: Payloads quarantined after repeatedly crashing workers; their
+    #: slots (unless another variant answered) hold FAILED outcomes.
+    quarantined: int = 0
 
 
 def divide_budget(budget: Budget, ways: int) -> Budget:
@@ -141,15 +156,33 @@ def divide_budget(budget: Budget, ways: int) -> Budget:
 
 
 def _decisive(outcome: InferenceOutcome) -> bool:
-    return outcome.status is not InferenceStatus.UNKNOWN
+    """PROVED or DISPROVED — a real verdict about ``D |= d``.
+
+    FAILED is *not* decisive: it reports an operational accident (a
+    quarantined payload), asserts nothing about the implication, and
+    must lose to any actual chase result.
+    """
+    return outcome.status in (
+        InferenceStatus.PROVED,
+        InferenceStatus.DISPROVED,
+    )
 
 
 def _prefer(
     current: Optional[InferenceOutcome], candidate: InferenceOutcome
 ) -> InferenceOutcome:
-    """Keep a decisive verdict over an UNKNOWN; first decisive wins."""
+    """Keep a decisive verdict over an UNKNOWN; first decisive wins.
+
+    FAILED ranks below everything: any chase that actually finished —
+    even UNKNOWN — beats an operational failure, and a failure never
+    displaces knowledge.
+    """
     if current is None:
         return candidate
+    if current.status is InferenceStatus.FAILED:
+        return candidate
+    if candidate.status is InferenceStatus.FAILED:
+        return current
     if _decisive(current):
         return current
     return candidate
@@ -188,6 +221,8 @@ def serial_run(
     variants: Sequence[ChaseVariant],
     record_trace: bool = True,
     metrics: Optional[MetricsRegistry] = None,
+    *,
+    capture_checkpoints: bool = False,
 ) -> PoolRun:
     """Run every task in-process, trying variants until one is decisive.
 
@@ -215,6 +250,7 @@ def serial_run(
                 record_trace=record_trace,
                 kernel=_race_kernel(variant, variants),
                 start=start,
+                checkpoint=capture_checkpoints,
             )
             elapsed = time.perf_counter() - dispatched
             run.chase_seconds += elapsed
@@ -234,6 +270,13 @@ def serial_run(
         run.start_reuses += start.reuses
         assert best is not None
         run.outcomes[task.slot] = best
+        if (
+            capture_checkpoints
+            and best.status is InferenceStatus.UNKNOWN
+        ):
+            checkpoint_payload = encode_checkpoint(best)
+            if checkpoint_payload is not None:
+                run.checkpoints[task.slot] = checkpoint_payload
     return run
 
 
@@ -248,14 +291,15 @@ def run_serial(
 
 
 #: What crosses the process boundary: (slot, variant, pinned kernel or
-#: None, premises, target, budget, record_trace) outbound and
-#: (slot, outcome JSON, start_reused) back. Premises — and, since the
-#: frozen-start sharing, the target too — travel as pre-serialized JSON
-#: *strings*: encoded once per distinct value, pickled cheaply per
-#: payload, and — crucially — usable as worker-side memo keys so each
-#: worker decodes a batch's shared premise set (and freezes each raced
-#: target's start instance) once, not once per payload.
-_WirePayload = tuple[int, str, Optional[str], str, str, Json, bool]
+#: None, premises, target, budget, record_trace, capture_checkpoint)
+#: outbound and (slot, outcome JSON, start_reused, checkpoint JSON or
+#: None) back. Premises — and, since the frozen-start sharing, the
+#: target too — travel as pre-serialized JSON *strings*: encoded once
+#: per distinct value, pickled cheaply per payload, and — crucially —
+#: usable as worker-side memo keys so each worker decodes a batch's
+#: shared premise set (and freezes each raced target's start instance)
+#: once, not once per payload.
+_WirePayload = tuple[int, str, Optional[str], str, str, Json, bool, bool]
 
 
 def _encode_payloads(
@@ -263,6 +307,7 @@ def _encode_payloads(
     variants: Sequence[ChaseVariant],
     budget: Budget,
     record_trace: bool,
+    capture_checkpoints: bool = False,
 ) -> list[_WirePayload]:
     """Encode every (task, variant) wire payload, variant-major.
 
@@ -310,6 +355,7 @@ def _encode_payloads(
                     target_payload,
                     budget_payload,
                     record_trace,
+                    capture_checkpoints,
                 )
             )
     return payloads
@@ -318,6 +364,21 @@ def _encode_payloads(
 def _warm_worker() -> None:
     """No-op shipped to each worker so ``WorkerPool.start`` can force
     the lazily-spawning executor to actually create its processes."""
+
+
+def _init_worker(fault_env: dict) -> None:
+    """Worker initializer: mirror the parent's fault-injection arming.
+
+    Forkserver children inherit the environment the *forkserver* saw
+    when it first launched — not the parent's current one — so fault
+    points armed after the first pool in a process would silently never
+    reach workers. Shipping the ``REPRO_FAULT_*`` slice explicitly at
+    pool (re)start makes arming deterministic, including across the
+    in-place rebuilds of crash containment.
+    """
+    for key in [k for k in os.environ if k.startswith(faults.PREFIX)]:
+        del os.environ[key]
+    os.environ.update(fault_env)
 
 
 #: Worker-side memo of decoded premise tuples, keyed by their wire
@@ -362,7 +423,9 @@ def _frozen_start(target_wire: str) -> FrozenStart:
     )
 
 
-def _execute_payload(payload: _WirePayload) -> tuple[int, Json, bool]:
+def _execute_payload(
+    payload: _WirePayload,
+) -> tuple[int, Json, bool, Optional[Json]]:
     """Worker entry point: decode, chase, encode. Must stay module-level
     (and exception-free) so every start method can dispatch to it."""
     (
@@ -373,7 +436,12 @@ def _execute_payload(payload: _WirePayload) -> tuple[int, Json, bool]:
         target_wire,
         budget_payload,
         record,
+        capture,
     ) = payload
+    if faults.fire("worker_kill", slot):
+        # Chaos hook: die the way a segfault or the OOM killer would —
+        # no exception, no cleanup, just a vanished process.
+        os._exit(1)
     start = _frozen_start(target_wire)
     reuses_before = start.reuses
     outcome = implies(
@@ -384,13 +452,17 @@ def _execute_payload(payload: _WirePayload) -> tuple[int, Json, bool]:
         record_trace=record,
         kernel=kernel,
         start=start,
+        checkpoint=capture,
     )
     # UNKNOWN payloads cross the process boundary slim: the exhausted
-    # chase result can dwarf the chase itself on the wire.
+    # chase result can dwarf the chase itself on the wire. The
+    # checkpoint (when captured and under the size cap) rides beside
+    # the slim payload, not inside it.
     return (
         slot,
         slim_unknown_outcome(outcome_to_json(outcome)),
         start.reuses > reuses_before,
+        encode_checkpoint(outcome) if capture else None,
     )
 
 
@@ -404,9 +476,20 @@ class WorkerPool:
     backend is :class:`concurrent.futures.ProcessPoolExecutor` rather
     than ``multiprocessing.Pool`` because a killed worker (OOM,
     segfault) there surfaces as :class:`BrokenProcessPool` instead of a
-    silently lost callback — a long-lived server must fail one batch
-    loudly, not wedge forever. A broken pool is discarded so the next
-    :meth:`run` transparently forks fresh workers.
+    silently lost callback — a long-lived server must contain the crash,
+    not wedge forever.
+
+    **Crash containment**: a worker death breaks the whole executor and
+    voids every in-flight future, but verdicts already collected are
+    untouched — so :meth:`run` keeps them, rebuilds the pool in place
+    (up to ``max_restarts`` times per batch) and re-dispatches only the
+    still-undecided payloads. Each payload that was in flight during a
+    crash collects one unit of blame; a payload blamed
+    ``CRASH_LIMIT`` times is *quarantined* — its slot reports a
+    structured FAILED outcome (never cached, never a verdict about
+    ``D |= d``) instead of crashing the pool forever. When the restart
+    budget itself runs out, every remaining undecided slot fails the
+    same structured way; :meth:`run` raises only for non-crash errors.
 
     Submission is throttled to the worker count: a payload is handed to
     the pool only when a worker can take it, and each hand-off first
@@ -416,10 +499,25 @@ class WorkerPool:
     exhaustion.
     """
 
-    def __init__(self, workers: int, metrics: Optional[MetricsRegistry] = None):
+    #: In-flight crashes a single payload survives before quarantine.
+    #: Two, not one: a payload sharing the pool with a genuine killer
+    #: gets blamed once by collateral, and innocence means its re-run
+    #: completes before a second crash can blame it again.
+    CRASH_LIMIT = 2
+
+    def __init__(
+        self,
+        workers: int,
+        metrics: Optional[MetricsRegistry] = None,
+        *,
+        max_restarts: int = 3,
+    ):
         if workers < 1:
             raise ValueError("WorkerPool needs at least one worker")
+        if max_restarts < 0:
+            raise ValueError("max_restarts cannot be negative")
         self.workers = workers
+        self.max_restarts = max_restarts
         self._pool: Optional[ProcessPoolExecutor] = None
         self._instruments = (
             ServiceInstruments(metrics) if metrics is not None else None
@@ -443,8 +541,16 @@ class WorkerPool:
                 if "forkserver" in multiprocessing.get_all_start_methods()
                 else None
             )
+            fault_env = {
+                key: value
+                for key, value in os.environ.items()
+                if key.startswith(faults.PREFIX)
+            }
             self._pool = ProcessPoolExecutor(
-                max_workers=self.workers, mp_context=context
+                max_workers=self.workers,
+                mp_context=context,
+                initializer=_init_worker,
+                initargs=(fault_env,),
             )
             wait([self._pool.submit(_warm_worker) for _ in range(self.workers)])
         return self
@@ -467,6 +573,8 @@ class WorkerPool:
         budget: Budget,
         variants: Sequence[ChaseVariant],
         record_trace: bool = True,
+        *,
+        capture_checkpoints: bool = False,
     ) -> PoolRun:
         """Fan tasks out over the workers; first decisive verdict wins.
 
@@ -474,8 +582,10 @@ class WorkerPool:
         in variant-major order (results arrive unordered); raced
         payloads whose slot is decided before they are submitted are
         skipped, and late-arriving raced losers are discarded. A dead
-        worker raises :class:`BrokenProcessPool` after the drain (the
-        pool is reset, so the caller's next batch gets fresh workers).
+        worker is *contained*: collected verdicts survive, the pool is
+        rebuilt, undecided payloads are re-dispatched, and repeat
+        offenders come back as structured FAILED outcomes (see the
+        class docstring) — only non-crash errors raise.
         """
         run = PoolRun()
         if not tasks:
@@ -483,13 +593,88 @@ class WorkerPool:
         instruments = self._instruments
         pool = self.start()._pool
         assert pool is not None
-        pending = deque(_encode_payloads(tasks, variants, budget, record_trace))
+        pending = deque(
+            _encode_payloads(
+                tasks, variants, budget, record_trace, capture_checkpoints
+            )
+        )
         decided: set[int] = set()
         failure: Optional[BaseException] = None
-        # future -> (variant value, submit time); payloads queue from the
-        # run's start, so submit-minus-start is the queue wait.
-        in_flight: dict[Future, tuple[str, float]] = {}
+        # future -> (payload, submit time): the payload rides along so a
+        # crash can re-dispatch exactly what was lost; payloads queue
+        # from the run's start, so submit-minus-start is the queue wait.
+        in_flight: dict[Future, tuple[_WirePayload, float]] = {}
+        # (slot, variant) -> times that payload was in flight during a
+        # crash. Blame is collective (the killer is indistinguishable
+        # from its pool-mates), which is why quarantine needs
+        # CRASH_LIMIT strikes rather than one.
+        crash_blame: dict[tuple[int, str], int] = {}
+        lost: list[_WirePayload] = []
         started = time.perf_counter()
+
+        def fail_slot(payload: _WirePayload, reason: str) -> None:
+            """Quarantine one payload: its slot answers FAILED unless
+            some other variant produced a real outcome."""
+            slot = payload[0]
+            run.quarantined += 1
+            if instruments is not None:
+                instruments.fault_quarantined.inc()
+            current = run.outcomes.get(slot)
+            if current is not None:
+                return  # any real outcome (even UNKNOWN) beats FAILED
+            run.outcomes[slot] = InferenceOutcome(
+                status=InferenceStatus.FAILED,
+                target=dependency_from_json(json.loads(payload[4])),
+                error=reason,
+            )
+
+        def contain_crash() -> bool:
+            """Absorb a BrokenProcessPool: keep decided verdicts,
+            rebuild the pool, requeue or quarantine the undelivered
+            payloads. False when the restart budget is spent (the batch
+            finishes with FAILED leftovers instead of an exception)."""
+            nonlocal pool, failure
+            failure = None
+            suspects = lost + [payload for payload, __ in in_flight.values()]
+            lost.clear()
+            in_flight.clear()
+            broken, self._pool = self._pool, None
+            if broken is not None:
+                broken.shutdown(wait=False)
+            if instruments is not None:
+                instruments.pool_restarts.inc()
+            if run.pool_restarts >= self.max_restarts:
+                for payload in suspects + list(pending):
+                    if payload[0] not in decided:
+                        fail_slot(
+                            payload,
+                            "worker pool crashed and its restart budget "
+                            f"({self.max_restarts}) is exhausted",
+                        )
+                pending.clear()
+                return False
+            run.pool_restarts += 1
+            if instruments is not None:
+                instruments.fault_pool_restarts.inc()
+            for payload in suspects:
+                key = (payload[0], payload[1])
+                crash_blame[key] = crash_blame.get(key, 0) + 1
+                if payload[0] in decided:
+                    continue  # nothing left to redo for this slot
+                if crash_blame[key] >= self.CRASH_LIMIT:
+                    fail_slot(
+                        payload,
+                        "query quarantined: it was in flight for "
+                        f"{crash_blame[key]} worker-pool crashes",
+                    )
+                    continue
+                pending.appendleft(payload)
+                run.redispatched += 1
+                if instruments is not None:
+                    instruments.fault_redispatched.inc()
+            pool = self.start()._pool
+            assert pool is not None
+            return True
 
         # In-flight is capped at exactly `workers` — a deliberate trade:
         # a prefetch margin (workers*2) would hide the ~sub-ms dispatch
@@ -507,32 +692,43 @@ class WorkerPool:
                 try:
                     future = pool.submit(_execute_payload, payload)
                 except BaseException as error:  # broken/closing pool
+                    lost.append(payload)
                     failure = error
                     return
                 now = time.perf_counter()
-                in_flight[future] = (payload[1], now)
+                in_flight[future] = (payload, now)
                 if instruments is not None:
                     instruments.stage_seconds.labels(
                         stage="queue_wait"
                     ).observe(now - started)
 
         refill()
-        while in_flight:
+        while in_flight or failure is not None:
+            if failure is not None:
+                if isinstance(failure, BrokenProcessPool):
+                    if not contain_crash():
+                        break
+                    refill()
+                    continue
+                break  # non-crash errors still raise below
             done, __ = wait(in_flight, return_when=FIRST_COMPLETED)
             drained = time.perf_counter()
             arrivals = []
             for future in done:
-                variant_value, submitted = in_flight.pop(future)
+                payload, submitted = in_flight.pop(future)
                 try:
                     arrivals.append(
-                        future.result() + (variant_value, drained - submitted)
+                        future.result() + (payload[1], drained - submitted)
                     )
                 except BaseException as error:
+                    # The payload's result is gone; remember it so a
+                    # crash can re-dispatch rather than drop it.
+                    lost.append(payload)
                     failure = failure if failure is not None else error
             # Peek decisiveness from the raw statuses and hand the
             # freed workers their next payloads *before* the (possibly
             # heavy) outcome decodes, so workers never idle behind them.
-            for slot, outcome_payload, __, variant_value, __seconds in arrivals:
+            for slot, outcome_payload, __, __cp, variant_value, __s in arrivals:
                 if (
                     isinstance(outcome_payload, dict)
                     and outcome_payload.get("status")
@@ -547,8 +743,16 @@ class WorkerPool:
                             variant=variant_value
                         ).inc()
                     decided.add(slot)
-            refill()
-            for slot, outcome_payload, start_reused, variant_value, seconds in arrivals:
+            if failure is None:
+                refill()
+            for (
+                slot,
+                outcome_payload,
+                start_reused,
+                checkpoint_payload,
+                variant_value,
+                seconds,
+            ) in arrivals:
                 if start_reused:
                     run.start_reuses += 1
                 run.chase_seconds += seconds
@@ -576,12 +780,16 @@ class WorkerPool:
                     outcome,
                 )
                 run.outcomes[slot] = outcome
+                if _decisive(outcome):
+                    run.checkpoints.pop(slot, None)
+                elif checkpoint_payload is not None:
+                    held = run.checkpoints.get(slot)
+                    if held is None or int(
+                        checkpoint_payload.get("steps", 0)
+                    ) > int(held.get("steps", 0)):
+                        run.checkpoints[slot] = checkpoint_payload
         if failure is not None:
-            if isinstance(failure, BrokenProcessPool):
-                # Fresh workers on the next run instead of a dead pool.
-                self._pool = None
-                if instruments is not None:
-                    instruments.pool_restarts.inc()
+            # Only non-crash errors reach here (crashes are contained).
             raise failure
         return run
 

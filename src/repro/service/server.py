@@ -34,7 +34,11 @@ payloads):
   ``POST /v1/models/<id>/query`` answers conjunctive queries (certain
   answers) and implication checks against the maintained fixpoint.
   ``GET``/``DELETE`` on ``/v1/models[/<id>]`` list, inspect and drop.
-* ``GET /healthz`` — liveness.
+* ``GET /healthz`` — liveness. ``GET /readyz`` — readiness: 503 while
+  the serving loop is starting or draining (see ``max_queue`` /
+  ``drain_timeout`` on :class:`InferenceServer` for the overload and
+  shutdown story; a full admission queue sheds requests with 429 and a
+  ``Retry-After`` header rather than flipping readiness).
 
 The event loop only parses HTTP and queues queries; chases run on an
 executor thread (one batch at a time, so the cache and the service's
@@ -66,6 +70,7 @@ from typing import Optional, Sequence, Union
 
 import dataclasses
 
+from repro import faults
 from repro.chase.budget import Budget
 from repro.chase.implication import InferenceStatus
 from repro.dependencies.classify import Dependency
@@ -104,6 +109,9 @@ class ServerStats:
     requests: int = 0
     http_errors: int = 0
     queries: int = 0
+    #: Requests refused with 429 because the admission queue was full
+    #: (or the ``shed`` fault point forced the same path).
+    shed: int = 0
     batches: int = 0
     cache_hits: int = 0
     deduplicated: int = 0
@@ -176,6 +184,24 @@ class _BadRequest(Exception):
     """Client-side error carried to the HTTP layer as a 400."""
 
 
+class _Rejected(Exception):
+    """Admission refused — a 429 (queue full) or 503 (draining).
+
+    Carries a ``Retry-After`` hint so well-behaved clients back off
+    instead of hammering an already overloaded server.
+    """
+
+    def __init__(self, status: int, message: str, retry_after: int):
+        super().__init__(message)
+        self.status = status
+        self.retry_after = retry_after
+
+
+class _DropConnection(Exception):
+    """Injected connection drop (the ``drop_conn`` fault point): the
+    handler closes the socket without writing any response."""
+
+
 class InferenceServer:
     """The asyncio HTTP server; one instance owns one listening socket.
 
@@ -197,7 +223,20 @@ class InferenceServer:
       take to deliver its request before being answered 400 and closed.
     * ``max_models`` — capacity of the maintained-model store backing
       the ``/v1/models`` endpoints (LRU-evicted past that).
+    * ``max_queue`` — cap on queries admitted but not yet answered. A
+      request whose targets would push the backlog past the cap is shed
+      with ``429 Too Many Requests`` and a ``Retry-After`` header —
+      bounded latency for admitted work beats unbounded queueing for
+      everyone (``GET /readyz`` goes 503 only while starting or
+      draining; shedding is per-request, not a readiness state).
+    * ``drain_timeout`` — seconds :meth:`stop` waits for queued and
+      in-flight queries to finish before tearing the loop down. During
+      the drain the socket stays open so ``/readyz`` can answer 503
+      and load balancers rotate the instance out gracefully.
     """
+
+    #: ``Retry-After`` hint (seconds) on 429/503 admission refusals.
+    RETRY_AFTER_SECONDS = 1
 
     def __init__(
         self,
@@ -210,6 +249,8 @@ class InferenceServer:
         default_budget: Optional[Budget] = None,
         read_timeout: float = 30.0,
         max_models: int = 32,
+        max_queue: int = 256,
+        drain_timeout: float = 5.0,
     ):
         if batch_window < 0:
             raise ValueError("batch_window must be >= 0")
@@ -217,6 +258,10 @@ class InferenceServer:
             raise ValueError("max_batch must be positive")
         if read_timeout <= 0:
             raise ValueError("read_timeout must be positive")
+        if max_queue < 1:
+            raise ValueError("max_queue must be positive")
+        if drain_timeout < 0:
+            raise ValueError("drain_timeout must be >= 0")
         self.service = service if service is not None else InferenceService()
         self.host = host
         self.port = port  # rewritten to the bound port by start()
@@ -226,6 +271,8 @@ class InferenceServer:
             default_budget if default_budget is not None else Budget()
         )
         self.read_timeout = read_timeout
+        self.max_queue = max_queue
+        self.drain_timeout = drain_timeout
         # Maintained universal models (POST /v1/models and friends):
         # registered once, incrementally re-chased per facts request,
         # queried at interactive latency. Shares the service's metrics
@@ -251,6 +298,13 @@ class InferenceServer:
             "repro_http_errors_total",
             "HTTP responses with a status of 400 or above",
         )
+        # Same family ServiceInstruments registers (registration is
+        # idempotent for an identical signature): the service owns the
+        # name, the server is the call site that sheds.
+        self._shed_metric = registry.counter(
+            "repro_fault_shed_total",
+            "Requests shed with 429 because the admission queue was full",
+        )
         registry.gauge(
             "repro_uptime_seconds",
             "Seconds since the server started",
@@ -260,6 +314,14 @@ class InferenceServer:
         self._server: Optional[asyncio.base_events.Server] = None
         self._batcher: Optional["asyncio.Task"] = None
         self._stopping = False
+        # True while the batching loop holds popped queries (collecting
+        # a window or running a batch) — work the queue no longer shows.
+        self._busy = False
+        # Connection handlers currently alive. stop()'s drain waits on
+        # this too: a verdict computed but not yet written back is as
+        # much in-flight work as the batch that computed it (and 3.11's
+        # wait_closed() does not wait for handlers).
+        self._connections = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -269,6 +331,9 @@ class InferenceServer:
         """Bind the socket and start the micro-batching loop."""
         self.service.warm_up()  # fork workers before any executor thread
         self._stopping = False
+        # The queue object is unbounded; _submit enforces max_queue
+        # up front so a multi-target request is admitted or shed as a
+        # unit (a bounded queue's put_nowait could land half a batch).
         self._queue = asyncio.Queue()
         self._batcher = asyncio.get_running_loop().create_task(
             self._batch_loop()
@@ -287,11 +352,29 @@ class InferenceServer:
             await self._server.serve_forever()
 
     async def stop(self) -> None:
-        """Stop accepting, cancel the batching loop, drop queued work."""
+        """Drain in-flight queries, then tear the serving loop down.
+
+        Two phases. First ``_stopping`` flips: new submissions are
+        refused with 503 (``Retry-After`` set) and ``/readyz`` reports
+        draining, but the socket stays open and the batching loop keeps
+        answering queries already admitted — up to ``drain_timeout``
+        seconds. Then the socket closes, the loop is cancelled and
+        whatever the drain did not finish is resolved by cancelling its
+        waiters (never left hanging).
+        """
         # Handlers still alive (e.g. decoding a large body on the
         # executor) must not enqueue into a loop with no consumer and
         # hang forever; _submit checks this flag.
         self._stopping = True
+        if self._batcher is not None:
+            loop = asyncio.get_running_loop()
+            deadline = loop.time() + self.drain_timeout
+            while loop.time() < deadline and (
+                self._busy
+                or self._connections > 0
+                or (self._queue is not None and not self._queue.empty())
+            ):
+                await asyncio.sleep(0.005)
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -317,21 +400,26 @@ class InferenceServer:
         loop = asyncio.get_running_loop()
         while True:
             batch = [await self._queue.get()]
+            self._busy = True  # popped queries are invisible to qsize()
             try:
                 if self.batch_window > 0:
-                    deadline = loop.time() + self.batch_window
-                    while len(batch) < self.max_batch:
-                        remaining = deadline - loop.time()
-                        if remaining <= 0:
-                            break
-                        try:
-                            batch.append(
-                                await asyncio.wait_for(
-                                    self._queue.get(), remaining
+                    # No waiting while draining: stop() is waiting on
+                    # this loop, and no new queries are being admitted
+                    # for a window to collect anyway.
+                    if not self._stopping:
+                        deadline = loop.time() + self.batch_window
+                        while len(batch) < self.max_batch:
+                            remaining = deadline - loop.time()
+                            if remaining <= 0:
+                                break
+                            try:
+                                batch.append(
+                                    await asyncio.wait_for(
+                                        self._queue.get(), remaining
+                                    )
                                 )
-                            )
-                        except asyncio.TimeoutError:
-                            break
+                            except asyncio.TimeoutError:
+                                break
                     # Whatever queued while the window ran joins free.
                     while len(batch) < self.max_batch and not self._queue.empty():
                         batch.append(self._queue.get_nowait())
@@ -344,6 +432,8 @@ class InferenceServer:
                     if not query.future.done():
                         query.future.cancel()
                 raise
+            finally:
+                self._busy = False
 
     async def _execute_batch(self, batch: list[_QueuedQuery]) -> None:
         """Run one coalesced batch, grouped by budget, on the executor."""
@@ -420,17 +510,36 @@ class InferenceServer:
 
         The single choke point for budgets: whatever the request asked
         for is clamped into the server's ceiling before it is queued.
+        Also the single choke point for *admission*: a draining server
+        refuses with 503, a backlogged one sheds with 429 — atomically
+        for all of a request's targets (no event-loop yield between the
+        capacity check and the puts), so a batch is admitted whole or
+        not at all.
         """
         assert self._queue is not None
         if self._stopping:
-            raise RuntimeError("server is stopping")
+            raise _Rejected(
+                503, "server is draining", self.RETRY_AFTER_SECONDS
+            )
+        if self._queue.qsize() + len(targets) > self.max_queue:
+            self.stats.shed += 1
+            self._shed_metric.inc()
+            raise _Rejected(
+                429,
+                f"admission queue is full "
+                f"({self._queue.qsize()}/{self.max_queue} queued)",
+                self.RETRY_AFTER_SECONDS,
+            )
         budget = self._effective_budget(budget)
         loop = asyncio.get_running_loop()
         futures: list["asyncio.Future[BatchItem]"] = []
         for target in targets:
             future: "asyncio.Future[BatchItem]" = loop.create_future()
             futures.append(future)
-            await self._queue.put(
+            # put_nowait: the queue object is unbounded (the capacity
+            # check above is the bound), and not yielding keeps the
+            # check-then-put sequence atomic on the event loop.
+            self._queue.put_nowait(
                 _QueuedQuery(dependencies, target, budget, future, trace_id)
             )
         self.stats.queries += len(futures)
@@ -443,11 +552,32 @@ class InferenceServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        self._connections += 1
         try:
-            status, payload = await self._respond(reader)
+            await self._handle_connection_inner(reader, writer)
+        finally:
+            self._connections -= 1
+
+    async def _handle_connection_inner(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        headers: dict[str, str] = {}
+        try:
+            response = await self._respond(reader)
+            if len(response) == 3:
+                status, payload, headers = response
+            else:
+                status, payload = response
         except asyncio.CancelledError:
             writer.close()
             raise
+        except _DropConnection:
+            # Injected fault: hang up without a response so clients'
+            # connection-error handling gets exercised for real.
+            writer.close()
+            with contextlib.suppress(ConnectionError):
+                await writer.wait_closed()
+            return
         except (asyncio.IncompleteReadError, ConnectionError):
             status, payload = 400, {"error": "malformed HTTP request"}
         except asyncio.TimeoutError:
@@ -477,10 +607,14 @@ class InferenceServer:
         else:
             content_type = "application/json"
             body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+        extra = "".join(
+            f"{name}: {value}\r\n" for name, value in headers.items()
+        )
         head = (
             f"HTTP/1.1 {status} {http.client.responses.get(status, 'OK')}\r\n"
             f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{extra}"
             f"Connection: close\r\n"
             f"\r\n"
         ).encode("ascii")
@@ -554,9 +688,8 @@ class InferenceServer:
         )
         return method, path, body
 
-    async def _respond(
-        self, reader: asyncio.StreamReader
-    ) -> tuple[int, Union[Json, _TextResponse]]:
+    async def _respond(self, reader: asyncio.StreamReader) -> tuple:
+        """(status, payload) or (status, payload, extra-headers)."""
         # Counted before any parsing, so error responses can never
         # outnumber requests in /v1/stats.
         self.stats.requests += 1
@@ -573,6 +706,12 @@ class InferenceServer:
             return await self._route(method, path, body)
         except _BadRequest as error:
             return 400, {"error": str(error)}
+        except _Rejected as error:
+            return (
+                error.status,
+                {"error": str(error), "retry_after": error.retry_after},
+                {"Retry-After": str(error.retry_after)},
+            )
         except (CodecError, json.JSONDecodeError) as error:
             return 400, {"error": f"bad payload: {error}"}
 
@@ -596,6 +735,7 @@ class InferenceServer:
             return "/v1/models/id"
         if path in (
             "/healthz",
+            "/readyz",
             "/v1/stats",
             "/v1/implies",
             "/v1/batch",
@@ -612,6 +752,8 @@ class InferenceServer:
         params = urllib.parse.parse_qs(query_string)
         debug = params.get("debug", ["0"])[-1] not in ("", "0", "false")
         self._http_requests.labels(route=self._route_label(path)).inc()
+        if faults.fire("drop_conn", path):
+            raise _DropConnection()
         if path == "/healthz":
             if method != "GET":
                 return 405, {"error": "use GET"}
@@ -619,6 +761,10 @@ class InferenceServer:
                 "status": "ok",
                 "uptime_seconds": time.monotonic() - self.started_at,
             }
+        if path == "/readyz":
+            if method != "GET":
+                return 405, {"error": "use GET"}
+            return self._readyz()
         if path == "/v1/stats":
             if method != "GET":
                 return 405, {"error": "use GET"}
@@ -637,6 +783,17 @@ class InferenceServer:
                     "error": f"no trace {trace_id!r} (expired or never ran?)"
                 }
             return 200, trace.to_json()
+        if path in ("/v1/implies", "/v1/batch") and faults.fire("shed", path):
+            # Injected overload: take exactly the real shed path so the
+            # chaos suite exercises the 429 contract without needing to
+            # actually wedge the queue.
+            self.stats.shed += 1
+            self._shed_metric.inc()
+            raise _Rejected(
+                429,
+                "admission queue is full (injected)",
+                self.RETRY_AFTER_SECONDS,
+            )
         if path == "/v1/implies":
             if method != "POST":
                 return 405, {"error": "use POST"}
@@ -662,6 +819,35 @@ class InferenceServer:
             return await self._models_dispatch(method, model_id, action, body)
         return 404, {"error": f"no route for {method} {path}"}
 
+    def _readyz(self) -> tuple:
+        """``GET /readyz``: can this instance usefully take traffic now?
+
+        Distinct from ``/healthz`` (liveness: the process is up and the
+        event loop turns): readiness goes 503 while the serving loop is
+        not yet running and — crucially — during :meth:`stop`'s drain,
+        so rotation out of a load-balancer pool happens before the
+        socket disappears. Backpressure is *not* a readiness state:
+        a full queue sheds individual requests with 429 instead of
+        flipping the whole instance unready.
+        """
+        if self._stopping:
+            return (
+                503,
+                {"status": "draining"},
+                {"Retry-After": str(self.RETRY_AFTER_SECONDS)},
+            )
+        if self._batcher is None or self._queue is None:
+            return (
+                503,
+                {"status": "starting"},
+                {"Retry-After": str(self.RETRY_AFTER_SECONDS)},
+            )
+        return 200, {
+            "status": "ready",
+            "queued": self._queue.qsize(),
+            "max_queue": self.max_queue,
+        }
+
     def _stats_payload(self) -> Json:
         cache = self.service.cache
         return {
@@ -683,6 +869,8 @@ class InferenceServer:
                 "max_batch": self.max_batch,
                 "workers": self.service.workers,
                 "default_budget": budget_to_json(self.default_budget),
+                "queued": self._queue.qsize() if self._queue else 0,
+                "max_queue": self.max_queue,
             },
             "models": {
                 "active": len(self.models),

@@ -1,0 +1,33 @@
+"""Shared fixtures for the chaos (fault-injection) suite.
+
+Every test here arms :mod:`repro.faults` points through ``monkeypatch``
+so the environment is restored afterwards — an armed point leaking into
+a later test would be a fault injection of its own.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import PREFIX
+
+
+@pytest.fixture
+def arm_fault(monkeypatch, tmp_path):
+    """Arm one fault point; returns the latch path when one is used.
+
+    ``arm_fault("worker_kill", "*")`` fires on every match;
+    ``arm_fault("worker_kill", "*", latch=True)`` fires exactly once
+    across all processes sharing the latch file.
+    """
+
+    def arm(point: str, selector: str, *, latch: bool = False):
+        latch_path = None
+        spec = selector
+        if latch:
+            latch_path = tmp_path / f"{point}.latch"
+            spec = f"{selector}@{latch_path}"
+        monkeypatch.setenv(PREFIX + point.upper(), spec)
+        return latch_path
+
+    return arm

@@ -1,0 +1,112 @@
+"""RetryPolicy math and the client's typed error hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dependencies.parser import parse_td
+from repro.service import (
+    InferenceService,
+    RetryPolicy,
+    ServiceClient,
+    ServiceConnectionError,
+    ServiceError,
+    ServiceHTTPError,
+    ServiceOverloadedError,
+    ServiceUnavailableError,
+)
+from repro.service.server import ServerThread
+
+
+class TestRetryPolicyMath:
+    def test_backoff_is_exponential_and_capped(self):
+        policy = RetryPolicy(
+            base_delay=0.1, multiplier=2.0, max_delay=0.5, jitter=0.0
+        )
+        delays = [policy.delay(n, rng=lambda: 1.0) for n in range(5)]
+        assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_retry_after_stretches_the_delay_within_the_cap(self):
+        policy = RetryPolicy(base_delay=0.01, max_delay=3.0, jitter=0.0)
+        assert policy.delay(0, retry_after=2) == 2.0
+        # Never beyond the cap, however insistent the server.
+        assert policy.delay(0, retry_after=60) == 3.0
+
+    def test_jitter_scales_into_the_configured_band(self):
+        policy = RetryPolicy(base_delay=1.0, max_delay=1.0, jitter=0.5)
+        assert policy.delay(0, rng=lambda: 0.0) == 1.0
+        assert policy.delay(0, rng=lambda: 1.0) == 0.5
+
+    def test_invalid_policies_are_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=1.0, max_delay=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+
+
+class TestTypedErrors:
+    def test_errors_subclass_the_historical_base(self):
+        # Callers that catch ServiceError keep working unchanged.
+        for cls in (
+            ServiceConnectionError,
+            ServiceHTTPError,
+            ServiceOverloadedError,
+            ServiceUnavailableError,
+        ):
+            assert issubclass(cls, ServiceError)
+        assert issubclass(ServiceOverloadedError, ServiceHTTPError)
+        assert issubclass(ServiceUnavailableError, ServiceHTTPError)
+
+    def test_client_errors_carry_status_and_server_detail(self):
+        with ServerThread(InferenceService()) as handle:
+            client = ServiceClient(handle.base_url)
+            with pytest.raises(ServiceHTTPError) as excinfo:
+                client.request("POST", "/v1/implies", {"dependencies": []})
+            assert excinfo.value.status == 400
+            assert "target" in excinfo.value.detail
+
+    def test_connection_refused_is_a_connection_error(self):
+        client = ServiceClient("http://127.0.0.1:1", timeout=2.0)
+        with pytest.raises(ServiceConnectionError):
+            client.health()
+
+    def test_client_side_errors_are_never_retried(self):
+        # A 400 would fail identically on resend: the retry loop must
+        # pass it straight through without sleeping.
+        sleeps: list[float] = []
+        with ServerThread(InferenceService()) as handle:
+            client = ServiceClient(
+                handle.base_url,
+                retry=RetryPolicy(max_attempts=5),
+                sleep=sleeps.append,
+            )
+            with pytest.raises(ServiceHTTPError):
+                client.request("POST", "/v1/implies", {"dependencies": []})
+            assert client.retries == 0
+            assert sleeps == []
+
+    def test_exhausted_retries_raise_the_last_error(self):
+        sleeps: list[float] = []
+        client = ServiceClient(
+            "http://127.0.0.1:1",
+            timeout=2.0,
+            retry=RetryPolicy(max_attempts=3, base_delay=0.0, max_delay=0.0),
+            sleep=sleeps.append,
+        )
+        with pytest.raises(ServiceConnectionError):
+            client.health()
+        assert len(sleeps) == 2  # two retries between three attempts
+
+    def test_verdicts_still_decode_through_a_retrying_client(self):
+        from repro.chase.implication import InferenceStatus
+
+        transitivity = parse_td("R(x, y) & R(y, z) -> R(x, z)")
+        target = parse_td("R(a, b) & R(b, c) -> R(a, c)")
+        with ServerThread(InferenceService()) as handle:
+            client = ServiceClient(
+                handle.base_url, retry=RetryPolicy(max_attempts=2)
+            )
+            verdict = client.implies([transitivity], target)
+            assert verdict.status is InferenceStatus.PROVED

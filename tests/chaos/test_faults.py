@@ -1,0 +1,48 @@
+"""Unit tests for the fault-injection harness itself."""
+
+from __future__ import annotations
+
+from repro import faults
+
+
+class TestFire:
+    def test_unarmed_point_never_fires(self):
+        assert faults.fire("worker_kill", 3) is False
+        assert faults.fire("nonexistent_point") is False
+
+    def test_exact_selector_matches_str_of_key(self, arm_fault):
+        arm_fault("worker_kill", "3")
+        assert faults.fire("worker_kill", 3) is True
+        assert faults.fire("worker_kill", "3") is True
+        assert faults.fire("worker_kill", 4) is False
+
+    def test_star_matches_every_key(self, arm_fault):
+        arm_fault("shed", "*")
+        assert faults.fire("shed", "/v1/implies") is True
+        assert faults.fire("shed", None) is True
+
+    def test_armed_reflects_environment(self, arm_fault):
+        assert faults.armed("cache_tear") is False
+        arm_fault("cache_tear", "*")
+        assert faults.armed("cache_tear") is True
+
+    def test_latch_fires_exactly_once(self, arm_fault):
+        latch = arm_fault("worker_kill", "*", latch=True)
+        assert faults.fire("worker_kill", 1) is True
+        assert latch.exists()
+        # Any later match — same or different key, any process sharing
+        # the latch file — stays quiet.
+        assert faults.fire("worker_kill", 1) is False
+        assert faults.fire("worker_kill", 2) is False
+
+    def test_latch_only_consumed_by_matching_key(self, arm_fault):
+        arm_fault("worker_kill", "7", latch=True)
+        assert faults.fire("worker_kill", 3) is False  # no selector match
+        assert faults.fire("worker_kill", 7) is True  # latch still fresh
+
+    def test_unwritable_latch_disarms_instead_of_raising(
+        self, monkeypatch, tmp_path
+    ):
+        missing = tmp_path / "no" / "such" / "dir" / "latch"
+        monkeypatch.setenv("REPRO_FAULT_WORKER_KILL", f"*@{missing}")
+        assert faults.fire("worker_kill", 1) is False

@@ -1,0 +1,88 @@
+"""Torn disk-cache lines: injected mid-append truncation, counted and
+skipped on reload — plus checkpoint survival across a process restart."""
+
+from __future__ import annotations
+
+import logging
+
+from repro.chase.budget import Budget
+from repro.chase.implication import InferenceStatus
+from repro.dependencies.parser import parse_td
+from repro.obs.metrics import MetricsRegistry
+from repro.service import InferenceService, JsonLinesStore, ResultCache
+
+
+def transitivity():
+    return parse_td("R(x, y) & R(y, z) -> R(x, z)")
+
+
+def chain(n: int):
+    atoms = " & ".join(f"R(a{i}, a{i + 1})" for i in range(n))
+    return parse_td(f"{atoms} -> R(a0, a{n})")
+
+
+class TestTornLines:
+    def test_torn_append_is_skipped_counted_and_logged_once(
+        self, tmp_path, arm_fault, monkeypatch, caplog
+    ):
+        path = tmp_path / "cache.jsonl"
+        service = InferenceService(cache=ResultCache(store=JsonLinesStore(path)))
+        service.run_batch([transitivity()], [chain(2)])  # a good line
+        arm_fault("cache_tear", "*")
+        service.run_batch([transitivity()], [chain(3)])  # torn mid-append
+        monkeypatch.delenv("REPRO_FAULT_CACHE_TEAR")
+        service.run_batch([transitivity()], [chain(4)])  # good again
+
+        store = JsonLinesStore(path)
+        with caplog.at_level(logging.WARNING, logger="repro.service.cache"):
+            reloaded = ResultCache(store=store)
+        # The torn verdict is recompute work, not a crash: the two good
+        # lines load, the torn one is skipped and counted.
+        assert len(reloaded) == 2
+        assert store.torn_lines == 1
+        warnings = [
+            record
+            for record in caplog.records
+            if "torn cache line" in record.getMessage()
+        ]
+        assert len(warnings) == 1  # once per load, not per line
+
+        registry = MetricsRegistry()
+        reloaded.bind_metrics(registry)
+        assert "repro_cache_torn_lines_total 1" in registry.render_prometheus()
+
+    def test_tearing_targets_one_fingerprint(self, tmp_path, arm_fault):
+        path = tmp_path / "cache.jsonl"
+        service = InferenceService(cache=ResultCache(store=JsonLinesStore(path)))
+        victim = service.submit([transitivity()], chain(2))
+        service.discard_pending()
+        arm_fault("cache_tear", victim)
+        service.run_batch([transitivity()], [chain(2), chain(3)])
+        store = JsonLinesStore(path)
+        survivors = {entry.fingerprint for entry in store.load()}
+        assert victim not in survivors
+        assert len(survivors) == 1
+        assert store.torn_lines == 1
+
+
+class TestCheckpointSurvivesRestart:
+    def test_resume_from_disk_after_process_restart(self, tmp_path):
+        """An UNKNOWN's suspended chase outlives the process: a fresh
+        service on the same cache file resumes it instead of re-chasing
+        from row zero."""
+        path = tmp_path / "cache.jsonl"
+        premises = [transitivity()]
+        target = chain(5)
+
+        first = InferenceService(cache=ResultCache(store=JsonLinesStore(path)))
+        starved = first.run_batch(premises, [target], budget=Budget(max_steps=2))
+        assert starved.outcomes[0].status is InferenceStatus.UNKNOWN
+
+        # "Restart": a brand-new service over the same file.
+        second = InferenceService(cache=ResultCache(store=JsonLinesStore(path)))
+        retry = second.run_batch(
+            premises, [target], budget=Budget(max_steps=2_000)
+        )
+        assert retry.outcomes[0].status is InferenceStatus.PROVED
+        assert retry.stats.resumed == 1
+        assert retry.stats.executed == 0
