@@ -1,0 +1,211 @@
+"""E18 — goal-directed pruning + derived budgets vs the plain chase.
+
+This PR added a static analyzer that (a) prunes dependencies which can
+never influence the verdict — never-firing rules, alpha-renamed
+duplicates, shortcuts entailed by what remains — before the chase plan
+is compiled, and (b) certifies terminating premise sets with a derived
+step/row bound so budget-free queries run to fixpoint. The benchmark
+asks one question: on a noisy premise set, how much chase work does the
+analyzer shave off without moving a single verdict?
+
+The workload premise set is transitivity plus four parasites the
+analyzer must discharge: an alpha-renamed copy of transitivity
+(``duplicate``), a 3-chain and a 4-chain shortcut both derivable from
+transitivity alone (``entailed``), and a rule whose conclusion embeds
+into its own antecedents (``never-fires``). Targets are proved chains
+``R(a0,a1) & ... -> R(a0,an)`` and their disproved reversals, the same
+family E17 uses. Every target is chased twice through :func:`implies`:
+``analysis="off"`` (all five rules, explicit unlimited budget — the
+pre-analyzer behavior) and the default ``analysis="auto"`` (pruned to
+one rule, budget derived from the termination certificate).
+
+Verdict equivalence is asserted per target before any timing is
+trusted, as is the analyzer's work: exactly four dependencies pruned,
+the derived budget never exceeded, UNKNOWN impossible. The acceptance
+bar is ``speedup_pruned_chase >= 1x`` on *wall time* — pruning must
+never make the chase slower — with the step ratio recorded alongside
+(steps can dip slightly below 1x: the entailed shortcuts sometimes
+reach a PROVED goal in fewer firings, but each firing pays a wider
+join, which is exactly the work the analyzer avoids).
+``--quick`` runs write the untracked ``BENCH_analysis.quick.json`` so
+CI smoke never clobbers the committed ``BENCH_analysis.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze
+from repro.chase.budget import Budget
+from repro.chase.implication import InferenceStatus, implies
+from repro.dependencies.parser import parse_td
+from repro.workloads.generators import disguise
+
+from conftest import record
+
+EXPERIMENT = "E18 / analyzer pruning + derived budgets vs plain chase"
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+RESULT_PATH = _REPO_ROOT / "BENCH_analysis.json"
+QUICK_RESULT_PATH = _REPO_ROOT / "BENCH_analysis.quick.json"
+
+
+@pytest.fixture(scope="module")
+def quick(request):
+    return request.config.getoption("--quick")
+
+
+def transitivity():
+    return parse_td("R(x, y) & R(y, z) -> R(x, z)")
+
+
+def noisy_premises():
+    """Transitivity plus four parasites the analyzer must discharge."""
+    base = transitivity()
+    return [
+        base,
+        disguise(base, seed=11),  # alpha-renamed duplicate
+        parse_td("R(x, y) & R(y, z) & R(z, u) -> R(x, u)"),  # entailed
+        parse_td(
+            "R(x, y) & R(y, z) & R(z, u) & R(u, v) -> R(x, v)"
+        ),  # entailed
+        parse_td("R(x, y) & R(y, z) -> R(x, w)"),  # never fires
+    ]
+
+
+def proved_chain(n: int):
+    atoms = " & ".join(f"R(a{i}, a{i + 1})" for i in range(n))
+    return parse_td(f"{atoms} -> R(a0, a{n})")
+
+
+def disproved_chain(n: int):
+    atoms = " & ".join(f"R(a{i}, a{i + 1})" for i in range(n))
+    return parse_td(f"{atoms} -> R(a{n}, a0)")
+
+
+@pytest.fixture(scope="module")
+def workload(quick):
+    lengths = (8, 10) if quick else (12, 16, 20)
+    targets = [proved_chain(n) for n in lengths]
+    targets += [disproved_chain(n) for n in lengths]
+    expected = [InferenceStatus.PROVED] * len(lengths)
+    expected += [InferenceStatus.DISPROVED] * len(lengths)
+    return noisy_premises(), targets, expected
+
+
+def _time_best(fn, repeats):
+    """Best-of-N wall time; returns (last outcome, seconds)."""
+    outcome = seconds = None
+    for __ in range(repeats):
+        started = time.perf_counter()
+        outcome = fn()
+        once = time.perf_counter() - started
+        seconds = once if seconds is None else min(seconds, once)
+    return outcome, seconds
+
+
+def test_pruning_speedup(workload, quick):
+    premises, targets, expected = workload
+    repeats = 2 if quick else 3
+
+    # The analyzer's homework, checked before any timing: the full set
+    # is certified and pruning discharges exactly the four parasites.
+    report = analyze(tuple(premises))
+    assert report.certified, report.describe()
+
+    pruned_steps = full_steps = 0
+    pruned_seconds = full_seconds = 0.0
+    for target, want in zip(targets, expected):
+        full, f_seconds = _time_best(
+            lambda: implies(
+                premises, target, budget=Budget.unlimited(), analysis="off"
+            ),
+            repeats,
+        )
+        assert full.status is want
+        assert full.analysis is None
+
+        pruned, p_seconds = _time_best(
+            lambda: implies(premises, target), repeats
+        )
+        # Equivalence first: the pruned, derived-budget chase lands on
+        # the same verdict, decisively.
+        assert pruned.status is want
+        provenance = pruned.analysis
+        assert provenance is not None
+        assert provenance["applied"] is True
+        assert provenance["pruned"] == 4
+        assert provenance["kept"] == 1
+        reasons = sorted(d["reason"] for d in provenance["dropped"])
+        assert reasons == [
+            "duplicate", "entailed", "entailed", "never-fires",
+        ]
+        assert pruned.chase_result.stats.steps < provenance[
+            "derived_max_steps"
+        ]
+
+        full_steps += full.chase_result.stats.steps
+        pruned_steps += pruned.chase_result.stats.steps
+        full_seconds += f_seconds
+        pruned_seconds += p_seconds
+
+    step_ratio = full_steps / pruned_steps
+    wall_ratio = full_seconds / pruned_seconds
+    record(
+        EXPERIMENT,
+        f"chase work  pruned {pruned_steps:>6d} steps "
+        f"({pruned_seconds * 1000:>7.1f} ms)   full program "
+        f"{full_steps:>6d} steps ({full_seconds * 1000:>7.1f} ms)",
+    )
+    record(
+        EXPERIMENT,
+        f"ratio: {step_ratio:.2f}x steps, {wall_ratio:.2f}x wall "
+        f"({len(targets)} targets, {len(premises)} premises pruned to 1)",
+    )
+
+    payload = {
+        "experiment": "E18",
+        "description": (
+            "goal-directed pruning + certificate-derived budgets vs the "
+            "full premise set under an explicit unlimited budget"
+        ),
+        "quick": quick,
+        "workload": {
+            "targets": len(targets),
+            "premises": len(premises),
+            "kept_after_pruning": 1,
+        },
+        "platform": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+        },
+        "chase_steps": {
+            "pruned": pruned_steps,
+            "full_program": full_steps,
+        },
+        "chase_ms": {
+            "pruned": round(pruned_seconds * 1000, 3),
+            "full_program": round(full_seconds * 1000, 3),
+        },
+        "speedup_pruned_chase": round(wall_ratio, 3),
+        "ratio_steps": round(step_ratio, 3),
+    }
+    result_path = QUICK_RESULT_PATH if quick else RESULT_PATH
+    result_path.write_text(json.dumps(payload, indent=2) + "\n")
+    record(EXPERIMENT, f"wrote {result_path.name}")
+
+    # The acceptance bar: pruning four parasite rules must never make
+    # the chase slower. Wall, not steps, is the bar on purpose: the
+    # entailed shortcuts can reach a PROVED goal in slightly *fewer*
+    # firings, but each of their firings pays a 3- or 4-way join — the
+    # analyzer's win is join work avoided, and that is what wall
+    # measures.
+    assert wall_ratio >= 1.0, (
+        f"pruned chase wall ratio {wall_ratio:.2f}x < 1x"
+    )

@@ -1,0 +1,153 @@
+#!/usr/bin/env python
+"""Repo-invariant lints the generic linters cannot express.
+
+Two AST-level checks, run in CI after the unit suite:
+
+1. **Metric table completeness** — every metric family registered in
+   ``src/repro/service/instruments.py`` or ``src/repro/chase/maintain.py``
+   (any ``registry.counter/gauge/histogram("name", ...)`` call with a
+   literal name) must have a row in README.md's metric table. The
+   README promises the table and ``GET /metrics`` agree; this makes the
+   promise mechanical.
+
+2. **Instance encapsulation** — no module under ``src/repro`` outside
+   an explicit allowlist may touch :class:`Instance`'s internal row
+   storage (``._rows`` / ``._index``). The allowlist is the defining
+   module plus ``kernel/joins.py``, whose interned fast-path writer is
+   the one audited exception.
+
+Exit codes: 0 clean, 1 violations (printed one per line), 2 a lint
+input file is missing. Run from anywhere::
+
+    python scripts/lint_invariants.py
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC_ROOT = REPO_ROOT / "src" / "repro"
+README = REPO_ROOT / "README.md"
+
+#: Modules whose registered metric families must appear in the README.
+METRIC_MODULES = (
+    SRC_ROOT / "service" / "instruments.py",
+    SRC_ROOT / "chase" / "maintain.py",
+)
+
+#: The registry factory methods whose first literal argument is a
+#: metric family name.
+METRIC_FACTORIES = {"counter", "gauge", "histogram"}
+
+#: Instance's private storage attributes.
+PRIVATE_STORAGE = {"_rows", "_index"}
+
+#: Modules allowed to touch Instance internals: the defining module and
+#: the compiled kernel's audited interned-row fast path.
+STORAGE_ALLOWLIST = {
+    SRC_ROOT / "relational" / "instance.py",
+    SRC_ROOT / "kernel" / "joins.py",
+}
+
+
+def registered_metric_names(path: Path) -> list[tuple[str, int]]:
+    """(family name, line) for every literal metric registration."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    found = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (
+            isinstance(func, ast.Attribute) and func.attr in METRIC_FACTORIES
+        ):
+            continue
+        if not node.args:
+            continue
+        first = node.args[0]
+        if isinstance(first, ast.Constant) and isinstance(first.value, str):
+            found.append((first.value, node.lineno))
+    return found
+
+
+def readme_metric_table_names(readme_text: str) -> set[str]:
+    """Metric names appearing as the first cell of a README table row."""
+    names = set()
+    for line in readme_text.splitlines():
+        match = re.match(r"\|\s*`(repro_[a-z0-9_]+)`\s*\|", line)
+        if match:
+            names.add(match.group(1))
+    return names
+
+
+def check_metric_table() -> list[str]:
+    problems = []
+    documented = readme_metric_table_names(README.read_text())
+    for module in METRIC_MODULES:
+        for name, lineno in registered_metric_names(module):
+            if name not in documented:
+                problems.append(
+                    f"{module.relative_to(REPO_ROOT)}:{lineno}: metric "
+                    f"family {name!r} is registered but has no row in "
+                    f"README.md's metric table"
+                )
+    return problems
+
+
+def private_storage_accesses(path: Path) -> list[tuple[str, int]]:
+    """(attribute, line) for every ``<expr>._rows`` / ``<expr>._index``.
+
+    Accesses through ``self`` inside the allowlisted modules never get
+    here; elsewhere *any* attribute access with these names is flagged —
+    the names are unique to Instance's storage within this codebase.
+    """
+    tree = ast.parse(path.read_text(), filename=str(path))
+    found = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Attribute) and node.attr in PRIVATE_STORAGE:
+            found.append((node.attr, node.lineno))
+    return found
+
+
+def check_instance_encapsulation() -> list[str]:
+    problems = []
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        if path in STORAGE_ALLOWLIST:
+            continue
+        for attr, lineno in private_storage_accesses(path):
+            problems.append(
+                f"{path.relative_to(REPO_ROOT)}:{lineno}: direct access "
+                f"to Instance internal storage {attr!r} — go through "
+                f"Instance's public API (rows/add/match) or the audited "
+                f"fast path in kernel/joins.py"
+            )
+    return problems
+
+
+def main() -> int:
+    missing = [
+        path
+        for path in (*METRIC_MODULES, README)
+        if not path.exists()
+    ]
+    if missing:
+        for path in missing:
+            print(f"lint input missing: {path}", file=sys.stderr)
+        return 2
+
+    problems = check_metric_table() + check_instance_encapsulation()
+    if problems:
+        for problem in problems:
+            print(problem)
+        print(f"\n{len(problems)} invariant violation(s)", file=sys.stderr)
+        return 1
+    print("invariants ok: metric table complete, Instance storage sealed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

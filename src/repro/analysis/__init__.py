@@ -1,0 +1,60 @@
+"""Static analysis of dependency sets: fragments, certificates, pruning.
+
+Public surface:
+
+* :func:`analyze` / :class:`AnalysisReport` — fragment hierarchy,
+  position-graph facts, firing strata, termination certificate.
+* :func:`prune_for_target` / :class:`QueryProgram` — goal-directed,
+  verdict-preserving pruning plus the kept set's certificate/strata.
+* :class:`TerminationCertificate` — derived chase budgets for certified
+  sets (``implies``/``chase`` run these to fixpoint; UNKNOWN impossible).
+* The position-graph primitives backing ``repro.chase.termination``.
+"""
+
+from repro.analysis.firing import (
+    firing_graph,
+    goal_relevant,
+    never_fires,
+    strata_of,
+    stratify,
+)
+from repro.analysis.graph import MultiDiGraph
+from repro.analysis.positions import (
+    PositionEdge,
+    build_position_graph,
+    find_special_cycle,
+    position_ranks,
+    special_cycle_of,
+)
+from repro.analysis.report import (
+    AnalysisReport,
+    Fragment,
+    PrunedDependency,
+    QueryProgram,
+    TerminationCertificate,
+    analyze,
+    existential_depth,
+    prune_for_target,
+)
+
+__all__ = [
+    "AnalysisReport",
+    "Fragment",
+    "MultiDiGraph",
+    "PositionEdge",
+    "PrunedDependency",
+    "QueryProgram",
+    "TerminationCertificate",
+    "analyze",
+    "build_position_graph",
+    "existential_depth",
+    "find_special_cycle",
+    "firing_graph",
+    "goal_relevant",
+    "never_fires",
+    "position_ranks",
+    "prune_for_target",
+    "special_cycle_of",
+    "strata_of",
+    "stratify",
+]

@@ -1,0 +1,182 @@
+"""The Fagin-et-al position graph and weak-acyclicity analysis.
+
+This is the engine behind the public ``repro.chase.termination`` API
+(kept there as thin wrappers for compatibility): build the *dependency
+graph* over the single relation's column positions with
+
+* a **regular** edge ``p -> q`` whenever some dependency has a
+  universal variable occurring in antecedent position ``p`` and
+  conclusion position ``q`` (values may be copied from ``p`` to ``q``),
+* a **special** edge ``p => q`` whenever a universal variable occurring
+  in antecedent position ``p`` also occurs in the conclusion, and some
+  *existential* variable occurs in conclusion position ``q`` (a fresh
+  value in ``q`` can be created from a value in ``p``).
+
+The set is weakly acyclic when no cycle goes through a special edge;
+then every chase sequence terminates, and :func:`position_ranks` turns
+the acyclic special-edge structure into the per-position *rank* (the
+maximum number of special edges on any walk into the position) that the
+termination certificate's derived budget is computed from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.analysis.graph import MultiDiGraph
+from repro.dependencies.classify import Dependency
+
+
+@dataclass(frozen=True)
+class PositionEdge:
+    """One dependency-graph edge, with provenance."""
+
+    source: int
+    target: int
+    special: bool
+    dependency_name: str
+
+    def describe(self, attributes: Sequence[str]) -> str:
+        arrow = "=>" if self.special else "->"
+        return (
+            f"{attributes[self.source]} {arrow} {attributes[self.target]}"
+            f"  [{self.dependency_name}]"
+        )
+
+
+def build_position_graph(dependencies: Sequence[Dependency]) -> MultiDiGraph:
+    """The Fagin-et-al dependency graph over column positions."""
+    graph = MultiDiGraph()
+    if not dependencies:
+        return graph
+    arity = dependencies[0].schema.arity
+    graph.add_nodes_from(range(arity))
+    for dependency in dependencies:
+        name = getattr(dependency, "name", None) or "dependency"
+        universal = dependency.universal_variables()
+        existential = dependency.existential_variables()
+        conclusion_variables = {
+            variable
+            for atom in dependency.conclusions
+            for variable in atom
+        }
+        existential_positions = sorted(
+            {
+                position
+                for atom in dependency.conclusions
+                for position, variable in enumerate(atom)
+                if variable in existential
+            }
+        )
+        for atom in dependency.antecedents:
+            for position, variable in enumerate(atom):
+                if variable not in universal:
+                    continue
+                if variable not in conclusion_variables:
+                    continue
+                for conclusion_atom in dependency.conclusions:
+                    for target, target_variable in enumerate(conclusion_atom):
+                        if target_variable == variable:
+                            graph.add_edge(
+                                position,
+                                target,
+                                special=False,
+                                dependency_name=name,
+                            )
+                for target in existential_positions:
+                    graph.add_edge(
+                        position, target, special=True, dependency_name=name
+                    )
+    return graph
+
+
+def find_special_cycle(
+    dependencies: Sequence[Dependency],
+) -> Optional[List[PositionEdge]]:
+    """A cycle through a special edge, or None when weakly acyclic.
+
+    A special edge lies on a cycle exactly when its endpoints share a
+    strongly connected component; the witness returned is that edge plus
+    a shortest path closing the loop (preferring regular edges for each
+    closing step, so the witness pins the one special edge that matters).
+    """
+    return special_cycle_of(build_position_graph(dependencies))
+
+
+def special_cycle_of(graph: MultiDiGraph) -> Optional[List[PositionEdge]]:
+    """:func:`find_special_cycle` over an already-built position graph."""
+    if graph.number_of_nodes() == 0:
+        return None
+    component_of: Dict[int, int] = {}
+    for index, component in enumerate(graph.strongly_connected_components()):
+        for node in component:
+            component_of[node] = index
+    for source, target, data in graph.edges(data=True):
+        if not data.get("special"):
+            continue
+        if component_of[source] != component_of[target]:
+            continue
+        witness = [
+            PositionEdge(
+                source=source,
+                target=target,
+                special=True,
+                dependency_name=str(data.get("dependency_name", "dependency")),
+            )
+        ]
+        if source != target:
+            path = graph.shortest_path(target, source)
+            for step_source, step_target in zip(path, path[1:]):
+                parallel = graph.get_edge_data(step_source, step_target)
+                assert parallel is not None  # path edges exist
+                edge_data = min(
+                    parallel.values(),
+                    key=lambda d: bool(d.get("special", False)),
+                )
+                witness.append(
+                    PositionEdge(
+                        source=step_source,
+                        target=step_target,
+                        special=bool(edge_data.get("special")),
+                        dependency_name=str(
+                            edge_data.get("dependency_name", "dependency")
+                        ),
+                    )
+                )
+        return witness
+    return None
+
+
+def position_ranks(graph: MultiDiGraph) -> Mapping[int, int]:
+    """Per-position rank: max special edges on any walk into the position.
+
+    Defined (finite) only for weakly acyclic graphs — callers must have
+    checked :func:`special_cycle_of` first. Computed on the SCC
+    condensation: inside an SCC every edge is regular (a special edge
+    within one would be a special cycle), so rank is constant per
+    component and propagates along condensation edges, +1 across special
+    ones.
+    """
+    components = graph.strongly_connected_components()
+    component_of: Dict[int, int] = {}
+    for index, component in enumerate(components):
+        for node in component:
+            component_of[node] = index
+    # Max edge weight (special = 1) between distinct components.
+    weight: Dict[int, Dict[int, int]] = {}
+    for source, target, data in graph.edges(data=True):
+        cs, ct = component_of[source], component_of[target]
+        if cs == ct:
+            continue
+        edge_weight = 1 if data.get("special") else 0
+        targets = weight.setdefault(cs, {})
+        if edge_weight > targets.get(ct, -1):
+            targets[ct] = edge_weight
+    # Tarjan emits components in reverse topological order; walk them
+    # predecessors-first and push ranks forward.
+    rank = [0] * len(components)
+    for cs in reversed(range(len(components))):
+        for ct, edge_weight in weight.get(cs, {}).items():
+            rank[ct] = max(rank[ct], rank[cs] + edge_weight)
+    return {node: rank[component] for node, component in component_of.items()}

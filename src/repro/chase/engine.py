@@ -88,6 +88,7 @@ def chase(
     null_factory: Optional[NullFactory] = None,
     kernel: Optional[str] = None,
     checkpoint: bool = False,
+    strata: Optional[Sequence[Sequence[Dependency]]] = None,
 ) -> ChaseResult:
     """Chase ``instance`` with ``dependencies``.
 
@@ -110,6 +111,13 @@ def chase(
     resume instead of restarting. Ignored on the legacy kernel (its
     loop keeps no resumable frontier) — callers must treat a missing
     ``result.checkpoint`` as "restart from scratch".
+
+    ``strata`` (from :func:`repro.analysis.report.prune_for_target`)
+    asks the compiled kernel to dispatch stratum-by-stratum along the
+    firing-graph condensation; each stratum's session compiles only its
+    own dependencies. The strata must jointly equal ``dependencies``.
+    Ignored on the legacy kernel and when ``checkpoint`` is requested
+    (the stratified runner is not checkpointable).
     """
     kernel = kernel if kernel is not None else DEFAULT_KERNEL
     if kernel not in _KERNELS:
@@ -125,11 +133,22 @@ def chase(
         return ChaseResult(status=status, instance=working, steps=trace, stats=stats)
 
     if kernel == "compiled" and variant is not ChaseVariant.OBLIVIOUS:
-        from repro.chase.plan import run_compiled_chase
+        from repro.chase.plan import run_compiled_chase, run_stratified_chase
 
         # The kernel performs the initial goal check itself (through the
         # compiled goal plan when the goal exposes one), so the pre-check
         # here would be redundant generic-homomorphism work.
+        if strata is not None and len(strata) > 1 and not checkpoint:
+            return run_stratified_chase(
+                working,
+                strata,
+                stats=stats,
+                fresh=fresh,
+                trace=trace,
+                goal=goal,
+                record_trace=record_trace,
+                finish=finish,
+            )
         return run_compiled_chase(
             working,
             dependencies,

@@ -69,6 +69,12 @@ class InferenceOutcome:
     frozen_assignment: Optional[dict[Variable, Value]] = None
     #: For FAILED outcomes only: what went wrong, operator-readable.
     error: Optional[str] = None
+    #: Static-analysis provenance (JSON-safe dict from
+    #: :meth:`repro.analysis.report.QueryProgram.provenance`): the
+    #: fragment the premise set fell into, whether a termination
+    #: certificate was issued, and whether pruning and the derived
+    #: budget were actually applied to this run.
+    analysis: Optional[dict] = None
 
     @property
     def proved(self) -> bool:
@@ -201,6 +207,7 @@ def implies(
     kernel: Optional[str] = None,
     start: Optional[FrozenStart] = None,
     checkpoint: bool = False,
+    analysis: str = "auto",
 ) -> InferenceOutcome:
     """Test whether ``dependencies ⊨ target`` by chasing the frozen target.
 
@@ -215,6 +222,20 @@ def implies(
     chase state to an UNKNOWN outcome's ``chase_result.checkpoint``; a
     covering-budget retry can then resume via
     :func:`repro.chase.checkpoint.resume_implies`.
+
+    ``analysis`` controls the static analyzer (:mod:`repro.analysis`):
+
+    * ``"auto"`` (default) — annotate the outcome with analysis
+      provenance always; when the (pruned) premise set carries a
+      termination certificate **and** the caller supplied no budget,
+      chase the pruned program to fixpoint under the derived budget —
+      UNKNOWN then becomes impossible. A caller-supplied budget is
+      honored exactly as before (starvation tests, checkpoint flows).
+    * ``"derive"`` — apply the certified path even over an explicit
+      budget (the service sets this per-query when the HTTP client
+      sent no budget of its own).
+    * ``"off"`` — pre-analyzer behavior, no annotation; also what the
+      analyzer itself uses for its internal entailment checks.
     """
     if start is not None:
         if start.target != target:
@@ -223,19 +244,55 @@ def implies(
     else:
         working, frozen = _freeze_target(target)
         goal = ConclusionGoal(target, frozen)
+    run_dependencies = list(dependencies)
+    run_budget = budget
+    run_checkpoint = checkpoint
+    run_strata = None
+    provenance: Optional[dict] = None
+    if analysis != "off":
+        from repro.analysis.report import prune_for_target
+
+        program = prune_for_target(tuple(dependencies), target)
+        derived = None
+        certificate = program.certificate
+        # The certified bound counts once-per-frontier-assignment
+        # firings, a restricted-chase fact; the oblivious variant fires
+        # per trigger and stays on the legacy budgeted path.
+        if (
+            certificate is not None
+            and variant is not ChaseVariant.OBLIVIOUS
+            and (budget is None or analysis == "derive")
+        ):
+            derived = certificate.derived_budget(
+                len(working.active_domain()), len(working)
+            )
+        if derived is not None:
+            # Certified: the pruned program reaches fixpoint strictly
+            # inside the derived bound, so no checkpoint can ever be
+            # needed and UNKNOWN cannot occur.
+            run_dependencies = list(program.kept)
+            run_budget = derived
+            run_checkpoint = False
+            strata = program.strata()
+            if len(strata) > 1:
+                run_strata = strata
+        provenance = program.provenance(
+            applied=derived is not None, derived=derived
+        )
     # The start is a fresh (copy of the) frozen database never reused
     # afterwards, so the chase may mutate it directly instead of paying
     # a defensive copy.
     result = chase(
         working,
-        list(dependencies),
-        budget=budget,
+        run_dependencies,
+        budget=run_budget,
         variant=variant,
         goal=goal,
         record_trace=record_trace,
         inplace=True,
         kernel=kernel,
-        checkpoint=checkpoint,
+        checkpoint=run_checkpoint,
+        strata=run_strata,
     )
     if result.status is ChaseStatus.GOAL_REACHED:
         return InferenceOutcome(
@@ -243,6 +300,7 @@ def implies(
             target=target,
             chase_result=result,
             frozen_assignment=frozen,
+            analysis=provenance,
         )
     if result.status is ChaseStatus.TERMINATED:
         return InferenceOutcome(
@@ -251,12 +309,14 @@ def implies(
             chase_result=result,
             counterexample=result.instance,
             frozen_assignment=frozen,
+            analysis=provenance,
         )
     return InferenceOutcome(
         status=InferenceStatus.UNKNOWN,
         target=target,
         chase_result=result,
         frozen_assignment=frozen,
+        analysis=provenance,
     )
 
 

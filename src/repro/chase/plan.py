@@ -626,3 +626,48 @@ def run_compiled_chase(
         record_trace=record_trace,
         finish=run_finish,
     )
+
+
+def run_stratified_chase(
+    working: Instance,
+    strata: Sequence[Sequence[Dependency]],
+    *,
+    stats,
+    fresh: NullFactory,
+    trace: list[ChaseStep],
+    goal: Optional[Callable[[Instance], bool]],
+    record_trace: bool,
+    finish: Callable[[ChaseStatus], ChaseResult],
+) -> ChaseResult:
+    """Chase stratum-by-stratum along the firing-graph condensation.
+
+    ``strata`` comes from :meth:`repro.analysis.report.QueryProgram.strata`
+    in topological order of the firing-graph condensation: no dependency
+    in an earlier stratum can acquire a new active trigger from a later
+    stratum's firings, so chasing each stratum to its own fixpoint and
+    never revisiting it reaches the same fixpoint as the joint chase —
+    while each stratum's session compiles and dispatches only its own
+    dependencies. Intermediate ``TERMINATED`` results are discarded;
+    ``GOAL_REACHED`` / ``BUDGET_EXHAUSTED`` return immediately. Not
+    checkpointable (callers use this only on certified, derived-budget
+    runs where exhaustion is impossible).
+    """
+    result: Optional[ChaseResult] = None
+    for stratum in strata:
+        session = ChaseSession(working, stratum, fresh=fresh)
+        result = session.run(
+            session.state.rows_list,
+            stats=stats,
+            trace=trace,
+            goal=goal,
+            record_trace=record_trace,
+            finish=finish,
+        )
+        if result.status is not ChaseStatus.TERMINATED:
+            return result
+    if result is not None:
+        return result
+    # Empty program: only the initial goal check remains.
+    if goal is not None and goal(working):
+        return finish(ChaseStatus.GOAL_REACHED)
+    return finish(ChaseStatus.TERMINATED)

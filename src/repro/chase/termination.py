@@ -3,19 +3,11 @@
 The paper proves no algorithm decides TD inference, so no syntactic
 criterion can guarantee chase termination for *all* dependency sets — but
 sufficient criteria exist, and the standard one is **weak acyclicity**
-(Fagin, Kolaitis, Miller & Popa): build the *dependency graph* over the
-relation's positions (columns, in our single-relation setting) with
-
-* a **regular** edge ``p → q`` whenever some dependency has a universal
-  variable occurring in antecedent position ``p`` and conclusion position
-  ``q`` (values may be copied from ``p`` to ``q``), and
-* a **special** edge ``p ⇒ q`` whenever a universal variable occurring in
-  antecedent position ``p`` also occurs in the conclusion, and some
-  *existential* variable occurs in conclusion position ``q`` (a fresh
-  value in ``q`` can be created from a value in ``p``);
-
-the set is weakly acyclic when no cycle goes through a special edge, and
-then every chase sequence terminates in polynomially many steps.
+(Fagin, Kolaitis, Miller & Popa). The analysis itself now lives in
+:mod:`repro.analysis` (pure Python — the earlier ``networkx`` dependency
+was never declared in ``setup.py``, so a clean install could import this
+module and crash on first use); this module keeps the original public
+surface as thin wrappers.
 
 The punchline for this reproduction: the Gurevich–Lewis encodings are
 **never** weakly acyclic. They cannot be — a weakly acyclic encoding
@@ -29,122 +21,27 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
-import networkx as nx
-
+from repro.analysis.graph import MultiDiGraph
+from repro.analysis.positions import (
+    PositionEdge,
+    build_position_graph,
+    find_special_cycle,
+)
 from repro.dependencies.classify import Dependency
 
-
-@dataclass(frozen=True)
-class PositionEdge:
-    """One dependency-graph edge, with provenance."""
-
-    source: int
-    target: int
-    special: bool
-    dependency_name: str
-
-    def describe(self, attributes) -> str:
-        arrow = "=>" if self.special else "->"
-        return (
-            f"{attributes[self.source]} {arrow} {attributes[self.target]}"
-            f"  [{self.dependency_name}]"
-        )
+__all__ = [
+    "PositionEdge",
+    "TerminationReport",
+    "dependency_graph",
+    "find_special_cycle",
+    "is_weakly_acyclic",
+    "termination_report",
+]
 
 
-def dependency_graph(dependencies: Sequence[Dependency]) -> nx.MultiDiGraph:
+def dependency_graph(dependencies: Sequence[Dependency]) -> MultiDiGraph:
     """The Fagin-et-al dependency graph over column positions."""
-    graph = nx.MultiDiGraph()
-    if not dependencies:
-        return graph
-    arity = dependencies[0].schema.arity
-    graph.add_nodes_from(range(arity))
-    for dependency in dependencies:
-        name = getattr(dependency, "name", None) or "dependency"
-        universal = dependency.universal_variables()
-        existential = dependency.existential_variables()
-        conclusion_variables = {
-            variable
-            for atom in dependency.conclusions
-            for variable in atom
-        }
-        existential_positions = sorted(
-            {
-                position
-                for atom in dependency.conclusions
-                for position, variable in enumerate(atom)
-                if variable in existential
-            }
-        )
-        for atom in dependency.antecedents:
-            for position, variable in enumerate(atom):
-                if variable not in universal:
-                    continue
-                occurs_in_conclusion = variable in conclusion_variables
-                if occurs_in_conclusion:
-                    for conclusion_atom in dependency.conclusions:
-                        for target, target_variable in enumerate(conclusion_atom):
-                            if target_variable == variable:
-                                graph.add_edge(
-                                    position,
-                                    target,
-                                    special=False,
-                                    dependency_name=name,
-                                )
-                    for target in existential_positions:
-                        graph.add_edge(
-                            position, target, special=True, dependency_name=name
-                        )
-    return graph
-
-
-def find_special_cycle(
-    dependencies: Sequence[Dependency],
-) -> Optional[list[PositionEdge]]:
-    """A cycle through a special edge, or None when weakly acyclic.
-
-    A special edge lies on a cycle exactly when its endpoints share a
-    strongly connected component; the witness returned is that edge plus
-    a shortest path closing the loop.
-    """
-    graph = dependency_graph(dependencies)
-    if graph.number_of_nodes() == 0:
-        return None
-    component_of: dict[int, int] = {}
-    for index, component in enumerate(nx.strongly_connected_components(graph)):
-        for node in component:
-            component_of[node] = index
-    for source, target, data in graph.edges(data=True):
-        if not data.get("special"):
-            continue
-        if component_of[source] != component_of[target]:
-            continue
-        witness = [
-            PositionEdge(
-                source=source,
-                target=target,
-                special=True,
-                dependency_name=data.get("dependency_name", "dependency"),
-            )
-        ]
-        if source != target:
-            path = nx.shortest_path(graph, target, source)
-            for step_source, step_target in zip(path, path[1:]):
-                edge_data = min(
-                    graph.get_edge_data(step_source, step_target).values(),
-                    key=lambda d: d.get("special", False),
-                )
-                witness.append(
-                    PositionEdge(
-                        source=step_source,
-                        target=step_target,
-                        special=bool(edge_data.get("special")),
-                        dependency_name=edge_data.get(
-                            "dependency_name", "dependency"
-                        ),
-                    )
-                )
-        return witness
-    return None
+    return build_position_graph(dependencies)
 
 
 def is_weakly_acyclic(dependencies: Sequence[Dependency]) -> bool:

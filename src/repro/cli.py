@@ -261,6 +261,23 @@ def _build_parser() -> argparse.ArgumentParser:
         "target", help="target dependency, e.g. 'R(x,y)->R(y,x)'"
     )
 
+    analyze_cmd = commands.add_parser(
+        "analyze",
+        help="static analysis of a dependency file: fragment, termination "
+        "certificate, strata, goal-directed pruning",
+    )
+    analyze_cmd.add_argument(
+        "--deps", required=True, help="dependency file (one per line)"
+    )
+    analyze_cmd.add_argument(
+        "--target",
+        help="optional target dependency; also reports the pruned program "
+        "an implication query against it would chase",
+    )
+    analyze_cmd.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+
     classify_cmd = commands.add_parser(
         "classify", help="Main-Theorem classification of a presentation file"
     )
@@ -664,6 +681,53 @@ def _cmd_models(args: argparse.Namespace) -> int:
     return EXIT_PROVED if implied else EXIT_DISPROVED
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis import analyze, prune_for_target
+    from repro.chase.implication import FrozenStart
+
+    dependencies = parse_dependency_file(Path(args.deps).read_text())
+    schema = dependencies[0].schema if dependencies else None
+    target = (
+        parse_dependency(args.target, schema)
+        if args.target is not None
+        else None
+    )
+    report = analyze(tuple(dependencies))
+    program = prune_for_target(tuple(dependencies), target)
+    derived = None
+    if program.certificate is not None and target is not None:
+        start = FrozenStart(target)
+        derived = program.certificate.derived_budget(
+            len(start.instance.active_domain()), len(start.instance)
+        )
+    if args.json:
+        payload = program.provenance(
+            applied=derived is not None, derived=derived
+        )
+        payload["position_count"] = report.position_count
+        payload["regular_edges"] = report.regular_edge_count
+        payload["special_edges"] = report.special_edge_count
+        payload["weakly_acyclic"] = report.weakly_acyclic
+        payload["jointly_acyclic"] = report.jointly_acyclic
+        print(json.dumps(payload, indent=2))
+    else:
+        attributes = list(schema.attributes) if schema is not None else None
+        print(report.describe(attributes))
+        if program.dropped:
+            print("pruned for implication queries:")
+            for entry in program.dropped:
+                print(f"  - {entry.name}: {entry.reason}")
+        if derived is not None:
+            print(
+                "derived budget vs "
+                f"{args.target!r}: max_steps={derived.max_steps} "
+                f"max_rows={derived.max_rows} (decisive verdict guaranteed)"
+            )
+    return EXIT_PROVED if report.certified else EXIT_UNKNOWN
+
+
 def _cmd_classify(args: argparse.Namespace) -> int:
     presentation = parse_presentation_text(Path(args.presentation).read_text())
     outcome = classify_instance(
@@ -732,6 +796,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "serve": _cmd_serve,
         "stats": _cmd_stats,
         "models": _cmd_models,
+        "analyze": _cmd_analyze,
         "classify": _cmd_classify,
         "encode": _cmd_encode,
         "diagram": _cmd_diagram,

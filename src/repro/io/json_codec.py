@@ -423,6 +423,8 @@ def outcome_to_json(outcome: InferenceOutcome) -> Json:
         ]
     if outcome.error is not None:
         payload["error"] = outcome.error
+    if outcome.analysis is not None:
+        payload["analysis"] = outcome.analysis
     return payload
 
 
@@ -475,6 +477,7 @@ def outcome_from_json(payload: Json) -> InferenceOutcome:
             else None
         ),
         error=payload.get("error"),
+        analysis=payload.get("analysis"),
     )
 
 

@@ -428,7 +428,12 @@ class InferenceService:
                 )
         return outcome, seconds
 
-    def run(self, budget: Optional[Budget] = None) -> BatchReport:
+    def run(
+        self,
+        budget: Optional[Budget] = None,
+        *,
+        derive_budgets: bool = False,
+    ) -> BatchReport:
         """Answer every pending query; clears the queue.
 
         Every stage lands in :attr:`metrics`
@@ -436,6 +441,13 @@ class InferenceService:
         :class:`~repro.obs.trace.RunTrace` per distinct trace ID is
         stored in :attr:`traces` — under the report's run-level
         :attr:`~BatchReport.trace_id` for untagged queries.
+
+        ``derive_budgets`` marks this batch as having no caller-chosen
+        budget: queries whose premise set the static analyzer certifies
+        (:mod:`repro.analysis`) then chase to fixpoint under the
+        analyzer-derived bound and answer decisively instead of
+        UNKNOWN. Off by default so an explicit budget — starvation
+        tests, checkpoint flows — behaves exactly as before.
         """
         budget = budget if budget is not None else Budget()
         instruments = self._instruments
@@ -487,6 +499,12 @@ class InferenceService:
                 variants=variant_values,
             )
             lookup_stage.observe(time.perf_counter() - lookup_started)
+            if entry is not None and derive_budgets:
+                # A budget-free query over a certified set can chase to
+                # a decisive verdict; a cached UNKNOWN (recorded under
+                # some explicit budget) must not preempt that.
+                if entry.outcome().status is InferenceStatus.UNKNOWN:
+                    entry = None
             if entry is not None:
                 stats.cache_hits += 1
                 outcome = entry.outcome()
@@ -522,7 +540,11 @@ class InferenceService:
         # a from-scratch chase under that budget would be (with a fresh
         # chained checkpoint if the new budget also ran out).
         resume_seconds = 0.0
-        for fingerprint in list(groups):
+        # A derive batch skips checkpoint resume: certified sets chase
+        # straight to fixpoint, and uncertified ones re-chase under the
+        # batch budget exactly as a non-derive miss would after the
+        # resume found nothing.
+        for fingerprint in [] if derive_budgets else list(groups):
             hit = self._resume_from_checkpoint(fingerprint, lookup_budget)
             if hit is None:
                 continue
@@ -588,6 +610,7 @@ class InferenceService:
                     slot=slot,
                     dependencies=representative.dependencies,
                     target=representative.target,
+                    derive=derive_budgets,
                 )
             )
             representatives.append((fingerprint, members))
@@ -691,6 +714,23 @@ class InferenceService:
             elapsed = time.perf_counter() - record_started
             record_seconds += elapsed
             record_stage.observe(elapsed)
+            # Static-analysis provenance travels on the outcome (it
+            # survives the worker wire and UNKNOWN slimming), so one
+            # executed group lands in exactly one certified bucket.
+            provenance = outcome.analysis
+            if isinstance(provenance, dict):
+                if provenance.get("certified"):
+                    instruments.analysis_certified.inc()
+                    derived_steps = provenance.get("derived_max_steps")
+                    if derived_steps is not None:
+                        instruments.analysis_derived_budget_steps.observe(
+                            float(min(int(derived_steps), 10**300))
+                        )
+                else:
+                    instruments.analysis_uncertified.inc()
+                pruned = provenance.get("pruned")
+                if pruned:
+                    instruments.analysis_pruned.inc(int(pruned))
             # Snapshot the chase stats once per group: ``elapsed_seconds``
             # is live wall-clock for in-process runs, and every member of
             # the group must report the identical chase.

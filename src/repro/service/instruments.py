@@ -23,7 +23,14 @@ from repro.obs.metrics import (
     LATENCY_BUCKETS,
     MetricsRegistry,
     SIZE_BUCKETS,
+    log_buckets,
 )
+
+#: Derived chase budgets span from tens of steps (tiny certified sets)
+#: to the polynomial blowups of high-rank weakly acyclic programs; the
+#: standard SIZE_BUCKETS top out at 256 and would flatten them all into
+#: +Inf.
+DERIVED_BUDGET_BUCKETS = log_buckets(10.0, 1e12)
 
 #: Every stage reported into ``repro_stage_seconds``; children are
 #: pre-created so a scrape lists the full pipeline even before traffic.
@@ -139,6 +146,23 @@ class ServiceInstruments:
         self.proof_verifications = registry.counter(
             "repro_proof_verifications_total",
             "PROVED traces replay-verified before being served",
+        )
+        self.analysis_certified = registry.counter(
+            "repro_analysis_certified_total",
+            "Executed query groups whose premise set carried a termination certificate",
+        )
+        self.analysis_uncertified = registry.counter(
+            "repro_analysis_uncertified_total",
+            "Executed query groups the static analyzer could not certify",
+        )
+        self.analysis_pruned = registry.counter(
+            "repro_analysis_pruned_total",
+            "Dependencies dropped by goal-directed pruning across executed groups",
+        )
+        self.analysis_derived_budget_steps = registry.histogram(
+            "repro_analysis_derived_budget_steps",
+            "Analyzer-derived max chase steps for certified, budget-free queries",
+            buckets=DERIVED_BUDGET_BUCKETS,
         )
         self.cache_compactions = registry.counter(
             "repro_cache_compactions_total",

@@ -98,11 +98,20 @@ def _race_kernel(
 
 @dataclass(frozen=True)
 class QueryTask:
-    """One deduplicated query: a slot number plus its ``(D, d)`` pair."""
+    """One deduplicated query: a slot number plus its ``(D, d)`` pair.
+
+    ``derive`` marks a query whose caller supplied no budget of their
+    own: when the static analyzer certifies the premise set, the chase
+    runs under the analyzer-derived budget (``analysis="derive"``) and
+    returns a decisive verdict instead of UNKNOWN. Queries with an
+    explicit caller budget keep it exactly (``analysis="auto"`` only
+    annotates them).
+    """
 
     slot: int
     dependencies: tuple[Dependency, ...]
     target: Dependency
+    derive: bool = False
 
 
 @dataclass
@@ -251,6 +260,7 @@ def serial_run(
                 kernel=_race_kernel(variant, variants),
                 start=start,
                 checkpoint=capture_checkpoints,
+                analysis="derive" if task.derive else "auto",
             )
             elapsed = time.perf_counter() - dispatched
             run.chase_seconds += elapsed
@@ -291,15 +301,15 @@ def run_serial(
 
 
 #: What crosses the process boundary: (slot, variant, pinned kernel or
-#: None, premises, target, budget, record_trace, capture_checkpoint)
-#: outbound and (slot, outcome JSON, start_reused, checkpoint JSON or
-#: None) back. Premises — and, since the frozen-start sharing, the
-#: target too — travel as pre-serialized JSON *strings*: encoded once
-#: per distinct value, pickled cheaply per payload, and — crucially —
-#: usable as worker-side memo keys so each worker decodes a batch's
-#: shared premise set (and freezes each raced target's start instance)
-#: once, not once per payload.
-_WirePayload = tuple[int, str, Optional[str], str, str, Json, bool, bool]
+#: None, premises, target, budget, record_trace, capture_checkpoint,
+#: derive_budget) outbound and (slot, outcome JSON, start_reused,
+#: checkpoint JSON or None) back. Premises — and, since the
+#: frozen-start sharing, the target too — travel as pre-serialized
+#: JSON *strings*: encoded once per distinct value, pickled cheaply per
+#: payload, and — crucially — usable as worker-side memo keys so each
+#: worker decodes a batch's shared premise set (and freezes each raced
+#: target's start instance) once, not once per payload.
+_WirePayload = tuple[int, str, Optional[str], str, str, Json, bool, bool, bool]
 
 
 def _encode_payloads(
@@ -340,12 +350,13 @@ def _encode_payloads(
                 task.slot,
                 premises,
                 json.dumps(dependency_to_json(task.target), separators=(",", ":")),
+                task.derive,
             )
         )
     payloads = []
     for variant in variants:
         kernel = _race_kernel(variant, variants)
-        for slot, premises, target_payload in encoded_tasks:
+        for slot, premises, target_payload, derive in encoded_tasks:
             payloads.append(
                 (
                     slot,
@@ -356,6 +367,7 @@ def _encode_payloads(
                     budget_payload,
                     record_trace,
                     capture_checkpoints,
+                    derive,
                 )
             )
     return payloads
@@ -437,6 +449,7 @@ def _execute_payload(
         budget_payload,
         record,
         capture,
+        derive,
     ) = payload
     if faults.fire("worker_kill", slot):
         # Chaos hook: die the way a segfault or the OOM killer would —
@@ -453,6 +466,7 @@ def _execute_payload(
         kernel=kernel,
         start=start,
         checkpoint=capture,
+        analysis="derive" if derive else "auto",
     )
     # UNKNOWN payloads cross the process boundary slim: the exhausted
     # chase result can dwarf the chase itself on the wire. The

@@ -131,7 +131,11 @@ class _QueuedQuery:
     """One client query waiting for the micro-batching loop.
 
     ``budget`` is always resolved (request budget clamped into the
-    server ceiling, or the ceiling itself) before queueing.
+    server ceiling, or the ceiling itself) before queueing. ``derive``
+    remembers whether the *client* sent a budget at all: budget-free
+    queries over premise sets the static analyzer certifies are chased
+    to fixpoint under the analyzer-derived bound (decisive verdict,
+    no UNKNOWN), while explicit client budgets are honored exactly.
     """
 
     dependencies: tuple[Dependency, ...]
@@ -139,6 +143,7 @@ class _QueuedQuery:
     budget: Budget
     future: "asyncio.Future[BatchItem]" = field(repr=False)
     trace_id: Optional[str] = None
+    derive: bool = False
 
 
 @dataclass
@@ -171,13 +176,19 @@ def _item_payload(item: BatchItem, include_certificates: bool) -> Json:
             ),
         )
     outcome_payload = outcome_to_json(outcome)
-    return {
+    payload = {
         "status": item.outcome.status.value,
         "fingerprint": item.fingerprint,
         "from_cache": item.from_cache,
         "deduplicated": item.deduplicated,
         "outcome": outcome_payload,
     }
+    # Analysis provenance is small and verdict-relevant (it explains a
+    # decisive answer on a budget-free query), so it is surfaced at the
+    # top level too, certificates or not.
+    if item.outcome.analysis is not None:
+        payload["analysis"] = item.outcome.analysis
+    return payload
 
 
 class _BadRequest(Exception):
@@ -438,20 +449,22 @@ class InferenceServer:
     async def _execute_batch(self, batch: list[_QueuedQuery]) -> None:
         """Run one coalesced batch, grouped by budget, on the executor."""
         loop = asyncio.get_running_loop()
-        # Budget is a frozen dataclass: hashable, and a future extra
-        # axis keeps distinct budgets in distinct groups automatically.
-        # _submit resolved (clamped) every query's budget already, so
-        # the group key is always concrete.
-        groups: dict[Budget, list[_QueuedQuery]] = {}
+        # Budget is a frozen dataclass: hashable, and the derive flag is
+        # a second grouping axis — budget-free queries (eligible for
+        # analyzer-derived budgets) must not share a run with queries
+        # that pinned this same budget explicitly. _submit resolved
+        # (clamped) every query's budget already, so the group key is
+        # always concrete.
+        groups: dict[tuple[Budget, bool], list[_QueuedQuery]] = {}
         for query in batch:
-            groups.setdefault(query.budget, []).append(query)
-        for budget, members in groups.items():
+            groups.setdefault((query.budget, query.derive), []).append(query)
+        for (budget, derive), members in groups.items():
             live = [member for member in members if not member.future.done()]
             if not live:
                 continue
             try:
                 report = await loop.run_in_executor(
-                    None, self._run_group, live, budget
+                    None, self._run_group, live, budget, derive
                 )
             except Exception as error:  # pragma: no cover - defensive
                 for member in live:
@@ -481,7 +494,12 @@ class InferenceServer:
                 if not member.future.done():
                     member.future.set_result(item)
 
-    def _run_group(self, members: Sequence[_QueuedQuery], budget: Budget):
+    def _run_group(
+        self,
+        members: Sequence[_QueuedQuery],
+        budget: Budget,
+        derive: bool = False,
+    ):
         """Executor-thread body: submit the group and run it.
 
         The batching loop awaits each group, so only one executor thread
@@ -497,7 +515,7 @@ class InferenceServer:
         except Exception:
             self.service.discard_pending()
             raise
-        return self.service.run(budget)
+        return self.service.run(budget, derive_budgets=derive)
 
     async def _submit(
         self,
@@ -530,6 +548,7 @@ class InferenceServer:
                 f"({self._queue.qsize()}/{self.max_queue} queued)",
                 self.RETRY_AFTER_SECONDS,
             )
+        derive = budget is None
         budget = self._effective_budget(budget)
         loop = asyncio.get_running_loop()
         futures: list["asyncio.Future[BatchItem]"] = []
@@ -540,7 +559,9 @@ class InferenceServer:
             # check above is the bound), and not yielding keeps the
             # check-then-put sequence atomic on the event loop.
             self._queue.put_nowait(
-                _QueuedQuery(dependencies, target, budget, future, trace_id)
+                _QueuedQuery(
+                    dependencies, target, budget, future, trace_id, derive
+                )
             )
         self.stats.queries += len(futures)
         return list(await asyncio.gather(*futures))
