@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Benchmark trend guard: fresh quick runs vs the committed baselines.
 
-The quick benchmark steps (E13–E18) each write a gitignored
+The quick benchmark steps (E13–E19) each write a gitignored
 ``BENCH_<name>.quick.json`` next to the committed full-size baseline
 ``BENCH_<name>.json``. This script compares every headline speedup
 ratio (the ``speedup_*`` keys) between the two and exits non-zero when
@@ -46,6 +46,7 @@ BENCHMARKS = (
     "BENCH_maintain",
     "BENCH_resume",
     "BENCH_analysis",
+    "BENCH_joins",
 )
 
 

@@ -1,10 +1,43 @@
 from pathlib import Path
 
-from setuptools import find_packages, setup
+from setuptools import Extension, find_packages, setup
+from setuptools.command.build_ext import build_ext
+
+
+class optional_build_ext(build_ext):
+    """Build the native join kernel when a toolchain exists; skip otherwise.
+
+    ``repro.kernel._native`` is a pure speedup: the python walkers in
+    ``repro.kernel.joins`` implement identical semantics, and the
+    backend resolver (``repro.kernel.backend``) falls back to them when
+    the extension is absent. A missing compiler (or any build failure)
+    must therefore degrade the install, never fail it.
+    """
+
+    def run(self):
+        try:
+            super().run()
+        except Exception as exc:  # compiler missing, headers missing, ...
+            self._skip(exc)
+
+    def build_extension(self, ext):
+        try:
+            super().build_extension(ext)
+        except Exception as exc:
+            self._skip(exc)
+
+    def _skip(self, exc):
+        print(
+            "WARNING: could not build the optional native join kernel "
+            f"(repro.kernel._native): {exc}\n"
+            "         Falling back to the pure-python join backend — "
+            "behavior is identical, only slower."
+        )
+
 
 setup(
     name="repro-gurevich-lewis-1982",
-    version="1.1.0",
+    version="1.2.0",
     description=(
         "Gurevich & Lewis (1982), 'The Inference Problem for Template "
         "Dependencies': chase-based inference with certificates, the "
@@ -21,6 +54,14 @@ setup(
     extras_require={
         "test": ["pytest", "pytest-benchmark", "hypothesis"],
     },
+    ext_modules=[
+        Extension(
+            "repro.kernel._native",
+            sources=["src/repro/kernel/_native.c"],
+            optional=True,
+        ),
+    ],
+    cmdclass={"build_ext": optional_build_ext},
     entry_points={
         "console_scripts": [
             "repro=repro.cli:main",

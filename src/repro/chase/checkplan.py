@@ -22,10 +22,12 @@ already uses, sharing its structural plan cache:
   chase does not: a *cold* most-constrained-first join order over the
   antecedent atoms starting from no bound slots (the chase always seeds
   from a pivot row; the checker enumerates from scratch);
-* :func:`_violation_walk` backtracks over that order against a
-  :class:`~repro.chase.plan.KernelState`'s int-row inverted index and
-  **early-exits** at the first antecedent match with no conclusion
-  extension — `holds_in` never enumerates more matches than it must;
+* the kernel-owned :func:`repro.kernel.joins.violation_walk` backtracks
+  over that order against a :class:`~repro.chase.plan.KernelState`'s
+  int-row inverted index and **early-exits** at the first antecedent
+  match with no conclusion extension — `holds_in` never enumerates more
+  matches than it must (and runs natively when the compiled join
+  backend is active);
 * a :class:`ModelChecker` shares one ``KernelState`` across many checks
   of the same instance (one interning pass per database, not one per
   dependency), which is the shape of every hot caller: verify a
@@ -54,8 +56,8 @@ from repro.kernel.joins import (
     AtomStep,
     KernelState,
     compile_steps,
-    has_extension,
     memoized,
+    violation_walk,
 )
 from repro.dependencies.template import Variable, is_variable
 from repro.relational.homomorphism import (
@@ -119,76 +121,18 @@ def compile_check(dependency) -> CheckPlan:
     return memoized(_CHECK_CACHE, dependency, CheckPlan, _CHECK_CACHE_MAX)
 
 
-def _violation_walk(
-    state: KernelState,
-    steps: tuple[AtomStep, ...],
-    depth: int,
-    regs: list[int],
-    activity_steps: tuple[AtomStep, ...],
-) -> bool:
-    """Find the first antecedent match with no conclusion extension.
-
-    Returns True with the witness left in ``regs`` (universal slots), or
-    False when every antecedent match extends — i.e. the dependency
-    holds. The candidate loop is kept in lockstep with
-    :func:`repro.kernel.joins.extend_matches` /
-    :func:`repro.kernel.joins.has_extension` (see the NOTE there): same
-    step semantics, early exit on the first violation. A True return
-    unwinds without touching ``regs`` again, so the caller reads the
-    witness straight out of the registers.
-    """
-    if depth == len(steps):
-        # Complete antecedent match: violated iff the conclusion atoms
-        # have no extension (the precompiled trigger-activity probe).
-        return not has_extension(state, activity_steps, 0, regs)
-    step = steps[depth]
-    probes = step.probes
-    if step.membership:
-        if tuple(regs[slot] for slot in step.probe_slots) in state.irows:
-            return _violation_walk(
-                state, steps, depth + 1, regs, activity_steps
-            )
-        return False
-    if probes:
-        index = state.index
-        best = None
-        for column, slot in probes:
-            bucket = index.get((column, regs[slot]))
-            if not bucket:
-                return False
-            if best is None or len(bucket) < len(best):
-                best = bucket
-    else:
-        best = state.rows_list
-    verify = step.verify_probes
-    binds = step.binds
-    checks = step.checks
-    next_depth = depth + 1
-    for irow in best:
-        ok = True
-        for column, slot in verify:
-            if irow[column] != regs[slot]:
-                ok = False
-                break
-        if not ok:
-            continue
-        for column, slot in binds:
-            regs[slot] = irow[column]
-        for column, slot in checks:
-            if irow[column] != regs[slot]:
-                ok = False
-                break
-        if ok and _violation_walk(state, steps, next_depth, regs, activity_steps):
-            return True
-    return False
-
-
 def _find_violation_in_state(dependency, state: KernelState) -> Optional[dict]:
-    """Compiled ``find_violation`` against an existing kernel state."""
+    """Compiled ``find_violation`` against an existing kernel state.
+
+    The walk itself (first antecedent match with no conclusion
+    extension, witness left in the registers) is kernel-owned —
+    :func:`repro.kernel.joins.violation_walk` — so it runs on whichever
+    join backend the process resolved.
+    """
     check = compile_check(dependency)
     plan = check.plan
     regs = [0] * plan.n_slots
-    if _violation_walk(
+    if violation_walk(
         state, check.antecedent_steps, 0, regs, plan.activity_steps
     ):
         values = state.values

@@ -46,6 +46,7 @@ from repro.chase.implication import (
 from repro.chase.plan import ChaseSession
 from repro.chase.result import ChaseResult, ChaseStatus, ChaseStep
 from repro.dependencies.classify import Dependency
+from repro.kernel.backend import resolve_join_backend
 from repro.kernel.joins import IntRow
 from repro.relational.instance import Instance
 from repro.relational.values import NullFactory, Value
@@ -209,12 +210,14 @@ def resume_implies(
         record_trace=tracing,
         finish=finish,
     )
+    backend = resolve_join_backend()
     if result.status is ChaseStatus.GOAL_REACHED:
         return InferenceOutcome(
             status=InferenceStatus.PROVED,
             target=target,
             chase_result=result,
             frozen_assignment=frozen,
+            join_backend=backend,
         )
     if result.status is ChaseStatus.TERMINATED:
         return InferenceOutcome(
@@ -223,10 +226,12 @@ def resume_implies(
             chase_result=result,
             counterexample=result.instance,
             frozen_assignment=frozen,
+            join_backend=backend,
         )
     return InferenceOutcome(
         status=InferenceStatus.UNKNOWN,
         target=target,
         chase_result=result,
         frozen_assignment=frozen,
+        join_backend=backend,
     )

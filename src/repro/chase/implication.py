@@ -29,6 +29,7 @@ from repro.chase.engine import ChaseVariant, chase
 from repro.chase.result import ChaseResult, ChaseStatus
 from repro.dependencies.classify import Dependency
 from repro.dependencies.template import Variable, is_variable
+from repro.kernel.backend import resolve_join_backend
 from repro.relational.homplan import find_homomorphism
 from repro.relational.instance import Instance
 from repro.relational.values import Value
@@ -75,6 +76,11 @@ class InferenceOutcome:
     #: certificate was issued, and whether pruning and the derived
     #: budget were actually applied to this run.
     analysis: Optional[dict] = None
+    #: Which join backend (``"native"`` or ``"python"``) produced this
+    #: outcome — provenance for mixed-backend caches and bug reports
+    #: (the two backends are held to identical verdicts by the
+    #: differential suites, so a disagreement is diagnostic gold).
+    join_backend: Optional[str] = None
 
     @property
     def proved(self) -> bool:
@@ -294,6 +300,7 @@ def implies(
         checkpoint=run_checkpoint,
         strata=run_strata,
     )
+    backend = resolve_join_backend()
     if result.status is ChaseStatus.GOAL_REACHED:
         return InferenceOutcome(
             status=InferenceStatus.PROVED,
@@ -301,6 +308,7 @@ def implies(
             chase_result=result,
             frozen_assignment=frozen,
             analysis=provenance,
+            join_backend=backend,
         )
     if result.status is ChaseStatus.TERMINATED:
         return InferenceOutcome(
@@ -310,6 +318,7 @@ def implies(
             counterexample=result.instance,
             frozen_assignment=frozen,
             analysis=provenance,
+            join_backend=backend,
         )
     return InferenceOutcome(
         status=InferenceStatus.UNKNOWN,
@@ -317,6 +326,7 @@ def implies(
         chase_result=result,
         frozen_assignment=frozen,
         analysis=provenance,
+        join_backend=backend,
     )
 
 

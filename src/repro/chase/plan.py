@@ -239,7 +239,7 @@ class GoalPlan:
     def registers(self, state: KernelState) -> list[int]:
         """Fresh registers with the partial assignment interned."""
         regs = [0] * self.n_slots
-        intern = state._intern
+        intern = state.intern
         for slot, value in self.prebound:
             regs[slot] = intern(value)
         return regs
@@ -527,7 +527,7 @@ class ChaseSession:
                     # shared across all conclusion atoms.
                     for slot in existential_slots:
                         null = fresh()
-                        regs[slot] = state._intern(null)
+                        regs[slot] = state.intern(null)
                     added_rows = []
                     fired_irows: list[IntRow] = []
                     for atom_slots in conclusion_atom_slots:

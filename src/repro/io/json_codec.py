@@ -425,6 +425,8 @@ def outcome_to_json(outcome: InferenceOutcome) -> Json:
         payload["error"] = outcome.error
     if outcome.analysis is not None:
         payload["analysis"] = outcome.analysis
+    if outcome.join_backend is not None:
+        payload["join_backend"] = outcome.join_backend
     return payload
 
 
@@ -478,6 +480,7 @@ def outcome_from_json(payload: Json) -> InferenceOutcome:
         ),
         error=payload.get("error"),
         analysis=payload.get("analysis"),
+        join_backend=payload.get("join_backend"),
     )
 
 

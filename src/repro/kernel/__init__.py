@@ -5,8 +5,20 @@ chase (:mod:`repro.chase.plan`), model checking
 (:mod:`repro.chase.checkplan`), and the compiled homomorphism /
 core / conjunctive-query engine (:mod:`repro.relational.homplan`) all
 build their compiled plans from these primitives.
+
+The kernel ships two interchangeable walker backends — the pure-python
+reference implementation (:mod:`repro.kernel.joins`) and an optional
+compiled C extension (:mod:`repro.kernel._native`) — selected
+process-wide by :mod:`repro.kernel.backend`
+(``REPRO_JOIN_BACKEND=auto|native|python``).
 """
 
+from repro.kernel.backend import (
+    join_backend_info,
+    native_available,
+    resolve_join_backend,
+    set_join_backend,
+)
 from repro.kernel.joins import (
     AtomStep,
     IntRow,
@@ -17,6 +29,8 @@ from repro.kernel.joins import (
     extend_matches,
     has_extension,
     memoized,
+    retraction_walk,
+    violation_walk,
 )
 
 __all__ = [
@@ -28,5 +42,11 @@ __all__ = [
     "compile_steps",
     "extend_matches",
     "has_extension",
+    "violation_walk",
+    "retraction_walk",
     "memoized",
+    "resolve_join_backend",
+    "set_join_backend",
+    "native_available",
+    "join_backend_info",
 ]

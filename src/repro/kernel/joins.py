@@ -20,21 +20,35 @@ The primitives:
   single-probe and all-bound-membership fast paths;
 * :func:`compile_steps` — the greedy most-constrained-first atom order,
   decided once per structure instead of per backtracking node;
-* :class:`KernelState` — the interned int-row view of a live
-  :class:`~repro.relational.instance.Instance`, kept in sync as the
-  chase fires;
+* :class:`KernelState` (:mod:`repro.kernel.state`) — the interned
+  int-row view of a live :class:`~repro.relational.instance.Instance`,
+  kept in sync as the chase fires;
 * the walkers — :func:`extend_matches` (collect completed matches),
-  :func:`has_extension` (existence, early exit) — plus
-  :func:`memoized`, the one structural-cache implementation every
+  :func:`has_extension` (existence, early exit),
+  :func:`violation_walk` (first antecedent match with no conclusion
+  extension — model checking) and :func:`retraction_walk` (the
+  image-shrinks endomorphism walk behind cores and CQ minimization) —
+  plus :func:`memoized`, the one structural-cache implementation every
   compiled-artifact cache shares.
+
+Every walker exists twice: the pure-python reference implementation in
+this module, and a C implementation in :mod:`repro.kernel._native`
+compiled at install time when a toolchain is available. The public
+functions dispatch on the process-wide resolved backend
+(:func:`repro.kernel.backend.resolve_join_backend`,
+``REPRO_JOIN_BACKEND=auto|native|python``); both backends are held to
+identical semantics by the seeded differential suites, which
+parametrize over the backend exactly as they do over the
+compiled/legacy engine split.
 
 NOTE: the candidate loop (smallest-bucket probe selection, single-probe
 no-verify and all-bound-membership fast paths, bind-then-check order) is
-deliberately inlined in :func:`extend_matches`, :func:`has_extension`,
-:func:`repro.chase.checkplan._violation_walk`, and the walkers of
-:mod:`repro.relational.homplan` — a shared per-candidate helper costs
-the kernel its measured speedup. Any change to the step semantics must
-be applied to all of them; the differential suites
+deliberately inlined in each of the four python walkers below, in their
+C twins, and in the enumerating walker of
+:mod:`repro.relational.homplan` (``_iter_walk``, a generator — the one
+shape that stays python under every backend) — a shared per-candidate
+helper costs the kernel its measured speedup. Any change to the step
+semantics must be applied to all of them; the differential suites
 (``tests/chase/test_kernel_differential.py``,
 ``tests/chase/test_checker_differential.py``,
 ``tests/relational/test_homplan.py``) exist to catch a one-sided edit.
@@ -42,12 +56,27 @@ be applied to all of them; the differential suites
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Callable, Hashable, Sequence, TypeVar
 
-from repro.relational.instance import Instance, Row
+from repro.kernel import backend as _backend
+from repro.kernel.state import IntRow, KernelState
 
-#: An interned row: one dense int per column.
-IntRow = tuple[int, ...]
+__all__ = [
+    "AtomStep",
+    "IntRow",
+    "KernelState",
+    "atom_equality_pattern",
+    "compile_atom",
+    "compile_steps",
+    "extend_matches",
+    "has_extension",
+    "violation_walk",
+    "retraction_walk",
+    "memoized",
+]
+
+#: (column, slot) pairs — the unit every step component is made of.
+ColumnSlots = tuple[tuple[int, int], ...]
 
 
 class AtomStep:
@@ -74,10 +103,10 @@ class AtomStep:
 
     def __init__(
         self,
-        probes: tuple[tuple[int, int], ...],
-        binds: tuple[tuple[int, int], ...],
-        checks: tuple[tuple[int, int], ...],
-    ):
+        probes: ColumnSlots,
+        binds: ColumnSlots,
+        checks: ColumnSlots,
+    ) -> None:
         self.probes = probes
         self.binds = binds
         self.checks = checks
@@ -87,10 +116,10 @@ class AtomStep:
         self.probe_slots = tuple(slot for __, slot in probes)
         #: With a single probe the index bucket already guarantees the
         #: match — candidate rows need no re-verification.
-        self.verify_probes = probes if len(probes) > 1 else ()
+        self.verify_probes: ColumnSlots = probes if len(probes) > 1 else ()
 
 
-def atom_equality_pattern(atom: Sequence) -> tuple[tuple[int, int], ...]:
+def atom_equality_pattern(atom: Sequence[Hashable]) -> ColumnSlots:
     """Column pairs a row must agree on to unify with ``atom``.
 
     Works over any hashable atom terms — the compiled kernel passes
@@ -100,8 +129,8 @@ def atom_equality_pattern(atom: Sequence) -> tuple[tuple[int, int], ...]:
     term is the only way an all-variable atom can reject a row, so this
     pattern is the complete row-level dispatch filter.
     """
-    first: dict = {}
-    pattern = []
+    first: dict[Hashable, int] = {}
+    pattern: list[tuple[int, int]] = []
     for column, term in enumerate(atom):
         seen = first.get(term)
         if seen is None:
@@ -115,9 +144,9 @@ def compile_atom(
     slots: Sequence[int], bound: set[int]
 ) -> tuple[AtomStep, set[int]]:
     """Compile one atom given the already-bound slot set (updated)."""
-    probes = []
-    binds = []
-    checks = []
+    probes: list[tuple[int, int]] = []
+    binds: list[tuple[int, int]] = []
+    checks: list[tuple[int, int]] = []
     bound_here: set[int] = set()
     for column, slot in enumerate(slots):
         if slot in bound:
@@ -132,7 +161,7 @@ def compile_atom(
 
 
 def compile_steps(
-    atom_slots: list[tuple[int, ...]], bound: set[int]
+    atom_slots: Sequence[tuple[int, ...]], bound: set[int]
 ) -> tuple[AtomStep, ...]:
     """Greedy most-constrained-first order over ``atom_slots``.
 
@@ -141,7 +170,7 @@ def compile_steps(
     slots, then on input order (deterministic).
     """
     remaining = list(range(len(atom_slots)))
-    steps = []
+    steps: list[AtomStep] = []
     bound = set(bound)
     while remaining:
         best = max(
@@ -158,14 +187,21 @@ def compile_steps(
     return tuple(steps)
 
 
-def memoized(cache: dict, key, build, max_size: int):
+_K = TypeVar("_K")
+_V = TypeVar("_V")
+
+
+def memoized(
+    cache: dict[_K, _V], key: _K, build: Callable[[_K], _V], max_size: int
+) -> _V:
     """Structural memo with oldest-first eviction.
 
     One implementation for every compiled-artifact cache (the plan and
     program caches in :mod:`repro.chase.plan`, the check cache in
     :mod:`repro.chase.checkplan`, the homomorphism-plan cache in
-    :mod:`repro.relational.homplan`), so the eviction policy cannot
-    drift between them. ``build`` receives ``key`` on a miss.
+    :mod:`repro.relational.homplan`, the native step-packing cache
+    below), so the eviction policy cannot drift between them. ``build``
+    receives ``key`` on a miss.
     """
     value = cache.get(key)
     if value is None:
@@ -176,131 +212,34 @@ def memoized(cache: dict, key, build, max_size: int):
     return value
 
 
-class KernelState:
-    """The interned view of a live :class:`Instance`, kept in sync.
+# ---------------------------------------------------------------------------
+# Native step packing
+# ---------------------------------------------------------------------------
 
-    Rows are tuples of dense ints (via ``instance.intern_table``); the
-    inverted index maps ``(column, value id)`` to a list of int rows.
+#: Packed C step programs, keyed by the (identity-hashed) step tuples
+#: the plan caches hold — packing re-reads the AtomStep fields once per
+#: cached plan, not per walk.
+_PACKED_CACHE: dict[tuple[AtomStep, ...], object] = {}
+_PACKED_CACHE_MAX = 8192
 
-    Historically each compiled consumer built a fresh ``KernelState``
-    per call and was then the only mutator; the canonical way to obtain
-    one now is :meth:`Instance.kernel_view`, which caches the view on
-    the instance and keeps it in sync through the instance's own
-    ``add``/``discard`` hooks — so the view survives out-of-band
-    mutation and repeated calls stop paying O(instance) construction.
-    Constructing ``KernelState(instance)`` directly still works (tests
-    and one-shot callers do) but such a detached view is *not*
-    subscribed to the instance and goes stale on mutation.
-    """
 
-    __slots__ = (
-        "instance",
-        "values",
-        "_intern",
-        "index",
-        "irows",
-        "rows_list",
-        "_pos",
+def _pack(steps: tuple[AtomStep, ...]) -> object:
+    """The native backend's packed twin of a python step tuple."""
+    native = _backend.active_native()
+    assert native is not None
+    return memoized(
+        _PACKED_CACHE,
+        steps,
+        lambda key: native.pack_steps(
+            [(step.probes, step.binds, step.checks) for step in key]
+        ),
+        _PACKED_CACHE_MAX,
     )
 
-    def __init__(self, instance: Instance):
-        self.instance = instance
-        table = instance.intern_table
-        self.values = table.values
-        self._intern = table.intern
-        self.index: dict[tuple[int, int], list[IntRow]] = {}
-        self.irows: set[IntRow] = set()
-        self.rows_list: list[IntRow] = []
-        #: Position of each int row in ``rows_list`` (swap-remove on
-        #: retraction keeps the scan list dense without an O(n) shift).
-        self._pos: dict[IntRow, int] = {}
-        for row in instance:
-            self._admit(tuple(map(self._intern, row)))
 
-    def _admit(self, irow: IntRow) -> None:
-        self.irows.add(irow)
-        self._pos[irow] = len(self.rows_list)
-        self.rows_list.append(irow)
-        index = self.index
-        for column, vid in enumerate(irow):
-            key = (column, vid)
-            bucket = index.get(key)
-            if bucket is None:
-                index[key] = [irow]
-            else:
-                bucket.append(irow)
-
-    def _retract(self, irow: IntRow) -> None:
-        """Drop ``irow`` from the view (no-op when absent).
-
-        Called by :meth:`Instance.discard` on the subscribed view; the
-        index buckets pay an O(bucket) list removal, which is fine on
-        the (cold) deletion path.
-        """
-        pos = self._pos.pop(irow, None)
-        if pos is None:
-            return
-        self.irows.discard(irow)
-        rows_list = self.rows_list
-        last = rows_list.pop()
-        if pos < len(rows_list):
-            rows_list[pos] = last
-            self._pos[last] = pos
-        index = self.index
-        for column, vid in enumerate(irow):
-            key = (column, vid)
-            bucket = index.get(key)
-            if bucket is not None:
-                bucket.remove(irow)
-                if not bucket:
-                    del index[key]
-
-    def intern_row(self, row: Row) -> IntRow:
-        return tuple(map(self._intern, row))
-
-    def add(self, row: Row) -> Optional[IntRow]:
-        """Insert ``row`` into instance and view; None when already present."""
-        irow = tuple(map(self._intern, row))
-        return irow if self.add_interned(irow) is not None else None
-
-    def add_interned(self, irow: IntRow) -> Optional[Row]:
-        """Insert a row already expressed as interned ids (the fire path).
-
-        The kernel holds conclusion rows as registers of interned ids,
-        so presence is one int-tuple set test and the Value row is only
-        materialized for genuinely new rows (returned; None when the
-        row was already present). Bypasses :meth:`Instance.add`'s arity
-        check (kernel rows come from compiled conclusion templates,
-        correct by construction) but keeps the instance's row set,
-        inverted index and snapshot invalidation exactly in sync — the
-        goal predicate and every post-chase consumer see a normal
-        instance. Relies on the class invariant that ``irows`` mirrors
-        the instance's row set exactly.
-        """
-        if irow in self.irows:
-            return None
-        values = self.values
-        row = tuple(values[vid] for vid in irow)
-        instance = self.instance
-        instance._rows.add(row)
-        instance._snapshot = None
-        instance._epoch += 1
-        index = instance._index
-        for column, value in enumerate(row):
-            key = (column, value)
-            bucket = index.get(key)
-            if bucket is None:
-                index[key] = {row}
-            else:
-                bucket.add(row)
-        self._admit(irow)
-        view = instance._view
-        if view is not None and view is not self:
-            # A detached state is mutating an instance that also has a
-            # subscribed view — keep the subscribed view honest too
-            # (interned ids are shared through the instance's table).
-            view._admit(irow)
-        return row
+# ---------------------------------------------------------------------------
+# Walkers
+# ---------------------------------------------------------------------------
 
 
 def extend_matches(
@@ -318,6 +257,20 @@ def extend_matches(
     (the chase's trigger key). See the module NOTE about the
     deliberately inlined candidate loop.
     """
+    if depth == 0:
+        native = _backend.active_native()
+        if native is not None:
+            native.extend_matches(
+                state.index,
+                state.irows,
+                state.rows_list,
+                _pack(steps),
+                regs,
+                n_universal,
+                seen,
+                out,
+            )
+            return
     if depth == len(steps):
         key = tuple(regs[:n_universal])
         if key not in seen:
@@ -332,15 +285,18 @@ def extend_matches(
                 state, steps, depth + 1, regs, n_universal, seen, out
             )
         return
+    best: Sequence[IntRow]
     if probes:
         index = state.index
-        best = None
+        chosen = None
         for column, slot in probes:
             bucket = index.get((column, regs[slot]))
             if not bucket:
                 return
-            if best is None or len(bucket) < len(best):
-                best = bucket
+            if chosen is None or len(bucket) < len(chosen):
+                chosen = bucket
+        assert chosen is not None
+        best = chosen
     else:
         best = state.rows_list
     verify = step.verify_probes
@@ -380,6 +336,13 @@ def has_extension(
     satisfying assignment straight out of the registers. See the module
     NOTE about the deliberately inlined candidate loop.
     """
+    if depth == 0:
+        native = _backend.active_native()
+        if native is not None:
+            found: bool = native.has_extension(
+                state.index, state.irows, state.rows_list, _pack(steps), regs
+            )
+            return found
     if depth == len(steps):
         return True
     step = steps[depth]
@@ -388,15 +351,18 @@ def has_extension(
         if tuple(regs[slot] for slot in step.probe_slots) in state.irows:
             return has_extension(state, steps, depth + 1, regs)
         return False
+    best: Sequence[IntRow]
     if probes:
         index = state.index
-        best = None
+        chosen = None
         for column, slot in probes:
             bucket = index.get((column, regs[slot]))
             if not bucket:
                 return False
-            if best is None or len(bucket) < len(best):
-                best = bucket
+            if chosen is None or len(bucket) < len(chosen):
+                chosen = bucket
+        assert chosen is not None
+        best = chosen
     else:
         best = state.rows_list
     verify = step.verify_probes
@@ -418,5 +384,234 @@ def has_extension(
                 ok = False
                 break
         if ok and has_extension(state, steps, next_depth, regs):
+            return True
+    return False
+
+
+def violation_walk(
+    state: KernelState,
+    steps: tuple[AtomStep, ...],
+    depth: int,
+    regs: list[int],
+    activity_steps: tuple[AtomStep, ...],
+) -> bool:
+    """Find the first antecedent match with no conclusion extension.
+
+    The model-checking walk (previously inlined in
+    :mod:`repro.chase.checkplan`): returns True with the witness left in
+    ``regs`` (universal slots), or False when every antecedent match
+    extends — i.e. the dependency holds. A True return unwinds without
+    touching ``regs`` again, so the caller reads the witness straight
+    out of the registers. See the module NOTE about the deliberately
+    inlined candidate loop.
+    """
+    if depth == 0:
+        native = _backend.active_native()
+        if native is not None:
+            violated: bool = native.violation_walk(
+                state.index,
+                state.irows,
+                state.rows_list,
+                _pack(steps),
+                _pack(activity_steps),
+                regs,
+            )
+            return violated
+    if depth == len(steps):
+        # Complete antecedent match: violated iff the conclusion atoms
+        # have no extension (the precompiled trigger-activity probe).
+        return not _has_extension_py(state, activity_steps, 0, regs)
+    step = steps[depth]
+    probes = step.probes
+    if step.membership:
+        if tuple(regs[slot] for slot in step.probe_slots) in state.irows:
+            return violation_walk(
+                state, steps, depth + 1, regs, activity_steps
+            )
+        return False
+    best: Sequence[IntRow]
+    if probes:
+        index = state.index
+        chosen = None
+        for column, slot in probes:
+            bucket = index.get((column, regs[slot]))
+            if not bucket:
+                return False
+            if chosen is None or len(bucket) < len(chosen):
+                chosen = bucket
+        assert chosen is not None
+        best = chosen
+    else:
+        best = state.rows_list
+    verify = step.verify_probes
+    binds = step.binds
+    checks = step.checks
+    next_depth = depth + 1
+    for irow in best:
+        ok = True
+        for column, slot in verify:
+            if irow[column] != regs[slot]:
+                ok = False
+                break
+        if not ok:
+            continue
+        for column, slot in binds:
+            regs[slot] = irow[column]
+        for column, slot in checks:
+            if irow[column] != regs[slot]:
+                ok = False
+                break
+        if ok and violation_walk(state, steps, next_depth, regs, activity_steps):
+            return True
+    return False
+
+
+def retraction_walk(
+    state: KernelState,
+    steps: tuple[AtomStep, ...],
+    depth: int,
+    regs: list[int],
+    used: set[IntRow],
+) -> bool:
+    """The image-shrinks early-exit walk (endomorphism mode).
+
+    The core/CQ-minimization walk (previously inlined in
+    :mod:`repro.relational.homplan`): ``used`` holds the image rows of
+    the source atoms matched so far. The moment a candidate's image row
+    repeats, the homomorphism is guaranteed non-injective on rows — a
+    proper retraction — so the remaining atoms only need *existence*
+    (:func:`has_extension`), not enumeration. A walk that completes
+    without a repeat is a row-injective endomorphism and is rejected. A
+    True return unwinds without touching ``regs``, so the caller
+    decodes the witnessing assignment straight from the registers. See
+    the module NOTE about the deliberately inlined candidate loop.
+    """
+    if depth == 0:
+        native = _backend.active_native()
+        if native is not None:
+            retracts: bool = native.retraction_walk(
+                state.index,
+                state.irows,
+                state.rows_list,
+                _pack(steps),
+                regs,
+                used,
+            )
+            return retracts
+    if depth == len(steps):
+        return False  # complete, but row-injective: not a proper retraction
+    step = steps[depth]
+    probes = step.probes
+    next_depth = depth + 1
+    if step.membership:
+        irow = tuple(regs[slot] for slot in step.probe_slots)
+        if irow not in state.irows:
+            return False
+        if irow in used:
+            return _has_extension_py(state, steps, next_depth, regs)
+        used.add(irow)
+        if retraction_walk(state, steps, next_depth, regs, used):
+            return True
+        used.discard(irow)
+        return False
+    best: Sequence[IntRow]
+    if probes:
+        index = state.index
+        chosen = None
+        for column, slot in probes:
+            bucket = index.get((column, regs[slot]))
+            if not bucket:
+                return False
+            if chosen is None or len(bucket) < len(chosen):
+                chosen = bucket
+        assert chosen is not None
+        best = chosen
+    else:
+        best = state.rows_list
+    verify = step.verify_probes
+    binds = step.binds
+    checks = step.checks
+    for irow in best:
+        ok = True
+        for column, slot in verify:
+            if irow[column] != regs[slot]:
+                ok = False
+                break
+        if not ok:
+            continue
+        for column, slot in binds:
+            regs[slot] = irow[column]
+        for column, slot in checks:
+            if irow[column] != regs[slot]:
+                ok = False
+                break
+        if not ok:
+            continue
+        if irow in used:
+            if _has_extension_py(state, steps, next_depth, regs):
+                return True
+            continue
+        used.add(irow)
+        if retraction_walk(state, steps, next_depth, regs, used):
+            return True
+        used.discard(irow)
+    return False
+
+
+def _has_extension_py(
+    state: KernelState,
+    steps: tuple[AtomStep, ...],
+    depth: int,
+    regs: list[int],
+) -> bool:
+    """:func:`has_extension` without the backend dispatch.
+
+    The python walkers recurse into existence checks at arbitrary
+    depths (the retraction walk's switch-to-existence, the violation
+    walk's conclusion probe); routing those through the dispatching
+    entry point would be wasted work — when a python walker is running,
+    the python backend is the active one for this walk.
+    """
+    if depth == len(steps):
+        return True
+    step = steps[depth]
+    probes = step.probes
+    if step.membership:
+        if tuple(regs[slot] for slot in step.probe_slots) in state.irows:
+            return _has_extension_py(state, steps, depth + 1, regs)
+        return False
+    best: Sequence[IntRow]
+    if probes:
+        index = state.index
+        chosen = None
+        for column, slot in probes:
+            bucket = index.get((column, regs[slot]))
+            if not bucket:
+                return False
+            if chosen is None or len(bucket) < len(chosen):
+                chosen = bucket
+        assert chosen is not None
+        best = chosen
+    else:
+        best = state.rows_list
+    verify = step.verify_probes
+    binds = step.binds
+    checks = step.checks
+    next_depth = depth + 1
+    for irow in best:
+        ok = True
+        for column, slot in verify:
+            if irow[column] != regs[slot]:
+                ok = False
+                break
+        if not ok:
+            continue
+        for column, slot in binds:
+            regs[slot] = irow[column]
+        for column, slot in checks:
+            if irow[column] != regs[slot]:
+                ok = False
+                break
+        if ok and _has_extension_py(state, steps, next_depth, regs):
             return True
     return False

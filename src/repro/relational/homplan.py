@@ -43,11 +43,14 @@ process default, ``REPRO_HOM_ENGINE`` or compiled). The legacy engine
 remains the reference; ``tests/relational/test_homplan.py`` holds the
 two to identical homomorphism *sets*, not just existence.
 
-NOTE: the candidate loops in :func:`_iter_walk` and
-:func:`_retraction_walk` are deliberately kept in lockstep with
+NOTE: the candidate loop in :func:`_iter_walk` (the one enumerating
+walker, a generator — the shape that stays python under every join
+backend) is deliberately kept in lockstep with
 :func:`repro.kernel.joins.extend_matches` /
 :func:`~repro.kernel.joins.has_extension` (see the NOTE there) — same
-step semantics, different termination discipline.
+step semantics, different termination discipline. The early-exit walks
+(existence, retraction) are kernel-owned and run on whichever join
+backend the process resolved (``REPRO_JOIN_BACKEND``).
 """
 
 from __future__ import annotations
@@ -62,6 +65,7 @@ from repro.kernel.joins import (
     compile_steps,
     has_extension,
     memoized,
+    retraction_walk,
 )
 from repro.relational import homomorphism as _legacy
 from repro.relational.homomorphism import (
@@ -172,7 +176,7 @@ def _load_registers(
     exactly like the generic engine's empty ``matching_rows`` scan.
     """
     regs = [0] * plan.n_slots
-    intern = state._intern
+    intern = state.intern
     for slot, value in prebound:
         regs[slot] = intern(value)
     return regs
@@ -231,83 +235,6 @@ def _iter_walk(
                 break
         if ok:
             yield from _iter_walk(state, steps, next_depth, regs)
-
-
-def _retraction_walk(
-    state: KernelState,
-    steps: tuple[AtomStep, ...],
-    depth: int,
-    regs: list[int],
-    used: set[IntRow],
-) -> bool:
-    """The image-shrinks early-exit walk (endomorphism mode).
-
-    ``used`` holds the image rows of the source atoms matched so far.
-    The moment a candidate's image row repeats, the homomorphism is
-    guaranteed non-injective on rows — a proper retraction — so the
-    remaining atoms only need *existence*
-    (:func:`~repro.kernel.joins.has_extension`), not enumeration. A
-    walk that completes without a repeat is a row-injective
-    endomorphism and is rejected. A True return unwinds without
-    touching ``regs``, so the caller decodes the witnessing assignment
-    straight from the registers. Kept in lockstep with the kernel
-    walkers (see the module NOTE).
-    """
-    if depth == len(steps):
-        return False  # complete, but row-injective: not a proper retraction
-    step = steps[depth]
-    probes = step.probes
-    next_depth = depth + 1
-    if step.membership:
-        irow = tuple(regs[slot] for slot in step.probe_slots)
-        if irow not in state.irows:
-            return False
-        if irow in used:
-            return has_extension(state, steps, next_depth, regs)
-        used.add(irow)
-        if _retraction_walk(state, steps, next_depth, regs, used):
-            return True
-        used.discard(irow)
-        return False
-    if probes:
-        index = state.index
-        best = None
-        for column, slot in probes:
-            bucket = index.get((column, regs[slot]))
-            if not bucket:
-                return False
-            if best is None or len(bucket) < len(best):
-                best = bucket
-    else:
-        best = state.rows_list
-    verify = step.verify_probes
-    binds = step.binds
-    checks = step.checks
-    for irow in best:
-        ok = True
-        for column, slot in verify:
-            if irow[column] != regs[slot]:
-                ok = False
-                break
-        if not ok:
-            continue
-        for column, slot in binds:
-            regs[slot] = irow[column]
-        for column, slot in checks:
-            if irow[column] != regs[slot]:
-                ok = False
-                break
-        if not ok:
-            continue
-        if irow in used:
-            if has_extension(state, steps, next_depth, regs):
-                return True
-            continue
-        used.add(irow)
-        if _retraction_walk(state, steps, next_depth, regs, used):
-            return True
-        used.discard(irow)
-    return False
 
 
 def _decode(
@@ -458,6 +385,6 @@ def find_retraction_assignment(
     state = target.kernel_view()
     regs = _load_registers(plan, prebound, state)
     used: set[IntRow] = set()
-    if _retraction_walk(state, plan.steps, 0, regs, used):
+    if retraction_walk(state, plan.steps, 0, regs, used):
         return _decode(base, out_pairs, regs, state)
     return None

@@ -30,7 +30,7 @@ class Const:
 
     __slots__ = ("name", "_hash")
 
-    def __init__(self, name: object):
+    def __init__(self, name: object) -> None:
         self.name = name
         self._hash = hash(("Const", name))
 
@@ -60,7 +60,7 @@ class LabeledNull:
 
     __slots__ = ("label", "_hash")
 
-    def __init__(self, label: int):
+    def __init__(self, label: int) -> None:
         self.label = label
         self._hash = hash(("Null", label))
 
@@ -103,7 +103,7 @@ class InternTable:
 
     __slots__ = ("_ids", "values")
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._ids: dict[Value, int] = {}
         #: id -> Value, the inverse mapping (read-only for callers).
         self.values: list[Value] = []
@@ -116,6 +116,17 @@ class InternTable:
             self._ids[value] = idx
             self.values.append(value)
         return idx
+
+    def raw(self) -> tuple[dict[Value, int], list[Value]]:
+        """The live ``(ids, values)`` pair backing the table.
+
+        The kernel layer (:class:`repro.kernel.state.KernelState`, and
+        the native extension's C interning loop) holds these directly
+        and interns with inline dict probes instead of per-value method
+        calls — the audited fast path behind single-shot small-CQ
+        latency. Both structures are append-only; callers must preserve
+        the bijection (``ids[values[i]] == i``)."""
+        return self._ids, self.values
 
     def id_of(self, value: Value) -> Optional[int]:
         """The id for ``value`` if already interned, else None."""
@@ -138,7 +149,7 @@ class NullFactory:
 
     __slots__ = ("_next",)
 
-    def __init__(self, start: int = 0):
+    def __init__(self, start: int = 0) -> None:
         self._next = start
 
     def __call__(self) -> LabeledNull:

@@ -173,3 +173,15 @@ class ServiceInstruments:
             "Wall seconds per disk-tier compaction",
             buckets=LATENCY_BUCKETS,
         )
+        self.join_backend = registry.gauge(
+            "repro_join_backend",
+            "Resolved join backend (info gauge: 1 on the active backend's label)",
+            labels=("backend",),
+        )
+        from repro.kernel.backend import resolve_join_backend
+
+        active = resolve_join_backend()
+        for backend in ("native", "python"):
+            self.join_backend.labels(backend=backend).set(
+                1.0 if backend == active else 0.0
+            )

@@ -58,6 +58,7 @@ from repro.chase.implication import (
     implies,
 )
 from repro.dependencies.classify import Dependency
+from repro.kernel.backend import resolve_join_backend, set_join_backend
 from repro.kernel.joins import memoized
 from repro.io.json_codec import (
     Json,
@@ -378,7 +379,7 @@ def _warm_worker() -> None:
     the lazily-spawning executor to actually create its processes."""
 
 
-def _init_worker(fault_env: dict) -> None:
+def _init_worker(fault_env: dict, join_backend: str) -> None:
     """Worker initializer: mirror the parent's fault-injection arming.
 
     Forkserver children inherit the environment the *forkserver* saw
@@ -387,10 +388,17 @@ def _init_worker(fault_env: dict) -> None:
     reach workers. Shipping the ``REPRO_FAULT_*`` slice explicitly at
     pool (re)start makes arming deterministic, including across the
     in-place rebuilds of crash containment.
+
+    The join backend travels the same way, and as the parent's
+    *resolved* answer rather than the raw environment: a pool can never
+    run a different backend than the parent that scheduled the work
+    (``REPRO_JOIN_BACKEND=auto`` resolving differently across processes
+    would silently mix provenance within one batch).
     """
     for key in [k for k in os.environ if k.startswith(faults.PREFIX)]:
         del os.environ[key]
     os.environ.update(fault_env)
+    set_join_backend(join_backend)
 
 
 #: Worker-side memo of decoded premise tuples, keyed by their wire
@@ -564,7 +572,7 @@ class WorkerPool:
                 max_workers=self.workers,
                 mp_context=context,
                 initializer=_init_worker,
-                initargs=(fault_env,),
+                initargs=(fault_env, resolve_join_backend()),
             )
             wait([self._pool.submit(_warm_worker) for _ in range(self.workers)])
         return self

@@ -75,6 +75,7 @@ from repro.chase.budget import Budget
 from repro.chase.implication import InferenceStatus
 from repro.dependencies.classify import Dependency
 from repro.errors import ReproError
+from repro.kernel.backend import join_backend_info
 from repro.io.json_codec import (
     CodecError,
     Json,
@@ -898,6 +899,9 @@ class InferenceServer:
                 "max_models": self.models.max_models,
                 "evictions": self.models.evictions,
             },
+            # Which join backend this process (and, by construction, its
+            # worker pools) resolved — see repro.kernel.backend.
+            "engines": join_backend_info(),
             # The full registry snapshot, JSON-shaped: everything
             # ``GET /metrics`` exposes, for clients that already speak
             # this wire format (``repro stats`` renders it).

@@ -32,6 +32,11 @@ from repro.workloads.generators import (
     weakly_acyclic_dependencies,
 )
 
+#: Every test runs under both join backends (the native leg skips
+#: visibly when the extension is not built): the same seeds that hold
+#: compiled ≡ legacy also hold native ≡ python.
+pytestmark = pytest.mark.usefixtures("join_backend")
+
 CHECKERS = ("legacy", "compiled")
 
 

@@ -31,6 +31,11 @@ from repro.relational.instance import Instance
 from repro.relational.queries import ConjunctiveQuery
 from repro.relational.schema import Schema
 from repro.relational.values import Const, is_null
+
+#: Every test runs under both join backends (the native leg skips
+#: visibly when the extension is not built): the same seeds that hold
+#: compiled ≡ legacy also hold native ≡ python.
+pytestmark = pytest.mark.usefixtures("join_backend")
 from repro.workloads.generators import (
     random_instance,
     random_td,

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.kernel.backend import join_backend_override, native_available
 from repro.reduction.encode import ReductionEncoding, encode
 from repro.relational.instance import Instance
 from repro.relational.schema import Schema
@@ -14,6 +15,26 @@ from repro.workloads.instances import (
     negative_instance,
     positive_instance,
 )
+
+
+@pytest.fixture(params=["python", "native"])
+def join_backend(request):
+    """Run the requesting test under each join backend in turn.
+
+    The differential suites opt in via
+    ``pytestmark = pytest.mark.usefixtures("join_backend")`` — the same
+    seeds that hold compiled ≡ legacy then also hold native ≡ python.
+    When the native extension is not built, the native leg *skips
+    visibly* (never silently passes on the fallback): a CI job that
+    built the extension and still reports skips is misconfigured.
+    """
+    if request.param == "native" and not native_available():
+        pytest.skip(
+            "repro.kernel._native not built "
+            "(python setup.py build_ext --inplace)"
+        )
+    with join_backend_override(request.param):
+        yield request.param
 
 
 @pytest.fixture

@@ -38,6 +38,11 @@ from repro.chase.engine import chase
 from repro.chase.result import ChaseStatus
 from repro.dependencies.template import is_variable
 from repro.relational.instance import Instance
+
+#: Every test runs under both join backends (the native leg skips
+#: visibly when the extension is not built): the same seeds that hold
+#: compiled ≡ legacy also hold native ≡ python.
+pytestmark = pytest.mark.usefixtures("join_backend")
 from repro.relational.values import LabeledNull, is_null
 from repro.workloads.generators import (
     random_cq,
